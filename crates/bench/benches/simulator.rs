@@ -1,0 +1,90 @@
+//! Criterion benchmarks of the simulation engine itself: how fast the
+//! executor retires events and how much wall-clock one simulated
+//! millisecond of each experiment costs. These bound the turnaround of
+//! the figure-regeneration harnesses.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::rc::Rc;
+
+use rfp_bench::kvrun::run_kv;
+use rfp_bench::micro;
+use rfp_kvstore::{spawn_jakiro, SystemConfig};
+use rfp_simnet::{FifoServer, SimSpan, Simulation};
+use rfp_workload::WorkloadSpec;
+
+/// Raw executor throughput: a storm of interleaved sleeps.
+fn bench_executor(c: &mut Criterion) {
+    c.bench_function("simnet/sleep_storm_10k_events", |b| {
+        b.iter(|| {
+            let mut sim = Simulation::new(0);
+            for i in 0..100u64 {
+                let h = sim.handle();
+                sim.spawn(async move {
+                    for k in 0..100u64 {
+                        h.sleep(SimSpan::nanos(1 + (i * 37 + k) % 97)).await;
+                    }
+                });
+            }
+            sim.run();
+            black_box(sim.now())
+        });
+    });
+}
+
+/// FIFO resource under contention.
+fn bench_fifo(c: &mut Criterion) {
+    c.bench_function("simnet/fifo_10k_ops", |b| {
+        b.iter(|| {
+            let mut sim = Simulation::new(0);
+            let server = Rc::new(FifoServer::new(sim.handle()));
+            for _ in 0..10 {
+                let s = Rc::clone(&server);
+                sim.spawn(async move {
+                    for _ in 0..1000 {
+                        s.serve(SimSpan::nanos(100)).await;
+                    }
+                });
+            }
+            sim.run();
+            black_box(server.completed())
+        });
+    });
+}
+
+/// Wall-clock cost of one simulated millisecond of saturated
+/// micro-benchmark (the Figure 3-5 workhorse).
+fn bench_micro_ms(c: &mut Criterion) {
+    c.bench_function("experiments/inbound_saturation_1ms", |b| {
+        b.iter(|| black_box(micro::inbound_mops(5, 32, SimSpan::millis(1))));
+    });
+}
+
+/// Wall-clock cost of one simulated millisecond of the full Jakiro
+/// system (35 clients, 6 server threads).
+fn bench_jakiro_ms(c: &mut Criterion) {
+    c.bench_function("experiments/jakiro_1ms", |b| {
+        let cfg = SystemConfig {
+            spec: WorkloadSpec {
+                key_count: 2_000,
+                ..WorkloadSpec::paper_default()
+            },
+            ..SystemConfig::default()
+        };
+        b.iter(|| {
+            black_box(run_kv(
+                spawn_jakiro,
+                &cfg,
+                SimSpan::millis(0),
+                SimSpan::millis(1),
+            ))
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_executor, bench_fifo, bench_micro_ms, bench_jakiro_ms
+}
+criterion_main!(benches);

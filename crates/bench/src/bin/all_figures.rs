@@ -1,0 +1,24 @@
+//! Regenerates every figure and table of the paper in one run.
+//!
+//! With a directory argument, each experiment is additionally written
+//! to `<dir>/<name>.csv` for inclusion in EXPERIMENTS.md.
+
+use std::io::Write;
+
+fn main() {
+    let dir = std::env::args().nth(1);
+    let mut out = std::io::stdout().lock();
+    for (name, f) in rfp_bench::figures::EXPERIMENTS {
+        writeln!(out, "## {name}").expect("stdout");
+        if let Some(dir) = &dir {
+            std::fs::create_dir_all(dir).expect("create output dir");
+            let mut file = std::fs::File::create(format!("{dir}/{name}.csv")).expect("create csv");
+            f(&mut file).expect("write csv");
+            // Echo to stdout as well.
+            let body = std::fs::read_to_string(format!("{dir}/{name}.csv")).expect("read back");
+            out.write_all(body.as_bytes()).expect("stdout");
+        } else {
+            f(&mut out).expect("stdout");
+        }
+    }
+}

@@ -1,0 +1,6 @@
+//! Figure 3: in-bound vs out-bound IOPS by server thread count.
+
+fn main() {
+    let mut out = std::io::stdout().lock();
+    rfp_bench::figures::fig03(&mut out).expect("write to stdout");
+}

@@ -1,0 +1,6 @@
+//! Figure 5: IOPS vs payload size for both directions.
+
+fn main() {
+    let mut out = std::io::stdout().lock();
+    rfp_bench::figures::fig05(&mut out).expect("write to stdout");
+}

@@ -1,0 +1,6 @@
+//! Figure 9: repeated remote fetching vs server-reply across process time.
+
+fn main() {
+    let mut out = std::io::stdout().lock();
+    rfp_bench::figures::fig09(&mut out).expect("write to stdout");
+}

@@ -1,0 +1,6 @@
+//! Figure 11: Jakiro vs the Pilaf-style store at 50% GET.
+
+fn main() {
+    let mut out = std::io::stdout().lock();
+    rfp_bench::figures::fig11(&mut out).expect("write to stdout");
+}

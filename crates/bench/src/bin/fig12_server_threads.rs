@@ -1,0 +1,6 @@
+//! Figure 12: the three systems vs server thread count.
+
+fn main() {
+    let mut out = std::io::stdout().lock();
+    rfp_bench::figures::fig12(&mut out).expect("write to stdout");
+}

@@ -1,0 +1,6 @@
+//! Figure 13: latency CDF at peak throughput.
+
+fn main() {
+    let mut out = std::io::stdout().lock();
+    rfp_bench::figures::fig13(&mut out).expect("write to stdout");
+}

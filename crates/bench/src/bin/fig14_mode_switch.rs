@@ -1,0 +1,6 @@
+//! Figure 14: hybrid mode switch across request process time.
+
+fn main() {
+    let mut out = std::io::stdout().lock();
+    rfp_bench::figures::fig14(&mut out).expect("write to stdout");
+}

@@ -1,0 +1,6 @@
+//! Figure 15: Jakiro client CPU utilisation vs process time.
+
+fn main() {
+    let mut out = std::io::stdout().lock();
+    rfp_bench::figures::fig15(&mut out).expect("write to stdout");
+}

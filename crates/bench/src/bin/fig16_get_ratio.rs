@@ -1,0 +1,6 @@
+//! Figure 16: throughput vs GET percentage (uniform).
+
+fn main() {
+    let mut out = std::io::stdout().lock();
+    rfp_bench::figures::fig16(&mut out).expect("write to stdout");
+}

@@ -1,0 +1,6 @@
+//! Figure 17: throughput vs value size.
+
+fn main() {
+    let mut out = std::io::stdout().lock();
+    rfp_bench::figures::fig17(&mut out).expect("write to stdout");
+}

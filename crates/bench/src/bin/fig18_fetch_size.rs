@@ -1,0 +1,6 @@
+//! Figure 18: Jakiro under different fetch sizes F.
+
+fn main() {
+    let mut out = std::io::stdout().lock();
+    rfp_bench::figures::fig18(&mut out).expect("write to stdout");
+}

@@ -1,0 +1,104 @@
+//! One-shot runner for the KV systems: spawn, warm up, measure, report.
+
+use rfp_kvstore::{KvSystem, SystemConfig};
+use rfp_simnet::{SimSpan, Simulation};
+
+/// Everything one measurement window yields.
+#[derive(Clone, Debug)]
+pub struct KvRun {
+    /// Completed requests per second, in millions.
+    pub mops: f64,
+    /// Mean end-to-end latency in µs.
+    pub mean_latency_us: f64,
+    /// Median latency in µs.
+    pub p50_us: f64,
+    /// 99th-percentile latency in µs.
+    pub p99_us: f64,
+    /// Latency CDF points `(µs, cumulative probability)`.
+    pub cdf: Vec<(f64, f64)>,
+    /// Server in-bound one-sided ops per completed request.
+    pub inbound_per_req: f64,
+    /// Server out-bound one-sided ops per completed request.
+    pub outbound_per_req: f64,
+    /// Server in-bound payload bytes per completed request (the §5
+    /// bandwidth-waste comparison: FaRM-style GETs fetch whole
+    /// neighborhoods).
+    pub inbound_bytes_per_req: f64,
+    /// Mean client-thread CPU utilisation (0..1).
+    pub client_util: f64,
+    /// Mean remote-fetch attempts per call (RFP connections only).
+    pub mean_attempts: f64,
+    /// Fraction of calls needing more than one fetch attempt.
+    pub frac_attempts_gt1: f64,
+    /// Fraction of calls whose retry count exceeded one (the paper's
+    /// Table 3 "percentage of N > 1", N = failed-fetch retries), i.e.
+    /// three or more fetch attempts.
+    pub frac_retries_gt1: f64,
+    /// Largest fetch-attempt count observed.
+    pub max_attempts: u32,
+    /// Mode switches into server-reply across all connections.
+    pub switches_to_reply: u64,
+    /// One-sided ops per GET on the bypass path (Pilaf only).
+    pub bypass_ops_per_get: f64,
+    /// Checksum retries observed by bypass GETs (Pilaf only).
+    pub crc_retries: u64,
+}
+
+/// Spawns `spawn(cfg)`, warms up `warmup`, measures `window`, and
+/// aggregates the statistics.
+pub fn run_kv(
+    spawn: impl FnOnce(&mut Simulation, &SystemConfig) -> KvSystem,
+    cfg: &SystemConfig,
+    warmup: SimSpan,
+    window: SimSpan,
+) -> KvRun {
+    let mut sim = Simulation::new(cfg.seed);
+    let sys = spawn(&mut sim, cfg);
+    sim.run_for(warmup);
+    sys.reset_measurements();
+    let t0 = sim.now();
+    sim.run_for(window);
+    let secs = (sim.now() - t0).as_secs_f64();
+
+    let stats = &sys.stats;
+    let completed = stats.completed.get().max(1);
+    let counters = sys.server_machine.nic().counters();
+    let us = |s: Option<SimSpan>| s.map(|v| v.as_micros_f64()).unwrap_or(0.0);
+
+    let (mut attempts_sum, mut attempts_gt1, mut retries_gt1, mut calls) = (0.0, 0.0, 0.0, 0u64);
+    let (mut max_attempts, mut switches) = (0u32, 0u64);
+    for c in &sys.rfp_clients {
+        let s = c.stats();
+        calls += s.calls();
+        attempts_sum += s.mean_attempts() * s.calls() as f64;
+        attempts_gt1 += s.frac_attempts_above(1) * s.calls() as f64;
+        retries_gt1 += s.frac_attempts_above(2) * s.calls() as f64;
+        max_attempts = max_attempts.max(s.max_attempts());
+        switches += s.switches_to_reply();
+    }
+    let calls_f = calls.max(1) as f64;
+
+    KvRun {
+        mops: stats.completed.get() as f64 / secs / 1e6,
+        mean_latency_us: us(stats.latency.mean()),
+        p50_us: us(stats.latency.percentile(50.0)),
+        p99_us: us(stats.latency.percentile(99.0)),
+        cdf: stats
+            .latency
+            .cdf(100)
+            .into_iter()
+            .map(|(l, p)| (l.as_micros_f64(), p))
+            .collect(),
+        inbound_per_req: counters.inbound_ops as f64 / completed as f64,
+        outbound_per_req: counters.outbound_ops as f64 / completed as f64,
+        inbound_bytes_per_req: counters.inbound_bytes as f64 / completed as f64,
+        client_util: sys.mean_client_utilization(),
+        mean_attempts: attempts_sum / calls_f,
+        frac_attempts_gt1: attempts_gt1 / calls_f,
+        frac_retries_gt1: retries_gt1 / calls_f,
+        max_attempts,
+        switches_to_reply: switches,
+        bypass_ops_per_get: stats.bypass_ops.get() as f64 / stats.gets.get().max(1) as f64,
+        crc_retries: stats.crc_retries.get(),
+    }
+}

@@ -1,0 +1,30 @@
+//! Benchmark harnesses regenerating every table and figure of the RFP
+//! paper's evaluation (§2 micro-benchmarks and §4 system results).
+//!
+//! Each experiment is a library function in [`figures`] writing
+//! `figure,series,x,y`-style CSV rows (comment lines start with `#`),
+//! wrapped by a binary of the same name in `src/bin/`. Run one with e.g.
+//!
+//! ```text
+//! cargo run --release -p rfp-bench --bin fig12_server_threads
+//! ```
+//!
+//! or everything via `--bin all_figures` (which writes
+//! `EXPERIMENTS-data/` files when given a directory argument).
+//!
+//! The per-experiment index mapping figures to modules lives in
+//! `DESIGN.md`; paper-vs-measured numbers are recorded in
+//! `EXPERIMENTS.md`.
+
+pub mod ablations;
+pub mod figures;
+pub mod kvrun;
+pub mod micro;
+
+/// Simulated-time measurement window used by most experiments. Long
+/// enough that queueing transients vanish, short enough that a full
+/// figure regenerates in seconds.
+pub const DEFAULT_WINDOW_MS: u64 = 4;
+
+/// Simulated warm-up discarded before each measurement.
+pub const DEFAULT_WARMUP_MS: u64 = 1;

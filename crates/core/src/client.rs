@@ -1,0 +1,433 @@
+//! The client endpoint: remote fetching, hybrid mode switching, stats.
+
+use std::cell::{Cell, RefCell};
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+use rfp_rnic::{Qp, ThreadCtx};
+use rfp_simnet::{timeout, Histogram, SimSpan};
+
+use crate::conn::{Mode, Shared, MODE_REMOTE_FETCH, MODE_SERVER_REPLY};
+use crate::header::{ReqHeader, RespHeader, REQ_HDR, RESP_HDR};
+
+/// Outcome of one RPC call.
+#[derive(Clone, Debug)]
+pub struct CallResult {
+    /// The response payload.
+    pub data: Vec<u8>,
+    /// Per-call diagnostics.
+    pub info: CallInfo,
+}
+
+/// Per-call diagnostics (feeds Table 3 and the round-trip accounting of
+/// §4.3).
+#[derive(Copy, Clone, Debug)]
+pub struct CallInfo {
+    /// Remote-fetch attempts made for this call (the paper's `N`);
+    /// zero when the call was served in server-reply mode without any
+    /// fetch.
+    pub attempts: u32,
+    /// Whether a second READ was needed because the response exceeded
+    /// the fetch size `F`.
+    pub extra_read: bool,
+    /// Mode the call completed in.
+    pub completed_in: Mode,
+    /// End-to-end call latency.
+    pub latency: SimSpan,
+    /// Server-reported process time (the response header's 16-bit
+    /// `time` field, µs) — the online tuner's `P` sample.
+    pub server_time_us: u16,
+}
+
+/// Aggregated client statistics.
+#[derive(Default)]
+pub struct ClientStats {
+    calls: Cell<u64>,
+    fetch_attempts: Cell<u64>,
+    extra_reads: Cell<u64>,
+    switches_to_reply: Cell<u64>,
+    switches_to_fetch: Cell<u64>,
+    attempts_hist: RefCell<BTreeMap<u32, u64>>,
+    /// End-to-end call latencies.
+    pub latency: Histogram,
+}
+
+impl ClientStats {
+    fn record(&self, info: &CallInfo) {
+        self.calls.set(self.calls.get() + 1);
+        self.fetch_attempts
+            .set(self.fetch_attempts.get() + info.attempts as u64);
+        if info.extra_read {
+            self.extra_reads.set(self.extra_reads.get() + 1);
+        }
+        *self
+            .attempts_hist
+            .borrow_mut()
+            .entry(info.attempts)
+            .or_insert(0) += 1;
+        self.latency.record(info.latency);
+    }
+
+    /// Completed calls.
+    pub fn calls(&self) -> u64 {
+        self.calls.get()
+    }
+
+    /// Mean remote-fetch attempts per call.
+    pub fn mean_attempts(&self) -> f64 {
+        if self.calls.get() == 0 {
+            return 0.0;
+        }
+        self.fetch_attempts.get() as f64 / self.calls.get() as f64
+    }
+
+    /// Calls that needed a second READ for an oversized response.
+    pub fn extra_reads(&self) -> u64 {
+        self.extra_reads.get()
+    }
+
+    /// Fraction of calls with more than `n` fetch attempts.
+    pub fn frac_attempts_above(&self, n: u32) -> f64 {
+        if self.calls.get() == 0 {
+            return 0.0;
+        }
+        let above: u64 = self
+            .attempts_hist
+            .borrow()
+            .iter()
+            .filter(|(&a, _)| a > n)
+            .map(|(_, &c)| c)
+            .sum();
+        above as f64 / self.calls.get() as f64
+    }
+
+    /// Largest attempt count observed (the paper's "largest N").
+    pub fn max_attempts(&self) -> u32 {
+        self.attempts_hist
+            .borrow()
+            .keys()
+            .next_back()
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Histogram of attempts → call count.
+    pub fn attempts_histogram(&self) -> BTreeMap<u32, u64> {
+        self.attempts_hist.borrow().clone()
+    }
+
+    /// Times the connection switched into server-reply mode.
+    pub fn switches_to_reply(&self) -> u64 {
+        self.switches_to_reply.get()
+    }
+
+    /// Times the connection switched back to remote fetching.
+    pub fn switches_to_fetch(&self) -> u64 {
+        self.switches_to_fetch.get()
+    }
+
+    /// Clears all statistics (discard warm-up).
+    pub fn reset(&self) {
+        self.calls.set(0);
+        self.fetch_attempts.set(0);
+        self.extra_reads.set(0);
+        self.switches_to_reply.set(0);
+        self.switches_to_fetch.set(0);
+        self.attempts_hist.borrow_mut().clear();
+        self.latency.reset();
+    }
+}
+
+/// Client endpoint of one RFP connection, bound to one simulated thread.
+///
+/// Implements the paper's `client_send` / `client_recv` (Table 2) plus
+/// the [`call`](RfpClient::call) convenience wrapper, the hybrid
+/// remote-fetch ↔ server-reply switch, and the two-segment fetch.
+pub struct RfpClient {
+    shared: Rc<Shared>,
+    qp: Rc<Qp>,
+    seq: Cell<u32>,
+    /// When the current call's request WRITE was issued (latency epoch).
+    sent_at: Cell<rfp_simnet::SimTime>,
+    mode: Cell<Mode>,
+    /// Consecutive calls whose failed retries exceeded `R`.
+    consec_over: Cell<u32>,
+    /// Runtime-tunable `R` (initialised from config).
+    retry_threshold: Cell<u32>,
+    /// Runtime-tunable `F` (initialised from config).
+    fetch_size: Cell<usize>,
+    stats: ClientStats,
+}
+
+impl RfpClient {
+    pub(crate) fn new(shared: Rc<Shared>, qp: Rc<Qp>) -> Self {
+        let retry_threshold = Cell::new(shared.cfg.retry_threshold);
+        let fetch_size = Cell::new(shared.cfg.fetch_size);
+        let initial_mode = shared.cfg.initial_mode;
+        RfpClient {
+            shared,
+            qp,
+            seq: Cell::new(0),
+            sent_at: Cell::new(rfp_simnet::SimTime::ZERO),
+            mode: Cell::new(initial_mode),
+            consec_over: Cell::new(0),
+            retry_threshold,
+            fetch_size,
+            stats: ClientStats::default(),
+        }
+    }
+
+    /// Aggregated statistics.
+    pub fn stats(&self) -> &ClientStats {
+        &self.stats
+    }
+
+    /// Current transport mode.
+    pub fn mode(&self) -> Mode {
+        self.mode.get()
+    }
+
+    /// Current `R`.
+    pub fn retry_threshold(&self) -> u32 {
+        self.retry_threshold.get()
+    }
+
+    /// Current `F`.
+    pub fn fetch_size(&self) -> usize {
+        self.fetch_size.get()
+    }
+
+    /// Largest `F` this connection's buffers can carry.
+    pub fn max_fetch_size(&self) -> usize {
+        self.shared.cfg.resp_capacity
+    }
+
+    /// Applies new `(R, F)` parameters (output of the selection
+    /// procedure, [`crate::ParamSelector`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` cannot cover the response header.
+    pub fn set_params(&self, r: u32, f: usize) {
+        assert!(f >= RESP_HDR, "F must cover the response header");
+        assert!(
+            f <= self.shared.cfg.resp_capacity,
+            "F exceeds response buffer"
+        );
+        self.retry_threshold.set(r);
+        self.fetch_size.set(f);
+    }
+
+    /// `client_send`: deposits a request into server memory via
+    /// one-sided WRITE.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `req` exceeds the request capacity.
+    pub async fn send(&self, thread: &ThreadCtx, req: &[u8]) {
+        assert!(
+            req.len() <= self.shared.cfg.max_req_payload(),
+            "request exceeds buffer capacity"
+        );
+        let seq = self.seq.get().wrapping_add(1);
+        self.seq.set(seq);
+        self.sent_at.set(thread.now());
+        let hdr = ReqHeader {
+            valid: true,
+            size: req.len() as u32,
+            seq,
+        };
+        let mut hdr_bytes = [0u8; REQ_HDR];
+        hdr.encode(&mut hdr_bytes);
+        self.shared.client_req.write_local(0, &hdr_bytes);
+        self.shared.client_req.write_local(REQ_HDR, req);
+        self.qp
+            .write(
+                thread,
+                &self.shared.client_req,
+                0,
+                &self.shared.req,
+                0,
+                REQ_HDR + req.len(),
+            )
+            .await;
+    }
+
+    /// `client_recv`: obtains the response for the last
+    /// [`send`](RfpClient::send), via repeated remote fetching or
+    /// server-reply depending on the connection mode.
+    ///
+    /// The reported latency spans from the matching `send` (end-to-end
+    /// call time).
+    pub async fn recv(&self, thread: &ThreadCtx) -> CallResult {
+        let t0 = self.sent_at.get();
+        let seq = self.seq.get();
+        let out = match self.mode.get() {
+            Mode::RemoteFetch => self.recv_remote_fetch(thread, seq, t0).await,
+            Mode::ServerReply => self.recv_server_reply(thread, seq, t0, 0).await,
+        };
+        self.stats.record(&out.info);
+        out
+    }
+
+    /// One full RPC: send, then receive.
+    pub async fn call(&self, thread: &ThreadCtx, req: &[u8]) -> CallResult {
+        self.send(thread, req).await;
+        self.recv(thread).await
+    }
+
+    async fn recv_remote_fetch(
+        &self,
+        thread: &ThreadCtx,
+        seq: u32,
+        t0: rfp_simnet::SimTime,
+    ) -> CallResult {
+        let r = self.retry_threshold.get();
+        let mut attempts = 0u32;
+        let mut counted_over = false;
+        loop {
+            attempts += 1;
+            let f = self.fetch_size.get();
+            self.qp
+                .read(thread, &self.shared.client_resp, 0, &self.shared.resp, 0, f)
+                .await;
+            thread.busy(self.shared.cfg.check_cpu).await;
+            let hdr = RespHeader::decode(&self.shared.client_resp.read_local(0, RESP_HDR));
+            if hdr.valid && hdr.seq == seq {
+                let size = hdr.size as usize;
+                let mut extra_read = false;
+                if RESP_HDR + size > f {
+                    // Second fetch for the remainder (paper §3.2: only if
+                    // the real result exceeds the default fetch size).
+                    let rest = RESP_HDR + size - f;
+                    self.qp
+                        .read(
+                            thread,
+                            &self.shared.client_resp,
+                            f,
+                            &self.shared.resp,
+                            f,
+                            rest,
+                        )
+                        .await;
+                    extra_read = true;
+                }
+                if !counted_over {
+                    self.consec_over.set(0);
+                }
+                return CallResult {
+                    data: self.shared.client_resp.read_local(RESP_HDR, size),
+                    info: CallInfo {
+                        attempts,
+                        extra_read,
+                        completed_in: Mode::RemoteFetch,
+                        latency: thread.now() - t0,
+                        server_time_us: hdr.time_us,
+                    },
+                };
+            }
+            // Failed attempt. Past R failed retries this call counts
+            // toward the consecutive-overrun guard exactly once.
+            if attempts > r && !counted_over {
+                counted_over = true;
+                if self.shared.cfg.enable_mode_switch {
+                    let over = self.consec_over.get() + 1;
+                    self.consec_over.set(over);
+                    if over >= self.shared.cfg.consecutive_before_switch {
+                        self.switch_mode(thread, Mode::ServerReply).await;
+                        return self.recv_server_reply(thread, seq, t0, attempts).await;
+                    }
+                }
+            }
+        }
+    }
+
+    async fn recv_server_reply(
+        &self,
+        thread: &ThreadCtx,
+        seq: u32,
+        t0: rfp_simnet::SimTime,
+        prior_attempts: u32,
+    ) -> CallResult {
+        let mut attempts = prior_attempts;
+        loop {
+            thread.busy(self.shared.cfg.check_cpu).await;
+            let hdr = RespHeader::decode(&self.shared.client_resp.read_local(0, RESP_HDR));
+            if hdr.valid && hdr.seq == seq {
+                let size = hdr.size as usize;
+                let data = self.shared.client_resp.read_local(RESP_HDR, size);
+                // §3.2: record the server's response time; if it got
+                // short again, remote fetching is profitable — switch
+                // back.
+                if self.shared.cfg.enable_mode_switch
+                    && SimSpan::micros(hdr.time_us as u64) < self.shared.cfg.switch_back_below
+                    && self.mode.get() == Mode::ServerReply
+                {
+                    self.switch_mode(thread, Mode::RemoteFetch).await;
+                }
+                return CallResult {
+                    data,
+                    info: CallInfo {
+                        attempts,
+                        extra_read: false,
+                        completed_in: Mode::ServerReply,
+                        latency: thread.now() - t0,
+                        server_time_us: hdr.time_us,
+                    },
+                };
+            }
+            // Block (idle — no busy polling in reply mode, which is the
+            // whole CPU saving of Figure 15) until a reply lands, with a
+            // fallback fetch covering the post-before-flag race.
+            let landed = thread
+                .idle_wait(timeout(
+                    thread.handle(),
+                    self.shared.cfg.reply_fallback_poll,
+                    self.shared.client_resp.wait_remote_write(0..RESP_HDR),
+                ))
+                .await;
+            if landed.is_none() {
+                // Safety fetch: the server may have posted the response
+                // locally before it saw the mode flag.
+                if let Some(trace) = &self.shared.cfg.trace {
+                    trace.record(
+                        thread.now(),
+                        "rfp.fallback",
+                        format!("seq {seq}: fallback fetch after reply-wait timeout"),
+                    );
+                }
+                attempts += 1;
+                let f = self.fetch_size.get().max(self.shared.cfg.resp_capacity);
+                self.qp
+                    .read(thread, &self.shared.client_resp, 0, &self.shared.resp, 0, f)
+                    .await;
+            }
+        }
+    }
+
+    async fn switch_mode(&self, thread: &ThreadCtx, to: Mode) {
+        let byte = match to {
+            Mode::RemoteFetch => MODE_REMOTE_FETCH,
+            Mode::ServerReply => MODE_SERVER_REPLY,
+        };
+        self.shared.client_mode.write_local(0, &[byte]);
+        self.qp
+            .write(thread, &self.shared.client_mode, 0, &self.shared.mode, 0, 1)
+            .await;
+        self.mode.set(to);
+        self.consec_over.set(0);
+        if let Some(trace) = &self.shared.cfg.trace {
+            trace.record(thread.now(), "rfp.mode", format!("switched to {to:?}"));
+        }
+        match to {
+            Mode::ServerReply => self
+                .stats
+                .switches_to_reply
+                .set(self.stats.switches_to_reply.get() + 1),
+            Mode::RemoteFetch => self
+                .stats
+                .switches_to_fetch
+                .set(self.stats.switches_to_fetch.get() + 1),
+        }
+    }
+}

@@ -1,0 +1,306 @@
+//! Connection setup: buffer pairs, configuration, and the server side.
+//!
+//! An RFP connection between one client thread and a server machine
+//! consists of (Figure 7):
+//!
+//! * a **request buffer** in server memory — the client deposits requests
+//!   with one-sided WRITE (in-bound at the server),
+//! * a **response buffer** in server memory — the server posts results
+//!   locally; the client fetches them with one-sided READ (again
+//!   in-bound at the server),
+//! * a **mode flag** in server memory — the client flips it between
+//!   remote-fetch and server-reply (§3.2's hybrid mechanism),
+//! * a client-local **response landing zone** — the target of the
+//!   server's out-bound WRITE when the connection is in server-reply
+//!   mode, and the destination of remote fetches otherwise.
+//!
+//! Buffer locations are exchanged once at registration; afterwards both
+//! sides access their ends without further synchronisation (the paper's
+//! `malloc_buf` registration step).
+//!
+//! The paper keeps one mode flag per ⟨client id, RPC id⟩ pair; here a
+//! *connection* plays that role — an application multiplexing several
+//! logical RPC streams opens one connection per stream (see
+//! [`RfpPool`](crate::RfpPool)), each with its own buffers, flag and
+//! hybrid-switch state.
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+use rfp_rnic::{Machine, MemRegion, Qp, ThreadCtx};
+use rfp_simnet::{SimSpan, SimTime};
+
+use crate::header::{ReqHeader, RespHeader, REQ_HDR, RESP_HDR};
+
+/// Tuning and sizing of one RFP connection.
+#[derive(Clone, Debug)]
+pub struct RfpConfig {
+    /// `R`: failed remote-fetch retries tolerated per call before the
+    /// call counts toward switching to server-reply.
+    pub retry_threshold: u32,
+    /// `F`: bytes fetched per remote READ (header + payload prefix).
+    pub fetch_size: usize,
+    /// Number of consecutive calls that must exceed `R` before the mode
+    /// actually switches (the paper's anti-flapping guard, §3.2).
+    pub consecutive_before_switch: u32,
+    /// Switch back to remote fetching when a server-reply response
+    /// reports a process time below this.
+    pub switch_back_below: SimSpan,
+    /// In server-reply mode, issue a safety remote fetch if no reply
+    /// lands within this interval (covers the race where the server
+    /// posted the response before observing the mode flip).
+    pub reply_fallback_poll: SimSpan,
+    /// Whether the hybrid mode switch is enabled ("Jakiro w/o Switch" in
+    /// Figure 14 disables it).
+    pub enable_mode_switch: bool,
+    /// Mode the connection starts in. `RemoteFetch` is RFP proper;
+    /// `ServerReply` with the switch disabled *is* the paper's
+    /// ServerReply baseline (which it derives from Jakiro the same way).
+    pub initial_mode: Mode,
+    /// Capacity of the request buffer (header + payload).
+    pub req_capacity: usize,
+    /// Capacity of the response buffer (header + payload).
+    pub resp_capacity: usize,
+    /// Server CPU cost to post a response into its local buffer.
+    pub post_cpu: SimSpan,
+    /// CPU cost to inspect a local header (client check / server scan).
+    pub check_cpu: SimSpan,
+    /// Optional shared trace log; the client records mode switches and
+    /// reply-mode fallback fetches into it (category `"rfp.mode"` /
+    /// `"rfp.fallback"`).
+    pub trace: Option<rfp_simnet::TraceLog>,
+}
+
+impl Default for RfpConfig {
+    fn default() -> Self {
+        RfpConfig {
+            retry_threshold: 5,
+            fetch_size: 256,
+            consecutive_before_switch: 2,
+            switch_back_below: SimSpan::micros(7),
+            reply_fallback_poll: SimSpan::micros(50),
+            enable_mode_switch: true,
+            initial_mode: Mode::RemoteFetch,
+            req_capacity: 16 * 1024,
+            resp_capacity: 16 * 1024,
+            post_cpu: SimSpan::nanos(100),
+            check_cpu: SimSpan::nanos(50),
+            trace: None,
+        }
+    }
+}
+
+impl RfpConfig {
+    /// Largest response payload this connection can carry.
+    pub fn max_resp_payload(&self) -> usize {
+        self.resp_capacity - RESP_HDR
+    }
+
+    /// Largest request payload this connection can carry.
+    pub fn max_req_payload(&self) -> usize {
+        self.req_capacity - REQ_HDR
+    }
+}
+
+/// Client-side transport mode of a connection (paper §3.2).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Mode {
+    /// The client repeatedly fetches results with one-sided READs.
+    RemoteFetch,
+    /// The server pushes results with out-bound WRITEs.
+    ServerReply,
+}
+
+/// Mode-flag byte values stored in the server-side mode region.
+pub(crate) const MODE_REMOTE_FETCH: u8 = 0;
+pub(crate) const MODE_SERVER_REPLY: u8 = 1;
+
+/// The memory geometry shared by both endpoint objects.
+pub(crate) struct Shared {
+    /// Server-side request buffer.
+    pub req: Rc<MemRegion>,
+    /// Server-side response buffer.
+    pub resp: Rc<MemRegion>,
+    /// Server-side mode flag (1 byte).
+    pub mode: Rc<MemRegion>,
+    /// Client-side response landing zone.
+    pub client_resp: Rc<MemRegion>,
+    /// Client-side request staging buffer.
+    pub client_req: Rc<MemRegion>,
+    /// Client-side 1-byte staging buffer for mode flips.
+    pub client_mode: Rc<MemRegion>,
+    pub cfg: RfpConfig,
+}
+
+/// Creates one client↔server RFP connection.
+///
+/// `qp_c2s` must go from the client's machine to the server's machine,
+/// `qp_s2c` the reverse (used only in server-reply mode).
+///
+/// # Panics
+///
+/// Panics if the QPs do not connect the same two machines in opposite
+/// directions, or if `fetch_size` is smaller than the response header.
+pub fn connect(
+    client_machine: &Rc<Machine>,
+    server_machine: &Rc<Machine>,
+    qp_c2s: Rc<Qp>,
+    qp_s2c: Rc<Qp>,
+    cfg: RfpConfig,
+) -> (crate::client::RfpClient, RfpServerConn) {
+    assert!(
+        cfg.fetch_size >= RESP_HDR,
+        "fetch size must cover the response header"
+    );
+    assert!(
+        cfg.fetch_size <= cfg.resp_capacity,
+        "fetch size exceeds the response buffer"
+    );
+    assert_eq!(qp_c2s.local().id(), client_machine.id(), "qp_c2s direction");
+    assert_eq!(
+        qp_c2s.remote().id(),
+        server_machine.id(),
+        "qp_c2s direction"
+    );
+    assert_eq!(qp_s2c.local().id(), server_machine.id(), "qp_s2c direction");
+    assert_eq!(
+        qp_s2c.remote().id(),
+        client_machine.id(),
+        "qp_s2c direction"
+    );
+
+    let shared = Rc::new(Shared {
+        req: server_machine.alloc_mr(cfg.req_capacity),
+        resp: server_machine.alloc_mr(cfg.resp_capacity),
+        mode: server_machine.alloc_mr(1),
+        client_resp: client_machine.alloc_mr(cfg.resp_capacity),
+        client_req: client_machine.alloc_mr(cfg.req_capacity),
+        client_mode: client_machine.alloc_mr(1),
+        cfg,
+    });
+    // The initial mode is agreed at registration time (no RDMA needed).
+    if shared.cfg.initial_mode == Mode::ServerReply {
+        shared.mode.write_local(0, &[MODE_SERVER_REPLY]);
+    }
+
+    let client = crate::client::RfpClient::new(Rc::clone(&shared), qp_c2s);
+    let server = RfpServerConn {
+        shared,
+        qp_reply: qp_s2c,
+        last_seq: Cell::new(0),
+        pickup: Cell::new(SimTime::ZERO),
+        cur_seq: Cell::new(0),
+        served: Cell::new(0),
+        replied_out_of_band: Cell::new(0),
+    };
+    (client, server)
+}
+
+/// Server endpoint of one RFP connection.
+///
+/// The server thread owning this connection polls it with
+/// [`try_recv`](RfpServerConn::try_recv) and answers with
+/// [`send`](RfpServerConn::send) — the paper's `server_recv` /
+/// `server_send` (Table 2).
+pub struct RfpServerConn {
+    shared: Rc<Shared>,
+    qp_reply: Rc<Qp>,
+    /// Sequence of the last request delivered to the application.
+    last_seq: Cell<u32>,
+    /// When the in-flight request was picked up (for the `time` field).
+    pickup: Cell<SimTime>,
+    /// Sequence of the in-flight request.
+    cur_seq: Cell<u32>,
+    served: Cell<u64>,
+    replied_out_of_band: Cell<u64>,
+}
+
+impl RfpServerConn {
+    /// Checks the request buffer for a newly arrived request
+    /// (`server_recv`). Returns its payload, or `None`.
+    ///
+    /// Charges one header inspection of CPU time.
+    pub async fn try_recv(&self, thread: &ThreadCtx) -> Option<Vec<u8>> {
+        thread.busy(self.shared.cfg.check_cpu).await;
+        let hdr_bytes = self.shared.req.read_local(0, REQ_HDR);
+        let hdr = ReqHeader::decode(&hdr_bytes);
+        if !hdr.valid || hdr.seq != self.last_seq.get().wrapping_add(1) {
+            return None;
+        }
+        self.last_seq.set(hdr.seq);
+        self.cur_seq.set(hdr.seq);
+        self.pickup.set(thread.now());
+        Some(self.shared.req.read_local(REQ_HDR, hdr.size as usize))
+    }
+
+    /// Posts the response for the in-flight request (`server_send`).
+    ///
+    /// In remote-fetch mode this only writes into the server's local
+    /// response buffer (no out-bound RDMA — the whole point of RFP); in
+    /// server-reply mode it additionally pushes the response to the
+    /// client with an out-bound WRITE.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `payload` exceeds the response capacity or no request
+    /// is in flight.
+    pub async fn send(&self, thread: &ThreadCtx, payload: &[u8]) {
+        let seq = self.cur_seq.get();
+        assert!(seq != 0, "send without a received request");
+        assert!(
+            payload.len() <= self.shared.cfg.max_resp_payload(),
+            "response exceeds buffer capacity"
+        );
+        let elapsed = thread.now() - self.pickup.get();
+        let time_us = (elapsed.as_nanos() / 1_000).min(u16::MAX as u64) as u16;
+        let hdr = RespHeader {
+            valid: true,
+            size: payload.len() as u32,
+            seq,
+            time_us,
+        };
+        let mut hdr_bytes = [0u8; RESP_HDR];
+        hdr.encode(&mut hdr_bytes);
+        // Header after payload: a concurrent remote fetch must never see
+        // a valid header with stale payload bytes.
+        self.shared.resp.write_local(RESP_HDR, payload);
+        self.shared.resp.write_local(0, &hdr_bytes);
+        thread.busy(self.shared.cfg.post_cpu).await;
+        self.served.set(self.served.get() + 1);
+
+        let mode = self.shared.mode.read_local(0, 1)[0];
+        if mode == MODE_SERVER_REPLY {
+            self.replied_out_of_band
+                .set(self.replied_out_of_band.get() + 1);
+            self.qp_reply
+                .write(
+                    thread,
+                    &self.shared.resp,
+                    0,
+                    &self.shared.client_resp,
+                    0,
+                    RESP_HDR + payload.len(),
+                )
+                .await;
+        }
+    }
+
+    /// Requests answered so far.
+    pub fn served(&self) -> u64 {
+        self.served.get()
+    }
+
+    /// Responses pushed via out-bound WRITE (server-reply mode).
+    pub fn replied_out_of_band(&self) -> u64 {
+        self.replied_out_of_band.get()
+    }
+
+    /// Current mode flag as last written by the client.
+    pub fn mode(&self) -> Mode {
+        if self.shared.mode.read_local(0, 1)[0] == MODE_SERVER_REPLY {
+            Mode::ServerReply
+        } else {
+            Mode::RemoteFetch
+        }
+    }
+}

@@ -1,0 +1,171 @@
+//! Buffer headers of the RFP wire protocol (paper Figure 7).
+//!
+//! Every request buffer starts with an 8-byte header carrying a status
+//! bit and a 31-bit payload size; every response buffer starts with a
+//! 16-byte header additionally carrying the paper's 16-bit server
+//! response time. Both headers also carry a 32-bit sequence number — an
+//! engineering detail the paper leaves implicit: the client must be able
+//! to distinguish the response to its current call from a stale response
+//! of the previous call without an extra round trip to clear the remote
+//! status bit, and matching on the call sequence does exactly that.
+//!
+//! All fields are little-endian.
+
+/// Size of the request header in bytes.
+pub const REQ_HDR: usize = 8;
+
+/// Size of the response header in bytes.
+pub const RESP_HDR: usize = 16;
+
+/// Maximum payload size encodable in the 31-bit size field.
+pub const MAX_PAYLOAD: usize = (1 << 31) - 1;
+
+const VALID_BIT: u32 = 1 << 31;
+
+/// Decoded request header.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct ReqHeader {
+    /// Status bit: the request has fully arrived.
+    pub valid: bool,
+    /// Payload size in bytes.
+    pub size: u32,
+    /// Call sequence number.
+    pub seq: u32,
+}
+
+impl ReqHeader {
+    /// Encodes into the first [`REQ_HDR`] bytes of `buf`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buf` is shorter than [`REQ_HDR`] or `size` exceeds
+    /// [`MAX_PAYLOAD`].
+    pub fn encode(&self, buf: &mut [u8]) {
+        assert!(self.size as usize <= MAX_PAYLOAD, "payload too large");
+        let word = self.size | if self.valid { VALID_BIT } else { 0 };
+        buf[0..4].copy_from_slice(&word.to_le_bytes());
+        buf[4..8].copy_from_slice(&self.seq.to_le_bytes());
+    }
+
+    /// Decodes from the first [`REQ_HDR`] bytes of `buf`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buf` is shorter than [`REQ_HDR`].
+    pub fn decode(buf: &[u8]) -> Self {
+        let word = u32::from_le_bytes(buf[0..4].try_into().expect("len checked"));
+        ReqHeader {
+            valid: word & VALID_BIT != 0,
+            size: word & !VALID_BIT,
+            seq: u32::from_le_bytes(buf[4..8].try_into().expect("len checked")),
+        }
+    }
+}
+
+/// Decoded response header.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct RespHeader {
+    /// Status bit: the response has been posted by the server.
+    pub valid: bool,
+    /// Payload size in bytes.
+    pub size: u32,
+    /// Call sequence number this response answers.
+    pub seq: u32,
+    /// Server-side process time in microseconds, saturating at
+    /// `u16::MAX` (the paper's two-byte `time` field; clients use it to
+    /// decide when to switch back from server-reply mode, §3.2).
+    pub time_us: u16,
+}
+
+impl RespHeader {
+    /// Encodes into the first [`RESP_HDR`] bytes of `buf`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buf` is shorter than [`RESP_HDR`] or `size` exceeds
+    /// [`MAX_PAYLOAD`].
+    pub fn encode(&self, buf: &mut [u8]) {
+        assert!(self.size as usize <= MAX_PAYLOAD, "payload too large");
+        let word = self.size | if self.valid { VALID_BIT } else { 0 };
+        buf[0..4].copy_from_slice(&word.to_le_bytes());
+        buf[4..8].copy_from_slice(&self.seq.to_le_bytes());
+        buf[8..10].copy_from_slice(&self.time_us.to_le_bytes());
+        buf[10..16].fill(0);
+    }
+
+    /// Decodes from the first [`RESP_HDR`] bytes of `buf`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buf` is shorter than [`RESP_HDR`].
+    pub fn decode(buf: &[u8]) -> Self {
+        let word = u32::from_le_bytes(buf[0..4].try_into().expect("len checked"));
+        RespHeader {
+            valid: word & VALID_BIT != 0,
+            size: word & !VALID_BIT,
+            seq: u32::from_le_bytes(buf[4..8].try_into().expect("len checked")),
+            time_us: u16::from_le_bytes(buf[8..10].try_into().expect("len checked")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn req_header_round_trip() {
+        let h = ReqHeader {
+            valid: true,
+            size: 12345,
+            seq: 0xDEAD_BEEF,
+        };
+        let mut buf = [0u8; REQ_HDR];
+        h.encode(&mut buf);
+        assert_eq!(ReqHeader::decode(&buf), h);
+    }
+
+    #[test]
+    fn req_header_invalid_bit() {
+        let h = ReqHeader {
+            valid: false,
+            size: MAX_PAYLOAD as u32,
+            seq: 7,
+        };
+        let mut buf = [0u8; REQ_HDR];
+        h.encode(&mut buf);
+        let d = ReqHeader::decode(&buf);
+        assert!(!d.valid);
+        assert_eq!(d.size as usize, MAX_PAYLOAD);
+    }
+
+    #[test]
+    fn resp_header_round_trip() {
+        let h = RespHeader {
+            valid: true,
+            size: 99,
+            seq: 42,
+            time_us: 65535,
+        };
+        let mut buf = [0u8; RESP_HDR];
+        h.encode(&mut buf);
+        assert_eq!(RespHeader::decode(&buf), h);
+    }
+
+    #[test]
+    fn zeroed_buffer_decodes_invalid() {
+        assert!(!ReqHeader::decode(&[0u8; REQ_HDR]).valid);
+        assert!(!RespHeader::decode(&[0u8; RESP_HDR]).valid);
+    }
+
+    #[test]
+    #[should_panic(expected = "payload too large")]
+    fn oversize_payload_rejected() {
+        let h = ReqHeader {
+            valid: true,
+            size: u32::MAX,
+            seq: 0,
+        };
+        h.encode(&mut [0u8; REQ_HDR]);
+    }
+}

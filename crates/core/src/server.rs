@@ -1,0 +1,61 @@
+//! Server-thread scan loop.
+//!
+//! RFP keeps the server CPU in the request path (that is its deliberate
+//! trade against server-bypass): each server thread owns a disjoint set
+//! of connections (EREW partitioning, as Jakiro does) and scans their
+//! request buffers in round-robin, processing and answering in place.
+
+use std::rc::Rc;
+
+use rfp_rnic::ThreadCtx;
+use rfp_simnet::SimSpan;
+
+use crate::conn::RfpServerConn;
+
+/// How a server thread produces a response from a request payload.
+///
+/// Returns the response payload plus the simulated *application*
+/// processing time to charge (the paper's `P`; Figure 14 sweeps it).
+pub trait RfpHandler {
+    /// Handles one request.
+    fn handle(&mut self, request: &[u8]) -> (Vec<u8>, SimSpan);
+}
+
+impl<F> RfpHandler for F
+where
+    F: FnMut(&[u8]) -> (Vec<u8>, SimSpan),
+{
+    fn handle(&mut self, request: &[u8]) -> (Vec<u8>, SimSpan) {
+        self(request)
+    }
+}
+
+/// Runs one server thread forever: scan the owned connections, process
+/// every pending request, answer through the connection.
+///
+/// `idle_pause` is the spin cost charged when a full scan found no work,
+/// bounding the simulated poll rate.
+pub async fn serve_loop(
+    thread: Rc<ThreadCtx>,
+    conns: Vec<Rc<RfpServerConn>>,
+    mut handler: impl RfpHandler,
+    idle_pause: SimSpan,
+) {
+    assert!(!conns.is_empty(), "server thread with no connections");
+    loop {
+        let mut served_any = false;
+        for conn in &conns {
+            if let Some(req) = conn.try_recv(&thread).await {
+                let (resp, process) = handler.handle(&req);
+                if !process.is_zero() {
+                    thread.busy(process).await;
+                }
+                conn.send(&thread, &resp).await;
+                served_any = true;
+            }
+        }
+        if !served_any {
+            thread.busy(idle_pause).await;
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! Property-based tests of the RFP wire protocol and parameter
+//! selection: header round-trips, two-segment fetch reassembly over the
+//! real transport, and selection-domain invariants.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use rfp_core::{
+    connect, serve_loop, ParamSelector, ReqHeader, RespHeader, RfpConfig, WorkloadSample,
+    MAX_PAYLOAD, REQ_HDR, RESP_HDR,
+};
+use rfp_rnic::{Cluster, ClusterProfile, LinkProfile, NicProfile};
+use rfp_simnet::{SimSpan, Simulation};
+
+proptest! {
+    #[test]
+    fn req_header_round_trips(valid in any::<bool>(), size in 0u32..=MAX_PAYLOAD as u32, seq in any::<u32>()) {
+        let h = ReqHeader { valid, size, seq };
+        let mut buf = [0u8; REQ_HDR];
+        h.encode(&mut buf);
+        prop_assert_eq!(ReqHeader::decode(&buf), h);
+    }
+
+    #[test]
+    fn resp_header_round_trips(valid in any::<bool>(), size in 0u32..=MAX_PAYLOAD as u32, seq in any::<u32>(), time_us in any::<u16>()) {
+        let h = RespHeader { valid, size, seq, time_us };
+        let mut buf = [0u8; RESP_HDR];
+        h.encode(&mut buf);
+        prop_assert_eq!(RespHeader::decode(&buf), h);
+    }
+
+    /// Echoing arbitrary payloads through the full RFP stack reassembles
+    /// them exactly — whatever the relation between payload size and
+    /// fetch size `F` (one- or two-segment fetch).
+    #[test]
+    fn fetch_reassembles_arbitrary_payloads(
+        payload in vec(any::<u8>(), 0..3000),
+        fetch in RESP_HDR..2048usize,
+    ) {
+        let mut sim = Simulation::new(3);
+        let cluster = Cluster::new(&mut sim, ClusterProfile::paper_testbed(), 2);
+        let (cm, sm) = (cluster.machine(0), cluster.machine(1));
+        let cfg = RfpConfig {
+            fetch_size: fetch,
+            req_capacity: 8192,
+            resp_capacity: 8192,
+            ..RfpConfig::default()
+        };
+        let (client, conn) = connect(&cm, &sm, cluster.qp(0, 1), cluster.qp(1, 0), cfg);
+        let st = sm.thread("s");
+        sim.spawn(serve_loop(
+            st,
+            vec![Rc::new(conn)],
+            |req: &[u8]| (req.to_vec(), SimSpan::ZERO),
+            SimSpan::nanos(100),
+        ));
+        let ct = cm.thread("c");
+        let got: Rc<RefCell<Option<Vec<u8>>>> = Rc::new(RefCell::new(None));
+        let g = Rc::clone(&got);
+        let p = payload.clone();
+        sim.spawn(async move {
+            let out = client.call(&ct, &p).await;
+            *g.borrow_mut() = Some(out.data);
+        });
+        sim.run_for(SimSpan::millis(2));
+        let got = got.borrow_mut().take();
+        prop_assert_eq!(got, Some(payload));
+    }
+
+    /// The selector always lands inside its own hardware box and never
+    /// returns an `F` that cannot carry the header.
+    #[test]
+    fn selection_stays_in_bounds(
+        sizes in vec(1usize..4096, 1..24),
+        p_us in 0u64..12,
+        threads in 1usize..64,
+    ) {
+        let selector = ParamSelector::new(NicProfile::connectx3_40g(), LinkProfile::infiniscale());
+        let (l, h) = selector.detect_l_h();
+        let w = WorkloadSample {
+            result_sizes: sizes,
+            process_time: SimSpan::micros(p_us),
+            request_size: 64,
+            client_threads: threads,
+        };
+        let params = selector.select(&w);
+        prop_assert!(params.f >= l && params.f <= h, "F={} not in [{l},{h}]", params.f);
+        prop_assert!(params.f >= RESP_HDR);
+        let n = selector.derive_n(&w);
+        prop_assert!(params.r >= 1 && params.r <= n, "R={} not in [1,{n}]", params.r);
+    }
+
+    /// Throughput estimates are finite and positive; *pure* repeated
+    /// fetching (unbounded `R`) is monotone non-increasing in process
+    /// time; and once a finite `R` triggers the switch, the estimate
+    /// equals server-reply's. (Across the switch point throughput may
+    /// jump *up* — that is exactly why the hybrid mechanism exists.)
+    #[test]
+    fn throughput_model_is_sane(size in 1usize..2048, p_us in 0u64..10) {
+        let selector = ParamSelector::new(NicProfile::connectx3_40g(), LinkProfile::infiniscale());
+        let mk = |p| WorkloadSample {
+            result_sizes: vec![size],
+            process_time: SimSpan::micros(p),
+            request_size: 64,
+            client_threads: 35,
+        };
+        let now = selector.rfp_throughput(u32::MAX, 448, &mk(p_us), size);
+        let later = selector.rfp_throughput(u32::MAX, 448, &mk(p_us + 1), size);
+        prop_assert!(now.is_finite() && now > 0.0);
+        prop_assert!(later <= now + 1e-9, "P↑ should not raise pure-fetch throughput: {now} -> {later}");
+        // A switched estimate coincides with server-reply.
+        let switched = selector.rfp_throughput(0, 448, &mk(p_us + 5), size);
+        let sr = selector.server_reply_throughput(&mk(p_us + 5), size);
+        prop_assert!((switched - sr).abs() < 1e-9);
+    }
+}

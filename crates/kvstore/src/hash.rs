@@ -1,0 +1,63 @@
+//! Seeded 64-bit byte-string hashing shared by the stores.
+//!
+//! FNV-1a over the bytes followed by a SplitMix64 finalizer: cheap,
+//! deterministic across runs (unlike `std`'s `RandomState`), and with
+//! good enough avalanche for bucket/partition selection and the three
+//! independent cuckoo functions (which use distinct seeds).
+
+/// Hashes `bytes` under `seed`.
+pub fn hash_bytes(seed: u64, bytes: &[u8]) -> u64 {
+    const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+    let mut h = FNV_OFFSET ^ seed.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    // SplitMix64 finalizer.
+    h ^= h >> 30;
+    h = h.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    h ^= h >> 27;
+    h = h.wrapping_mul(0x94D0_49BB_1331_11EB);
+    h ^ (h >> 31)
+}
+
+/// Maps `key` to one of `n` partitions (EREW sharding).
+///
+/// # Panics
+///
+/// Panics if `n` is zero.
+pub fn partition_of(key: &[u8], n: usize) -> usize {
+    assert!(n > 0, "no partitions");
+    (hash_bytes(0x7061_7274, key) % n as u64) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_seed_sensitive() {
+        assert_eq!(hash_bytes(1, b"key"), hash_bytes(1, b"key"));
+        assert_ne!(hash_bytes(1, b"key"), hash_bytes(2, b"key"));
+        assert_ne!(hash_bytes(1, b"key"), hash_bytes(1, b"kez"));
+    }
+
+    #[test]
+    fn partitions_are_reasonably_balanced() {
+        let n = 8;
+        let mut counts = vec![0usize; n];
+        for i in 0..8000u32 {
+            counts[partition_of(&i.to_le_bytes(), n)] += 1;
+        }
+        for &c in &counts {
+            assert!((800..1200).contains(&c), "imbalanced: {counts:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no partitions")]
+    fn zero_partitions_rejected() {
+        let _ = partition_of(b"k", 0);
+    }
+}

@@ -1,0 +1,336 @@
+//! The key-value RPC wire protocol shared by Jakiro, ServerReply-KV and
+//! the RDMA-Memcached comparator.
+//!
+//! Requests: `[op:u8][klen:u16][vlen:u32][key][value]`.
+//! Responses: `[tag:u8][vlen:u32][value]`.
+//! All integers little-endian. The payloads ride inside RFP (or
+//! server-reply) buffers, after the transport headers.
+
+/// Decoding failure.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum ProtoError {
+    /// The buffer is shorter than its headers claim.
+    Truncated,
+    /// Unknown op / tag byte.
+    BadTag(u8),
+}
+
+impl std::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtoError::Truncated => write!(f, "message truncated"),
+            ProtoError::BadTag(t) => write!(f, "unknown tag {t:#x}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+const OP_GET: u8 = 1;
+const OP_PUT: u8 = 2;
+const OP_DELETE: u8 = 3;
+const OP_MULTI_GET: u8 = 4;
+const TAG_FOUND: u8 = 1;
+const TAG_NOT_FOUND: u8 = 2;
+const TAG_STORED: u8 = 3;
+const TAG_DELETED: u8 = 4;
+const TAG_VALUES: u8 = 5;
+
+/// A decoded request, borrowing from the receive buffer.
+#[derive(Debug, PartialEq, Eq)]
+pub enum KvRequest<'a> {
+    /// Read `key`.
+    Get {
+        /// The key bytes.
+        key: &'a [u8],
+    },
+    /// Store `value` under `key`.
+    Put {
+        /// The key bytes.
+        key: &'a [u8],
+        /// The value bytes.
+        value: &'a [u8],
+    },
+    /// Remove `key`.
+    Delete {
+        /// The key bytes.
+        key: &'a [u8],
+    },
+    /// Read several keys in one round trip (Memcached's multi-get; a
+    /// natural fit for RFP, which amortises the request WRITE and lets
+    /// the two-segment fetch carry the batched response).
+    MultiGet {
+        /// The keys, in request order.
+        keys: Vec<&'a [u8]>,
+    },
+}
+
+impl<'a> KvRequest<'a> {
+    /// The request's primary key (the first key for multi-get).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty multi-get (rejected at encode time).
+    pub fn key(&self) -> &'a [u8] {
+        match self {
+            KvRequest::Get { key } | KvRequest::Put { key, .. } | KvRequest::Delete { key } => key,
+            KvRequest::MultiGet { keys } => keys.first().expect("multi-get has keys"),
+        }
+    }
+
+    /// Serialises into a fresh buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty multi-get.
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            KvRequest::MultiGet { keys } => {
+                assert!(!keys.is_empty(), "multi-get needs at least one key");
+                let mut out =
+                    Vec::with_capacity(3 + keys.iter().map(|k| 2 + k.len()).sum::<usize>());
+                out.push(OP_MULTI_GET);
+                out.extend_from_slice(&(keys.len() as u16).to_le_bytes());
+                for key in keys {
+                    out.extend_from_slice(&(key.len() as u16).to_le_bytes());
+                    out.extend_from_slice(key);
+                }
+                out
+            }
+            _ => {
+                let (op, key, value): (u8, &[u8], &[u8]) = match self {
+                    KvRequest::Get { key } => (OP_GET, key, &[]),
+                    KvRequest::Put { key, value } => (OP_PUT, key, value),
+                    KvRequest::Delete { key } => (OP_DELETE, key, &[]),
+                    KvRequest::MultiGet { .. } => unreachable!("handled above"),
+                };
+                let mut out = Vec::with_capacity(7 + key.len() + value.len());
+                out.push(op);
+                out.extend_from_slice(&(key.len() as u16).to_le_bytes());
+                out.extend_from_slice(&(value.len() as u32).to_le_bytes());
+                out.extend_from_slice(key);
+                out.extend_from_slice(value);
+                out
+            }
+        }
+    }
+
+    /// Parses a request from `buf`.
+    pub fn decode(buf: &'a [u8]) -> Result<Self, ProtoError> {
+        if buf.is_empty() {
+            return Err(ProtoError::Truncated);
+        }
+        if buf[0] == OP_MULTI_GET {
+            if buf.len() < 3 {
+                return Err(ProtoError::Truncated);
+            }
+            let count = u16::from_le_bytes([buf[1], buf[2]]) as usize;
+            let mut keys = Vec::with_capacity(count);
+            let mut off = 3;
+            for _ in 0..count {
+                if buf.len() < off + 2 {
+                    return Err(ProtoError::Truncated);
+                }
+                let klen = u16::from_le_bytes([buf[off], buf[off + 1]]) as usize;
+                off += 2;
+                if buf.len() < off + klen {
+                    return Err(ProtoError::Truncated);
+                }
+                keys.push(&buf[off..off + klen]);
+                off += klen;
+            }
+            if keys.is_empty() {
+                return Err(ProtoError::Truncated);
+            }
+            return Ok(KvRequest::MultiGet { keys });
+        }
+        if buf.len() < 7 {
+            return Err(ProtoError::Truncated);
+        }
+        let op = buf[0];
+        let klen = u16::from_le_bytes([buf[1], buf[2]]) as usize;
+        let vlen = u32::from_le_bytes([buf[3], buf[4], buf[5], buf[6]]) as usize;
+        if buf.len() < 7 + klen + vlen {
+            return Err(ProtoError::Truncated);
+        }
+        let key = &buf[7..7 + klen];
+        let value = &buf[7 + klen..7 + klen + vlen];
+        match op {
+            OP_GET => Ok(KvRequest::Get { key }),
+            OP_PUT => Ok(KvRequest::Put { key, value }),
+            OP_DELETE => Ok(KvRequest::Delete { key }),
+            other => Err(ProtoError::BadTag(other)),
+        }
+    }
+}
+
+/// A decoded response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KvResponse {
+    /// GET hit, carrying the value.
+    Found(Vec<u8>),
+    /// GET miss.
+    NotFound,
+    /// PUT acknowledged.
+    Stored,
+    /// DELETE processed; `true` when the key existed.
+    Deleted(bool),
+    /// Multi-get results, one per requested key in order.
+    Values(Vec<Option<Vec<u8>>>),
+}
+
+impl KvResponse {
+    /// Serialises into a fresh buffer.
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            KvResponse::Found(v) => {
+                let mut out = Vec::with_capacity(5 + v.len());
+                out.push(TAG_FOUND);
+                out.extend_from_slice(&(v.len() as u32).to_le_bytes());
+                out.extend_from_slice(v);
+                out
+            }
+            KvResponse::NotFound => vec![TAG_NOT_FOUND, 0, 0, 0, 0],
+            KvResponse::Stored => vec![TAG_STORED, 0, 0, 0, 0],
+            KvResponse::Deleted(found) => vec![TAG_DELETED, u8::from(*found), 0, 0, 0],
+            KvResponse::Values(values) => {
+                let mut out = Vec::with_capacity(
+                    3 + values
+                        .iter()
+                        .map(|v| 5 + v.as_ref().map_or(0, Vec::len))
+                        .sum::<usize>(),
+                );
+                out.push(TAG_VALUES);
+                out.extend_from_slice(&(values.len() as u16).to_le_bytes());
+                for v in values {
+                    match v {
+                        Some(bytes) => {
+                            out.push(1);
+                            out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+                            out.extend_from_slice(bytes);
+                        }
+                        None => {
+                            out.push(0);
+                            out.extend_from_slice(&0u32.to_le_bytes());
+                        }
+                    }
+                }
+                out
+            }
+        }
+    }
+
+    /// Parses a response from `buf`.
+    pub fn decode(buf: &[u8]) -> Result<Self, ProtoError> {
+        if buf.len() < 3 {
+            return Err(ProtoError::Truncated);
+        }
+        if buf[0] == TAG_VALUES {
+            let count = u16::from_le_bytes([buf[1], buf[2]]) as usize;
+            let mut values = Vec::with_capacity(count);
+            let mut off = 3;
+            for _ in 0..count {
+                if buf.len() < off + 5 {
+                    return Err(ProtoError::Truncated);
+                }
+                let present = buf[off] == 1;
+                let vlen =
+                    u32::from_le_bytes([buf[off + 1], buf[off + 2], buf[off + 3], buf[off + 4]])
+                        as usize;
+                off += 5;
+                if present {
+                    if buf.len() < off + vlen {
+                        return Err(ProtoError::Truncated);
+                    }
+                    values.push(Some(buf[off..off + vlen].to_vec()));
+                    off += vlen;
+                } else {
+                    values.push(None);
+                }
+            }
+            return Ok(KvResponse::Values(values));
+        }
+        if buf.len() < 5 {
+            return Err(ProtoError::Truncated);
+        }
+        let vlen = u32::from_le_bytes([buf[1], buf[2], buf[3], buf[4]]) as usize;
+        match buf[0] {
+            TAG_FOUND => {
+                if buf.len() < 5 + vlen {
+                    return Err(ProtoError::Truncated);
+                }
+                Ok(KvResponse::Found(buf[5..5 + vlen].to_vec()))
+            }
+            TAG_NOT_FOUND => Ok(KvResponse::NotFound),
+            TAG_STORED => Ok(KvResponse::Stored),
+            TAG_DELETED => Ok(KvResponse::Deleted(buf[1] == 1)),
+            other => Err(ProtoError::BadTag(other)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_round_trip() {
+        let req = KvRequest::Get { key: b"alpha" };
+        let bytes = req.encode();
+        assert_eq!(KvRequest::decode(&bytes).unwrap(), req);
+    }
+
+    #[test]
+    fn put_round_trip() {
+        let req = KvRequest::Put {
+            key: b"k1",
+            value: b"some value bytes",
+        };
+        let bytes = req.encode();
+        assert_eq!(KvRequest::decode(&bytes).unwrap(), req);
+    }
+
+    #[test]
+    fn response_round_trips() {
+        for resp in [
+            KvResponse::Found(vec![9; 300]),
+            KvResponse::NotFound,
+            KvResponse::Stored,
+        ] {
+            assert_eq!(KvResponse::decode(&resp.encode()).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn truncated_inputs_error() {
+        assert_eq!(KvRequest::decode(&[1, 2]), Err(ProtoError::Truncated));
+        let mut bytes = KvRequest::Get { key: b"long-key" }.encode();
+        bytes.truncate(bytes.len() - 1);
+        assert_eq!(KvRequest::decode(&bytes), Err(ProtoError::Truncated));
+        assert_eq!(
+            KvResponse::decode(&[1, 5, 0, 0, 0]),
+            Err(ProtoError::Truncated)
+        );
+    }
+
+    #[test]
+    fn bad_tags_error() {
+        assert_eq!(
+            KvRequest::decode(&[99, 0, 0, 0, 0, 0, 0]),
+            Err(ProtoError::BadTag(99))
+        );
+        assert_eq!(
+            KvResponse::decode(&[77, 0, 0, 0, 0]),
+            Err(ProtoError::BadTag(77))
+        );
+    }
+
+    #[test]
+    fn empty_value_put_is_legal() {
+        let req = KvRequest::Put {
+            key: b"k",
+            value: b"",
+        };
+        assert_eq!(KvRequest::decode(&req.encode()).unwrap(), req);
+    }
+}

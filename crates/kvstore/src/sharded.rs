@@ -1,0 +1,188 @@
+//! Scale-out Jakiro: the RFP store sharded across multiple server
+//! machines.
+//!
+//! The paper evaluates a single server (its bottleneck story is one
+//! NIC's in-bound rate); its conclusion argues RFP "can be integrated
+//! into many RPC-based systems", and its FaRM comparison cites a
+//! 20-machine deployment. This module supplies that deployment shape:
+//! keys are partitioned first across server machines, then across
+//! server threads (two-level EREW), and every client holds one RFP
+//! connection per (machine, thread) shard. Aggregate throughput scales
+//! with server NICs until the clients' out-bound capacity binds.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use rfp_core::{connect, serve_loop, RfpClient, RfpServerConn};
+use rfp_rnic::{Cluster, Machine, ThreadCtx};
+use rfp_simnet::{SimSpan, Simulation};
+use rfp_workload::Op;
+
+use crate::bucket::Partition;
+use crate::hash::partition_of;
+use crate::proto::{KvRequest, KvResponse};
+use crate::systems::{KvStats, SystemConfig};
+
+/// A running sharded deployment.
+pub struct ShardedSystem {
+    /// The cluster: machines `0..servers` are servers, the rest clients.
+    pub cluster: Cluster,
+    /// Shared measurements across all clients.
+    pub stats: Rc<KvStats>,
+    /// The server machines.
+    pub server_machines: Vec<Rc<Machine>>,
+    /// All client threads.
+    pub client_threads: Vec<Rc<ThreadCtx>>,
+    /// All client connection endpoints.
+    pub rfp_clients: Vec<Rc<RfpClient>>,
+}
+
+impl ShardedSystem {
+    /// Discards warm-up on every counter.
+    pub fn reset_measurements(&self) {
+        self.stats.reset();
+        for i in 0..self.cluster.len() {
+            self.cluster.machine(i).nic().reset_counters();
+        }
+        for t in &self.client_threads {
+            t.reset_utilization();
+        }
+        for c in &self.rfp_clients {
+            c.stats().reset();
+        }
+    }
+
+    /// Total server in-bound ops per completed request (should stay ≈2
+    /// regardless of shard count).
+    pub fn inbound_ops_per_request(&self) -> f64 {
+        let ops: u64 = self
+            .server_machines
+            .iter()
+            .map(|m| m.nic().counters().inbound_ops)
+            .sum();
+        let done = self.stats.completed.get();
+        if done == 0 {
+            return 0.0;
+        }
+        ops as f64 / done as f64
+    }
+
+    /// Out-bound ops across all server NICs (zero on the RFP fast path).
+    pub fn server_outbound_ops(&self) -> u64 {
+        self.server_machines
+            .iter()
+            .map(|m| m.nic().counters().outbound_ops)
+            .sum()
+    }
+}
+
+/// Spawns Jakiro sharded over `servers` server machines.
+///
+/// `cfg.client_machines` client machines follow the servers in the
+/// cluster; `cfg.server_threads` is per server machine.
+///
+/// # Panics
+///
+/// Panics if `servers` is zero.
+pub fn spawn_sharded_jakiro(
+    sim: &mut Simulation,
+    cfg: &SystemConfig,
+    servers: usize,
+) -> ShardedSystem {
+    assert!(servers > 0, "need at least one server shard");
+    let cluster = Cluster::new(sim, cfg.profile.clone(), servers + cfg.client_machines);
+    let server_machines: Vec<Rc<Machine>> = (0..servers).map(|i| cluster.machine(i)).collect();
+    let stats = Rc::new(KvStats::default());
+    let rfp_cfg = cfg.rfp_sized();
+
+    // Two-level shard space: machine-major, thread-minor.
+    let total_shards = servers * cfg.server_threads;
+    let per_part = (cfg.spec.key_count as usize * 2 / total_shards / 8).max(64);
+    let partitions: Vec<Rc<RefCell<Partition>>> = (0..total_shards)
+        .map(|_| Rc::new(RefCell::new(Partition::new(per_part))))
+        .collect();
+    {
+        let mut gen = cfg.spec.generator(cfg.seed);
+        for (key, value) in gen.preload(cfg.spec.key_count) {
+            let shard = partition_of(&key, total_shards);
+            partitions[shard].borrow_mut().put(&key, &value);
+        }
+    }
+
+    // conns[server][thread] = the connections that (machine, thread)
+    // shard polls.
+    let mut server_conns: Vec<Vec<Vec<Rc<RfpServerConn>>>> = (0..servers)
+        .map(|_| (0..cfg.server_threads).map(|_| Vec::new()).collect())
+        .collect();
+    let mut rfp_clients = Vec::new();
+    let mut client_threads = Vec::new();
+
+    for m in 0..cfg.client_machines {
+        let client_idx = servers + m;
+        let client_m = cluster.machine(client_idx);
+        for t in 0..cfg.clients_per_machine {
+            let thread = client_m.thread(format!("c{m}.{t}"));
+            client_threads.push(Rc::clone(&thread));
+            let mut conns = Vec::with_capacity(total_shards);
+            for (srv, srv_conns) in server_conns.iter_mut().enumerate() {
+                for tconns in srv_conns.iter_mut() {
+                    let (cl, sc) = connect(
+                        &client_m,
+                        &server_machines[srv],
+                        cluster.qp(client_idx, srv),
+                        cluster.qp(srv, client_idx),
+                        rfp_cfg.clone(),
+                    );
+                    let cl = Rc::new(cl);
+                    rfp_clients.push(Rc::clone(&cl));
+                    conns.push(cl);
+                    tconns.push(Rc::new(sc));
+                }
+            }
+
+            let spec = cfg.spec.clone();
+            let seed = rfp_simnet::derive_seed(cfg.seed, (m * 64 + t) as u64 + 1);
+            let st = stats.clone();
+            let h = sim.handle();
+            sim.spawn(async move {
+                let mut gen = spec.generator(seed);
+                loop {
+                    let op = gen.next_op();
+                    let shard = partition_of(op.key(), total_shards);
+                    let conn = &conns[shard];
+                    let req = match &op {
+                        Op::Get { key } => KvRequest::Get { key }.encode(),
+                        Op::Put { key, value } => KvRequest::Put { key, value }.encode(),
+                    };
+                    let t0 = h.now();
+                    let out = conn.call(&thread, &req).await;
+                    let resp = KvResponse::decode(&out.data).expect("server response");
+                    crate::systems::record_outcome(&st, &op, &resp, h.now() - t0);
+                }
+            });
+        }
+    }
+
+    for (srv, srv_conns) in server_conns.into_iter().enumerate() {
+        for (t, conns) in srv_conns.into_iter().enumerate() {
+            let thread = server_machines[srv].thread(format!("srv{srv}.s{t}"));
+            let partition = Rc::clone(&partitions[srv * cfg.server_threads + t]);
+            let extra = cfg.extra_process;
+            let handler = move |req: &[u8]| {
+                let parsed = KvRequest::decode(req).expect("well-formed request");
+                let (resp, work) =
+                    crate::systems::apply_to_partition(&mut partition.borrow_mut(), &parsed);
+                (resp.encode(), work + extra)
+            };
+            sim.spawn(serve_loop(thread, conns, handler, SimSpan::nanos(100)));
+        }
+    }
+
+    ShardedSystem {
+        cluster,
+        stats,
+        server_machines,
+        client_threads,
+        rfp_clients,
+    }
+}

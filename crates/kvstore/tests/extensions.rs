@@ -1,0 +1,147 @@
+//! Tests of the extension systems: the HERD-style comparator over
+//! unreliable transports (paper §5) and the EREW-ablation variant of
+//! Jakiro.
+
+use rfp_kvstore::{
+    spawn_herd, spawn_jakiro, spawn_jakiro_shared, spawn_server_reply_kv, KvSystem, SystemConfig,
+};
+use rfp_simnet::{SimSpan, Simulation};
+use rfp_workload::{KeyDist, OpMix, WorkloadSpec};
+
+fn measure(
+    spawn: impl FnOnce(&mut Simulation, &SystemConfig) -> KvSystem,
+    cfg: &SystemConfig,
+) -> (KvSystem, f64) {
+    let mut sim = Simulation::new(cfg.seed);
+    let sys = spawn(&mut sim, cfg);
+    sim.run_for(SimSpan::millis(1));
+    sys.reset_measurements();
+    let window = SimSpan::millis(4);
+    sim.run_for(window);
+    let mops = sys.stats.completed.get() as f64 / window.as_secs_f64() / 1e6;
+    (sys, mops)
+}
+
+fn cfg() -> SystemConfig {
+    SystemConfig {
+        spec: WorkloadSpec {
+            key_count: 2_000,
+            ..WorkloadSpec::paper_default()
+        },
+        ..SystemConfig::default()
+    }
+}
+
+#[test]
+fn herd_sits_between_server_reply_and_jakiro() {
+    // §5's claim: UD/UC designs "may achieve higher performance than
+    // RC-based solutions" (meaning RC server-reply) — but RFP's
+    // in-bound-only server still wins.
+    let (_, herd) = measure(spawn_herd, &cfg());
+    let (_, sr) = measure(spawn_server_reply_kv, &cfg());
+    let (_, jakiro) = measure(spawn_jakiro, &cfg());
+    assert!(
+        herd > 1.15 * sr,
+        "HERD-style should beat RC server-reply: {herd:.2} vs {sr:.2}"
+    );
+    assert!(
+        jakiro > 1.3 * herd,
+        "RFP should still win: {jakiro:.2} vs {herd:.2}"
+    );
+}
+
+#[test]
+fn herd_server_burns_outbound_ops_unlike_rfp() {
+    let (herd_sys, _) = measure(spawn_herd, &cfg());
+    let (jakiro_sys, _) = measure(spawn_jakiro, &cfg());
+    let herd_out = herd_sys.server_machine.nic().counters().outbound_ops;
+    assert!(
+        herd_out as f64 >= 0.95 * herd_sys.stats.completed.get() as f64,
+        "every HERD response is an out-bound UD send"
+    );
+    assert_eq!(jakiro_sys.server_machine.nic().counters().outbound_ops, 0);
+}
+
+#[test]
+fn herd_survives_packet_loss_correctly() {
+    // With real loss on the wire, calls still complete (retransmission)
+    // and answers stay correct — at a visible throughput cost.
+    let lossy = {
+        let mut c = cfg();
+        c.profile.nic.unreliable_loss = 0.02;
+        c
+    };
+    let (sys_lossless, clean) = measure(spawn_herd, &cfg());
+    let (sys_lossy, with_loss) = measure(spawn_herd, &lossy);
+    assert!(sys_lossy.stats.completed.get() > 1000, "system stalled");
+    assert!(
+        with_loss < clean,
+        "loss must cost throughput: {clean:.2} -> {with_loss:.2}"
+    );
+    // Correctness: misses stay negligible (responses are not garbled).
+    let miss = sys_lossy.stats.misses.get() as f64 / sys_lossy.stats.gets.get().max(1) as f64;
+    assert!(miss < 0.05, "miss fraction {miss}");
+    let _ = sys_lossless;
+}
+
+#[test]
+fn erew_beats_shared_lock_under_writes() {
+    // The ablation DESIGN.md calls out: EREW partitioning vs the same
+    // store behind one lock. Under write-intensive load the serialized
+    // section caps the shared variant well below Jakiro.
+    let write_heavy = {
+        let mut c = cfg();
+        c.spec.mix = OpMix::WRITE_INTENSIVE;
+        c
+    };
+    let (_, erew) = measure(spawn_jakiro, &write_heavy);
+    let (_, shared) = measure(spawn_jakiro_shared, &write_heavy);
+    assert!(
+        erew > 1.1 * shared,
+        "EREW should beat the shared-lock store: {erew:.2} vs {shared:.2}"
+    );
+}
+
+#[test]
+fn shared_lock_variant_still_serves_correctly() {
+    let skewed = {
+        let mut c = cfg();
+        c.spec.keys = KeyDist::Zipf(0.99);
+        c
+    };
+    let (sys, mops) = measure(spawn_jakiro_shared, &skewed);
+    assert!(mops > 0.5, "{mops}");
+    let miss = sys.stats.misses.get() as f64 / sys.stats.gets.get().max(1) as f64;
+    assert!(miss < 0.05, "miss fraction {miss}");
+}
+
+#[test]
+fn farm_style_wins_reads_but_collapses_on_writes() {
+    use rfp_kvstore::spawn_farm;
+    // §5's FaRM discussion: higher read-mostly throughput than Jakiro
+    // (one-read neighborhood GETs), at a bandwidth premium — and bound
+    // by server out-bound once PUTs matter.
+    let read_heavy = cfg();
+    let (farm_sys, farm_reads) = measure(spawn_farm, &read_heavy);
+    let (_, jakiro_reads) = measure(spawn_jakiro, &read_heavy);
+    assert!(
+        farm_reads > jakiro_reads,
+        "FaRM-style should win at 95% GET: {farm_reads:.2} vs {jakiro_reads:.2}"
+    );
+    // One op per GET, whole neighborhoods of bytes.
+    let ops_per_get =
+        farm_sys.stats.bypass_ops.get() as f64 / farm_sys.stats.gets.get().max(1) as f64;
+    assert!((0.99..1.2).contains(&ops_per_get), "{ops_per_get:.3}");
+
+    let balanced = {
+        let mut c = cfg();
+        c.spec.mix = OpMix::BALANCED;
+        c
+    };
+    let (_, farm_balanced) = measure(spawn_farm, &balanced);
+    let (_, jakiro_balanced) = measure(spawn_jakiro, &balanced);
+    assert!(
+        jakiro_balanced > 2.0 * farm_balanced,
+        "at 50% GET the PUT path caps FaRM-style: {jakiro_balanced:.2} vs {farm_balanced:.2}"
+    );
+}

@@ -1,0 +1,211 @@
+//! Failure injection: get-put races on the Pilaf-style store.
+//!
+//! The whole reason Pilaf checksums its entries (§1) is that a one-sided
+//! GET can race a server-side PUT and observe torn bytes. These tests
+//! drive that race deliberately: the server updates an entry in two
+//! phases with a CPU gap, while a client hammers the same key with
+//! bypass GETs. The client must (a) observe at least one checksum
+//! failure, and (b) never return a value that is neither the old nor the
+//! new one.
+
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+use rfp_kvstore::{bypass_get, PilafStore};
+use rfp_paradigms::BypassClient;
+use rfp_rnic::{Cluster, ClusterProfile};
+use rfp_simnet::{SimSpan, Simulation};
+
+#[test]
+fn torn_update_is_detected_and_never_leaks() {
+    let mut sim = Simulation::new(99);
+    let cluster = Cluster::new(&mut sim, ClusterProfile::paper_testbed(), 2);
+    let server_m = cluster.machine(0);
+
+    let mut store = PilafStore::new(&server_m, 64, 64, 128);
+    // A wide torn window so reads land inside it.
+    store.update_gap = SimSpan::micros(3);
+    let store = Rc::new(store);
+
+    let key = b"contended";
+    let old_value = vec![0xAAu8; 48];
+    let new_value = vec![0xBBu8; 48];
+    store.insert_local(key, &old_value).expect("preload");
+
+    // Server: rewrite the value every ~20µs, torn-phase included.
+    let st = server_m.thread("server");
+    let s2 = Rc::clone(&store);
+    let h = sim.handle();
+    let old2 = old_value.clone();
+    let new2 = new_value.clone();
+    sim.spawn(async move {
+        let mut flip = false;
+        loop {
+            h.sleep(SimSpan::micros(20)).await;
+            let v = if flip { &old2 } else { &new2 };
+            flip = !flip;
+            s2.put(&st, key, v).await.expect("update in place");
+        }
+    });
+
+    // Client: continuous bypass GETs on the same key.
+    let client = BypassClient::new(cluster.qp(1, 0), 512);
+    let ct = cluster.machine(1).thread("client");
+    let view = store.view();
+    let retries = Rc::new(Cell::new(0u32));
+    let reads = Rc::new(Cell::new(0u32));
+    let bad = Rc::new(RefCell::new(Vec::new()));
+    let (r2, n2, b2) = (Rc::clone(&retries), Rc::clone(&reads), Rc::clone(&bad));
+    let old3 = old_value.clone();
+    let new3 = new_value.clone();
+    sim.spawn(async move {
+        loop {
+            let got = bypass_get(&client, &ct, &view, key).await;
+            r2.set(r2.get() + got.crc_retries);
+            n2.set(n2.get() + 1);
+            match got.value {
+                Some(v) if v == old3 || v == new3 => {}
+                other => b2.borrow_mut().push(other),
+            }
+        }
+    });
+
+    sim.run_for(SimSpan::millis(5));
+
+    assert!(reads.get() > 100, "client barely ran: {}", reads.get());
+    assert!(
+        retries.get() > 0,
+        "the torn window was never observed — race injection broken"
+    );
+    assert!(
+        bad.borrow().is_empty(),
+        "torn/mixed values leaked: {:?}",
+        bad.borrow()
+    );
+}
+
+#[test]
+fn interleaved_distinct_keys_never_interfere() {
+    // A writer mutating key A must never corrupt reads of key B.
+    let mut sim = Simulation::new(5);
+    let cluster = Cluster::new(&mut sim, ClusterProfile::paper_testbed(), 2);
+    let server_m = cluster.machine(0);
+    let mut store = PilafStore::new(&server_m, 128, 128, 128);
+    store.update_gap = SimSpan::micros(2);
+    let store = Rc::new(store);
+
+    store
+        .insert_local(b"stable", b"constant-value")
+        .expect("preload");
+    store.insert_local(b"churny", &[0u8; 32]).expect("preload");
+
+    let st = server_m.thread("server");
+    let s2 = Rc::clone(&store);
+    let h = sim.handle();
+    sim.spawn(async move {
+        let mut i = 0u8;
+        loop {
+            h.sleep(SimSpan::micros(10)).await;
+            i = i.wrapping_add(1);
+            s2.put(&st, b"churny", &[i; 32]).await.expect("update");
+        }
+    });
+
+    let client = BypassClient::new(cluster.qp(1, 0), 512);
+    let ct = cluster.machine(1).thread("client");
+    let view = store.view();
+    let ok_reads = Rc::new(Cell::new(0u32));
+    let ok2 = Rc::clone(&ok_reads);
+    sim.spawn(async move {
+        loop {
+            let got = bypass_get(&client, &ct, &view, b"stable").await;
+            assert_eq!(
+                got.value.as_deref(),
+                Some(&b"constant-value"[..]),
+                "stable key corrupted by unrelated churn"
+            );
+            ok2.set(ok2.get() + 1);
+        }
+    });
+
+    sim.run_for(SimSpan::millis(3));
+    assert!(ok_reads.get() > 100);
+}
+
+#[test]
+fn missing_keys_return_none_quickly() {
+    let mut sim = Simulation::new(1);
+    let cluster = Cluster::new(&mut sim, ClusterProfile::paper_testbed(), 2);
+    let server_m = cluster.machine(0);
+    let store = PilafStore::new(&server_m, 64, 64, 128);
+    store.insert_local(b"present", b"v").expect("preload");
+
+    let client = BypassClient::new(cluster.qp(1, 0), 512);
+    let ct = cluster.machine(1).thread("client");
+    let view = store.view();
+    let done = Rc::new(Cell::new(false));
+    let d = Rc::clone(&done);
+    sim.spawn(async move {
+        let got = bypass_get(&client, &ct, &view, b"absent").await;
+        assert_eq!(got.value, None);
+        // Absence costs at most the three candidate probes.
+        assert!(got.ops <= 3, "absence probing used {} ops", got.ops);
+        assert_eq!(got.crc_retries, 0);
+        d.set(true);
+    });
+    sim.run();
+    assert!(done.get());
+}
+
+#[test]
+fn remove_frees_cells_for_reuse() {
+    let mut sim = Simulation::new(4);
+    let cluster = Cluster::new(&mut sim, ClusterProfile::paper_testbed(), 1);
+    // Exactly 4 cells: insert/remove cycles must recycle them.
+    let store = PilafStore::new(&cluster.machine(0), 16, 4, 64);
+    for round in 0..10u8 {
+        for i in 0..4u8 {
+            store
+                .insert_local(&[round, i], &[round; 16])
+                .expect("cells recycled");
+        }
+        assert_eq!(store.len(), 4);
+        for i in 0..4u8 {
+            assert!(store.remove_local(&[round, i]));
+        }
+        assert!(store.is_empty());
+    }
+    // Removing a missing key reports false and frees nothing.
+    assert!(!store.remove_local(b"never-inserted"));
+}
+
+#[test]
+fn removed_keys_are_invisible_to_bypass_gets() {
+    let mut sim = Simulation::new(6);
+    let cluster = Cluster::new(&mut sim, ClusterProfile::paper_testbed(), 2);
+    let server_m = cluster.machine(0);
+    let store = Rc::new(PilafStore::new(&server_m, 64, 64, 128));
+    store
+        .insert_local(b"victim", b"to-be-removed")
+        .expect("preload");
+    store.insert_local(b"keeper", b"stays").expect("preload");
+
+    let client = BypassClient::new(cluster.qp(1, 0), 512);
+    let ct = cluster.machine(1).thread("client");
+    let view = store.view();
+    let s2 = Rc::clone(&store);
+    let done = Rc::new(Cell::new(false));
+    let d = Rc::clone(&done);
+    sim.spawn(async move {
+        let before = bypass_get(&client, &ct, &view, b"victim").await;
+        assert_eq!(before.value.as_deref(), Some(&b"to-be-removed"[..]));
+        s2.remove_local(b"victim");
+        let after = bypass_get(&client, &ct, &view, b"victim").await;
+        assert_eq!(after.value, None);
+        let keeper = bypass_get(&client, &ct, &view, b"keeper").await;
+        assert_eq!(keeper.value.as_deref(), Some(&b"stays"[..]));
+        d.set(true);
+    });
+    sim.run();
+    assert!(done.get());
+}

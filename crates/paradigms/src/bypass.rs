@@ -1,0 +1,169 @@
+//! The server-bypass paradigm.
+//!
+//! Clients operate on server memory with one-sided verbs only; the
+//! server CPU never sees a request. This crate provides the client-side
+//! toolkit that bypass-based applications (like the Pilaf-style store in
+//! `rfp-kvstore`) build on, plus the synthetic amplification driver
+//! behind the paper's Figure 6: a "request" that needs `k` dependent
+//! RDMA operations completes at 1/k of the NIC's op rate — *bypass
+//! access amplification*.
+
+use std::rc::Rc;
+
+use rfp_rnic::{MemRegion, Qp, ThreadCtx};
+
+/// Client-side handle for one-sided access to a server's exposed
+/// regions.
+///
+/// Wraps a QP plus a local scratch region so call sites read like the
+/// pseudo-code of the paper's Figure 8(b): probe metadata, fetch data,
+/// verify, retry.
+pub struct BypassClient {
+    qp: Rc<Qp>,
+    scratch: Rc<MemRegion>,
+}
+
+impl BypassClient {
+    /// Creates a bypass client; `scratch_len` bounds the largest single
+    /// fetch.
+    pub fn new(qp: Rc<Qp>, scratch_len: usize) -> Self {
+        let scratch = qp.local().alloc_mr(scratch_len);
+        BypassClient { qp, scratch }
+    }
+
+    /// The underlying queue pair.
+    pub fn qp(&self) -> &Rc<Qp> {
+        &self.qp
+    }
+
+    /// Reads `len` bytes at `off` of the server region into a fresh
+    /// buffer (one in-bound op at the server).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` exceeds the scratch capacity or the remote range
+    /// is out of bounds.
+    pub async fn fetch(
+        &self,
+        thread: &ThreadCtx,
+        remote: &Rc<MemRegion>,
+        off: usize,
+        len: usize,
+    ) -> Vec<u8> {
+        assert!(len <= self.scratch.len(), "fetch exceeds scratch buffer");
+        self.qp
+            .read(thread, &self.scratch, 0, remote, off, len)
+            .await;
+        self.scratch.read_local(0, len)
+    }
+
+    /// Writes `data` at `off` of the server region (one in-bound op at
+    /// the server).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` exceeds the scratch capacity or the remote range
+    /// is out of bounds.
+    pub async fn store(&self, thread: &ThreadCtx, remote: &Rc<MemRegion>, off: usize, data: &[u8]) {
+        assert!(data.len() <= self.scratch.len(), "store exceeds scratch");
+        self.scratch.write_local(0, data);
+        self.qp
+            .write(thread, &self.scratch, 0, remote, off, data.len())
+            .await;
+    }
+
+    /// The Figure 6 synthetic: completes one "request" that requires
+    /// `rounds` dependent one-sided READs of `bytes` each (metadata
+    /// probes, data fetches, conflict-resolution retries…).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rounds` is zero.
+    pub async fn amplified_request(
+        &self,
+        thread: &ThreadCtx,
+        remote: &Rc<MemRegion>,
+        rounds: u32,
+        bytes: usize,
+    ) {
+        assert!(rounds > 0, "a request needs at least one op");
+        for i in 0..rounds {
+            // Dependent accesses: each round targets an offset "learned"
+            // from the previous one, so rounds cannot be overlapped.
+            let off = (i as usize * bytes) % (remote.len() - bytes + 1);
+            self.fetch(thread, remote, off, bytes).await;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfp_rnic::{Cluster, ClusterProfile};
+    use rfp_simnet::{SimSpan, Simulation};
+    use std::cell::Cell;
+
+    #[test]
+    fn fetch_and_store_round_trip() {
+        let mut sim = Simulation::new(5);
+        let cluster = Cluster::new(&mut sim, ClusterProfile::paper_testbed(), 2);
+        let server = cluster.machine(1);
+        let region = server.alloc_mr(1024);
+        let client = BypassClient::new(cluster.qp(0, 1), 512);
+        let t = cluster.machine(0).thread("c");
+        let ok = Rc::new(Cell::new(false));
+        let o = Rc::clone(&ok);
+        sim.spawn(async move {
+            client.store(&t, &region, 100, b"bypassed").await;
+            let back = client.fetch(&t, &region, 100, 8).await;
+            assert_eq!(&back, b"bypassed");
+            o.set(true);
+        });
+        sim.run();
+        assert!(ok.get());
+    }
+
+    #[test]
+    fn amplification_divides_throughput() {
+        // Completing requests of k dependent rounds takes ~k times as
+        // long as k=1 (Figure 6's mechanism).
+        let run = |rounds: u32| {
+            let mut sim = Simulation::new(5);
+            let cluster = Cluster::new(&mut sim, ClusterProfile::paper_testbed(), 2);
+            let region = cluster.machine(1).alloc_mr(4096);
+            let client = BypassClient::new(cluster.qp(0, 1), 512);
+            let t = cluster.machine(0).thread("c");
+            let count = Rc::new(Cell::new(0u64));
+            let c = Rc::clone(&count);
+            sim.spawn(async move {
+                loop {
+                    client.amplified_request(&t, &region, rounds, 32).await;
+                    c.set(c.get() + 1);
+                }
+            });
+            sim.run_for(SimSpan::millis(2));
+            count.get()
+        };
+        let one = run(1);
+        let four = run(4);
+        let ratio = one as f64 / four as f64;
+        assert!(
+            (3.5..4.5).contains(&ratio),
+            "4 rounds should quarter request rate: {one} vs {four}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one op")]
+    fn zero_round_request_rejected() {
+        let mut sim = Simulation::new(0);
+        let cluster = Cluster::new(&mut sim, ClusterProfile::paper_testbed(), 2);
+        let region = cluster.machine(1).alloc_mr(128);
+        let client = BypassClient::new(cluster.qp(0, 1), 64);
+        let t = cluster.machine(0).thread("c");
+        sim.spawn(async move {
+            client.amplified_request(&t, &region, 0, 32).await;
+        });
+        sim.run();
+    }
+}

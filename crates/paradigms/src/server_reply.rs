@@ -1,0 +1,84 @@
+//! The server-reply baseline.
+//!
+//! The classic way to port an RPC system to RDMA (RDMA-Memcached,
+//! RDMA-HDFS, …): keep the socket-shaped interface, let the server push
+//! each result back with an out-bound WRITE. Exactly the paper's
+//! *ServerReply* comparator, which it builds by modifying Jakiro's
+//! result-return step — we do the same by instantiating the RFP
+//! connection machinery pinned to server-reply mode with the hybrid
+//! switch disabled. The server's out-bound engine (~2.11 MOPS) becomes
+//! the throughput ceiling.
+
+use std::rc::Rc;
+
+use rfp_core::{connect, Mode, RfpClient, RfpConfig, RfpServerConn};
+use rfp_rnic::{Machine, Qp};
+
+/// Creates a client↔server connection that always uses server-reply.
+///
+/// The returned endpoints are ordinary RFP endpoints whose mode is
+/// pinned; drive the server side with [`rfp_core::serve_loop`] as usual.
+pub fn sr_connect(
+    client_machine: &Rc<Machine>,
+    server_machine: &Rc<Machine>,
+    qp_c2s: Rc<Qp>,
+    qp_s2c: Rc<Qp>,
+    mut cfg: RfpConfig,
+) -> (RfpClient, RfpServerConn) {
+    cfg.initial_mode = Mode::ServerReply;
+    cfg.enable_mode_switch = false;
+    connect(client_machine, server_machine, qp_c2s, qp_s2c, cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfp_core::serve_loop;
+    use rfp_rnic::{Cluster, ClusterProfile};
+    use rfp_simnet::{SimSpan, Simulation};
+    use std::cell::Cell;
+
+    #[test]
+    fn server_reply_answers_via_outbound_write() {
+        let mut sim = Simulation::new(3);
+        let cluster = Cluster::new(&mut sim, ClusterProfile::paper_testbed(), 2);
+        let (cm, sm) = (cluster.machine(0), cluster.machine(1));
+        let (client, conn) = sr_connect(
+            &cm,
+            &sm,
+            cluster.qp(0, 1),
+            cluster.qp(1, 0),
+            RfpConfig::default(),
+        );
+        let conn = Rc::new(conn);
+        let st = sm.thread("server");
+        sim.spawn(serve_loop(
+            st,
+            vec![Rc::clone(&conn)],
+            |req: &[u8]| (req.to_vec(), SimSpan::ZERO),
+            SimSpan::nanos(100),
+        ));
+        let ct = cm.thread("client");
+        let done = Rc::new(Cell::new(0u32));
+        let d = Rc::clone(&done);
+        let cl = Rc::new(client);
+        let cl2 = Rc::clone(&cl);
+        sim.spawn(async move {
+            for i in 0..20u32 {
+                let out = cl2.call(&ct, &i.to_le_bytes()).await;
+                assert_eq!(out.data, i.to_le_bytes());
+                assert_eq!(out.info.completed_in, Mode::ServerReply);
+                d.set(d.get() + 1);
+            }
+        });
+        sim.run_for(SimSpan::millis(5));
+        assert_eq!(done.get(), 20);
+        // Every response was pushed out-of-band (out-bound at server)…
+        assert_eq!(conn.replied_out_of_band(), 20);
+        // …and the client never switched away despite the fast server.
+        assert_eq!(cl.stats().switches_to_fetch(), 0);
+        assert_eq!(cl.mode(), Mode::ServerReply);
+        // The server NIC really issued out-bound ops.
+        assert!(sm.nic().counters().outbound_ops >= 20);
+    }
+}

@@ -1,0 +1,291 @@
+//! Registered memory regions.
+//!
+//! A [`MemRegion`] models a pinned, RNIC-registered buffer. Remote verbs
+//! copy real bytes in and out of it, and local code (the owning server or
+//! client) reads/writes it directly in zero simulated time — matching
+//! real RDMA, where local access to registered memory is plain memory
+//! access.
+//!
+//! Regions also support *write watchers*: futures that complete when a
+//! remote WRITE lands in a watched byte range. Higher layers use this
+//! both as a cheap stand-in for memory polling loops (the wake instant
+//! equals the instant a poll would first observe the data) and for the
+//! blocking wait of server-reply mode.
+
+use std::cell::RefCell;
+use std::future::Future;
+use std::ops::Range;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::task::{Context, Poll, Waker};
+
+use crate::machine::MachineId;
+
+/// Identifier of a memory region within one cluster (its "rkey").
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub struct MrId(pub u64);
+
+/// A registered memory region owned by one machine.
+pub struct MemRegion {
+    id: MrId,
+    owner: MachineId,
+    bytes: RefCell<Vec<u8>>,
+    watchers: RefCell<Vec<Watcher>>,
+    /// Monotone count of remote writes applied, used by watchers to
+    /// detect writes that landed between polls.
+    write_epoch: RefCell<u64>,
+}
+
+struct Watcher {
+    range: Range<usize>,
+    waker: Waker,
+}
+
+impl MemRegion {
+    pub(crate) fn new(id: MrId, owner: MachineId, len: usize) -> Rc<Self> {
+        Rc::new(MemRegion {
+            id,
+            owner,
+            bytes: RefCell::new(vec![0; len]),
+            watchers: RefCell::new(Vec::new()),
+            write_epoch: RefCell::new(0),
+        })
+    }
+
+    /// This region's id (the rkey a client would present).
+    pub fn id(&self) -> MrId {
+        self.id
+    }
+
+    /// The machine whose NIC serves remote access to this region.
+    pub fn owner(&self) -> MachineId {
+        self.owner
+    }
+
+    /// Registered length in bytes.
+    pub fn len(&self) -> usize {
+        self.bytes.borrow().len()
+    }
+
+    /// Whether the region has zero length.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Copies `src` into the region at `offset` (local CPU store).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the registered length.
+    pub fn write_local(&self, offset: usize, src: &[u8]) {
+        let mut b = self.bytes.borrow_mut();
+        let end = offset
+            .checked_add(src.len())
+            .filter(|&e| e <= b.len())
+            .unwrap_or_else(|| panic!("write past end of MR {:?}", self.id));
+        b[offset..end].copy_from_slice(src);
+    }
+
+    /// Copies `len` bytes starting at `offset` out of the region (local
+    /// CPU load).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the registered length.
+    pub fn read_local(&self, offset: usize, len: usize) -> Vec<u8> {
+        let b = self.bytes.borrow();
+        let end = offset
+            .checked_add(len)
+            .filter(|&e| e <= b.len())
+            .unwrap_or_else(|| panic!("read past end of MR {:?}", self.id));
+        b[offset..end].to_vec()
+    }
+
+    /// Reads into a caller-provided buffer without allocating.
+    pub fn read_local_into(&self, offset: usize, dst: &mut [u8]) {
+        let b = self.bytes.borrow();
+        let end = offset
+            .checked_add(dst.len())
+            .filter(|&e| e <= b.len())
+            .unwrap_or_else(|| panic!("read past end of MR {:?}", self.id));
+        dst.copy_from_slice(&b[offset..end]);
+    }
+
+    /// Borrow the raw bytes for in-place inspection (local access only).
+    pub fn with_bytes<T>(&self, f: impl FnOnce(&[u8]) -> T) -> T {
+        f(&self.bytes.borrow())
+    }
+
+    /// Borrow the raw bytes mutably for in-place update (local access
+    /// only).
+    pub fn with_bytes_mut<T>(&self, f: impl FnOnce(&mut [u8]) -> T) -> T {
+        f(&mut self.bytes.borrow_mut())
+    }
+
+    /// Applies a *remote* write (called by the NIC at the instant the
+    /// in-bound engine finishes the op) and wakes overlapping watchers.
+    pub(crate) fn apply_remote_write(&self, offset: usize, src: &[u8]) {
+        self.write_local(offset, src);
+        *self.write_epoch.borrow_mut() += 1;
+        let range = offset..offset + src.len();
+        let mut watchers = self.watchers.borrow_mut();
+        let mut i = 0;
+        while i < watchers.len() {
+            if ranges_overlap(&watchers[i].range, &range) {
+                let w = watchers.swap_remove(i);
+                w.waker.wake();
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Current remote-write epoch (increments once per remote WRITE).
+    pub fn write_epoch(&self) -> u64 {
+        *self.write_epoch.borrow()
+    }
+
+    /// Completes the next time a remote WRITE touches `range`.
+    ///
+    /// The wait observes only writes that land **after** the call, so
+    /// callers should check memory contents first and only wait if the
+    /// expected data has not yet arrived (see
+    /// [`ThreadCtx::idle_wait`](crate::ThreadCtx) users).
+    pub fn wait_remote_write(self: &Rc<Self>, range: Range<usize>) -> WriteWait {
+        WriteWait {
+            mr: Rc::clone(self),
+            range,
+            epoch_at_start: self.write_epoch(),
+        }
+    }
+}
+
+fn ranges_overlap(a: &Range<usize>, b: &Range<usize>) -> bool {
+    a.start < b.end && b.start < a.end
+}
+
+/// Future returned by [`MemRegion::wait_remote_write`].
+pub struct WriteWait {
+    mr: Rc<MemRegion>,
+    range: Range<usize>,
+    epoch_at_start: u64,
+}
+
+impl Future for WriteWait {
+    type Output = ();
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        // Any write since the wait began may have been ours; conservative
+        // wake-up on epoch advance keeps the future race-free (a write
+        // landing between creation and first poll is not missed).
+        if self.mr.write_epoch() != self.epoch_at_start {
+            return Poll::Ready(());
+        }
+        self.mr.watchers.borrow_mut().push(Watcher {
+            range: self.range.clone(),
+            waker: cx.waker().clone(),
+        });
+        Poll::Pending
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn region(len: usize) -> Rc<MemRegion> {
+        MemRegion::new(MrId(1), MachineId(0), len)
+    }
+
+    #[test]
+    fn local_read_write_round_trip() {
+        let mr = region(16);
+        mr.write_local(4, &[1, 2, 3]);
+        assert_eq!(mr.read_local(4, 3), vec![1, 2, 3]);
+        assert_eq!(mr.read_local(0, 4), vec![0, 0, 0, 0]);
+        let mut buf = [0u8; 2];
+        mr.read_local_into(5, &mut buf);
+        assert_eq!(buf, [2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "write past end")]
+    fn write_out_of_bounds_panics() {
+        region(8).write_local(7, &[0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "read past end")]
+    fn read_out_of_bounds_panics() {
+        let _ = region(8).read_local(8, 1);
+    }
+
+    #[test]
+    fn overlap_detection() {
+        assert!(ranges_overlap(&(0..4), &(3..5)));
+        assert!(!ranges_overlap(&(0..4), &(4..5)));
+        assert!(ranges_overlap(&(2..3), &(0..10)));
+    }
+
+    #[test]
+    fn remote_write_bumps_epoch() {
+        let mr = region(8);
+        assert_eq!(mr.write_epoch(), 0);
+        mr.apply_remote_write(0, &[9]);
+        assert_eq!(mr.write_epoch(), 1);
+        assert_eq!(mr.read_local(0, 1), vec![9]);
+        // Local writes do not bump the remote epoch.
+        mr.write_local(0, &[1]);
+        assert_eq!(mr.write_epoch(), 1);
+    }
+
+    #[test]
+    fn write_wait_wakes_on_overlapping_write() {
+        use rfp_simnet::{SimSpan, Simulation};
+        use std::cell::Cell;
+
+        let mut sim = Simulation::new(0);
+        let mr = region(64);
+        let woke_at = Rc::new(Cell::new(0u64));
+
+        let mr2 = Rc::clone(&mr);
+        let woke = Rc::clone(&woke_at);
+        let h = sim.handle();
+        sim.spawn(async move {
+            mr2.wait_remote_write(0..16).await;
+            woke.set(h.now().as_nanos());
+        });
+
+        let mr3 = Rc::clone(&mr);
+        let h2 = sim.handle();
+        sim.spawn(async move {
+            h2.sleep(SimSpan::nanos(100)).await;
+            // Non-overlapping write: must not wake the waiter.
+            mr3.apply_remote_write(32, &[1]);
+            h2.sleep(SimSpan::nanos(100)).await;
+            mr3.apply_remote_write(8, &[2]);
+        });
+
+        sim.run();
+        assert_eq!(woke_at.get(), 200);
+    }
+
+    #[test]
+    fn write_wait_created_before_poll_sees_early_write() {
+        use rfp_simnet::Simulation;
+
+        let mut sim = Simulation::new(0);
+        let mr = region(8);
+        // Create the wait, apply the write, then await: must not hang.
+        let wait = mr.wait_remote_write(0..8);
+        mr.apply_remote_write(0, &[1]);
+        let done = Rc::new(std::cell::Cell::new(false));
+        let d = Rc::clone(&done);
+        sim.spawn(async move {
+            wait.await;
+            d.set(true);
+        });
+        sim.run();
+        assert!(done.get());
+    }
+}

@@ -1,0 +1,178 @@
+//! The NIC model: two asymmetric engines plus operation accounting.
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+use rfp_simnet::{FifoServer, SimHandle, SimSpan};
+
+use crate::profile::NicProfile;
+
+/// Cumulative per-NIC operation counters.
+///
+/// `inbound_ops` is the number the paper's §4.3 round-trip accounting is
+/// based on (e.g. Jakiro's 2.005 in-bound ops per GET at the server).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NicCounters {
+    /// One-sided ops served by the in-bound engine.
+    pub inbound_ops: u64,
+    /// One-sided ops issued through the out-bound engine.
+    pub outbound_ops: u64,
+    /// Payload bytes received by one-sided ops (writes in, reads out).
+    pub inbound_bytes: u64,
+    /// Payload bytes sent by one-sided ops.
+    pub outbound_bytes: u64,
+}
+
+/// One simulated RNIC with separate in-bound and out-bound pipelines.
+pub struct Nic {
+    profile: NicProfile,
+    inbound: FifoServer,
+    outbound: FifoServer,
+    /// Threads currently inside an issuing verb on this NIC; drives the
+    /// out-bound contention multiplier.
+    active_issuers: Cell<usize>,
+    inbound_ops: Cell<u64>,
+    outbound_ops: Cell<u64>,
+    inbound_bytes: Cell<u64>,
+    outbound_bytes: Cell<u64>,
+}
+
+impl Nic {
+    pub(crate) fn new(handle: SimHandle, profile: NicProfile) -> Self {
+        Nic {
+            profile,
+            inbound: FifoServer::new(handle.clone()),
+            outbound: FifoServer::new(handle),
+            active_issuers: Cell::new(0),
+            inbound_ops: Cell::new(0),
+            outbound_ops: Cell::new(0),
+            inbound_bytes: Cell::new(0),
+            outbound_bytes: Cell::new(0),
+        }
+    }
+
+    /// The timing model of this NIC.
+    pub fn profile(&self) -> &NicProfile {
+        &self.profile
+    }
+
+    /// Marks a thread as inside an issuing verb; the guard un-marks on
+    /// drop. The count feeds the out-bound contention multiplier.
+    pub(crate) fn begin_issue(self: &Rc<Self>) -> IssueGuard {
+        self.active_issuers.set(self.active_issuers.get() + 1);
+        IssueGuard {
+            nic: Rc::clone(self),
+        }
+    }
+
+    /// Current out-bound service-time multiplier given concurrent
+    /// issuers.
+    pub(crate) fn contention_multiplier(&self) -> f64 {
+        self.profile
+            .contention_multiplier(self.active_issuers.get())
+    }
+
+    /// Occupies the out-bound engine for one op of `bytes`, inflated by
+    /// the current contention multiplier; resolves at service completion.
+    pub(crate) fn serve_outbound(&self, bytes: usize) -> rfp_simnet::Sleep {
+        let base = self.profile.outbound_service(bytes);
+        let service =
+            SimSpan::from_nanos_f64(base.as_nanos() as f64 * self.contention_multiplier());
+        self.outbound_ops.set(self.outbound_ops.get() + 1);
+        self.outbound_bytes
+            .set(self.outbound_bytes.get() + bytes as u64);
+        self.outbound.serve(service)
+    }
+
+    /// Occupies the in-bound engine for one op of `bytes`; resolves at
+    /// service completion (the instant data lands / leaves).
+    pub(crate) fn serve_inbound(&self, bytes: usize) -> rfp_simnet::Sleep {
+        self.inbound_ops.set(self.inbound_ops.get() + 1);
+        self.inbound_bytes
+            .set(self.inbound_bytes.get() + bytes as u64);
+        self.inbound.serve(self.profile.inbound_service(bytes))
+    }
+
+    /// Occupies the out-bound engine for one two-sided SEND of `bytes`.
+    pub(crate) fn serve_twosided_tx(&self, bytes: usize) -> rfp_simnet::Sleep {
+        let service = self.profile.twosided_service(bytes);
+        self.outbound_ops.set(self.outbound_ops.get() + 1);
+        self.outbound_bytes
+            .set(self.outbound_bytes.get() + bytes as u64);
+        self.outbound.serve(service)
+    }
+
+    /// Occupies the in-bound engine for one two-sided RECV of `bytes`
+    /// at the two-sided (symmetric) cost.
+    pub(crate) fn serve_twosided_rx(&self, bytes: usize) -> rfp_simnet::Sleep {
+        let service = self.profile.twosided_service(bytes);
+        self.inbound_ops.set(self.inbound_ops.get() + 1);
+        self.inbound_bytes
+            .set(self.inbound_bytes.get() + bytes as u64);
+        self.inbound.serve(service)
+    }
+
+    /// Occupies the out-bound engine for one UD datagram SEND of
+    /// `bytes` (cheaper than RC: no connection state, no ACK handling).
+    pub(crate) fn serve_ud_tx(&self, bytes: usize) -> rfp_simnet::Sleep {
+        let service = self.profile.ud_service(bytes);
+        self.outbound_ops.set(self.outbound_ops.get() + 1);
+        self.outbound_bytes
+            .set(self.outbound_bytes.get() + bytes as u64);
+        self.outbound.serve(service)
+    }
+
+    /// Occupies the in-bound engine for one UD datagram RECV of `bytes`.
+    pub(crate) fn serve_ud_rx(&self, bytes: usize) -> rfp_simnet::Sleep {
+        let service = self.profile.ud_service(bytes);
+        self.inbound_ops.set(self.inbound_ops.get() + 1);
+        self.inbound_bytes
+            .set(self.inbound_bytes.get() + bytes as u64);
+        self.inbound.serve(service)
+    }
+
+    /// Snapshot of the operation counters.
+    pub fn counters(&self) -> NicCounters {
+        NicCounters {
+            inbound_ops: self.inbound_ops.get(),
+            outbound_ops: self.outbound_ops.get(),
+            inbound_bytes: self.inbound_bytes.get(),
+            outbound_bytes: self.outbound_bytes.get(),
+        }
+    }
+
+    /// Resets counters and engine statistics (keeps queued work), to
+    /// discard warm-up before a measurement window.
+    pub fn reset_counters(&self) {
+        self.inbound_ops.set(0);
+        self.outbound_ops.set(0);
+        self.inbound_bytes.set(0);
+        self.outbound_bytes.set(0);
+        self.inbound.reset_stats();
+        self.outbound.reset_stats();
+    }
+
+    /// Busy time of the in-bound engine since the last reset (for
+    /// utilisation cross-checks in tests).
+    pub fn inbound_busy(&self) -> SimSpan {
+        self.inbound.busy_time()
+    }
+
+    /// Busy time of the out-bound engine since the last reset.
+    pub fn outbound_busy(&self) -> SimSpan {
+        self.outbound.busy_time()
+    }
+}
+
+/// RAII guard marking a thread as an active issuer on a NIC.
+pub(crate) struct IssueGuard {
+    nic: Rc<Nic>,
+}
+
+impl Drop for IssueGuard {
+    fn drop(&mut self) {
+        let n = self.nic.active_issuers.get();
+        debug_assert!(n > 0);
+        self.nic.active_issuers.set(n - 1);
+    }
+}

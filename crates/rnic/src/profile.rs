@@ -1,0 +1,284 @@
+//! Calibrated cost-model parameters for NICs and links.
+//!
+//! The default profile reproduces the micro-benchmark curves the paper
+//! reports for its Mellanox ConnectX-3 (40 Gbps) testbed (§2.2,
+//! Figures 3–5): 11.26 MOPS peak in-bound, 2.11 MOPS peak out-bound for
+//! small payloads, convergence of both directions at ≈2 KB where line
+//! rate becomes the bottleneck.
+
+use rfp_simnet::SimSpan;
+
+/// Per-NIC timing model.
+#[derive(Clone, Debug)]
+pub struct NicProfile {
+    /// Minimum in-bound engine service time per one-sided op
+    /// (88.8 ns ⇒ 11.26 MOPS small-op peak).
+    pub inbound_min: SimSpan,
+    /// Minimum out-bound engine service time per one-sided op
+    /// (474 ns ⇒ 2.11 MOPS small-op peak).
+    pub outbound_min: SimSpan,
+    /// Minimum per-op service time for two-sided SEND/RECV on **both**
+    /// sides — the paper notes two-sided ops show no asymmetry.
+    pub twosided_min: SimSpan,
+    /// Minimum per-op service time for **UD** datagram SEND/RECV. UD
+    /// skips connection state and ACKs, which is how HERD/FaSST push
+    /// message rates past RC (paper §5) — at the price of reliability.
+    pub ud_min: SimSpan,
+    /// Probability that an unreliable (UC/UD) op is silently lost in
+    /// transit. Zero by default; loss-handling tests and the HERD-style
+    /// comparator's retransmission path raise it.
+    pub unreliable_loss: f64,
+    /// Payload bandwidth of the port in bytes/second (40 Gbps ⇒ 5 GB/s).
+    pub bandwidth: f64,
+    /// Software cost on the issuing thread per verb (descriptor setup,
+    /// doorbell, completion handling).
+    pub issue_cpu: SimSpan,
+    /// Extra turnaround cost of a READ over a WRITE at the issuing NIC;
+    /// the paper observes single WRITEs are cheaper than single READs
+    /// (§4.4.2, also seen by HERD and RDMA-PVFS).
+    pub read_turnaround: SimSpan,
+    /// Number of concurrently issuing threads the out-bound path absorbs
+    /// before software/hardware contention kicks in (the paper saturates
+    /// out-bound with 4 threads, Figure 3).
+    pub contention_free_issuers: usize,
+    /// Linear inflation of out-bound service per issuer beyond the free
+    /// count: `mult = 1 + factor · excess`. Reproduces the decline of
+    /// out-bound IOPS with many threads (Figures 3, 4, 12).
+    pub contention_factor: f64,
+}
+
+impl NicProfile {
+    /// The paper's testbed NIC: ConnectX-3, 40 Gbps.
+    pub fn connectx3_40g() -> Self {
+        NicProfile {
+            inbound_min: SimSpan::nanos(89),   // ≈ 1 / 11.26 MOPS
+            outbound_min: SimSpan::nanos(474), // ≈ 1 / 2.11 MOPS
+            twosided_min: SimSpan::nanos(474),
+            ud_min: SimSpan::nanos(300),
+            unreliable_loss: 0.0,
+            bandwidth: 5.0e9, // 40 Gbps payload rate
+            issue_cpu: SimSpan::nanos(200),
+            read_turnaround: SimSpan::nanos(150),
+            contention_free_issuers: 4,
+            contention_factor: 0.08,
+        }
+    }
+
+    /// The 20 Gbps NIC variant used for the Pilaf comparison (Figure 11
+    /// replays Jakiro on a cluster of 20 Gbps Mellanox NICs to match the
+    /// environment Pilaf reported numbers on).
+    pub fn connectx_20g() -> Self {
+        NicProfile {
+            bandwidth: 2.5e9,
+            ..Self::connectx3_40g()
+        }
+    }
+
+    /// A previous-generation NIC (ConnectX-2 class): slower in every
+    /// dimension, same asymmetric structure — the paper repeats its
+    /// §2.2 experiment on ConnectX-2/-3/-4 and sees the asymmetry on
+    /// all of them.
+    pub fn connectx2_40g() -> Self {
+        NicProfile {
+            inbound_min: SimSpan::nanos(125),  // ≈ 8 MOPS
+            outbound_min: SimSpan::nanos(610), // ≈ 1.6 MOPS
+            twosided_min: SimSpan::nanos(610),
+            ud_min: SimSpan::nanos(400),
+            bandwidth: 3.2e9,
+            ..Self::connectx3_40g()
+        }
+    }
+
+    /// A next-generation NIC (ConnectX-4 class, 100 Gbps): faster in
+    /// every dimension, same asymmetric structure.
+    pub fn connectx4_100g() -> Self {
+        NicProfile {
+            inbound_min: SimSpan::nanos(60),   // ≈ 16.7 MOPS
+            outbound_min: SimSpan::nanos(280), // ≈ 3.6 MOPS
+            twosided_min: SimSpan::nanos(280),
+            ud_min: SimSpan::nanos(180),
+            bandwidth: 12.0e9,
+            ..Self::connectx3_40g()
+        }
+    }
+
+    /// In-bound engine service time for a one-sided op carrying `bytes`.
+    ///
+    /// `max(inbound_min, bytes / bandwidth)`: flat for small payloads
+    /// (startup-dominated — the paper's `[1, L)` region of Figure 5),
+    /// line-rate-bound beyond the knee.
+    pub fn inbound_service(&self, bytes: usize) -> SimSpan {
+        self.inbound_min
+            .max(SimSpan::from_nanos_f64(bytes as f64 / self.bandwidth * 1e9))
+    }
+
+    /// Out-bound engine service time for a one-sided op carrying `bytes`,
+    /// before contention inflation.
+    pub fn outbound_service(&self, bytes: usize) -> SimSpan {
+        self.outbound_min
+            .max(SimSpan::from_nanos_f64(bytes as f64 / self.bandwidth * 1e9))
+    }
+
+    /// Two-sided per-op service time (same on both sides).
+    pub fn twosided_service(&self, bytes: usize) -> SimSpan {
+        self.twosided_min
+            .max(SimSpan::from_nanos_f64(bytes as f64 / self.bandwidth * 1e9))
+    }
+
+    /// UD datagram per-op service time (same on both sides).
+    pub fn ud_service(&self, bytes: usize) -> SimSpan {
+        self.ud_min
+            .max(SimSpan::from_nanos_f64(bytes as f64 / self.bandwidth * 1e9))
+    }
+
+    /// Out-bound contention multiplier for `issuers` concurrently issuing
+    /// threads.
+    pub fn contention_multiplier(&self, issuers: usize) -> f64 {
+        let excess = issuers.saturating_sub(self.contention_free_issuers);
+        1.0 + self.contention_factor * excess as f64
+    }
+
+    /// Payload size at which in-bound IOPS stops being flat (the model's
+    /// analogue of the paper's `L`).
+    pub fn inbound_knee_bytes(&self) -> usize {
+        (self.inbound_min.as_nanos() as f64 / 1e9 * self.bandwidth) as usize
+    }
+}
+
+/// Link/switch timing between two machines.
+#[derive(Clone, Debug)]
+pub struct LinkProfile {
+    /// One-way propagation NIC → switch → NIC.
+    pub propagation: SimSpan,
+}
+
+impl LinkProfile {
+    /// The paper's single 18-port InfiniScale-IV switch.
+    pub fn infiniscale() -> Self {
+        LinkProfile {
+            propagation: SimSpan::nanos(300),
+        }
+    }
+}
+
+/// Complete cluster timing model.
+#[derive(Clone, Debug)]
+pub struct ClusterProfile {
+    /// NIC model applied to every machine.
+    pub nic: NicProfile,
+    /// Inter-machine link model.
+    pub link: LinkProfile,
+}
+
+impl ClusterProfile {
+    /// The paper's testbed: 40 Gbps ConnectX-3 + InfiniScale-IV switch.
+    pub fn paper_testbed() -> Self {
+        ClusterProfile {
+            nic: NicProfile::connectx3_40g(),
+            link: LinkProfile::infiniscale(),
+        }
+    }
+
+    /// The 20 Gbps variant for the Pilaf comparison (Figure 11).
+    pub fn pilaf_testbed() -> Self {
+        ClusterProfile {
+            nic: NicProfile::connectx_20g(),
+            link: LinkProfile::infiniscale(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_op_peaks_match_paper() {
+        let p = NicProfile::connectx3_40g();
+        let inbound_mops = 1e3 / p.inbound_service(32).as_nanos() as f64;
+        let outbound_mops = 1e3 / p.outbound_service(32).as_nanos() as f64;
+        assert!((inbound_mops - 11.26).abs() < 0.1, "{inbound_mops}");
+        assert!((outbound_mops - 2.11).abs() < 0.01, "{outbound_mops}");
+    }
+
+    #[test]
+    fn asymmetry_is_about_5x() {
+        let p = NicProfile::connectx3_40g();
+        let ratio =
+            p.outbound_service(32).as_nanos() as f64 / p.inbound_service(32).as_nanos() as f64;
+        assert!((4.5..6.0).contains(&ratio), "asymmetry ratio {ratio}");
+    }
+
+    #[test]
+    fn directions_converge_beyond_2kb() {
+        let p = NicProfile::connectx3_40g();
+        // At 4 KB both directions are line-rate-bound and equal.
+        assert_eq!(p.inbound_service(4096), p.outbound_service(4096));
+        // At 32 B they differ by the asymmetry.
+        assert!(p.inbound_service(32) < p.outbound_service(32));
+        // Crossover where out-bound stops being flat: ≈ 2.4 KB.
+        let cross = (p.outbound_min.as_nanos() as f64 / 1e9 * p.bandwidth) as usize;
+        assert!((2_000..3_000).contains(&cross), "crossover {cross}");
+    }
+
+    #[test]
+    fn contention_multiplier_kicks_in_past_threshold() {
+        let p = NicProfile::connectx3_40g();
+        assert_eq!(p.contention_multiplier(1), 1.0);
+        assert_eq!(p.contention_multiplier(4), 1.0);
+        assert!(p.contention_multiplier(5) > 1.0);
+        assert!(p.contention_multiplier(16) > p.contention_multiplier(8));
+    }
+
+    #[test]
+    fn inbound_knee_is_a_few_hundred_bytes() {
+        let p = NicProfile::connectx3_40g();
+        let knee = p.inbound_knee_bytes();
+        assert!(
+            (256..=512).contains(&knee),
+            "knee {knee} should be in the paper's [L, H] ballpark"
+        );
+    }
+
+    #[test]
+    fn asymmetry_holds_across_nic_generations() {
+        // The paper: "we repeat this experiment with all the three kinds
+        // of RNICs we have (ConnectX-2, ConnectX-3, and ConnectX-4), and
+        // the asymmetry appears on all these different versions".
+        for p in [
+            NicProfile::connectx2_40g(),
+            NicProfile::connectx3_40g(),
+            NicProfile::connectx4_100g(),
+        ] {
+            let ratio =
+                p.outbound_service(32).as_nanos() as f64 / p.inbound_service(32).as_nanos() as f64;
+            assert!((4.0..6.0).contains(&ratio), "asymmetry ratio {ratio}");
+        }
+        // Generations are ordered in absolute speed.
+        let (c2, c3, c4) = (
+            NicProfile::connectx2_40g(),
+            NicProfile::connectx3_40g(),
+            NicProfile::connectx4_100g(),
+        );
+        assert!(c2.inbound_service(32) > c3.inbound_service(32));
+        assert!(c3.inbound_service(32) > c4.inbound_service(32));
+    }
+
+    #[test]
+    fn ud_is_cheaper_than_rc_twosided() {
+        let p = NicProfile::connectx3_40g();
+        assert!(p.ud_service(32) < p.twosided_service(32));
+    }
+
+    #[test]
+    fn twenty_gig_variant_halves_bandwidth() {
+        let p40 = NicProfile::connectx3_40g();
+        let p20 = NicProfile::connectx_20g();
+        assert_eq!(p20.bandwidth, p40.bandwidth / 2.0);
+        // Small-op behaviour identical; large transfers twice as slow.
+        assert_eq!(p20.inbound_service(32), p40.inbound_service(32));
+        let halved = p20.inbound_service(8192).as_nanos() as i64;
+        let doubled = 2 * p40.inbound_service(8192).as_nanos() as i64;
+        assert!((halved - doubled).abs() <= 1, "{halved} vs {doubled}");
+    }
+}

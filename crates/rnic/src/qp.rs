@@ -1,0 +1,835 @@
+//! Queue pairs and verbs.
+//!
+//! All three InfiniBand transport types from the paper's §5 discussion
+//! are modelled:
+//!
+//! * **RC** (Reliable Connection) — the only transport supporting both
+//!   one-sided READ and WRITE; what RFP and all server-bypass designs
+//!   require. Completions are ACK-driven.
+//! * **UC** (Unreliable Connection) — supports WRITE but not READ;
+//!   completions fire at the sender once the op leaves the NIC, and the
+//!   packet may be silently lost.
+//! * **UD** (Unreliable Datagram) — SEND/RECV only, cheapest per
+//!   message (no connection state, no ACKs — how HERD/FaSST push
+//!   message rates), lossy.
+//!
+//! Verbs are *synchronous*: the issuing thread busy-polls its completion
+//! queue until the op completes, matching the paper's measurement
+//! methodology ("we always wait for an RDMA operation's completion
+//! before starting the next operation", §2.2).
+//!
+//! Timing of a one-sided op of `n` bytes issued by thread `T` on machine
+//! `A` against memory of machine `B`:
+//!
+//! ```text
+//! T: issue_cpu ──► A.outbound engine (FIFO, contention-inflated)
+//!        ──► propagation ──► B.inbound engine (FIFO)   [bytes move here]
+//!        ──► propagation (+ read_turnaround for READ) ──► completion
+//! ```
+//!
+//! The whole interval counts as busy time for `T`.
+
+use std::rc::Rc;
+
+use rand::Rng;
+
+use crate::machine::{Machine, ThreadCtx};
+use crate::mem::MemRegion;
+use crate::profile::LinkProfile;
+use rfp_simnet::Channel;
+
+/// InfiniBand transport service type of a queue pair (paper §5).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Transport {
+    /// Reliable Connection: one-sided READ + WRITE, SEND/RECV, ACKed.
+    Rc,
+    /// Unreliable Connection: one-sided WRITE (no READ), SEND/RECV,
+    /// fire-and-forget, lossy.
+    Uc,
+    /// Unreliable Datagram: SEND/RECV only, cheapest per message, lossy.
+    Ud,
+}
+
+impl Transport {
+    /// Whether this transport supports one-sided READ.
+    pub fn supports_read(self) -> bool {
+        matches!(self, Transport::Rc)
+    }
+
+    /// Whether this transport supports one-sided WRITE.
+    pub fn supports_write(self) -> bool {
+        matches!(self, Transport::Rc | Transport::Uc)
+    }
+
+    /// Whether delivery is guaranteed.
+    pub fn is_reliable(self) -> bool {
+        matches!(self, Transport::Rc)
+    }
+}
+
+/// A queue pair from a local machine to a remote machine.
+pub struct Qp {
+    local: Rc<Machine>,
+    remote: Rc<Machine>,
+    link: LinkProfile,
+    transport: Transport,
+    /// In-flight two-sided messages awaiting `recv`.
+    rx: Channel<Vec<u8>>,
+}
+
+impl Qp {
+    pub(crate) fn with_transport(
+        local: Rc<Machine>,
+        remote: Rc<Machine>,
+        link: LinkProfile,
+        transport: Transport,
+    ) -> Rc<Self> {
+        Rc::new(Qp {
+            local,
+            remote,
+            link,
+            transport,
+            rx: Channel::new(),
+        })
+    }
+
+    /// The issuing-side machine.
+    pub fn local(&self) -> &Rc<Machine> {
+        &self.local
+    }
+
+    /// The serving-side machine.
+    pub fn remote(&self) -> &Rc<Machine> {
+        &self.remote
+    }
+
+    /// This queue pair's transport service type.
+    pub fn transport(&self) -> Transport {
+        self.transport
+    }
+
+    /// Draws whether an unreliable op is lost in transit.
+    fn lost_in_transit(&self) -> bool {
+        let p = self.local.nic().profile().unreliable_loss;
+        p > 0.0 && self.local.handle().with_rng(|rng| rng.gen::<f64>()) < p
+    }
+
+    fn check_one_sided(
+        &self,
+        thread: &ThreadCtx,
+        local: &MemRegion,
+        local_off: usize,
+        remote: &MemRegion,
+        remote_off: usize,
+        len: usize,
+    ) {
+        assert_eq!(
+            thread.machine().id(),
+            self.local.id(),
+            "thread must issue on the QP's local machine"
+        );
+        assert_eq!(
+            local.owner(),
+            self.local.id(),
+            "local MR not registered on this machine"
+        );
+        assert_eq!(
+            remote.owner(),
+            self.remote.id(),
+            "remote MR not registered on the peer (bad rkey)"
+        );
+        assert!(local_off + len <= local.len(), "local range out of MR");
+        assert!(remote_off + len <= remote.len(), "remote range out of MR");
+    }
+
+    /// One-sided RDMA READ: copies `len` bytes from the remote region
+    /// into the local region. Returns when the completion is consumed.
+    ///
+    /// The remote CPU is never involved (server-bypass property); the
+    /// bytes are snapshotted at the instant the remote in-bound engine
+    /// finishes the op.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the thread or regions do not belong to this QP's
+    /// machines or if a range exceeds a region.
+    pub async fn read(
+        &self,
+        thread: &ThreadCtx,
+        local: &Rc<MemRegion>,
+        local_off: usize,
+        remote: &Rc<MemRegion>,
+        remote_off: usize,
+        len: usize,
+    ) {
+        assert!(
+            self.transport.supports_read(),
+            "one-sided READ requires RC (got {:?})",
+            self.transport
+        );
+        self.check_one_sided(thread, local, local_off, remote, remote_off, len);
+        let h = thread.handle().clone();
+        let t0 = h.now();
+        let local_nic = Rc::clone(self.local.nic());
+        let remote_nic = self.remote.nic();
+        let prof = local_nic.profile().clone();
+
+        let _issuing = local_nic.begin_issue();
+        h.sleep(prof.issue_cpu).await;
+        local_nic.serve_outbound(len).await;
+        h.sleep(self.link.propagation).await;
+        remote_nic.serve_inbound(len).await;
+        // Data is sampled at the instant the serving NIC processes the op.
+        let snapshot = remote.read_local(remote_off, len);
+        h.sleep(self.link.propagation + prof.read_turnaround).await;
+        local.write_local(local_off, &snapshot);
+        thread.note_busy(h.now() - t0);
+    }
+
+    /// One-sided RDMA WRITE: copies `len` bytes from the local region
+    /// into the remote region. Returns when the ACK-driven completion is
+    /// consumed; the bytes land remotely (and wake write-watchers) at the
+    /// instant the remote in-bound engine finishes.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Qp::read`].
+    pub async fn write(
+        &self,
+        thread: &ThreadCtx,
+        local: &Rc<MemRegion>,
+        local_off: usize,
+        remote: &Rc<MemRegion>,
+        remote_off: usize,
+        len: usize,
+    ) {
+        assert!(
+            self.transport.supports_write(),
+            "one-sided WRITE requires RC or UC (got {:?})",
+            self.transport
+        );
+        self.check_one_sided(thread, local, local_off, remote, remote_off, len);
+        let h = thread.handle().clone();
+        let t0 = h.now();
+        let local_nic = Rc::clone(self.local.nic());
+        let remote_nic = Rc::clone(self.remote.nic());
+        let prof = local_nic.profile().clone();
+
+        let _issuing = local_nic.begin_issue();
+        h.sleep(prof.issue_cpu).await;
+        let payload = local.read_local(local_off, len);
+        local_nic.serve_outbound(len).await;
+        match self.transport {
+            Transport::Rc => {
+                // Reliable: the completion waits for the remote side.
+                h.sleep(self.link.propagation).await;
+                remote_nic.serve_inbound(len).await;
+                remote.apply_remote_write(remote_off, &payload);
+                h.sleep(self.link.propagation).await;
+            }
+            Transport::Uc => {
+                // Fire-and-forget: complete as soon as the op left the
+                // NIC; deliver (or lose) the packet asynchronously.
+                if !self.lost_in_transit() {
+                    let prop = self.link.propagation;
+                    let remote = Rc::clone(remote);
+                    let h2 = h.clone();
+                    h.spawn(async move {
+                        h2.sleep(prop).await;
+                        remote_nic.serve_inbound(len).await;
+                        remote.apply_remote_write(remote_off, &payload);
+                    });
+                }
+            }
+            Transport::Ud => unreachable!("guarded by supports_write"),
+        }
+        thread.note_busy(h.now() - t0);
+    }
+
+    /// Two-sided SEND. On RC the completion is ACK-driven and two-sided
+    /// ops show no in/out asymmetry (paper §2.2): both NICs pay the
+    /// symmetric two-sided cost. On UC/UD the send completes once it
+    /// leaves the NIC (UD additionally at the cheaper datagram cost) and
+    /// may be lost.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the thread is not on this QP's local machine.
+    pub async fn send(self: &Rc<Self>, thread: &ThreadCtx, payload: Vec<u8>) {
+        assert_eq!(
+            thread.machine().id(),
+            self.local.id(),
+            "thread must issue on the QP's local machine"
+        );
+        let h = thread.handle().clone();
+        let t0 = h.now();
+        let local_nic = Rc::clone(self.local.nic());
+        let remote_nic = Rc::clone(self.remote.nic());
+        let prof = local_nic.profile().clone();
+        let len = payload.len();
+
+        let _issuing = local_nic.begin_issue();
+        h.sleep(prof.issue_cpu).await;
+        match self.transport {
+            Transport::Rc => {
+                local_nic.serve_twosided_tx(len).await;
+                h.sleep(self.link.propagation).await;
+                remote_nic.serve_twosided_rx(len).await;
+                self.rx.send(payload);
+                h.sleep(self.link.propagation).await;
+            }
+            Transport::Uc | Transport::Ud => {
+                let datagram = self.transport == Transport::Ud;
+                if datagram {
+                    local_nic.serve_ud_tx(len).await;
+                } else {
+                    local_nic.serve_twosided_tx(len).await;
+                }
+                if !self.lost_in_transit() {
+                    let prop = self.link.propagation;
+                    let qp = Rc::clone(self);
+                    let h2 = h.clone();
+                    h.spawn(async move {
+                        h2.sleep(prop).await;
+                        if datagram {
+                            remote_nic.serve_ud_rx(len).await;
+                        } else {
+                            remote_nic.serve_twosided_rx(len).await;
+                        }
+                        qp.rx.send(payload);
+                    });
+                }
+            }
+        }
+        thread.note_busy(h.now() - t0);
+    }
+
+    /// Validation shared by the posted (async) read paths.
+    pub(crate) fn assert_read_allowed(
+        &self,
+        thread: &ThreadCtx,
+        local: &MemRegion,
+        local_off: usize,
+        remote: &MemRegion,
+        remote_off: usize,
+        len: usize,
+    ) {
+        assert!(
+            self.transport.supports_read(),
+            "one-sided READ requires RC (got {:?})",
+            self.transport
+        );
+        self.check_one_sided(thread, local, local_off, remote, remote_off, len);
+    }
+
+    /// Launches the NIC/wire portion of a posted READ; fires `done` at
+    /// completion-consumption time. Posted flights do not hold the
+    /// issuing-thread contention guard — the thread is not spinning on
+    /// this op.
+    pub(crate) fn spawn_read_flight(
+        self: &Rc<Self>,
+        local: &Rc<MemRegion>,
+        local_off: usize,
+        remote: &Rc<MemRegion>,
+        remote_off: usize,
+        len: usize,
+        done: rfp_simnet::Signal,
+    ) {
+        let h = self.local.handle().clone();
+        let local_nic = Rc::clone(self.local.nic());
+        let remote_nic = Rc::clone(self.remote.nic());
+        let prof = local_nic.profile().clone();
+        let prop = self.link.propagation;
+        let local = Rc::clone(local);
+        let remote = Rc::clone(remote);
+        let h2 = h.clone();
+        h.spawn(async move {
+            local_nic.serve_outbound(len).await;
+            h2.sleep(prop).await;
+            remote_nic.serve_inbound(len).await;
+            let snapshot = remote.read_local(remote_off, len);
+            h2.sleep(prop + prof.read_turnaround).await;
+            local.write_local(local_off, &snapshot);
+            done.fire();
+        });
+    }
+
+    /// Launches the NIC/wire portion of a posted WRITE; fires `done` at
+    /// ACK time (RC) or once the op left the NIC (UC).
+    pub(crate) fn spawn_write_flight(
+        self: &Rc<Self>,
+        local: &Rc<MemRegion>,
+        local_off: usize,
+        remote: &Rc<MemRegion>,
+        remote_off: usize,
+        len: usize,
+        done: rfp_simnet::Signal,
+    ) {
+        assert!(
+            self.transport.supports_write(),
+            "one-sided WRITE requires RC or UC (got {:?})",
+            self.transport
+        );
+        let h = self.local.handle().clone();
+        let local_nic = Rc::clone(self.local.nic());
+        let remote_nic = Rc::clone(self.remote.nic());
+        let prop = self.link.propagation;
+        let reliable = self.transport.is_reliable();
+        let lost = !reliable && self.lost_in_transit();
+        let local = Rc::clone(local);
+        let remote = Rc::clone(remote);
+        let h2 = h.clone();
+        h.spawn(async move {
+            let payload = local.read_local(local_off, len);
+            local_nic.serve_outbound(len).await;
+            if !reliable {
+                // Fire-and-forget: completion at NIC egress.
+                done.fire();
+                if lost {
+                    return;
+                }
+            }
+            h2.sleep(prop).await;
+            remote_nic.serve_inbound(len).await;
+            remote.apply_remote_write(remote_off, &payload);
+            if reliable {
+                h2.sleep(prop).await;
+                done.fire();
+            }
+        });
+    }
+
+    /// Unsignaled SEND on an unreliable transport: the issuing thread
+    /// pays only the software issue cost and moves on; NIC engine time,
+    /// propagation and delivery (or loss) happen asynchronously. This is
+    /// the selective-signaling technique HERD-class systems use to keep
+    /// server threads off the completion path (paper §5's reference to
+    /// Kalia et al.'s guidelines).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a reliable QP (an RC completion must be consumed) or if
+    /// the thread is not on this QP's local machine.
+    pub async fn send_nowait(self: &Rc<Self>, thread: &ThreadCtx, payload: Vec<u8>) {
+        assert!(
+            !self.transport.is_reliable(),
+            "send_nowait requires an unreliable transport (UC/UD)"
+        );
+        assert_eq!(
+            thread.machine().id(),
+            self.local.id(),
+            "thread must issue on the QP's local machine"
+        );
+        let h = thread.handle().clone();
+        let local_nic = Rc::clone(self.local.nic());
+        let remote_nic = Rc::clone(self.remote.nic());
+        let prof = local_nic.profile().clone();
+        let len = payload.len();
+        thread.busy(prof.issue_cpu).await;
+        let lost = self.lost_in_transit();
+        let datagram = self.transport == Transport::Ud;
+        let prop = self.link.propagation;
+        let qp = Rc::clone(self);
+        h.spawn(async move {
+            // The NIC still serializes the send on its out-bound engine;
+            // only the *thread* is off the hook.
+            if datagram {
+                local_nic.serve_ud_tx(len).await;
+            } else {
+                local_nic.serve_twosided_tx(len).await;
+            }
+            if lost {
+                return;
+            }
+            qp.local.handle().sleep(prop).await;
+            if datagram {
+                remote_nic.serve_ud_rx(len).await;
+            } else {
+                remote_nic.serve_twosided_rx(len).await;
+            }
+            qp.rx.send(payload);
+        });
+    }
+
+    /// A raw receive future for the next message on this QP, without
+    /// busy-time accounting — for callers that need to compose the wait
+    /// (e.g. with [`rfp_simnet::timeout`] for loss recovery) and account
+    /// CPU themselves.
+    pub fn incoming(&self) -> rfp_simnet::Recv<Vec<u8>> {
+        self.rx.recv()
+    }
+
+    /// Two-sided RECV: busy-polls for the next message on this QP (the
+    /// receiving thread spins on its completion queue).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the thread is not on this QP's remote machine (RECVs are
+    /// posted by the peer of the sender).
+    pub async fn recv(&self, thread: &ThreadCtx) -> Vec<u8> {
+        assert_eq!(
+            thread.machine().id(),
+            self.remote.id(),
+            "recv must be posted on the QP's remote machine"
+        );
+        thread.busy_wait(self.rx.recv()).await
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::Cluster;
+    use crate::profile::ClusterProfile;
+    use rfp_simnet::Simulation;
+    use std::cell::Cell;
+
+    fn two_machines() -> (Simulation, Cluster) {
+        let mut sim = Simulation::new(7);
+        let cluster = Cluster::new(&mut sim, ClusterProfile::paper_testbed(), 2);
+        (sim, cluster)
+    }
+
+    #[test]
+    fn read_moves_remote_bytes() {
+        let (mut sim, cluster) = two_machines();
+        let client = cluster.machine(0);
+        let server = cluster.machine(1);
+        let local = client.alloc_mr(64);
+        let remote = server.alloc_mr(64);
+        remote.write_local(8, b"hello rdma");
+        let qp = cluster.qp(0, 1);
+        let t = client.thread("c");
+        let l = Rc::clone(&local);
+        let r = Rc::clone(&remote);
+        sim.spawn(async move {
+            qp.read(&t, &l, 0, &r, 8, 10).await;
+        });
+        sim.run();
+        assert_eq!(&local.read_local(0, 10), b"hello rdma");
+    }
+
+    #[test]
+    fn write_moves_local_bytes_and_counts_ops() {
+        let (mut sim, cluster) = two_machines();
+        let client = cluster.machine(0);
+        let server = cluster.machine(1);
+        let local = client.alloc_mr(64);
+        let remote = server.alloc_mr(64);
+        local.write_local(0, b"ping");
+        let qp = cluster.qp(0, 1);
+        let t = client.thread("c");
+        let l = Rc::clone(&local);
+        let r = Rc::clone(&remote);
+        sim.spawn(async move {
+            qp.write(&t, &l, 0, &r, 16, 4).await;
+        });
+        sim.run();
+        assert_eq!(&remote.read_local(16, 4), b"ping");
+        assert_eq!(server.nic().counters().inbound_ops, 1);
+        assert_eq!(client.nic().counters().outbound_ops, 1);
+        assert_eq!(server.nic().counters().inbound_bytes, 4);
+    }
+
+    #[test]
+    fn single_read_latency_matches_model() {
+        let (mut sim, cluster) = two_machines();
+        let client = cluster.machine(0);
+        let server = cluster.machine(1);
+        let local = client.alloc_mr(64);
+        let remote = server.alloc_mr(64);
+        let qp = cluster.qp(0, 1);
+        let t = client.thread("c");
+        let lat = Rc::new(Cell::new(0u64));
+        let out = Rc::clone(&lat);
+        let h = sim.handle();
+        sim.spawn(async move {
+            let t0 = h.now();
+            qp.read(&t, &local, 0, &remote, 0, 32).await;
+            out.set((h.now() - t0).as_nanos());
+        });
+        sim.run();
+        // 200 issue + 474 outbound + 300 prop + 89 inbound + 300 prop +
+        // 150 turnaround = 1513 ns — in the ~1.5 µs ballpark of real
+        // small-read latency on this hardware class.
+        assert_eq!(lat.get(), 1513);
+    }
+
+    #[test]
+    fn write_is_cheaper_than_read() {
+        let (mut sim, cluster) = two_machines();
+        let client = cluster.machine(0);
+        let server = cluster.machine(1);
+        let local = client.alloc_mr(64);
+        let remote = server.alloc_mr(64);
+        let qp_r = cluster.qp(0, 1);
+        let qp_w = cluster.qp(0, 1);
+        let t = client.thread("c");
+        let read_ns = Rc::new(Cell::new(0u64));
+        let write_ns = Rc::new(Cell::new(0u64));
+        let (r_out, w_out) = (Rc::clone(&read_ns), Rc::clone(&write_ns));
+        let h = sim.handle();
+        sim.spawn(async move {
+            let t0 = h.now();
+            qp_w.write(&t, &local, 0, &remote, 0, 32).await;
+            w_out.set((h.now() - t0).as_nanos());
+            let t1 = h.now();
+            qp_r.read(&t, &local, 0, &remote, 0, 32).await;
+            r_out.set((h.now() - t1).as_nanos());
+        });
+        sim.run();
+        assert!(write_ns.get() < read_ns.get());
+    }
+
+    #[test]
+    fn verb_time_counts_as_busy() {
+        let (mut sim, cluster) = two_machines();
+        let client = cluster.machine(0);
+        let server = cluster.machine(1);
+        let local = client.alloc_mr(64);
+        let remote = server.alloc_mr(64);
+        let qp = cluster.qp(0, 1);
+        let t = client.thread("c");
+        let th = Rc::clone(&t);
+        sim.spawn(async move {
+            qp.read(&th, &local, 0, &remote, 0, 32).await;
+        });
+        sim.run();
+        assert!((t.utilization() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn send_recv_round_trip() {
+        let (mut sim, cluster) = two_machines();
+        let client = cluster.machine(0);
+        let server = cluster.machine(1);
+        let qp = cluster.qp(0, 1);
+        let qp2 = Rc::clone(&qp);
+        let ct = client.thread("c");
+        let st = server.thread("s");
+        let got = Rc::new(std::cell::RefCell::new(Vec::new()));
+        let out = Rc::clone(&got);
+        sim.spawn(async move {
+            qp.send(&ct, b"msg".to_vec()).await;
+        });
+        sim.spawn(async move {
+            *out.borrow_mut() = qp2.recv(&st).await;
+        });
+        sim.run();
+        assert_eq!(&*got.borrow(), b"msg");
+    }
+
+    #[test]
+    #[should_panic(expected = "bad rkey")]
+    fn read_rejects_foreign_mr() {
+        let (mut sim, cluster) = two_machines();
+        let client = cluster.machine(0);
+        let local = client.alloc_mr(64);
+        // "Remote" region actually owned by the client machine.
+        let bogus = client.alloc_mr(64);
+        let qp = cluster.qp(0, 1);
+        let t = client.thread("c");
+        sim.spawn(async move {
+            qp.read(&t, &local, 0, &bogus, 0, 8).await;
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn reads_serialize_on_server_inbound_engine() {
+        // Two clients on different machines reading the same server:
+        // their in-bound service must serialize at the server NIC.
+        let mut sim = Simulation::new(1);
+        let cluster = Cluster::new(&mut sim, ClusterProfile::paper_testbed(), 3);
+        let server = cluster.machine(2);
+        let remote = server.alloc_mr(4096);
+        for c in 0..2 {
+            let qp = cluster.qp(c, 2);
+            let client = cluster.machine(c);
+            let local = client.alloc_mr(4096);
+            let t = client.thread("c");
+            let r = Rc::clone(&remote);
+            sim.spawn(async move {
+                // Large ops so in-bound service dominates.
+                qp.read(&t, &local, 0, &r, 0, 4096).await;
+            });
+        }
+        sim.run();
+        let served = server.nic().counters();
+        assert_eq!(served.inbound_ops, 2);
+        // In-bound engine busy = 2 × service(4096) with no overlap.
+        let per_op = server.nic().profile().inbound_service(4096);
+        assert_eq!(
+            server.nic().inbound_busy().as_nanos(),
+            2 * per_op.as_nanos()
+        );
+    }
+}
+
+#[cfg(test)]
+mod transport_tests {
+    use super::*;
+    use crate::cluster::Cluster;
+    use crate::profile::ClusterProfile;
+    use rfp_simnet::{SimSpan, Simulation};
+    use std::cell::Cell;
+
+    #[test]
+    fn uc_write_completes_without_round_trip() {
+        let mut sim = Simulation::new(7);
+        let cluster = Cluster::new(&mut sim, ClusterProfile::paper_testbed(), 2);
+        let client = cluster.machine(0);
+        let server = cluster.machine(1);
+        let local = client.alloc_mr(64);
+        let remote = server.alloc_mr(64);
+        local.write_local(0, b"uc-payload");
+        let rc = cluster.qp(0, 1);
+        let uc = cluster.qp_typed(0, 1, Transport::Uc);
+        let t = client.thread("c");
+        let (rc_ns, uc_ns) = (Rc::new(Cell::new(0u64)), Rc::new(Cell::new(0u64)));
+        let (r_out, u_out) = (Rc::clone(&rc_ns), Rc::clone(&uc_ns));
+        let h = sim.handle();
+        let remote2 = Rc::clone(&remote);
+        sim.spawn(async move {
+            let t0 = h.now();
+            rc.write(&t, &local, 0, &remote2, 0, 10).await;
+            r_out.set((h.now() - t0).as_nanos());
+            let t1 = h.now();
+            uc.write(&t, &local, 0, &remote2, 16, 10).await;
+            u_out.set((h.now() - t1).as_nanos());
+        });
+        sim.run();
+        // Fire-and-forget beats the ACKed RC write...
+        assert!(
+            uc_ns.get() < rc_ns.get(),
+            "{} !< {}",
+            uc_ns.get(),
+            rc_ns.get()
+        );
+        // ...and the data still lands (delivery is asynchronous).
+        assert_eq!(&remote.read_local(16, 10), b"uc-payload");
+    }
+
+    #[test]
+    fn ud_send_is_cheaper_than_rc_send() {
+        let mut sim = Simulation::new(1);
+        let cluster = Cluster::new(&mut sim, ClusterProfile::paper_testbed(), 2);
+        let client = cluster.machine(0);
+        let rc = cluster.qp(0, 1);
+        let ud = cluster.qp_typed(0, 1, Transport::Ud);
+        let t = client.thread("c");
+        let (rc_ns, ud_ns) = (Rc::new(Cell::new(0u64)), Rc::new(Cell::new(0u64)));
+        let (r_out, u_out) = (Rc::clone(&rc_ns), Rc::clone(&ud_ns));
+        let h = sim.handle();
+        sim.spawn(async move {
+            let t0 = h.now();
+            rc.send(&t, vec![1; 32]).await;
+            r_out.set((h.now() - t0).as_nanos());
+            let t1 = h.now();
+            ud.send(&t, vec![2; 32]).await;
+            u_out.set((h.now() - t1).as_nanos());
+        });
+        sim.run();
+        assert!(
+            ud_ns.get() < rc_ns.get(),
+            "{} !< {}",
+            ud_ns.get(),
+            rc_ns.get()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "READ requires RC")]
+    fn uc_rejects_read() {
+        let mut sim = Simulation::new(0);
+        let cluster = Cluster::new(&mut sim, ClusterProfile::paper_testbed(), 2);
+        let client = cluster.machine(0);
+        let local = client.alloc_mr(8);
+        let remote = cluster.machine(1).alloc_mr(8);
+        let uc = cluster.qp_typed(0, 1, Transport::Uc);
+        let t = client.thread("c");
+        sim.spawn(async move {
+            uc.read(&t, &local, 0, &remote, 0, 8).await;
+        });
+        sim.run();
+    }
+
+    #[test]
+    #[should_panic(expected = "WRITE requires RC or UC")]
+    fn ud_rejects_write() {
+        let mut sim = Simulation::new(0);
+        let cluster = Cluster::new(&mut sim, ClusterProfile::paper_testbed(), 2);
+        let client = cluster.machine(0);
+        let local = client.alloc_mr(8);
+        let remote = cluster.machine(1).alloc_mr(8);
+        let ud = cluster.qp_typed(0, 1, Transport::Ud);
+        let t = client.thread("c");
+        sim.spawn(async move {
+            ud.write(&t, &local, 0, &remote, 0, 8).await;
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn lossy_ud_drops_a_fraction_of_messages() {
+        let mut sim = Simulation::new(3);
+        let mut profile = ClusterProfile::paper_testbed();
+        profile.nic.unreliable_loss = 0.25;
+        let cluster = Cluster::new(&mut sim, profile, 2);
+        let client = cluster.machine(0);
+        let server = cluster.machine(1);
+        let ud = cluster.qp_typed(0, 1, Transport::Ud);
+        let ud_rx = Rc::clone(&ud);
+        let ct = client.thread("c");
+        let st = server.thread("s");
+        let received = Rc::new(Cell::new(0u32));
+        let got = Rc::clone(&received);
+        const SENT: u32 = 400;
+        sim.spawn(async move {
+            for i in 0..SENT {
+                ud.send(&ct, i.to_le_bytes().to_vec()).await;
+            }
+        });
+        sim.spawn(async move {
+            loop {
+                let _ = ud_rx.recv(&st).await;
+                got.set(got.get() + 1);
+            }
+        });
+        sim.run_for(SimSpan::millis(2));
+        let received = received.get();
+        assert!(received < SENT, "some messages must drop");
+        let loss = 1.0 - received as f64 / SENT as f64;
+        assert!((0.15..0.35).contains(&loss), "loss rate {loss}");
+    }
+
+    #[test]
+    fn reliable_rc_never_drops_despite_loss_setting() {
+        // The loss knob applies to unreliable transports only.
+        let mut sim = Simulation::new(3);
+        let mut profile = ClusterProfile::paper_testbed();
+        profile.nic.unreliable_loss = 0.5;
+        let cluster = Cluster::new(&mut sim, profile, 2);
+        let client = cluster.machine(0);
+        let server = cluster.machine(1);
+        let rc = cluster.qp(0, 1);
+        let rc_rx = Rc::clone(&rc);
+        let ct = client.thread("c");
+        let st = server.thread("s");
+        let received = Rc::new(Cell::new(0u32));
+        let got = Rc::clone(&received);
+        sim.spawn(async move {
+            for i in 0..100u32 {
+                rc.send(&ct, i.to_le_bytes().to_vec()).await;
+            }
+        });
+        sim.spawn(async move {
+            for _ in 0..100 {
+                let _ = rc_rx.recv(&st).await;
+                got.set(got.get() + 1);
+            }
+        });
+        sim.run_for(SimSpan::millis(2));
+        assert_eq!(received.get(), 100);
+    }
+}

@@ -1,0 +1,129 @@
+//! End-to-end validation that the NIC model reproduces the paper's
+//! micro-benchmark numbers (§2.2): ~11.26 MOPS in-bound, ~2.11 MOPS
+//! out-bound for 32-byte payloads, and the decline of out-bound IOPS
+//! with excess issuing threads.
+
+use std::rc::Rc;
+
+use rfp_rnic::{Cluster, ClusterProfile};
+use rfp_simnet::{SimSpan, Simulation};
+
+const PAYLOAD: usize = 32;
+
+/// 7 client machines × `threads_per_client` threads all issuing sync
+/// 32 B READs at machine 0; returns server in-bound MOPS.
+fn inbound_mops(threads_per_client: usize, measure: SimSpan) -> f64 {
+    let mut sim = Simulation::new(1);
+    let cluster = Cluster::new(&mut sim, ClusterProfile::paper_testbed(), 8);
+    let server = cluster.machine(0);
+    let remote = server.alloc_mr(4096);
+
+    for c in 1..8 {
+        let client = cluster.machine(c);
+        for t in 0..threads_per_client {
+            let qp = cluster.qp(c, 0);
+            let local = client.alloc_mr(4096);
+            let thread = client.thread(format!("c{c}.{t}"));
+            let r = Rc::clone(&remote);
+            sim.spawn(async move {
+                loop {
+                    qp.read(&thread, &local, 0, &r, 0, PAYLOAD).await;
+                }
+            });
+        }
+    }
+
+    // Warm up, reset counters, then measure.
+    sim.run_for(SimSpan::millis(1));
+    server.nic().reset_counters();
+    let t0 = sim.now();
+    sim.run_for(measure);
+    let ops = server.nic().counters().inbound_ops;
+    ops as f64 / (sim.now() - t0).as_secs_f64() / 1e6
+}
+
+/// `threads` server threads all issuing sync 32 B WRITEs to 7 clients;
+/// returns server out-bound MOPS.
+fn outbound_mops(threads: usize, measure: SimSpan) -> f64 {
+    let mut sim = Simulation::new(2);
+    let cluster = Cluster::new(&mut sim, ClusterProfile::paper_testbed(), 8);
+    let server = cluster.machine(0);
+
+    for t in 0..threads {
+        let target = 1 + (t % 7);
+        let qp = cluster.qp(0, target);
+        let local = server.alloc_mr(4096);
+        let remote = cluster.machine(target).alloc_mr(4096);
+        let thread = server.thread(format!("s{t}"));
+        sim.spawn(async move {
+            loop {
+                qp.write(&thread, &local, 0, &remote, 0, PAYLOAD).await;
+            }
+        });
+    }
+
+    sim.run_for(SimSpan::millis(1));
+    server.nic().reset_counters();
+    let t0 = sim.now();
+    sim.run_for(measure);
+    let ops = server.nic().counters().outbound_ops;
+    ops as f64 / (sim.now() - t0).as_secs_f64() / 1e6
+}
+
+#[test]
+fn inbound_saturates_near_11_26_mops() {
+    let mops = inbound_mops(5, SimSpan::millis(4));
+    assert!(
+        (10.5..11.5).contains(&mops),
+        "saturated in-bound should be ≈11.26 MOPS, got {mops:.2}"
+    );
+}
+
+#[test]
+fn inbound_underload_scales_with_threads() {
+    // 1 thread/machine: 7 threads bounded by per-op latency, far from peak.
+    let m1 = inbound_mops(1, SimSpan::millis(2));
+    let m3 = inbound_mops(3, SimSpan::millis(2));
+    assert!(m1 < m3, "{m1} !< {m3}");
+    assert!(
+        (3.0..6.5).contains(&m1),
+        "7 sync threads ≈ 7/1.5µs: {m1:.2}"
+    );
+}
+
+#[test]
+fn inbound_declines_with_client_contention() {
+    // Figure 4: past ~35 client threads, client-side issuing contention
+    // drags the server's in-bound rate back down.
+    let at_peak = inbound_mops(5, SimSpan::millis(4));
+    let overloaded = inbound_mops(10, SimSpan::millis(4));
+    assert!(
+        overloaded < at_peak * 0.97,
+        "expected droop past peak: {at_peak:.2} -> {overloaded:.2}"
+    );
+}
+
+#[test]
+fn outbound_saturates_near_2_11_mops() {
+    let mops = outbound_mops(4, SimSpan::millis(4));
+    assert!(
+        (1.9..2.2).contains(&mops),
+        "saturated out-bound should be ≈2.11 MOPS, got {mops:.2}"
+    );
+}
+
+#[test]
+fn outbound_declines_with_many_threads() {
+    // Figures 3/12: out-bound does not scale past a handful of threads.
+    let at4 = outbound_mops(4, SimSpan::millis(4));
+    let at16 = outbound_mops(16, SimSpan::millis(4));
+    assert!(at16 < at4, "expected decline: {at4:.2} -> {at16:.2}");
+}
+
+#[test]
+fn asymmetry_is_roughly_5x_at_saturation() {
+    let inb = inbound_mops(5, SimSpan::millis(4));
+    let out = outbound_mops(4, SimSpan::millis(4));
+    let ratio = inb / out;
+    assert!((4.0..6.5).contains(&ratio), "asymmetry ratio {ratio:.2}");
+}

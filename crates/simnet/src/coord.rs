@@ -1,0 +1,403 @@
+//! Higher-level coordination primitives for simulated processes:
+//! counting semaphores, reusable barriers, and wait-groups. All are
+//! single-threaded, deterministic, and FIFO-fair, like the rest of the
+//! crate.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::task::{Context, Poll, Waker};
+
+/// A counting semaphore with FIFO admission.
+#[derive(Clone)]
+pub struct Semaphore {
+    state: Rc<RefCell<SemState>>,
+}
+
+struct SemState {
+    permits: usize,
+    waiters: VecDeque<Waker>,
+    /// Wakes handed out but not yet claimed by a re-poll; prevents a
+    /// released permit from being double-granted.
+    granted: usize,
+}
+
+impl Semaphore {
+    /// Creates a semaphore with `permits` initial permits.
+    pub fn new(permits: usize) -> Self {
+        Semaphore {
+            state: Rc::new(RefCell::new(SemState {
+                permits,
+                waiters: VecDeque::new(),
+                granted: 0,
+            })),
+        }
+    }
+
+    /// Currently available permits.
+    pub fn available(&self) -> usize {
+        self.state.borrow().permits
+    }
+
+    /// Acquires one permit, suspending until one is available; returns
+    /// an RAII guard releasing it on drop.
+    pub fn acquire(&self) -> Acquire {
+        Acquire {
+            state: Rc::clone(&self.state),
+            queued: false,
+        }
+    }
+
+    /// Tries to take a permit without waiting.
+    pub fn try_acquire(&self) -> Option<SemaphoreGuard> {
+        let mut st = self.state.borrow_mut();
+        if st.permits > st.granted {
+            st.permits -= 1;
+            Some(SemaphoreGuard {
+                state: Rc::clone(&self.state),
+            })
+        } else {
+            None
+        }
+    }
+}
+
+/// Future returned by [`Semaphore::acquire`].
+pub struct Acquire {
+    state: Rc<RefCell<SemState>>,
+    queued: bool,
+}
+
+impl Future for Acquire {
+    type Output = SemaphoreGuard;
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<SemaphoreGuard> {
+        let state = Rc::clone(&self.state);
+        let mut st = state.borrow_mut();
+        if self.queued && st.granted > 0 {
+            // A release earmarked a permit for a woken waiter — claim it.
+            st.granted -= 1;
+            st.permits -= 1;
+            drop(st);
+            return Poll::Ready(SemaphoreGuard {
+                state: Rc::clone(&self.state),
+            });
+        }
+        if !self.queued && st.permits > st.granted {
+            st.permits -= 1;
+            drop(st);
+            return Poll::Ready(SemaphoreGuard {
+                state: Rc::clone(&self.state),
+            });
+        }
+        if !self.queued {
+            st.waiters.push_back(cx.waker().clone());
+            self.queued = true;
+        }
+        Poll::Pending
+    }
+}
+
+/// RAII permit of a [`Semaphore`].
+pub struct SemaphoreGuard {
+    state: Rc<RefCell<SemState>>,
+}
+
+impl Drop for SemaphoreGuard {
+    fn drop(&mut self) {
+        let mut st = self.state.borrow_mut();
+        st.permits += 1;
+        if let Some(w) = st.waiters.pop_front() {
+            st.granted += 1;
+            w.wake();
+        }
+    }
+}
+
+/// A reusable barrier: every generation releases once `parties`
+/// processes have arrived.
+#[derive(Clone)]
+pub struct Barrier {
+    state: Rc<RefCell<BarrierState>>,
+}
+
+struct BarrierState {
+    parties: usize,
+    arrived: usize,
+    generation: u64,
+    waiters: Vec<Waker>,
+}
+
+impl Barrier {
+    /// Creates a barrier for `parties` processes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parties` is zero.
+    pub fn new(parties: usize) -> Self {
+        assert!(parties > 0, "barrier needs at least one party");
+        Barrier {
+            state: Rc::new(RefCell::new(BarrierState {
+                parties,
+                arrived: 0,
+                generation: 0,
+                waiters: Vec::new(),
+            })),
+        }
+    }
+
+    /// Arrives at the barrier; resolves once all parties of this
+    /// generation have arrived. Returns `true` for the last arriver
+    /// (the "leader").
+    pub fn arrive(&self) -> BarrierWait {
+        let mut st = self.state.borrow_mut();
+        st.arrived += 1;
+        let generation = st.generation;
+        let leader = st.arrived == st.parties;
+        if leader {
+            st.arrived = 0;
+            st.generation += 1;
+            for w in st.waiters.drain(..) {
+                w.wake();
+            }
+        }
+        BarrierWait {
+            state: Rc::clone(&self.state),
+            generation,
+            leader,
+        }
+    }
+}
+
+/// Future returned by [`Barrier::arrive`].
+pub struct BarrierWait {
+    state: Rc<RefCell<BarrierState>>,
+    generation: u64,
+    leader: bool,
+}
+
+impl Future for BarrierWait {
+    type Output = bool;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<bool> {
+        let mut st = self.state.borrow_mut();
+        if st.generation > self.generation {
+            Poll::Ready(self.leader)
+        } else {
+            st.waiters.push(cx.waker().clone());
+            Poll::Pending
+        }
+    }
+}
+
+/// Tracks a dynamic set of outstanding tasks; waiters resume when the
+/// count returns to zero.
+#[derive(Clone, Default)]
+pub struct WaitGroup {
+    state: Rc<RefCell<WgState>>,
+}
+
+#[derive(Default)]
+struct WgState {
+    count: usize,
+    waiters: Vec<Waker>,
+}
+
+impl WaitGroup {
+    /// Creates an empty wait-group.
+    pub fn new() -> Self {
+        WaitGroup::default()
+    }
+
+    /// Registers one outstanding task; drop the token to mark it done.
+    pub fn add(&self) -> WaitGroupToken {
+        self.state.borrow_mut().count += 1;
+        WaitGroupToken {
+            state: Rc::clone(&self.state),
+        }
+    }
+
+    /// Outstanding tasks.
+    pub fn count(&self) -> usize {
+        self.state.borrow().count
+    }
+
+    /// Resolves once no tasks are outstanding.
+    pub fn wait(&self) -> WaitGroupWait {
+        WaitGroupWait {
+            state: Rc::clone(&self.state),
+        }
+    }
+}
+
+/// RAII token for one outstanding task.
+pub struct WaitGroupToken {
+    state: Rc<RefCell<WgState>>,
+}
+
+impl Drop for WaitGroupToken {
+    fn drop(&mut self) {
+        let mut st = self.state.borrow_mut();
+        st.count -= 1;
+        if st.count == 0 {
+            for w in st.waiters.drain(..) {
+                w.wake();
+            }
+        }
+    }
+}
+
+/// Future returned by [`WaitGroup::wait`].
+pub struct WaitGroupWait {
+    state: Rc<RefCell<WgState>>,
+}
+
+impl Future for WaitGroupWait {
+    type Output = ();
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        let mut st = self.state.borrow_mut();
+        if st.count == 0 {
+            Poll::Ready(())
+        } else {
+            st.waiters.push(cx.waker().clone());
+            Poll::Pending
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SimSpan, Simulation};
+    use std::cell::Cell;
+
+    #[test]
+    fn semaphore_caps_concurrency() {
+        let mut sim = Simulation::new(0);
+        let sem = Semaphore::new(2);
+        let inside = Rc::new(Cell::new(0usize));
+        let peak = Rc::new(Cell::new(0usize));
+        for _ in 0..6 {
+            let s = sem.clone();
+            let i = Rc::clone(&inside);
+            let p = Rc::clone(&peak);
+            let h = sim.handle();
+            sim.spawn(async move {
+                let _g = s.acquire().await;
+                i.set(i.get() + 1);
+                p.set(p.get().max(i.get()));
+                h.sleep(SimSpan::nanos(100)).await;
+                i.set(i.get() - 1);
+            });
+        }
+        sim.run();
+        assert_eq!(peak.get(), 2, "at most two holders");
+        // 6 tasks × 100ns with 2 permits = 300ns total.
+        assert_eq!(sim.now().as_nanos(), 300);
+        assert_eq!(sem.available(), 2);
+    }
+
+    #[test]
+    fn semaphore_try_acquire() {
+        let sem = Semaphore::new(1);
+        let g = sem.try_acquire().expect("one permit");
+        assert!(sem.try_acquire().is_none());
+        drop(g);
+        assert!(sem.try_acquire().is_some());
+    }
+
+    #[test]
+    fn barrier_releases_all_at_once() {
+        let mut sim = Simulation::new(0);
+        let barrier = Barrier::new(3);
+        let released_at = Rc::new(RefCell::new(Vec::new()));
+        let leaders = Rc::new(Cell::new(0u32));
+        for i in 0..3u64 {
+            let b = barrier.clone();
+            let r = Rc::clone(&released_at);
+            let l = Rc::clone(&leaders);
+            let h = sim.handle();
+            sim.spawn(async move {
+                h.sleep(SimSpan::nanos(100 * (i + 1))).await;
+                if b.arrive().await {
+                    l.set(l.get() + 1);
+                }
+                r.borrow_mut().push(h.now().as_nanos());
+            });
+        }
+        sim.run();
+        // Everyone resumes at the last arrival (t=300).
+        assert_eq!(*released_at.borrow(), vec![300, 300, 300]);
+        assert_eq!(leaders.get(), 1, "exactly one leader per generation");
+    }
+
+    #[test]
+    fn barrier_is_reusable() {
+        let mut sim = Simulation::new(0);
+        let barrier = Barrier::new(2);
+        let rounds_done = Rc::new(Cell::new(0u32));
+        for _ in 0..2 {
+            let b = barrier.clone();
+            let r = Rc::clone(&rounds_done);
+            let h = sim.handle();
+            sim.spawn(async move {
+                for _ in 0..3 {
+                    h.sleep(SimSpan::nanos(10)).await;
+                    b.arrive().await;
+                }
+                r.set(r.get() + 1);
+            });
+        }
+        sim.run();
+        assert_eq!(rounds_done.get(), 2);
+    }
+
+    #[test]
+    fn waitgroup_waits_for_all_tokens() {
+        let mut sim = Simulation::new(0);
+        let wg = WaitGroup::new();
+        let finished_at = Rc::new(Cell::new(0u64));
+        for i in 1..=3u64 {
+            let token = wg.add();
+            let h = sim.handle();
+            sim.spawn(async move {
+                h.sleep(SimSpan::nanos(i * 100)).await;
+                drop(token);
+            });
+        }
+        let w = wg.clone();
+        let f = Rc::clone(&finished_at);
+        let h = sim.handle();
+        sim.spawn(async move {
+            w.wait().await;
+            f.set(h.now().as_nanos());
+        });
+        sim.run();
+        assert_eq!(finished_at.get(), 300);
+        assert_eq!(wg.count(), 0);
+    }
+
+    #[test]
+    fn waitgroup_with_no_tasks_is_immediate() {
+        let mut sim = Simulation::new(0);
+        let wg = WaitGroup::new();
+        let done = Rc::new(Cell::new(false));
+        let d = Rc::clone(&done);
+        sim.spawn(async move {
+            wg.wait().await;
+            d.set(true);
+        });
+        sim.run();
+        assert!(done.get());
+        assert_eq!(sim.now().as_nanos(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one party")]
+    fn barrier_rejects_zero_parties() {
+        let _ = Barrier::new(0);
+    }
+}

@@ -1,0 +1,531 @@
+//! The single-threaded cooperative executor driving the virtual clock.
+//!
+//! Simulated processes are ordinary Rust futures. The executor interleaves
+//! two activities until quiescence (or a deadline):
+//!
+//! 1. poll every task whose waker has fired,
+//! 2. when no task is runnable, pop the earliest pending timer event,
+//!    advance the virtual clock to it, and fire its waker.
+//!
+//! Events scheduled for the same instant fire in scheduling order, which
+//! makes runs fully deterministic.
+
+use std::cell::{Cell, RefCell};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::sync::Arc;
+use std::task::{Context, Poll, Wake, Waker};
+
+use crossbeam::queue::SegQueue;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::time::{SimSpan, SimTime};
+
+type BoxFuture = Pin<Box<dyn Future<Output = ()>>>;
+
+/// Identifier of a task inside one [`Simulation`].
+type TaskId = usize;
+
+/// A timer entry in the event heap.
+struct TimerEntry {
+    at: SimTime,
+    seq: u64,
+    waker: Waker,
+}
+
+impl PartialEq for TimerEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for TimerEntry {}
+impl PartialOrd for TimerEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for TimerEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// Shared core of one simulation: clock, event heap, spawn queue, RNG.
+pub(crate) struct SimCore {
+    now: Cell<SimTime>,
+    seq: Cell<u64>,
+    timers: RefCell<BinaryHeap<Reverse<TimerEntry>>>,
+    /// Futures spawned while the executor is running; drained by the driver.
+    spawn_queue: RefCell<Vec<BoxFuture>>,
+    /// Task ids whose wakers fired; drained by the driver.
+    ready: Arc<SegQueue<TaskId>>,
+    rng: RefCell<StdRng>,
+}
+
+impl SimCore {
+    pub(crate) fn now(&self) -> SimTime {
+        self.now.get()
+    }
+
+    fn next_seq(&self) -> u64 {
+        let s = self.seq.get();
+        self.seq.set(s + 1);
+        s
+    }
+
+    /// Registers `waker` to fire at instant `at`.
+    pub(crate) fn schedule_wake(&self, at: SimTime, waker: Waker) {
+        debug_assert!(at >= self.now.get(), "cannot schedule in the past");
+        let seq = self.next_seq();
+        self.timers
+            .borrow_mut()
+            .push(Reverse(TimerEntry { at, seq, waker }));
+    }
+}
+
+/// The waker for one task: pushes the task id on the shared ready queue.
+struct TaskWaker {
+    id: TaskId,
+    ready: Arc<SegQueue<TaskId>>,
+}
+
+impl Wake for TaskWaker {
+    fn wake(self: Arc<Self>) {
+        self.ready.push(self.id);
+    }
+    fn wake_by_ref(self: &Arc<Self>) {
+        self.ready.push(self.id);
+    }
+}
+
+/// A slot in the task slab.
+enum Slot {
+    /// Task present and possibly runnable.
+    Occupied(BoxFuture),
+    /// Task currently taken out for polling (guards against re-entrancy).
+    Polling,
+    /// Free slot (future finished).
+    Vacant,
+}
+
+/// Owner and driver of one simulation run.
+///
+/// The `Simulation` owns all task futures, so dropping it drops every
+/// simulated process (futures hold only [`SimHandle`]s back into the
+/// core, which does not own tasks — no reference cycles, no leaks).
+pub struct Simulation {
+    core: Rc<SimCore>,
+    tasks: Vec<Slot>,
+    free: Vec<TaskId>,
+    live: usize,
+}
+
+impl Simulation {
+    /// Creates a fresh simulation whose RNG streams derive from `seed`.
+    pub fn new(seed: u64) -> Self {
+        Simulation {
+            core: Rc::new(SimCore {
+                now: Cell::new(SimTime::ZERO),
+                seq: Cell::new(0),
+                timers: RefCell::new(BinaryHeap::new()),
+                spawn_queue: RefCell::new(Vec::new()),
+                ready: Arc::new(SegQueue::new()),
+                rng: RefCell::new(StdRng::seed_from_u64(seed)),
+            }),
+            tasks: Vec::new(),
+            free: Vec::new(),
+            live: 0,
+        }
+    }
+
+    /// A cheap clonable handle for use inside simulated processes.
+    pub fn handle(&self) -> SimHandle {
+        SimHandle {
+            core: Rc::clone(&self.core),
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.core.now()
+    }
+
+    /// Spawns a simulated process. It first runs when the executor next
+    /// gets control.
+    pub fn spawn(&mut self, fut: impl Future<Output = ()> + 'static) {
+        self.core.spawn_queue.borrow_mut().push(Box::pin(fut));
+    }
+
+    /// Number of live (unfinished) tasks.
+    pub fn live_tasks(&self) -> usize {
+        self.live + self.core.spawn_queue.borrow().len()
+    }
+
+    fn admit_spawned(&mut self) {
+        let spawned: Vec<BoxFuture> = self.core.spawn_queue.borrow_mut().drain(..).collect();
+        for fut in spawned {
+            let id = match self.free.pop() {
+                Some(id) => {
+                    self.tasks[id] = Slot::Occupied(fut);
+                    id
+                }
+                None => {
+                    self.tasks.push(Slot::Occupied(fut));
+                    self.tasks.len() - 1
+                }
+            };
+            self.live += 1;
+            self.core.ready.push(id);
+        }
+    }
+
+    fn poll_task(&mut self, id: TaskId) {
+        let mut fut = match std::mem::replace(&mut self.tasks[id], Slot::Polling) {
+            Slot::Occupied(f) => f,
+            // Spurious wake for a finished or already-running task.
+            other => {
+                self.tasks[id] = other;
+                return;
+            }
+        };
+        let waker = Waker::from(Arc::new(TaskWaker {
+            id,
+            ready: Arc::clone(&self.core.ready),
+        }));
+        let mut cx = Context::from_waker(&waker);
+        match fut.as_mut().poll(&mut cx) {
+            Poll::Ready(()) => {
+                self.tasks[id] = Slot::Vacant;
+                self.free.push(id);
+                self.live -= 1;
+            }
+            Poll::Pending => {
+                self.tasks[id] = Slot::Occupied(fut);
+            }
+        }
+    }
+
+    /// Polls every runnable task (including freshly spawned ones) until no
+    /// task is runnable at the current instant.
+    fn drain_runnable(&mut self) {
+        loop {
+            self.admit_spawned();
+            let Some(id) = self.core.ready.pop() else {
+                if self.core.spawn_queue.borrow().is_empty() {
+                    return;
+                }
+                continue;
+            };
+            self.poll_task(id);
+        }
+    }
+
+    /// Advances the clock to the next timer and fires every timer scheduled
+    /// for that instant. Returns `false` when no timers remain.
+    fn advance(&mut self) -> bool {
+        let mut timers = self.core.timers.borrow_mut();
+        let Some(Reverse(first)) = timers.pop() else {
+            return false;
+        };
+        let at = first.at;
+        debug_assert!(at >= self.core.now());
+        self.core.now.set(at);
+        first.waker.wake();
+        while let Some(Reverse(e)) = timers.peek() {
+            if e.at != at {
+                break;
+            }
+            let Reverse(e) = timers.pop().expect("peeked entry exists");
+            e.waker.wake();
+        }
+        true
+    }
+
+    /// Runs until no task is runnable and no timer is pending.
+    ///
+    /// Tasks blocked on synchronisation that will never fire simply remain
+    /// suspended; they do not prevent `run` from returning.
+    pub fn run(&mut self) {
+        loop {
+            self.drain_runnable();
+            if !self.advance() {
+                return;
+            }
+        }
+    }
+
+    /// Runs until the virtual clock reaches `deadline` (processing every
+    /// event strictly before or at it), then sets the clock to `deadline`.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        loop {
+            self.drain_runnable();
+            let next = self.core.timers.borrow().peek().map(|Reverse(e)| e.at);
+            match next {
+                Some(at) if at <= deadline => {
+                    self.advance();
+                }
+                _ => break,
+            }
+        }
+        if self.core.now() < deadline {
+            self.core.now.set(deadline);
+        }
+    }
+
+    /// Convenience: `run_until(now + span)`.
+    pub fn run_for(&mut self, span: SimSpan) {
+        let deadline = self.now() + span;
+        self.run_until(deadline);
+    }
+}
+
+/// Clonable handle to the simulation, used inside simulated processes.
+#[derive(Clone)]
+pub struct SimHandle {
+    core: Rc<SimCore>,
+}
+
+impl SimHandle {
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.core.now()
+    }
+
+    /// Suspends the calling process for `span` of virtual time.
+    pub fn sleep(&self, span: SimSpan) -> Sleep {
+        Sleep {
+            core: Rc::clone(&self.core),
+            deadline: self.core.now() + span,
+            registered: false,
+        }
+    }
+
+    /// Suspends until the virtual clock reaches `deadline` (immediately
+    /// ready if the deadline has passed).
+    pub fn sleep_until(&self, deadline: SimTime) -> Sleep {
+        Sleep {
+            core: Rc::clone(&self.core),
+            deadline,
+            registered: false,
+        }
+    }
+
+    /// Spawns another simulated process.
+    pub fn spawn(&self, fut: impl Future<Output = ()> + 'static) {
+        self.core.spawn_queue.borrow_mut().push(Box::pin(fut));
+    }
+
+    /// Draws from the simulation's master RNG (deterministic per seed).
+    pub fn with_rng<T>(&self, f: impl FnOnce(&mut StdRng) -> T) -> T {
+        f(&mut self.core.rng.borrow_mut())
+    }
+
+    /// Registers `waker` to fire at `at`; used by custom futures
+    /// (resources, timeouts) built on top of the executor.
+    pub fn schedule_wake(&self, at: SimTime, waker: Waker) {
+        self.core.schedule_wake(at, waker);
+    }
+}
+
+/// Future returned by [`SimHandle::sleep`].
+pub struct Sleep {
+    core: Rc<SimCore>,
+    deadline: SimTime,
+    registered: bool,
+}
+
+impl Sleep {
+    /// The instant this sleep completes.
+    pub fn deadline(&self) -> SimTime {
+        self.deadline
+    }
+}
+
+impl Future for Sleep {
+    type Output = ();
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        if self.core.now() >= self.deadline {
+            return Poll::Ready(());
+        }
+        if !self.registered {
+            self.core.schedule_wake(self.deadline, cx.waker().clone());
+            self.registered = true;
+        }
+        Poll::Pending
+    }
+}
+
+/// Yields once, letting every other runnable task at this instant proceed.
+pub fn yield_now() -> YieldNow {
+    YieldNow { yielded: false }
+}
+
+/// Future returned by [`yield_now`].
+pub struct YieldNow {
+    yielded: bool,
+}
+
+impl Future for YieldNow {
+    type Output = ();
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        if self.yielded {
+            Poll::Ready(())
+        } else {
+            self.yielded = true;
+            cx.waker().wake_by_ref();
+            Poll::Pending
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[test]
+    fn clock_starts_at_zero_and_advances() {
+        let mut sim = Simulation::new(0);
+        let h = sim.handle();
+        let seen = Rc::new(Cell::new(0u64));
+        let s = Rc::clone(&seen);
+        sim.spawn(async move {
+            assert_eq!(h.now(), SimTime::ZERO);
+            h.sleep(SimSpan::micros(7)).await;
+            s.set(h.now().as_nanos());
+        });
+        sim.run();
+        assert_eq!(seen.get(), 7_000);
+    }
+
+    #[test]
+    fn same_instant_events_fire_in_schedule_order() {
+        let mut sim = Simulation::new(0);
+        let order = Rc::new(RefCell::new(Vec::new()));
+        for i in 0..4 {
+            let h = sim.handle();
+            let ord = Rc::clone(&order);
+            sim.spawn(async move {
+                h.sleep(SimSpan::nanos(10)).await;
+                ord.borrow_mut().push(i);
+            });
+        }
+        sim.run();
+        assert_eq!(*order.borrow(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn nested_spawn_runs() {
+        let mut sim = Simulation::new(0);
+        let h = sim.handle();
+        let hit = Rc::new(Cell::new(false));
+        let flag = Rc::clone(&hit);
+        sim.spawn(async move {
+            let inner_flag = Rc::clone(&flag);
+            let h2 = h.clone();
+            h.spawn(async move {
+                h2.sleep(SimSpan::nanos(1)).await;
+                inner_flag.set(true);
+            });
+        });
+        sim.run();
+        assert!(hit.get());
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let mut sim = Simulation::new(0);
+        let h = sim.handle();
+        let count = Rc::new(Cell::new(0u32));
+        let c = Rc::clone(&count);
+        sim.spawn(async move {
+            loop {
+                h.sleep(SimSpan::micros(1)).await;
+                c.set(c.get() + 1);
+            }
+        });
+        sim.run_until(SimTime::from_nanos(10_500));
+        assert_eq!(count.get(), 10);
+        assert_eq!(sim.now().as_nanos(), 10_500);
+        // The looping task is still alive, merely suspended.
+        assert_eq!(sim.live_tasks(), 1);
+    }
+
+    #[test]
+    fn run_for_is_relative() {
+        let mut sim = Simulation::new(0);
+        sim.run_for(SimSpan::micros(3));
+        assert_eq!(sim.now().as_nanos(), 3_000);
+        sim.run_for(SimSpan::micros(2));
+        assert_eq!(sim.now().as_nanos(), 5_000);
+    }
+
+    #[test]
+    fn yield_now_interleaves_fairly() {
+        let mut sim = Simulation::new(0);
+        let order = Rc::new(RefCell::new(Vec::new()));
+        for i in 0..2 {
+            let ord = Rc::clone(&order);
+            sim.spawn(async move {
+                for step in 0..3 {
+                    ord.borrow_mut().push((i, step));
+                    yield_now().await;
+                }
+            });
+        }
+        sim.run();
+        assert_eq!(
+            *order.borrow(),
+            vec![(0, 0), (1, 0), (0, 1), (1, 1), (0, 2), (1, 2)]
+        );
+    }
+
+    #[test]
+    fn finished_tasks_free_their_slots() {
+        let mut sim = Simulation::new(0);
+        for _ in 0..100 {
+            sim.spawn(async {});
+        }
+        sim.run();
+        assert_eq!(sim.live_tasks(), 0);
+        // Slots are recycled for later spawns.
+        for _ in 0..100 {
+            sim.spawn(async {});
+        }
+        sim.run();
+        assert!(sim.tasks.len() <= 100);
+    }
+
+    #[test]
+    fn sleep_zero_completes_immediately() {
+        let mut sim = Simulation::new(0);
+        let h = sim.handle();
+        let done = Rc::new(Cell::new(false));
+        let d = Rc::clone(&done);
+        sim.spawn(async move {
+            h.sleep(SimSpan::ZERO).await;
+            d.set(true);
+        });
+        sim.run();
+        assert!(done.get());
+        assert_eq!(sim.now(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn rng_is_deterministic_per_seed() {
+        use rand::Rng;
+        let draw = |seed| {
+            let sim = Simulation::new(seed);
+            sim.handle().with_rng(|r| r.gen::<u64>())
+        };
+        assert_eq!(draw(9), draw(9));
+        assert_ne!(draw(9), draw(10));
+    }
+}

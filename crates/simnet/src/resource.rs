@@ -1,0 +1,261 @@
+//! Queueing resources with FIFO discipline.
+//!
+//! A [`FifoServer`] models a pipeline that serves one request at a time
+//! (e.g. one engine of an RNIC): callers submit a service demand and are
+//! resumed when the engine finishes their request, after all previously
+//! queued requests. Because service order equals submission order and
+//! service times are known on submission, the queue itself never needs to
+//! be materialised — the server just tracks when it next becomes free.
+//!
+//! A [`MultiServer`] generalises this to `k` identical parallel servers
+//! with a single FIFO queue (e.g. a pool of DMA engines).
+
+use std::cell::{Cell, RefCell};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::executor::{SimHandle, Sleep};
+use crate::time::{SimSpan, SimTime};
+
+/// A single-pipeline FIFO queueing resource.
+///
+/// # Examples
+///
+/// ```
+/// use rfp_simnet::{Simulation, FifoServer, SimSpan};
+/// use std::rc::Rc;
+///
+/// let mut sim = Simulation::new(0);
+/// let engine = Rc::new(FifoServer::new(sim.handle()));
+/// for _ in 0..3 {
+///     let e = Rc::clone(&engine);
+///     sim.spawn(async move {
+///         // Each op takes 100ns of engine time; ops queue FIFO.
+///         e.serve(SimSpan::nanos(100)).await;
+///     });
+/// }
+/// sim.run();
+/// assert_eq!(sim.now().as_nanos(), 300);
+/// assert_eq!(engine.completed(), 3);
+/// ```
+pub struct FifoServer {
+    handle: SimHandle,
+    next_free: Cell<SimTime>,
+    busy: Cell<SimSpan>,
+    completed: Cell<u64>,
+    queue_wait: Cell<SimSpan>,
+}
+
+impl FifoServer {
+    /// Creates an idle server.
+    pub fn new(handle: SimHandle) -> Self {
+        FifoServer {
+            handle,
+            next_free: Cell::new(SimTime::ZERO),
+            busy: Cell::new(SimSpan::ZERO),
+            completed: Cell::new(0),
+            queue_wait: Cell::new(SimSpan::ZERO),
+        }
+    }
+
+    /// Enqueues a request needing `demand` of service time and returns a
+    /// future that completes when the server has finished it.
+    pub fn serve(&self, demand: SimSpan) -> Sleep {
+        let now = self.handle.now();
+        let start = self.next_free.get().max(now);
+        let finish = start + demand;
+        self.next_free.set(finish);
+        self.busy.set(self.busy.get() + demand);
+        self.completed.set(self.completed.get() + 1);
+        self.queue_wait.set(self.queue_wait.get() + (start - now));
+        self.handle.sleep_until(finish)
+    }
+
+    /// Instant at which all currently queued work finishes.
+    pub fn next_free(&self) -> SimTime {
+        self.next_free.get()
+    }
+
+    /// Total service time delivered so far.
+    pub fn busy_time(&self) -> SimSpan {
+        self.busy.get()
+    }
+
+    /// Number of requests accepted so far.
+    pub fn completed(&self) -> u64 {
+        self.completed.get()
+    }
+
+    /// Sum of time requests spent waiting in queue before service.
+    pub fn total_queue_wait(&self) -> SimSpan {
+        self.queue_wait.get()
+    }
+
+    /// Resets the measurement counters (busy time, completions, waits)
+    /// without touching queued work; used to discard warm-up.
+    pub fn reset_stats(&self) {
+        self.busy.set(SimSpan::ZERO);
+        self.completed.set(0);
+        self.queue_wait.set(SimSpan::ZERO);
+    }
+}
+
+/// `k` identical parallel servers fed by one FIFO queue.
+pub struct MultiServer {
+    handle: SimHandle,
+    /// Earliest-free-first heap of per-server free instants.
+    free_at: RefCell<BinaryHeap<Reverse<SimTime>>>,
+    busy: Cell<SimSpan>,
+    completed: Cell<u64>,
+}
+
+impl MultiServer {
+    /// Creates a pool of `servers` idle servers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `servers` is zero.
+    pub fn new(handle: SimHandle, servers: usize) -> Self {
+        assert!(servers > 0, "MultiServer needs at least one server");
+        let mut heap = BinaryHeap::with_capacity(servers);
+        for _ in 0..servers {
+            heap.push(Reverse(SimTime::ZERO));
+        }
+        MultiServer {
+            handle,
+            free_at: RefCell::new(heap),
+            busy: Cell::new(SimSpan::ZERO),
+            completed: Cell::new(0),
+        }
+    }
+
+    /// Enqueues a request needing `demand` of service; completes when one
+    /// of the servers has finished it (FIFO dispatch to earliest-free).
+    pub fn serve(&self, demand: SimSpan) -> Sleep {
+        let now = self.handle.now();
+        let mut heap = self.free_at.borrow_mut();
+        let Reverse(earliest) = heap.pop().expect("heap size is fixed");
+        let start = earliest.max(now);
+        let finish = start + demand;
+        heap.push(Reverse(finish));
+        self.busy.set(self.busy.get() + demand);
+        self.completed.set(self.completed.get() + 1);
+        self.handle.sleep_until(finish)
+    }
+
+    /// Total service time delivered so far (summed over servers).
+    pub fn busy_time(&self) -> SimSpan {
+        self.busy.get()
+    }
+
+    /// Number of requests accepted so far.
+    pub fn completed(&self) -> u64 {
+        self.completed.get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Simulation;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[test]
+    fn fifo_preserves_submission_order() {
+        let mut sim = Simulation::new(0);
+        let server = Rc::new(FifoServer::new(sim.handle()));
+        let order = Rc::new(RefCell::new(Vec::new()));
+        // Submit in order 0,1,2 with different demands; completion order
+        // must match submission order regardless of demand.
+        for (i, d) in [(0u32, 300u64), (1, 100), (2, 200)] {
+            let s = Rc::clone(&server);
+            let ord = Rc::clone(&order);
+            let h = sim.handle();
+            sim.spawn(async move {
+                s.serve(SimSpan::nanos(d)).await;
+                ord.borrow_mut().push((i, h.now().as_nanos()));
+            });
+        }
+        sim.run();
+        assert_eq!(*order.borrow(), vec![(0, 300), (1, 400), (2, 600)]);
+        assert_eq!(server.busy_time().as_nanos(), 600);
+    }
+
+    #[test]
+    fn fifo_idles_between_bursts() {
+        let mut sim = Simulation::new(0);
+        let server = Rc::new(FifoServer::new(sim.handle()));
+        let s = Rc::clone(&server);
+        let h = sim.handle();
+        sim.spawn(async move {
+            s.serve(SimSpan::nanos(50)).await;
+            h.sleep(SimSpan::nanos(500)).await;
+            // Server was idle; service starts immediately.
+            let t0 = h.now();
+            s.serve(SimSpan::nanos(50)).await;
+            assert_eq!((h.now() - t0).as_nanos(), 50);
+        });
+        sim.run();
+        assert_eq!(server.busy_time().as_nanos(), 100);
+        assert_eq!(server.completed(), 2);
+    }
+
+    #[test]
+    fn fifo_queue_wait_accumulates() {
+        let mut sim = Simulation::new(0);
+        let server = Rc::new(FifoServer::new(sim.handle()));
+        for _ in 0..3 {
+            let s = Rc::clone(&server);
+            sim.spawn(async move {
+                s.serve(SimSpan::nanos(100)).await;
+            });
+        }
+        sim.run();
+        // Waits: 0 + 100 + 200.
+        assert_eq!(server.total_queue_wait().as_nanos(), 300);
+    }
+
+    #[test]
+    fn reset_stats_clears_counters_only() {
+        let mut sim = Simulation::new(0);
+        let server = Rc::new(FifoServer::new(sim.handle()));
+        let s = Rc::clone(&server);
+        sim.spawn(async move {
+            s.serve(SimSpan::nanos(10)).await;
+        });
+        sim.run();
+        server.reset_stats();
+        assert_eq!(server.completed(), 0);
+        assert_eq!(server.busy_time(), SimSpan::ZERO);
+        assert_eq!(server.next_free().as_nanos(), 10);
+    }
+
+    #[test]
+    fn multi_server_runs_in_parallel() {
+        let mut sim = Simulation::new(0);
+        let pool = Rc::new(MultiServer::new(sim.handle(), 2));
+        let done = Rc::new(RefCell::new(Vec::new()));
+        for i in 0..4 {
+            let p = Rc::clone(&pool);
+            let d = Rc::clone(&done);
+            let h = sim.handle();
+            sim.spawn(async move {
+                p.serve(SimSpan::nanos(100)).await;
+                d.borrow_mut().push((i, h.now().as_nanos()));
+            });
+        }
+        sim.run();
+        // Two servers: pairs finish at 100 and 200.
+        assert_eq!(*done.borrow(), vec![(0, 100), (1, 100), (2, 200), (3, 200)]);
+        assert_eq!(pool.busy_time().as_nanos(), 400);
+        assert_eq!(pool.completed(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one server")]
+    fn multi_server_rejects_zero() {
+        let sim = Simulation::new(0);
+        let _ = MultiServer::new(sim.handle(), 0);
+    }
+}

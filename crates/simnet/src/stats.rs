@@ -1,0 +1,267 @@
+//! Measurement helpers: counters, latency histograms, busy-time clocks.
+
+use std::cell::{Cell, RefCell};
+
+use crate::time::{SimSpan, SimTime};
+
+/// A monotonically increasing event counter.
+#[derive(Default)]
+pub struct Counter {
+    count: Cell<u64>,
+}
+
+impl Counter {
+    /// Creates a zeroed counter.
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    /// Adds one.
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.count.set(self.count.get() + n);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.count.get()
+    }
+
+    /// Resets to zero (discarding warm-up).
+    pub fn reset(&self) {
+        self.count.set(0);
+    }
+}
+
+/// A sample-recording histogram for latency-style measurements.
+///
+/// Stores raw samples (nanoseconds); experiments in this workspace record
+/// at most a few million samples per run, so exact percentiles/CDFs are
+/// affordable and simpler than bucketing.
+#[derive(Default)]
+pub struct Histogram {
+    samples: RefCell<Vec<u64>>,
+    sorted: Cell<bool>,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Records one duration sample.
+    pub fn record(&self, span: SimSpan) {
+        self.samples.borrow_mut().push(span.as_nanos());
+        self.sorted.set(false);
+    }
+
+    /// Number of samples recorded.
+    pub fn len(&self) -> usize {
+        self.samples.borrow().len()
+    }
+
+    /// Whether no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Discards all samples (e.g. after warm-up).
+    pub fn reset(&self) {
+        self.samples.borrow_mut().clear();
+        self.sorted.set(true);
+    }
+
+    fn ensure_sorted(&self) {
+        if !self.sorted.get() {
+            self.samples.borrow_mut().sort_unstable();
+            self.sorted.set(true);
+        }
+    }
+
+    /// Arithmetic mean, or `None` when empty.
+    pub fn mean(&self) -> Option<SimSpan> {
+        let s = self.samples.borrow();
+        if s.is_empty() {
+            return None;
+        }
+        let sum: u128 = s.iter().map(|&v| v as u128).sum();
+        Some(SimSpan::nanos((sum / s.len() as u128) as u64))
+    }
+
+    /// The `p`-th percentile (0.0..=100.0) by nearest-rank, or `None` when
+    /// empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `0.0..=100.0`.
+    pub fn percentile(&self, p: f64) -> Option<SimSpan> {
+        assert!((0.0..=100.0).contains(&p), "percentile out of range");
+        self.ensure_sorted();
+        let s = self.samples.borrow();
+        if s.is_empty() {
+            return None;
+        }
+        let rank = ((p / 100.0) * s.len() as f64).ceil() as usize;
+        let idx = rank.max(1).min(s.len()) - 1;
+        Some(SimSpan::nanos(s[idx]))
+    }
+
+    /// Maximum sample, or `None` when empty.
+    pub fn max(&self) -> Option<SimSpan> {
+        self.ensure_sorted();
+        self.samples.borrow().last().map(|&v| SimSpan::nanos(v))
+    }
+
+    /// `points` evenly spaced (latency, cumulative-probability) pairs —
+    /// the series plotted in the paper's CDF figures (Figs 13 and 20).
+    pub fn cdf(&self, points: usize) -> Vec<(SimSpan, f64)> {
+        self.ensure_sorted();
+        let s = self.samples.borrow();
+        if s.is_empty() || points == 0 {
+            return Vec::new();
+        }
+        let n = s.len();
+        (1..=points)
+            .map(|i| {
+                let frac = i as f64 / points as f64;
+                let idx = ((frac * n as f64).ceil() as usize).max(1).min(n) - 1;
+                (SimSpan::nanos(s[idx]), frac)
+            })
+            .collect()
+    }
+}
+
+/// Tracks how much of a simulated thread's lifetime it spent busy.
+///
+/// Feeds Figure 15 (client CPU utilisation under RFP vs server-reply):
+/// busy-polling remote fetches accrue busy time, blocking waits do not.
+pub struct BusyClock {
+    busy: Cell<SimSpan>,
+    epoch: Cell<SimTime>,
+}
+
+impl BusyClock {
+    /// Creates a clock whose measurement window starts at `now`.
+    pub fn new(now: SimTime) -> Self {
+        BusyClock {
+            busy: Cell::new(SimSpan::ZERO),
+            epoch: Cell::new(now),
+        }
+    }
+
+    /// Accrues `span` of busy time.
+    pub fn add_busy(&self, span: SimSpan) {
+        self.busy.set(self.busy.get() + span);
+    }
+
+    /// Total busy time since the epoch.
+    pub fn busy(&self) -> SimSpan {
+        self.busy.get()
+    }
+
+    /// Busy fraction of the window ending at `now` (0.0..=1.0).
+    pub fn utilization(&self, now: SimTime) -> f64 {
+        let window = now.since(self.epoch.get());
+        if window.is_zero() {
+            return 0.0;
+        }
+        (self.busy.get().as_nanos() as f64 / window.as_nanos() as f64).min(1.0)
+    }
+
+    /// Restarts the measurement window at `now` (discarding warm-up).
+    pub fn reset(&self, now: SimTime) {
+        self.busy.set(SimSpan::ZERO);
+        self.epoch.set(now);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_counts() {
+        let c = Counter::new();
+        c.incr();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        c.reset();
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn histogram_percentiles_nearest_rank() {
+        let h = Histogram::new();
+        for v in [10, 20, 30, 40, 50, 60, 70, 80, 90, 100] {
+            h.record(SimSpan::nanos(v));
+        }
+        assert_eq!(h.percentile(50.0).unwrap().as_nanos(), 50);
+        assert_eq!(h.percentile(90.0).unwrap().as_nanos(), 90);
+        assert_eq!(h.percentile(100.0).unwrap().as_nanos(), 100);
+        assert_eq!(h.percentile(0.0).unwrap().as_nanos(), 10);
+        assert_eq!(h.mean().unwrap().as_nanos(), 55);
+        assert_eq!(h.max().unwrap().as_nanos(), 100);
+    }
+
+    #[test]
+    fn histogram_unsorted_input() {
+        let h = Histogram::new();
+        for v in [90, 10, 50] {
+            h.record(SimSpan::nanos(v));
+        }
+        assert_eq!(h.percentile(50.0).unwrap().as_nanos(), 50);
+        // Recording after a query resorts lazily.
+        h.record(SimSpan::nanos(1));
+        assert_eq!(h.percentile(0.0).unwrap().as_nanos(), 1);
+    }
+
+    #[test]
+    fn histogram_empty_queries() {
+        let h = Histogram::new();
+        assert!(h.is_empty());
+        assert!(h.mean().is_none());
+        assert!(h.percentile(50.0).is_none());
+        assert!(h.cdf(10).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile out of range")]
+    fn histogram_rejects_bad_percentile() {
+        let h = Histogram::new();
+        h.record(SimSpan::nanos(1));
+        let _ = h.percentile(101.0);
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_ends_at_max() {
+        let h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(SimSpan::nanos(v));
+        }
+        let cdf = h.cdf(10);
+        assert_eq!(cdf.len(), 10);
+        for w in cdf.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+            assert!(w[0].1 < w[1].1);
+        }
+        assert_eq!(cdf.last().unwrap().0.as_nanos(), 1000);
+        assert!((cdf.last().unwrap().1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn busy_clock_fractions() {
+        let t0 = SimTime::from_nanos(1000);
+        let clock = BusyClock::new(t0);
+        clock.add_busy(SimSpan::nanos(250));
+        let now = SimTime::from_nanos(2000);
+        assert!((clock.utilization(now) - 0.25).abs() < 1e-12);
+        clock.reset(now);
+        assert_eq!(clock.busy(), SimSpan::ZERO);
+        assert_eq!(clock.utilization(now), 0.0);
+    }
+}

@@ -1,0 +1,217 @@
+//! Bounded event tracing for simulated systems.
+//!
+//! A [`TraceLog`] is a ring buffer of timestamped, categorised events.
+//! Components accept an optional shared log and record milestones
+//! (mode switches, retransmissions, evictions…); experiments and tests
+//! inspect or dump it afterwards. Recording is cheap and the buffer is
+//! bounded, so a log can stay attached across long runs.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::fmt;
+use std::rc::Rc;
+
+use crate::time::SimTime;
+
+/// One recorded event.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// When it happened.
+    pub at: SimTime,
+    /// Component-chosen category (e.g. `"rfp.mode"`).
+    pub category: &'static str,
+    /// Free-form details.
+    pub message: String,
+}
+
+impl fmt::Display for TraceEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}: {}", self.at, self.category, self.message)
+    }
+}
+
+/// A bounded, shareable event log.
+///
+/// # Examples
+///
+/// ```
+/// use rfp_simnet::{SimTime, TraceLog};
+///
+/// let log = TraceLog::new(16);
+/// log.record(SimTime::from_nanos(100), "mode", "switched to ServerReply");
+/// assert_eq!(log.category("mode").len(), 1);
+/// assert_eq!(log.recorded(), 1);
+/// ```
+#[derive(Clone)]
+pub struct TraceLog {
+    inner: Rc<RefCell<Inner>>,
+}
+
+impl fmt::Debug for TraceLog {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let inner = self.inner.borrow();
+        f.debug_struct("TraceLog")
+            .field("len", &inner.entries.len())
+            .field("capacity", &inner.capacity)
+            .field("recorded", &inner.recorded)
+            .finish()
+    }
+}
+
+struct Inner {
+    entries: VecDeque<TraceEntry>,
+    capacity: usize,
+    recorded: u64,
+    dropped: u64,
+}
+
+impl TraceLog {
+    /// Creates a log keeping the most recent `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "trace capacity must be positive");
+        TraceLog {
+            inner: Rc::new(RefCell::new(Inner {
+                entries: VecDeque::with_capacity(capacity.min(4096)),
+                capacity,
+                recorded: 0,
+                dropped: 0,
+            })),
+        }
+    }
+
+    /// Records an event at instant `at`.
+    pub fn record(&self, at: SimTime, category: &'static str, message: impl Into<String>) {
+        let mut inner = self.inner.borrow_mut();
+        if inner.entries.len() == inner.capacity {
+            inner.entries.pop_front();
+            inner.dropped += 1;
+        }
+        inner.entries.push_back(TraceEntry {
+            at,
+            category,
+            message: message.into(),
+        });
+        inner.recorded += 1;
+    }
+
+    /// Number of events currently retained.
+    pub fn len(&self) -> usize {
+        self.inner.borrow().entries.len()
+    }
+
+    /// Whether nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total events ever recorded (including evicted ones).
+    pub fn recorded(&self) -> u64 {
+        self.inner.borrow().recorded
+    }
+
+    /// Events evicted by the ring bound.
+    pub fn dropped(&self) -> u64 {
+        self.inner.borrow().dropped
+    }
+
+    /// A snapshot of the retained events, oldest first.
+    pub fn snapshot(&self) -> Vec<TraceEntry> {
+        self.inner.borrow().entries.iter().cloned().collect()
+    }
+
+    /// Retained events of one category, oldest first.
+    pub fn category(&self, category: &str) -> Vec<TraceEntry> {
+        self.inner
+            .borrow()
+            .entries
+            .iter()
+            .filter(|e| e.category == category)
+            .cloned()
+            .collect()
+    }
+
+    /// Clears the log (keeps cumulative counters).
+    pub fn clear(&self) {
+        self.inner.borrow_mut().entries.clear();
+    }
+
+    /// Writes every retained event as one line each.
+    pub fn dump(&self, w: &mut dyn std::io::Write) -> std::io::Result<()> {
+        for e in self.inner.borrow().entries.iter() {
+            writeln!(w, "{e}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ns: u64) -> SimTime {
+        SimTime::from_nanos(ns)
+    }
+
+    #[test]
+    fn records_in_order() {
+        let log = TraceLog::new(8);
+        log.record(t(1), "a", "first");
+        log.record(t(2), "b", "second");
+        let snap = log.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[0].message, "first");
+        assert_eq!(snap[1].at, t(2));
+    }
+
+    #[test]
+    fn ring_bound_evicts_oldest() {
+        let log = TraceLog::new(3);
+        for i in 0..5u64 {
+            log.record(t(i), "x", format!("e{i}"));
+        }
+        let snap = log.snapshot();
+        assert_eq!(snap.len(), 3);
+        assert_eq!(snap[0].message, "e2");
+        assert_eq!(log.recorded(), 5);
+        assert_eq!(log.dropped(), 2);
+    }
+
+    #[test]
+    fn category_filter() {
+        let log = TraceLog::new(8);
+        log.record(t(1), "mode", "switch");
+        log.record(t(2), "io", "read");
+        log.record(t(3), "mode", "switch back");
+        assert_eq!(log.category("mode").len(), 2);
+        assert_eq!(log.category("io").len(), 1);
+        assert!(log.category("nothing").is_empty());
+    }
+
+    #[test]
+    fn clones_share_the_buffer() {
+        let log = TraceLog::new(4);
+        let other = log.clone();
+        other.record(t(9), "shared", "visible to both");
+        assert_eq!(log.len(), 1);
+    }
+
+    #[test]
+    fn dump_renders_lines() {
+        let log = TraceLog::new(4);
+        log.record(t(1_500), "cat", "msg");
+        let mut out = Vec::new();
+        log.dump(&mut out).expect("write to vec");
+        let text = String::from_utf8(out).expect("utf8");
+        assert!(text.contains("cat: msg"), "{text}");
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = TraceLog::new(0);
+    }
+}

@@ -1,0 +1,118 @@
+//! Property-based tests of the simulation core: clock monotonicity,
+//! timer ordering, FIFO resource conservation, histogram percentiles.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use rfp_simnet::{FifoServer, Histogram, SimSpan, SimTime, Simulation};
+
+proptest! {
+    /// Sleeps wake in (deadline, spawn-order) order and the observed
+    /// clock never goes backwards.
+    #[test]
+    fn timers_fire_in_order(delays in vec(0u64..10_000, 1..40)) {
+        let mut sim = Simulation::new(0);
+        let log: Rc<RefCell<Vec<(u64, usize)>>> = Rc::new(RefCell::new(Vec::new()));
+        for (i, d) in delays.iter().copied().enumerate() {
+            let h = sim.handle();
+            let log = Rc::clone(&log);
+            sim.spawn(async move {
+                h.sleep(SimSpan::nanos(d)).await;
+                log.borrow_mut().push((h.now().as_nanos(), i));
+            });
+        }
+        sim.run();
+        let log = log.borrow();
+        prop_assert_eq!(log.len(), delays.len());
+        // Wake time equals requested deadline.
+        for &(at, i) in log.iter() {
+            prop_assert_eq!(at, delays[i]);
+        }
+        // Observed order is sorted by (time, spawn index).
+        let mut expected: Vec<(u64, usize)> =
+            delays.iter().copied().enumerate().map(|(i, d)| (d, i)).collect();
+        expected.sort();
+        prop_assert_eq!(log.clone(), expected);
+    }
+
+    /// A FIFO server conserves work: completion time of the last job
+    /// equals total demand when all jobs arrive at t=0, and per-job
+    /// completion equals the prefix sum.
+    #[test]
+    fn fifo_server_prefix_sums(demands in vec(1u64..5_000, 1..30)) {
+        let mut sim = Simulation::new(0);
+        let server = Rc::new(FifoServer::new(sim.handle()));
+        let done: Rc<RefCell<Vec<u64>>> = Rc::new(RefCell::new(Vec::new()));
+        for &d in &demands {
+            let s = Rc::clone(&server);
+            let h = sim.handle();
+            let done = Rc::clone(&done);
+            sim.spawn(async move {
+                s.serve(SimSpan::nanos(d)).await;
+                done.borrow_mut().push(h.now().as_nanos());
+            });
+        }
+        sim.run();
+        let done = done.borrow();
+        let mut prefix = 0;
+        for (i, &d) in demands.iter().enumerate() {
+            prefix += d;
+            prop_assert_eq!(done[i], prefix);
+        }
+        prop_assert_eq!(server.busy_time().as_nanos(), prefix);
+        prop_assert_eq!(server.completed(), demands.len() as u64);
+    }
+
+    /// `run_until` is equivalent to a single run split at arbitrary
+    /// deadlines (simulation is restart-transparent).
+    #[test]
+    fn run_until_is_splittable(delays in vec(1u64..2_000, 1..20), cut in 0u64..2_000) {
+        let observed = |split: Option<u64>| {
+            let mut sim = Simulation::new(0);
+            let log: Rc<RefCell<Vec<u64>>> = Rc::new(RefCell::new(Vec::new()));
+            for &d in &delays {
+                let h = sim.handle();
+                let log = Rc::clone(&log);
+                sim.spawn(async move {
+                    h.sleep(SimSpan::nanos(d)).await;
+                    log.borrow_mut().push(h.now().as_nanos());
+                });
+            }
+            if let Some(c) = split {
+                sim.run_until(SimTime::from_nanos(c));
+            }
+            sim.run();
+            Rc::try_unwrap(log).expect("sole owner").into_inner()
+        };
+        prop_assert_eq!(observed(None), observed(Some(cut)));
+    }
+
+    /// Percentiles agree with the sorted-slice reference.
+    #[test]
+    fn histogram_percentiles_match_reference(samples in vec(0u64..1_000_000, 1..200), p in 0.0f64..100.0) {
+        let h = Histogram::new();
+        for &s in &samples {
+            h.record(SimSpan::nanos(s));
+        }
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+        let expect = sorted[rank.max(1).min(sorted.len()) - 1];
+        prop_assert_eq!(h.percentile(p).expect("non-empty").as_nanos(), expect);
+        prop_assert_eq!(h.max().expect("non-empty").as_nanos(), *sorted.last().expect("non-empty"));
+    }
+
+    /// Span arithmetic: associativity of sums and scaling consistency.
+    #[test]
+    fn span_arithmetic(a in 0u64..1 << 40, b in 0u64..1 << 40, k in 1u64..1000) {
+        let (sa, sb) = (SimSpan::nanos(a), SimSpan::nanos(b));
+        prop_assert_eq!((sa + sb).as_nanos(), a + b);
+        prop_assert_eq!((sa * k).as_nanos(), a * k);
+        prop_assert_eq!((sa * k / k).as_nanos(), a);
+        let t = SimTime::from_nanos(a) + sb;
+        prop_assert_eq!(t.since(SimTime::from_nanos(a)), sb);
+    }
+}

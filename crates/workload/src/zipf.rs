@@ -1,0 +1,203 @@
+//! Zipfian sampling, after Gray et al. ("Quickly Generating
+//! Billion-Record Synthetic Databases", SIGMOD '94) — the algorithm YCSB
+//! uses for its zipfian request distribution.
+//!
+//! Sampling is O(1) per draw after an O(n·) zeta precomputation; for the
+//! paper's 128 M-key space the zeta sum is approximated by integral
+//! bounds past a cutoff, keeping construction fast while staying within
+//! a fraction of a percent of the exact value.
+
+use rand::Rng;
+
+/// A Zipf(θ) sampler over ranks `0..n`.
+///
+/// Rank 0 is the most popular item. With the paper's θ = 0.99, the most
+/// popular key is about 10⁵× more frequent than the average key of a
+/// 128 M-key space (§4.4.3).
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// use rfp_workload::Zipf;
+///
+/// let zipf = Zipf::new(1_000_000, 0.99);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let rank = zipf.sample(&mut rng);
+/// assert!(rank < 1_000_000);
+/// // The head carries outsized mass relative to uniform.
+/// assert!(zipf.head_mass(100) > 100.0 / 1_000_000.0 * 100.0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+}
+
+/// Exact zeta below this many terms; integral approximation above.
+const EXACT_TERMS: u64 = 1 << 20;
+
+fn zeta(n: u64, theta: f64) -> f64 {
+    let exact_n = n.min(EXACT_TERMS);
+    let mut sum = 0.0;
+    for i in 1..=exact_n {
+        sum += 1.0 / (i as f64).powf(theta);
+    }
+    if n > exact_n {
+        // ∫ x^-θ dx from exact_n to n, midpoint of the two Riemann
+        // bounds (the summand is monotone, so the error is below half
+        // the first omitted term).
+        let a = exact_n as f64;
+        let b = n as f64;
+        let integral = (b.powf(1.0 - theta) - a.powf(1.0 - theta)) / (1.0 - theta);
+        sum += integral + 0.5 * (a.powf(-theta) - b.powf(-theta));
+    }
+    sum
+}
+
+impl Zipf {
+    /// Creates a sampler over `n` ranks with exponent `theta`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `theta` is not in `(0, 1)` (the YCSB
+    /// algorithm's domain; θ = 0.99 is the paper's setting).
+    pub fn new(n: u64, theta: f64) -> Self {
+        assert!(n > 0, "empty rank space");
+        assert!(
+            theta > 0.0 && theta < 1.0,
+            "theta must be in (0, 1), got {theta}"
+        );
+        let zetan = zeta(n, theta);
+        let zeta2 = zeta(2.min(n), theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+        Zipf {
+            n,
+            theta,
+            alpha,
+            zetan,
+            eta,
+        }
+    }
+
+    /// Number of ranks.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// The exponent θ.
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+
+    /// Probability of the most popular rank.
+    pub fn top_probability(&self) -> f64 {
+        1.0 / self.zetan
+    }
+
+    /// Draws a rank in `0..n` (0 = most popular).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        let u: f64 = rng.gen();
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if self.n >= 2 && uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let rank = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        rank.min(self.n - 1)
+    }
+
+    /// Probability mass of the `k` most popular ranks (used in tests
+    /// and for reasoning about cache hit rates).
+    pub fn head_mass(&self, k: u64) -> f64 {
+        zeta(k.min(self.n), self.theta) / self.zetan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn samples_stay_in_range() {
+        let z = Zipf::new(1000, 0.99);
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..100_000 {
+            assert!(z.sample(&mut rng) < 1000);
+        }
+    }
+
+    #[test]
+    fn empirical_head_matches_theory() {
+        let z = Zipf::new(10_000, 0.99);
+        let mut rng = StdRng::seed_from_u64(1);
+        const N: usize = 200_000;
+        let mut head = 0usize;
+        for _ in 0..N {
+            if z.sample(&mut rng) < 100 {
+                head += 1;
+            }
+        }
+        let expected = z.head_mass(100);
+        let got = head as f64 / N as f64;
+        assert!(
+            (got - expected).abs() < 0.02,
+            "head mass: got {got:.3}, expected {expected:.3}"
+        );
+    }
+
+    #[test]
+    fn rank_zero_dominates() {
+        let z = Zipf::new(100_000, 0.99);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut zero = 0usize;
+        const N: usize = 100_000;
+        for _ in 0..N {
+            if z.sample(&mut rng) == 0 {
+                zero += 1;
+            }
+        }
+        let got = zero as f64 / N as f64;
+        let expected = z.top_probability();
+        assert!((got - expected).abs() < 0.01, "{got} vs {expected}");
+        // The top key is orders of magnitude above the average key.
+        assert!(expected > 100.0 / 100_000.0);
+    }
+
+    #[test]
+    fn zeta_approximation_is_tight() {
+        // Compare the integral-assisted zeta against an exact sum on a
+        // size just past the cutoff.
+        let n = EXACT_TERMS + 10_000;
+        let approx = zeta(n, 0.99);
+        let mut exact = 0.0;
+        for i in 1..=n {
+            exact += 1.0 / (i as f64).powf(0.99);
+        }
+        assert!(
+            (approx - exact).abs() / exact < 1e-6,
+            "approx {approx} vs exact {exact}"
+        );
+    }
+
+    #[test]
+    fn large_keyspace_constructs_quickly() {
+        // The paper's 128 M keys must not require a 128 M-term sum.
+        let z = Zipf::new(128 * 1024 * 1024, 0.99);
+        assert!(z.top_probability() > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "theta must be in")]
+    fn rejects_bad_theta() {
+        let _ = Zipf::new(10, 1.5);
+    }
+}

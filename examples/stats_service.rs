@@ -1,0 +1,138 @@
+//! A remote statistics service — the kind of application the paper's
+//! introduction says server-bypass designs can't serve without a
+//! from-scratch redesign ("a data structure designed for serving
+//! GET/PUT on a key-value store cannot be used for other kinds of
+//! applications, such as those with simple statistic operations").
+//!
+//! With RFP, the service is just RPC handlers over ordinary server-side
+//! state: clients ask for windowed aggregates over a metric stream the
+//! server ingests, and the responses are remote-fetched at in-bound
+//! RDMA speed.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example stats_service
+//! ```
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use rfp_repro::core::{connect, serve_loop, RfpConfig};
+use rfp_repro::rnic::{Cluster, ClusterProfile};
+use rfp_repro::simnet::{SimSpan, Simulation};
+
+/// Request ops: one byte tag + little-endian operands.
+const OP_RECORD: u8 = 1; // record(value: i64)
+const OP_SUM: u8 = 2; // sum(last_n: u32)
+const OP_MAX: u8 = 3; // max(last_n: u32)
+const OP_MEAN: u8 = 4; // mean(last_n: u32)
+
+fn req_record(v: i64) -> Vec<u8> {
+    let mut b = vec![OP_RECORD];
+    b.extend_from_slice(&v.to_le_bytes());
+    b
+}
+
+fn req_window(op: u8, n: u32) -> Vec<u8> {
+    let mut b = vec![op];
+    b.extend_from_slice(&n.to_le_bytes());
+    b
+}
+
+fn main() {
+    let mut sim = Simulation::new(11);
+    let cluster = Cluster::new(&mut sim, ClusterProfile::paper_testbed(), 3);
+    let server_m = cluster.machine(0);
+
+    // Shared metric log on the server (single server thread ⇒ plain
+    // RefCell, no locks — RFP keeps server code ordinary).
+    let samples: Rc<RefCell<Vec<i64>>> = Rc::new(RefCell::new(Vec::new()));
+
+    // Two client machines: one ingests readings, one queries aggregates.
+    let mut conns = Vec::new();
+    let mut clients = Vec::new();
+    for (m, name) in [(1, "ingest"), (2, "analyst")] {
+        let client_m = cluster.machine(m);
+        let (cl, sc) = connect(
+            &client_m,
+            &server_m,
+            cluster.qp(m, 0),
+            cluster.qp(0, m),
+            RfpConfig::default(),
+        );
+        conns.push(Rc::new(sc));
+        clients.push((Rc::new(cl), client_m.thread(name)));
+    }
+
+    let log = Rc::clone(&samples);
+    let server_thread = server_m.thread("server");
+    sim.spawn(serve_loop(
+        server_thread,
+        conns,
+        move |req: &[u8]| {
+            let mut log = log.borrow_mut();
+            match req[0] {
+                OP_RECORD => {
+                    let v = i64::from_le_bytes(req[1..9].try_into().expect("8 bytes"));
+                    log.push(v);
+                    (vec![1], SimSpan::nanos(120))
+                }
+                op => {
+                    let n = u32::from_le_bytes(req[1..5].try_into().expect("4 bytes")) as usize;
+                    let window = &log[log.len().saturating_sub(n)..];
+                    let out: i64 = match op {
+                        OP_SUM => window.iter().sum(),
+                        OP_MAX => window.iter().copied().max().unwrap_or(0),
+                        OP_MEAN if !window.is_empty() => {
+                            window.iter().sum::<i64>() / window.len() as i64
+                        }
+                        _ => 0,
+                    };
+                    // Cost scales with the scanned window.
+                    let cost = SimSpan::nanos(100 + window.len() as u64 / 4);
+                    (out.to_le_bytes().to_vec(), cost)
+                }
+            }
+        },
+        SimSpan::nanos(100),
+    ));
+
+    // Ingest: a sawtooth signal.
+    let (ingest, ingest_t) = clients[0].clone();
+    sim.spawn(async move {
+        for i in 0..500i64 {
+            ingest.call(&ingest_t, &req_record((i % 100) - 50)).await;
+        }
+    });
+
+    // Analyst: periodic aggregates over the trailing window.
+    let (analyst, analyst_t) = clients[1].clone();
+    let h = sim.handle();
+    sim.spawn(async move {
+        for round in 1..=5 {
+            h.sleep(SimSpan::micros(400)).await;
+            let sum = analyst.call(&analyst_t, &req_window(OP_SUM, 100)).await;
+            let max = analyst.call(&analyst_t, &req_window(OP_MAX, 100)).await;
+            let mean = analyst.call(&analyst_t, &req_window(OP_MEAN, 100)).await;
+            let dec = |r: &rfp_repro::core::CallResult| {
+                i64::from_le_bytes(r.data[..8].try_into().expect("8 bytes"))
+            };
+            println!(
+                "round {round}: window(100) sum={:6} max={:4} mean={:4}  (t={})",
+                dec(&sum),
+                dec(&max),
+                dec(&mean),
+                h.now(),
+            );
+        }
+    });
+
+    sim.run_for(SimSpan::millis(4));
+    println!(
+        "\ningested {} samples; analyst mean fetch attempts {:.2}; server out-bound ops {}",
+        samples.borrow().len(),
+        clients[1].0.stats().mean_attempts(),
+        server_m.nic().counters().outbound_ops,
+    );
+}

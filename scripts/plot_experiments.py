@@ -1,0 +1,170 @@
+#!/usr/bin/env python3
+"""Render the experiment CSVs as standalone SVG line charts.
+
+Pure standard library — no matplotlib needed:
+
+    cargo run --release -p rfp-bench --bin all_figures -- experiments/
+    cargo run --release -p rfp-bench --bin ablations   -- experiments/
+    python3 scripts/plot_experiments.py experiments/ plots/
+
+Each `experiments/<name>.csv` (rows: `figure,series,x,y`, comments `#`)
+becomes `plots/<name>.svg` with one polyline per series. Non-numeric x
+values (categorical sweeps like GET percentages) are spaced evenly in
+row order.
+"""
+
+import os
+import sys
+
+WIDTH, HEIGHT = 720, 420
+MARGIN_L, MARGIN_R, MARGIN_T, MARGIN_B = 70, 160, 40, 50
+PALETTE = [
+    "#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e",
+    "#8c564b", "#17becf", "#7f7f7f", "#bcbd22", "#e377c2",
+]
+
+
+def parse(path):
+    """Returns (title, {series: [(x_numeric, y, x_label), ...]})."""
+    series = {}
+    title = os.path.basename(path)
+    cat_index = {}
+    with open(path) as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            if line.startswith("#"):
+                if title == os.path.basename(path):
+                    title = line.lstrip("# ")
+                continue
+            parts = line.split(",")
+            if len(parts) != 4:
+                continue
+            _, name, x_raw, y_raw = parts
+            try:
+                y = float(y_raw)
+            except ValueError:
+                continue
+            try:
+                x = float(x_raw)
+                label = None
+            except ValueError:
+                if x_raw not in cat_index:
+                    cat_index[x_raw] = float(len(cat_index))
+                x = cat_index[x_raw]
+                label = x_raw
+            series.setdefault(name, []).append((x, y, label))
+    return title, series
+
+
+def nice_ticks(lo, hi, n=5):
+    if hi <= lo:
+        hi = lo + 1.0
+    span = hi - lo
+    raw = span / n
+    mag = 10 ** int(f"{raw:e}".split("e")[1])
+    for m in (1, 2, 5, 10):
+        if raw <= m * mag:
+            step = m * mag
+            break
+    start = int(lo / step) * step
+    ticks = []
+    t = start
+    while t <= hi + step * 0.5:
+        if t >= lo - step * 0.5:
+            ticks.append(t)
+        t += step
+    return ticks
+
+
+def render(title, series, out_path):
+    points = [p for pts in series.values() for p in pts]
+    if not points:
+        return False
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(0.0, min(ys)), max(ys) * 1.08 or 1.0
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+
+    def sx(x):
+        return MARGIN_L + (x - x_lo) / (x_hi - x_lo) * (WIDTH - MARGIN_L - MARGIN_R)
+
+    def sy(y):
+        return HEIGHT - MARGIN_B - (y - y_lo) / (y_hi - y_lo) * (HEIGHT - MARGIN_T - MARGIN_B)
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" height="{HEIGHT}" '
+        f'font-family="sans-serif" font-size="11">',
+        f'<rect width="{WIDTH}" height="{HEIGHT}" fill="white"/>',
+        f'<text x="{MARGIN_L}" y="20" font-size="13" font-weight="bold">{title[:90]}</text>',
+    ]
+
+    # Axes + ticks.
+    parts.append(
+        f'<line x1="{MARGIN_L}" y1="{sy(y_lo)}" x2="{WIDTH - MARGIN_R}" y2="{sy(y_lo)}" stroke="black"/>'
+    )
+    parts.append(
+        f'<line x1="{MARGIN_L}" y1="{sy(y_lo)}" x2="{MARGIN_L}" y2="{MARGIN_T}" stroke="black"/>'
+    )
+    for t in nice_ticks(y_lo, y_hi):
+        y = sy(t)
+        parts.append(
+            f'<line x1="{MARGIN_L - 4}" y1="{y}" x2="{WIDTH - MARGIN_R}" y2="{y}" '
+            f'stroke="#dddddd"/>'
+        )
+        parts.append(f'<text x="{MARGIN_L - 8}" y="{y + 4}" text-anchor="end">{t:g}</text>')
+    for t in nice_ticks(x_lo, x_hi):
+        x = sx(t)
+        parts.append(
+            f'<line x1="{x}" y1="{sy(y_lo)}" x2="{x}" y2="{sy(y_lo) + 4}" stroke="black"/>'
+        )
+        parts.append(
+            f'<text x="{x}" y="{sy(y_lo) + 16}" text-anchor="middle">{t:g}</text>'
+        )
+
+    # Series.
+    for i, (name, pts) in enumerate(sorted(series.items())):
+        color = PALETTE[i % len(PALETTE)]
+        pts = sorted(pts, key=lambda p: p[0])
+        path = " ".join(f"{sx(x):.1f},{sy(y):.1f}" for x, y, _ in pts)
+        parts.append(
+            f'<polyline points="{path}" fill="none" stroke="{color}" stroke-width="2"/>'
+        )
+        for x, y, _ in pts:
+            parts.append(f'<circle cx="{sx(x):.1f}" cy="{sy(y):.1f}" r="2.5" fill="{color}"/>')
+        ly = MARGIN_T + 14 * i
+        parts.append(
+            f'<line x1="{WIDTH - MARGIN_R + 8}" y1="{ly}" x2="{WIDTH - MARGIN_R + 28}" '
+            f'y2="{ly}" stroke="{color}" stroke-width="2"/>'
+        )
+        parts.append(f'<text x="{WIDTH - MARGIN_R + 32}" y="{ly + 4}">{name[:22]}</text>')
+
+    parts.append("</svg>")
+    with open(out_path, "w") as f:
+        f.write("\n".join(parts))
+    return True
+
+
+def main():
+    if len(sys.argv) != 3:
+        print(__doc__)
+        sys.exit(2)
+    src, dst = sys.argv[1], sys.argv[2]
+    os.makedirs(dst, exist_ok=True)
+    rendered = 0
+    for name in sorted(os.listdir(src)):
+        if not name.endswith(".csv"):
+            continue
+        title, series = parse(os.path.join(src, name))
+        out = os.path.join(dst, name[:-4] + ".svg")
+        if render(title, series, out):
+            rendered += 1
+            print(f"wrote {out}")
+    print(f"{rendered} charts rendered")
+
+
+if __name__ == "__main__":
+    main()

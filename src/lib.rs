@@ -1,0 +1,15 @@
+//! Umbrella crate for the RFP reproduction workspace.
+//!
+//! Re-exports every sub-crate under one roof so that the runnable
+//! examples (`examples/*.rs`) and cross-crate integration tests
+//! (`tests/*.rs`) can depend on a single package.
+//!
+//! See `README.md` for the quickstart and `DESIGN.md` for the system
+//! inventory and per-experiment index.
+
+pub use rfp_core as core;
+pub use rfp_kvstore as kvstore;
+pub use rfp_paradigms as paradigms;
+pub use rfp_rnic as rnic;
+pub use rfp_simnet as simnet;
+pub use rfp_workload as workload;

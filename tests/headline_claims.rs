@@ -1,0 +1,122 @@
+//! The paper's headline claims, verified end-to-end across all crates:
+//!
+//! * RFP improves throughput 1.6×–4× over both server-reply and
+//!   server-bypass (abstract, §4),
+//! * the server's NIC handles only in-bound RDMA under RFP (§3),
+//! * the taxonomy's predictions match what the running transports
+//!   actually do on the simulated NICs (Table 1).
+
+use rfp_repro::kvstore::{
+    spawn_jakiro, spawn_pilaf, spawn_server_reply_kv, KvSystem, SystemConfig,
+};
+use rfp_repro::paradigms::{Paradigm, ProcessChoice, ResultReturn};
+use rfp_repro::simnet::{SimSpan, Simulation};
+use rfp_repro::workload::{OpMix, WorkloadSpec};
+
+fn measure(
+    spawn: impl FnOnce(&mut Simulation, &SystemConfig) -> KvSystem,
+    cfg: &SystemConfig,
+) -> (KvSystem, f64) {
+    let mut sim = Simulation::new(cfg.seed);
+    let sys = spawn(&mut sim, cfg);
+    sim.run_for(SimSpan::millis(1));
+    sys.reset_measurements();
+    let window = SimSpan::millis(4);
+    sim.run_for(window);
+    let mops = sys.stats.completed.get() as f64 / window.as_secs_f64() / 1e6;
+    (sys, mops)
+}
+
+fn cfg(mix: OpMix) -> SystemConfig {
+    SystemConfig {
+        spec: WorkloadSpec {
+            key_count: 2_000,
+            mix,
+            ..WorkloadSpec::paper_default()
+        },
+        ..SystemConfig::default()
+    }
+}
+
+#[test]
+fn rfp_beats_server_reply_by_1_6x_to_4x() {
+    let (_, jakiro) = measure(spawn_jakiro, &cfg(OpMix::READ_INTENSIVE));
+    let (_, sr) = measure(spawn_server_reply_kv, &cfg(OpMix::READ_INTENSIVE));
+    let gain = jakiro / sr;
+    assert!(
+        (1.6..4.5).contains(&gain),
+        "abstract claims 1.6x-4x over server-reply; measured {gain:.2}x ({jakiro:.2} vs {sr:.2})"
+    );
+}
+
+#[test]
+fn rfp_beats_server_bypass_by_1_6x_to_4x() {
+    // The bypass comparison uses the paper's Figure 11 setting (50% GET,
+    // where conflicts hurt the bypass store most).
+    let (_, jakiro) = measure(spawn_jakiro, &cfg(OpMix::BALANCED));
+    let (_, pilaf) = measure(spawn_pilaf, &cfg(OpMix::BALANCED));
+    let gain = jakiro / pilaf;
+    assert!(
+        (1.6..4.5).contains(&gain),
+        "abstract claims 1.6x-4x over server-bypass; measured {gain:.2}x ({jakiro:.2} vs {pilaf:.2})"
+    );
+}
+
+#[test]
+fn rfp_server_nic_is_inbound_only() {
+    let (sys, _) = measure(spawn_jakiro, &cfg(OpMix::READ_INTENSIVE));
+    let counters = sys.server_machine.nic().counters();
+    assert!(counters.inbound_ops > 10_000, "{counters:?}");
+    assert_eq!(
+        counters.outbound_ops, 0,
+        "RFP must never issue out-bound RDMA from the server on the fast path"
+    );
+}
+
+#[test]
+fn taxonomy_matches_running_transports() {
+    // RFP's row: server involved + client fetch ⇒ in-bound-only server.
+    assert!(Paradigm::RFP.server_handles_only_inbound());
+    assert!(Paradigm::RFP.supports_legacy_rpc());
+    let (rfp_sys, _) = measure(spawn_jakiro, &cfg(OpMix::READ_INTENSIVE));
+    assert_eq!(rfp_sys.server_machine.nic().counters().outbound_ops, 0);
+
+    // Server-reply's row: server push ⇒ out-bound at the server.
+    assert_eq!(Paradigm::SERVER_REPLY.ret, ResultReturn::ServerPush);
+    let (sr_sys, _) = measure(spawn_server_reply_kv, &cfg(OpMix::READ_INTENSIVE));
+    assert!(
+        sr_sys.server_machine.nic().counters().outbound_ops >= sr_sys.stats.completed.get(),
+        "server-reply pushes every result out-bound"
+    );
+
+    // Server-bypass's row: server CPU out of the GET path.
+    assert_eq!(
+        Paradigm::SERVER_BYPASS.process,
+        ProcessChoice::ServerBypassed
+    );
+    let get_only = SystemConfig {
+        spec: WorkloadSpec {
+            key_count: 2_000,
+            mix: OpMix { get_fraction: 1.0 },
+            ..WorkloadSpec::paper_default()
+        },
+        ..SystemConfig::default()
+    };
+    let (bp_sys, _) = measure(spawn_pilaf, &get_only);
+    // All-GET Pilaf: server answers nothing, clients do everything with
+    // one-sided reads.
+    assert_eq!(bp_sys.server_machine.nic().counters().outbound_ops, 0);
+    assert!(bp_sys.stats.bypass_ops.get() > 0);
+}
+
+#[test]
+fn rfp_keeps_its_edge_under_write_intensive_load() {
+    // §4.4.3: Jakiro's peak holds even at 95% PUT, where bypass designs
+    // collapse — the paper's strongest argument for server involvement.
+    let (_, jakiro_writes) = measure(spawn_jakiro, &cfg(OpMix::WRITE_INTENSIVE));
+    let (_, jakiro_reads) = measure(spawn_jakiro, &cfg(OpMix::READ_INTENSIVE));
+    assert!(
+        jakiro_writes > 0.9 * jakiro_reads,
+        "write-intensive {jakiro_writes:.2} vs read-intensive {jakiro_reads:.2}"
+    );
+}
