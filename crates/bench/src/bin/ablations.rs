@@ -19,4 +19,6 @@ fn main() {
             f(&mut out).expect("stdout");
         }
     }
+    let path = rfp_bench::telemetry::emit_bench_json("ablations").expect("write bench json");
+    writeln!(out, "# bench registry exported to {}", path.display()).expect("stdout");
 }

@@ -21,4 +21,6 @@ fn main() {
             f(&mut out).expect("stdout");
         }
     }
+    let path = rfp_bench::telemetry::emit_bench_json("all_figures").expect("write bench json");
+    writeln!(out, "# bench registry exported to {}", path.display()).expect("stdout");
 }

@@ -6,13 +6,22 @@
 //!     --system jakiro --server-threads 6 --client-machines 7 \
 //!     --clients-per-machine 5 --value-size 32 --get-pct 95 \
 //!     [--skew] [--process-us 0] [--fetch-size 256] [--retry 5] \
-//!     [--shards 1] [--loss-pct 0] [--window-ms 4] [--seed 42]
+//!     [--shards 1] [--loss-pct 0] [--window-ms 4] [--seed 42] \
+//!     [--telemetry <dir>]
 //! ```
 //!
 //! Systems: `jakiro`, `server-reply`, `memcached`, `pilaf`, `herd`,
 //! `jakiro-shared`, `sharded` (uses `--shards`).
+//!
+//! `--telemetry <dir>` additionally writes the full telemetry bundle —
+//! `metrics.csv`, `metrics.json`, `timeseries.csv` (fixed-interval
+//! samples across the window) and `trace.json` (request spans, Chrome
+//! trace-event format) — into `<dir>`. Output is byte-deterministic for
+//! a given configuration and seed.
 
-use rfp_bench::kvrun::{run_kv, KvRun};
+use std::path::PathBuf;
+
+use rfp_bench::kvrun::{run_kv, run_kv_telemetry, KvRun};
 use rfp_kvstore::{
     spawn_herd, spawn_jakiro, spawn_jakiro_shared, spawn_memcached, spawn_pilaf,
     spawn_server_reply_kv, spawn_sharded_jakiro, SystemConfig,
@@ -37,6 +46,7 @@ struct Args {
     window_ms: u64,
     seed: u64,
     keys: u64,
+    telemetry: Option<PathBuf>,
 }
 
 impl Default for Args {
@@ -57,6 +67,7 @@ impl Default for Args {
             window_ms: 4,
             seed: 42,
             keys: 2_000,
+            telemetry: None,
         }
     }
 }
@@ -94,6 +105,7 @@ fn parse_args() -> Result<Args, String> {
             "--window-ms" => args.window_ms = value(&flag)?.parse().map_err(|e| format!("{e}"))?,
             "--seed" => args.seed = value(&flag)?.parse().map_err(|e| format!("{e}"))?,
             "--keys" => args.keys = value(&flag)?.parse().map_err(|e| format!("{e}"))?,
+            "--telemetry" => args.telemetry = Some(value(&flag)?.into()),
             "--help" | "-h" => {
                 return Err("see the module docs at the top of explore.rs".into());
             }
@@ -174,14 +186,28 @@ fn main() {
     let window = SimSpan::millis(args.window_ms);
 
     println!("# system={} {args:?}", args.system);
+    let measure = |spawn: fn(&mut Simulation, &SystemConfig) -> rfp_kvstore::KvSystem| match &args
+        .telemetry
+    {
+        Some(dir) => {
+            let run =
+                run_kv_telemetry(spawn, &cfg, warmup, window, dir).expect("write telemetry bundle");
+            println!("# telemetry written to {}", dir.display());
+            run
+        }
+        None => run_kv(spawn, &cfg, warmup, window),
+    };
     let run = match args.system.as_str() {
-        "jakiro" => run_kv(spawn_jakiro, &cfg, warmup, window),
-        "server-reply" => run_kv(spawn_server_reply_kv, &cfg, warmup, window),
-        "memcached" => run_kv(spawn_memcached, &cfg, warmup, window),
-        "pilaf" => run_kv(spawn_pilaf, &cfg, warmup, window),
-        "herd" => run_kv(spawn_herd, &cfg, warmup, window),
-        "jakiro-shared" => run_kv(spawn_jakiro_shared, &cfg, warmup, window),
+        "jakiro" => measure(spawn_jakiro),
+        "server-reply" => measure(spawn_server_reply_kv),
+        "memcached" => measure(spawn_memcached),
+        "pilaf" => measure(spawn_pilaf),
+        "herd" => measure(spawn_herd),
+        "jakiro-shared" => measure(spawn_jakiro_shared),
         "sharded" => {
+            if args.telemetry.is_some() {
+                eprintln!("note: --telemetry is not supported for the sharded deployment");
+            }
             // The sharded deployment has its own measurement path.
             let mut sim = Simulation::new(cfg.seed);
             let sys = spawn_sharded_jakiro(&mut sim, &cfg, args.shards);

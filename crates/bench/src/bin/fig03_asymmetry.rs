@@ -1,6 +1,5 @@
 //! Figure 3: in-bound vs out-bound IOPS by server thread count.
 
 fn main() {
-    let mut out = std::io::stdout().lock();
-    rfp_bench::figures::fig03(&mut out).expect("write to stdout");
+    rfp_bench::run_experiment("fig03_asymmetry");
 }

@@ -1,6 +1,5 @@
 //! Figure 4: server in-bound IOPS vs client thread count.
 
 fn main() {
-    let mut out = std::io::stdout().lock();
-    rfp_bench::figures::fig04(&mut out).expect("write to stdout");
+    rfp_bench::run_experiment("fig04_inbound_scaling");
 }

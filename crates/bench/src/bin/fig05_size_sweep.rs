@@ -1,6 +1,5 @@
 //! Figure 5: IOPS vs payload size for both directions.
 
 fn main() {
-    let mut out = std::io::stdout().lock();
-    rfp_bench::figures::fig05(&mut out).expect("write to stdout");
+    rfp_bench::run_experiment("fig05_size_sweep");
 }

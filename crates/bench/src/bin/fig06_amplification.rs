@@ -1,6 +1,5 @@
 //! Figure 6: server-bypass throughput vs RDMA rounds per request.
 
 fn main() {
-    let mut out = std::io::stdout().lock();
-    rfp_bench::figures::fig06(&mut out).expect("write to stdout");
+    rfp_bench::run_experiment("fig06_amplification");
 }

@@ -1,6 +1,5 @@
 //! Figure 9: repeated remote fetching vs server-reply across process time.
 
 fn main() {
-    let mut out = std::io::stdout().lock();
-    rfp_bench::figures::fig09(&mut out).expect("write to stdout");
+    rfp_bench::run_experiment("fig09_process_time");
 }

@@ -1,6 +1,5 @@
 //! Figure 10: Jakiro throughput vs client thread count.
 
 fn main() {
-    let mut out = std::io::stdout().lock();
-    rfp_bench::figures::fig10(&mut out).expect("write to stdout");
+    rfp_bench::run_experiment("fig10_jakiro_clients");
 }

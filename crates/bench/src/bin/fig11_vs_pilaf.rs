@@ -1,6 +1,5 @@
 //! Figure 11: Jakiro vs the Pilaf-style store at 50% GET.
 
 fn main() {
-    let mut out = std::io::stdout().lock();
-    rfp_bench::figures::fig11(&mut out).expect("write to stdout");
+    rfp_bench::run_experiment("fig11_vs_pilaf");
 }

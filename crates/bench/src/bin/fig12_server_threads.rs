@@ -1,6 +1,5 @@
 //! Figure 12: the three systems vs server thread count.
 
 fn main() {
-    let mut out = std::io::stdout().lock();
-    rfp_bench::figures::fig12(&mut out).expect("write to stdout");
+    rfp_bench::run_experiment("fig12_server_threads");
 }

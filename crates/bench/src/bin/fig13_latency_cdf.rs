@@ -1,6 +1,5 @@
 //! Figure 13: latency CDF at peak throughput.
 
 fn main() {
-    let mut out = std::io::stdout().lock();
-    rfp_bench::figures::fig13(&mut out).expect("write to stdout");
+    rfp_bench::run_experiment("fig13_latency_cdf");
 }

@@ -1,6 +1,5 @@
 //! Figure 14: hybrid mode switch across request process time.
 
 fn main() {
-    let mut out = std::io::stdout().lock();
-    rfp_bench::figures::fig14(&mut out).expect("write to stdout");
+    rfp_bench::run_experiment("fig14_mode_switch");
 }

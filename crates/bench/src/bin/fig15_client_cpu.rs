@@ -1,6 +1,5 @@
 //! Figure 15: Jakiro client CPU utilisation vs process time.
 
 fn main() {
-    let mut out = std::io::stdout().lock();
-    rfp_bench::figures::fig15(&mut out).expect("write to stdout");
+    rfp_bench::run_experiment("fig15_client_cpu");
 }

@@ -1,6 +1,5 @@
 //! Figure 16: throughput vs GET percentage (uniform).
 
 fn main() {
-    let mut out = std::io::stdout().lock();
-    rfp_bench::figures::fig16(&mut out).expect("write to stdout");
+    rfp_bench::run_experiment("fig16_get_ratio");
 }

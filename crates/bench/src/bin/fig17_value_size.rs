@@ -1,6 +1,5 @@
 //! Figure 17: throughput vs value size.
 
 fn main() {
-    let mut out = std::io::stdout().lock();
-    rfp_bench::figures::fig17(&mut out).expect("write to stdout");
+    rfp_bench::run_experiment("fig17_value_size");
 }

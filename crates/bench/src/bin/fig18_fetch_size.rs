@@ -1,6 +1,5 @@
 //! Figure 18: Jakiro under different fetch sizes F.
 
 fn main() {
-    let mut out = std::io::stdout().lock();
-    rfp_bench::figures::fig18(&mut out).expect("write to stdout");
+    rfp_bench::run_experiment("fig18_fetch_size");
 }

@@ -1,6 +1,5 @@
 //! Figure 19: throughput vs GET percentage (Zipf .99).
 
 fn main() {
-    let mut out = std::io::stdout().lock();
-    rfp_bench::figures::fig19(&mut out).expect("write to stdout");
+    rfp_bench::run_experiment("fig19_skew");
 }

@@ -1,6 +1,5 @@
 //! Figure 20: latency CDF under the skewed workload.
 
 fn main() {
-    let mut out = std::io::stdout().lock();
-    rfp_bench::figures::fig20(&mut out).expect("write to stdout");
+    rfp_bench::run_experiment("fig20_skew_cdf");
 }

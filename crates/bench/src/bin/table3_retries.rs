@@ -1,6 +1,5 @@
 //! Table 3: remote-fetch retry statistics per workload.
 
 fn main() {
-    let mut out = std::io::stdout().lock();
-    rfp_bench::figures::table3(&mut out).expect("write to stdout");
+    rfp_bench::run_experiment("table3_retries");
 }

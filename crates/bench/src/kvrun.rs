@@ -1,7 +1,16 @@
 //! One-shot runner for the KV systems: spawn, warm up, measure, report.
+//!
+//! [`run_kv`] measures in one sweep; [`run_kv_telemetry`] additionally
+//! samples the system's metric registry at fixed sim-time intervals and
+//! writes the full telemetry bundle (metrics CSV/JSON, time series,
+//! Chrome trace) to a directory.
+
+use std::fs::File;
+use std::io;
+use std::path::Path;
 
 use rfp_kvstore::{KvSystem, SystemConfig};
-use rfp_simnet::{SimSpan, Simulation};
+use rfp_simnet::{SimSpan, Simulation, TimeSeriesSampler};
 
 /// Everything one measurement window yields.
 #[derive(Clone, Debug)]
@@ -58,8 +67,60 @@ pub fn run_kv(
     sys.reset_measurements();
     let t0 = sim.now();
     sim.run_for(window);
-    let secs = (sim.now() - t0).as_secs_f64();
+    collect_run(&sys, (sim.now() - t0).as_secs_f64())
+}
 
+/// Rows sampled across a [`run_kv_telemetry`] measurement window (plus
+/// one zero baseline row at the window start).
+pub const TELEMETRY_SAMPLES: u64 = 40;
+
+/// Like [`run_kv`], but advances the measurement window in
+/// [`TELEMETRY_SAMPLES`] fixed sim-time steps, sampling every registered
+/// metric after each, then writes to `dir`:
+///
+/// * `metrics.csv` / `metrics.json` — the end-of-window registry snapshot,
+/// * `timeseries.csv` — the sampled series (`time_ns` + one column per metric),
+/// * `trace.json` — retained request spans as Chrome trace events.
+///
+/// All four files are byte-deterministic for a given configuration.
+pub fn run_kv_telemetry(
+    spawn: impl FnOnce(&mut Simulation, &SystemConfig) -> KvSystem,
+    cfg: &SystemConfig,
+    warmup: SimSpan,
+    window: SimSpan,
+    dir: &Path,
+) -> io::Result<KvRun> {
+    let mut sim = Simulation::new(cfg.seed);
+    let sys = spawn(&mut sim, cfg);
+    sim.run_for(warmup);
+    sys.reset_measurements();
+    let mut sampler = TimeSeriesSampler::new(sys.registry.clone(), Vec::new());
+    let t0 = sim.now();
+    sampler.sample(sim.now());
+    let step = (window.as_nanos() / TELEMETRY_SAMPLES).max(1);
+    let mut covered = 0u64;
+    while covered < window.as_nanos() {
+        let chunk = step.min(window.as_nanos() - covered);
+        sim.run_for(SimSpan::nanos(chunk));
+        covered += chunk;
+        sampler.sample(sim.now());
+    }
+    let run = collect_run(&sys, (sim.now() - t0).as_secs_f64());
+
+    std::fs::create_dir_all(dir)?;
+    let snap = sys.registry.snapshot();
+    snap.write_csv(&mut File::create(dir.join("metrics.csv"))?)?;
+    snap.write_json(&mut File::create(dir.join("metrics.json"))?)?;
+    sampler.write_csv(&mut File::create(dir.join("timeseries.csv"))?)?;
+    sys.spans
+        .write_chrome_trace(&mut File::create(dir.join("trace.json"))?)?;
+    Ok(run)
+}
+
+/// Aggregates one finished measurement window; also folds the headline
+/// numbers into the process-wide [`bench
+/// registry`](crate::telemetry::bench_registry).
+fn collect_run(sys: &KvSystem, secs: f64) -> KvRun {
     let stats = &sys.stats;
     let completed = stats.completed.get().max(1);
     let counters = sys.server_machine.nic().counters();
@@ -77,6 +138,14 @@ pub fn run_kv(
         switches += s.switches_to_reply();
     }
     let calls_f = calls.max(1) as f64;
+
+    let bench = crate::telemetry::bench_registry();
+    bench.counter("bench.runs").incr();
+    bench.counter("bench.completed").add(stats.completed.get());
+    bench.counter("bench.switches.to_reply").add(switches);
+    if let Some(mean) = stats.latency.mean() {
+        bench.histogram("bench.run.mean_latency").record(mean);
+    }
 
     KvRun {
         mops: stats.completed.get() as f64 / secs / 1e6,

@@ -20,6 +20,27 @@ pub mod ablations;
 pub mod figures;
 pub mod kvrun;
 pub mod micro;
+pub mod telemetry;
+
+/// Runs the registered experiment `name` (see
+/// [`figures::EXPERIMENTS`]) to stdout, then exports the accumulated
+/// process-wide bench registry as `BENCH_<name>.json`.
+///
+/// # Panics
+///
+/// Panics on an unknown experiment name or an I/O failure — these are
+/// terminal for a figure binary.
+pub fn run_experiment(name: &str) {
+    let (_, f) = figures::EXPERIMENTS
+        .iter()
+        .find(|(n, _)| *n == name)
+        .unwrap_or_else(|| panic!("unknown experiment {name}"));
+    let mut out = std::io::stdout().lock();
+    f(&mut out).expect("write to stdout");
+    drop(out);
+    let path = telemetry::emit_bench_json(name).expect("write bench json");
+    eprintln!("# bench registry exported to {}", path.display());
+}
 
 /// Simulated-time measurement window used by most experiments. Long
 /// enough that queueing transients vanish, short enough that a full

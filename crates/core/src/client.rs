@@ -5,10 +5,56 @@ use std::collections::BTreeMap;
 use std::rc::Rc;
 
 use rfp_rnic::{Qp, ThreadCtx};
-use rfp_simnet::{timeout, Histogram, SimSpan};
+use rfp_simnet::{timeout, Counter, Gauge, Histogram, RequestTrace, SimSpan};
 
-use crate::conn::{Mode, Shared, MODE_REMOTE_FETCH, MODE_SERVER_REPLY};
+use crate::conn::{Mode, RfpTelemetry, Shared, MODE_REMOTE_FETCH, MODE_SERVER_REPLY};
 use crate::header::{ReqHeader, RespHeader, REQ_HDR, RESP_HDR};
+
+/// Registry-backed instruments of one connection, created when the
+/// config carries an [`RfpTelemetry`].
+struct Instruments {
+    telemetry: RfpTelemetry,
+    calls: Rc<Counter>,
+    /// Failed remote-fetch attempts (READs that found no valid header).
+    retries: Rc<Counter>,
+    extra_reads: Rc<Counter>,
+    fallback_fetches: Rc<Counter>,
+    switches_to_reply: Rc<Counter>,
+    switches_to_fetch: Rc<Counter>,
+    /// Bytes moved by remote-fetch READs (tracks the effective `F`).
+    fetch_bytes: Rc<Counter>,
+    latency: Rc<Histogram>,
+    /// 0 = remote fetch, 1 = server reply.
+    mode: Rc<Gauge>,
+}
+
+impl Instruments {
+    fn new(telemetry: RfpTelemetry, initial_mode: Mode) -> Self {
+        let reg = &telemetry.registry;
+        let p = telemetry.prefix.clone();
+        let this = Instruments {
+            calls: reg.counter(&format!("{p}.calls")),
+            retries: reg.counter(&format!("{p}.retries")),
+            extra_reads: reg.counter(&format!("{p}.extra_reads")),
+            fallback_fetches: reg.counter(&format!("{p}.fallback_fetches")),
+            switches_to_reply: reg.counter(&format!("{p}.switches.to_reply")),
+            switches_to_fetch: reg.counter(&format!("{p}.switches.to_fetch")),
+            fetch_bytes: reg.counter(&format!("{p}.fetch.bytes")),
+            latency: reg.histogram(&format!("{p}.latency")),
+            mode: reg.gauge(&format!("{p}.mode")),
+            telemetry,
+        };
+        this.mode.set(mode_level(initial_mode));
+        this
+    }
+}
+
+fn mode_level(mode: Mode) -> i64 {
+    match mode {
+        Mode::RemoteFetch => 0,
+        Mode::ServerReply => 1,
+    }
+}
 
 /// Outcome of one RPC call.
 #[derive(Clone, Debug)]
@@ -157,6 +203,7 @@ pub struct RfpClient {
     /// Runtime-tunable `F` (initialised from config).
     fetch_size: Cell<usize>,
     stats: ClientStats,
+    instruments: Option<Instruments>,
 }
 
 impl RfpClient {
@@ -164,6 +211,11 @@ impl RfpClient {
         let retry_threshold = Cell::new(shared.cfg.retry_threshold);
         let fetch_size = Cell::new(shared.cfg.fetch_size);
         let initial_mode = shared.cfg.initial_mode;
+        let instruments = shared
+            .cfg
+            .telemetry
+            .clone()
+            .map(|t| Instruments::new(t, initial_mode));
         RfpClient {
             shared,
             qp,
@@ -174,6 +226,7 @@ impl RfpClient {
             retry_threshold,
             fetch_size,
             stats: ClientStats::default(),
+            instruments,
         }
     }
 
@@ -232,6 +285,14 @@ impl RfpClient {
         let seq = self.seq.get().wrapping_add(1);
         self.seq.set(seq);
         self.sent_at.set(thread.now());
+        if let Some(ins) = &self.instruments {
+            *self.shared.span.borrow_mut() = Some(RequestTrace::begin(
+                seq as u64,
+                ins.telemetry.track,
+                thread.now(),
+                "issue",
+            ));
+        }
         let hdr = ReqHeader {
             valid: true,
             size: req.len() as u32,
@@ -251,6 +312,7 @@ impl RfpClient {
                 REQ_HDR + req.len(),
             )
             .await;
+        self.span_mark(thread, "request_written");
     }
 
     /// `client_recv`: obtains the response for the last
@@ -267,7 +329,32 @@ impl RfpClient {
             Mode::ServerReply => self.recv_server_reply(thread, seq, t0, 0).await,
         };
         self.stats.record(&out.info);
+        if let Some(ins) = &self.instruments {
+            ins.calls.incr();
+            ins.latency.record(out.info.latency);
+            // Every attempt but a successful final fetch was a retry.
+            let successes = match out.info.completed_in {
+                Mode::RemoteFetch => 1,
+                Mode::ServerReply => 0,
+            };
+            ins.retries
+                .add(out.info.attempts.saturating_sub(successes) as u64);
+            if out.info.extra_read {
+                ins.extra_reads.incr();
+            }
+            if let Some(mut span) = self.shared.span.borrow_mut().take() {
+                span.mark_unordered(thread.now(), "completed");
+                ins.telemetry.spans.record(span);
+            }
+        }
         out
+    }
+
+    /// Adds a milestone to the in-flight request's span, if one exists.
+    fn span_mark(&self, thread: &ThreadCtx, label: &'static str) {
+        if let Some(span) = self.shared.span.borrow_mut().as_mut() {
+            span.mark_unordered(thread.now(), label);
+        }
     }
 
     /// One full RPC: send, then receive.
@@ -291,6 +378,10 @@ impl RfpClient {
             self.qp
                 .read(thread, &self.shared.client_resp, 0, &self.shared.resp, 0, f)
                 .await;
+            self.span_mark(thread, "fetch_read");
+            if let Some(ins) = &self.instruments {
+                ins.fetch_bytes.add(f as u64);
+            }
             thread.busy(self.shared.cfg.check_cpu).await;
             let hdr = RespHeader::decode(&self.shared.client_resp.read_local(0, RESP_HDR));
             if hdr.valid && hdr.seq == seq {
@@ -310,6 +401,10 @@ impl RfpClient {
                             rest,
                         )
                         .await;
+                    self.span_mark(thread, "extra_fetch_read");
+                    if let Some(ins) = &self.instruments {
+                        ins.fetch_bytes.add(rest as u64);
+                    }
                     extra_read = true;
                 }
                 if !counted_over {
@@ -354,6 +449,7 @@ impl RfpClient {
             thread.busy(self.shared.cfg.check_cpu).await;
             let hdr = RespHeader::decode(&self.shared.client_resp.read_local(0, RESP_HDR));
             if hdr.valid && hdr.seq == seq {
+                self.span_mark(thread, "reply_received");
                 let size = hdr.size as usize;
                 let data = self.shared.client_resp.read_local(RESP_HDR, size);
                 // §3.2: record the server's response time; if it got
@@ -401,6 +497,11 @@ impl RfpClient {
                 self.qp
                     .read(thread, &self.shared.client_resp, 0, &self.shared.resp, 0, f)
                     .await;
+                self.span_mark(thread, "fallback_fetch_read");
+                if let Some(ins) = &self.instruments {
+                    ins.fallback_fetches.incr();
+                    ins.fetch_bytes.add(f as u64);
+                }
             }
         }
     }
@@ -416,8 +517,16 @@ impl RfpClient {
             .await;
         self.mode.set(to);
         self.consec_over.set(0);
+        self.span_mark(thread, "mode_switched");
         if let Some(trace) = &self.shared.cfg.trace {
             trace.record(thread.now(), "rfp.mode", format!("switched to {to:?}"));
+        }
+        if let Some(ins) = &self.instruments {
+            ins.mode.set(mode_level(to));
+            match to {
+                Mode::ServerReply => ins.switches_to_reply.incr(),
+                Mode::RemoteFetch => ins.switches_to_fetch.incr(),
+            }
         }
         match to {
             Mode::ServerReply => self

@@ -24,13 +24,38 @@
 //! [`RfpPool`](crate::RfpPool)), each with its own buffers, flag and
 //! hybrid-switch state.
 
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
+use std::fmt;
 use std::rc::Rc;
 
 use rfp_rnic::{Machine, MemRegion, Qp, ThreadCtx};
-use rfp_simnet::{SimSpan, SimTime};
+use rfp_simnet::{MetricsRegistry, RequestTrace, SimSpan, SimTime, SpanRecorder};
 
 use crate::header::{ReqHeader, RespHeader, REQ_HDR, RESP_HDR};
+
+/// Destination for one connection's telemetry: counters/gauges go into
+/// `registry` under `prefix`, and one [`RequestTrace`] per completed
+/// call goes into `spans`.
+#[derive(Clone)]
+pub struct RfpTelemetry {
+    /// Registry receiving this connection's instruments.
+    pub registry: MetricsRegistry,
+    /// Recorder receiving one span per completed call.
+    pub spans: SpanRecorder,
+    /// Hierarchical metric prefix, e.g. `rfp.client.3`.
+    pub prefix: String,
+    /// Chrome-trace display row for this connection's spans.
+    pub track: u32,
+}
+
+impl fmt::Debug for RfpTelemetry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RfpTelemetry")
+            .field("prefix", &self.prefix)
+            .field("track", &self.track)
+            .finish_non_exhaustive()
+    }
+}
 
 /// Tuning and sizing of one RFP connection.
 #[derive(Clone, Debug)]
@@ -69,6 +94,9 @@ pub struct RfpConfig {
     /// reply-mode fallback fetches into it (category `"rfp.mode"` /
     /// `"rfp.fallback"`).
     pub trace: Option<rfp_simnet::TraceLog>,
+    /// Optional telemetry sink: per-connection counters/gauges plus one
+    /// request-lifecycle span per completed call.
+    pub telemetry: Option<RfpTelemetry>,
 }
 
 impl Default for RfpConfig {
@@ -86,6 +114,7 @@ impl Default for RfpConfig {
             post_cpu: SimSpan::nanos(100),
             check_cpu: SimSpan::nanos(50),
             trace: None,
+            telemetry: None,
         }
     }
 }
@@ -130,6 +159,10 @@ pub(crate) struct Shared {
     /// Client-side 1-byte staging buffer for mode flips.
     pub client_mode: Rc<MemRegion>,
     pub cfg: RfpConfig,
+    /// The in-flight request's span, when telemetry is enabled. Both
+    /// endpoints add milestones; RFP connections carry one request at a
+    /// time, so one slot suffices.
+    pub span: RefCell<Option<RequestTrace>>,
 }
 
 /// Creates one client↔server RFP connection.
@@ -177,6 +210,7 @@ pub fn connect(
         client_req: client_machine.alloc_mr(cfg.req_capacity),
         client_mode: client_machine.alloc_mr(1),
         cfg,
+        span: RefCell::new(None),
     });
     // The initial mode is agreed at registration time (no RDMA needed).
     if shared.cfg.initial_mode == Mode::ServerReply {
@@ -230,6 +264,9 @@ impl RfpServerConn {
         self.last_seq.set(hdr.seq);
         self.cur_seq.set(hdr.seq);
         self.pickup.set(thread.now());
+        if let Some(span) = self.shared.span.borrow_mut().as_mut() {
+            span.mark_unordered(thread.now(), "server_dequeued");
+        }
         Some(self.shared.req.read_local(REQ_HDR, hdr.size as usize))
     }
 
@@ -267,6 +304,9 @@ impl RfpServerConn {
         self.shared.resp.write_local(0, &hdr_bytes);
         thread.busy(self.shared.cfg.post_cpu).await;
         self.served.set(self.served.get() + 1);
+        if let Some(span) = self.shared.span.borrow_mut().as_mut() {
+            span.mark_unordered(thread.now(), "response_posted");
+        }
 
         let mode = self.shared.mode.read_local(0, 1)[0];
         if mode == MODE_SERVER_REPLY {

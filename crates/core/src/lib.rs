@@ -75,7 +75,7 @@ mod server;
 mod tuner;
 
 pub use client::{CallInfo, CallResult, ClientStats, RfpClient};
-pub use conn::{connect, Mode, RfpConfig, RfpServerConn};
+pub use conn::{connect, Mode, RfpConfig, RfpServerConn, RfpTelemetry};
 pub use header::{ReqHeader, RespHeader, MAX_PAYLOAD, REQ_HDR, RESP_HDR};
 pub use params::{ParamSelector, Params, WorkloadSample};
 pub use pool::RfpPool;

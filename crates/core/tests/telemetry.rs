@@ -1,0 +1,143 @@
+//! End-to-end telemetry tests: the mode-switch trace events emitted by
+//! an instrumented RFP connection agree with its switch counters, and
+//! span phase durations always sum exactly to end-to-end latency.
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use rfp_core::{connect, serve_loop, Mode, RfpConfig, RfpTelemetry};
+use rfp_rnic::{Cluster, ClusterProfile};
+use rfp_simnet::{MetricsRegistry, RequestTrace, SimSpan, SimTime, Simulation, SpanRecorder};
+
+#[test]
+fn mode_switch_trace_events_agree_with_counters() {
+    let registry = MetricsRegistry::new();
+    let spans = SpanRecorder::new(1024);
+    let cfg = RfpConfig {
+        telemetry: Some(RfpTelemetry {
+            registry: registry.clone(),
+            spans: spans.clone(),
+            prefix: "rfp.client.0".into(),
+            track: 0,
+        }),
+        ..RfpConfig::default()
+    };
+
+    let mut sim = Simulation::new(11);
+    let cluster = Cluster::new(&mut sim, ClusterProfile::paper_testbed(), 2);
+    let (client_m, server_m) = (cluster.machine(0), cluster.machine(1));
+    let (client, server_conn) = connect(
+        &client_m,
+        &server_m,
+        cluster.qp(0, 1),
+        cluster.qp(1, 0),
+        cfg,
+    );
+    let client = Rc::new(client);
+
+    // 30 µs process time forces the switch to server-reply; recovery to
+    // 0 µs brings the connection back to remote fetching.
+    let process = Rc::new(Cell::new(30u64));
+    let p = Rc::clone(&process);
+    let st = server_m.thread("server");
+    sim.spawn(serve_loop(
+        st,
+        vec![Rc::new(server_conn)],
+        move |req: &[u8]| (req.to_vec(), SimSpan::micros(p.get())),
+        SimSpan::nanos(100),
+    ));
+
+    let t = client_m.thread("client");
+    let cl = Rc::clone(&client);
+    let p = Rc::clone(&process);
+    sim.spawn(async move {
+        for _ in 0..4 {
+            cl.call(&t, b"x").await;
+        }
+        p.set(0);
+        for _ in 0..6 {
+            cl.call(&t, b"x").await;
+        }
+    });
+    sim.run_for(SimSpan::millis(10));
+
+    let stats = client.stats();
+    assert!(stats.switches_to_reply() >= 1, "rig must switch to reply");
+    assert!(stats.switches_to_fetch() >= 1, "rig must switch back");
+    assert_eq!(stats.calls(), 10);
+
+    // Registry counters mirror the connection's own statistics.
+    let snap = registry.snapshot();
+    assert_eq!(
+        snap.scalar("rfp.client.0.switches.to_reply"),
+        Some(stats.switches_to_reply() as f64)
+    );
+    assert_eq!(
+        snap.scalar("rfp.client.0.switches.to_fetch"),
+        Some(stats.switches_to_fetch() as f64)
+    );
+    assert_eq!(
+        snap.scalar("rfp.client.0.calls"),
+        Some(stats.calls() as f64)
+    );
+
+    // The mode gauge tracks the connection's final mode.
+    let expect_level = match client.mode() {
+        Mode::RemoteFetch => 0.0,
+        Mode::ServerReply => 1.0,
+    };
+    assert_eq!(snap.scalar("rfp.client.0.mode"), Some(expect_level));
+
+    // Every switch, in either direction, left exactly one trace event.
+    let recorded = spans.snapshot();
+    let switch_marks = recorded
+        .iter()
+        .flat_map(|tr| tr.marks().iter())
+        .filter(|(_, label)| *label == "mode_switched")
+        .count() as u64;
+    assert_eq!(
+        switch_marks,
+        stats.switches_to_reply() + stats.switches_to_fetch(),
+        "mode trace events must agree with the switch counters"
+    );
+
+    // One finished span per call, each telescoping exactly.
+    assert_eq!(spans.recorded(), stats.calls());
+    for tr in &recorded {
+        let sum: u64 = tr.phases().iter().map(|p| p.duration.as_nanos()).sum();
+        assert_eq!(sum, tr.end_to_end().as_nanos(), "trace {}", tr.id);
+    }
+}
+
+proptest! {
+    /// For any interleaving of in-order and out-of-order marks, the
+    /// phase durations of a span sum exactly (in sim-nanoseconds) to
+    /// its end-to-end latency.
+    #[test]
+    fn span_phases_sum_to_end_to_end(
+        start in 0u64..1_000_000,
+        deltas in vec(0u64..10_000, 0..24),
+        unordered in vec(0u64..2_000_000, 0..12),
+    ) {
+        let mut tr = RequestTrace::begin(7, 3, SimTime::from_nanos(start), "issue");
+        let mut now = start;
+        for d in &deltas {
+            now += d;
+            tr.mark(SimTime::from_nanos(now), "step");
+        }
+        for u in &unordered {
+            tr.mark_unordered(SimTime::from_nanos(*u), "async_step");
+        }
+        let sum: u64 = tr.phases().iter().map(|p| p.duration.as_nanos()).sum();
+        prop_assert_eq!(sum, tr.end_to_end().as_nanos());
+        prop_assert_eq!(tr.phases().len(), tr.marks().len() - 1);
+        // Marks stay sorted whatever the insertion order.
+        let times: Vec<u64> = tr.marks().iter().map(|m| m.0.as_nanos()).collect();
+        let mut sorted = times.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(times, sorted);
+    }
+}

@@ -17,10 +17,10 @@
 
 use std::rc::Rc;
 
-use rfp_core::{connect, serve_loop, RfpClient, RfpConfig, RfpServerConn, RESP_HDR};
+use rfp_core::{connect, serve_loop, RfpClient, RfpConfig, RfpServerConn, RfpTelemetry, RESP_HDR};
 use rfp_paradigms::{sr_connect, BypassClient};
 use rfp_rnic::{Cluster, ClusterProfile, Machine, ThreadCtx};
-use rfp_simnet::{Counter, Histogram, SimSpan, Simulation};
+use rfp_simnet::{Counter, Histogram, MetricsRegistry, SimSpan, Simulation, SpanRecorder};
 use rfp_workload::{Op, WorkloadSpec};
 
 use crate::bucket::Partition;
@@ -37,22 +37,25 @@ pub const KV_GET_WORK: SimSpan = SimSpan::nanos(150);
 pub const KV_PUT_WORK: SimSpan = SimSpan::nanos(200);
 
 /// Shared measurement bundle, updated by every client loop.
+///
+/// The instruments are `Rc`-shared so a [`MetricsRegistry`] can export
+/// them under the `kv.*` namespace (see [`KvStats::register_into`]).
 #[derive(Default)]
 pub struct KvStats {
     /// Completed requests.
-    pub completed: Counter,
+    pub completed: Rc<Counter>,
     /// Completed GETs.
-    pub gets: Counter,
+    pub gets: Rc<Counter>,
     /// Completed PUTs.
-    pub puts: Counter,
+    pub puts: Rc<Counter>,
     /// GETs that found no value.
-    pub misses: Counter,
+    pub misses: Rc<Counter>,
     /// End-to-end request latencies.
-    pub latency: Histogram,
+    pub latency: Rc<Histogram>,
     /// One-sided ops spent by bypass GETs (Pilaf only).
-    pub bypass_ops: Counter,
+    pub bypass_ops: Rc<Counter>,
     /// Checksum-failure rereads observed by bypass GETs (Pilaf only).
-    pub crc_retries: Counter,
+    pub crc_retries: Rc<Counter>,
 }
 
 impl KvStats {
@@ -65,6 +68,17 @@ impl KvStats {
         self.latency.reset();
         self.bypass_ops.reset();
         self.crc_retries.reset();
+    }
+
+    /// Exposes every instrument in `registry` under `kv.*`.
+    pub fn register_into(&self, registry: &MetricsRegistry) {
+        registry.register_counter("kv.completed", &self.completed);
+        registry.register_counter("kv.gets", &self.gets);
+        registry.register_counter("kv.puts", &self.puts);
+        registry.register_counter("kv.misses", &self.misses);
+        registry.register_histogram("kv.latency", &self.latency);
+        registry.register_counter("kv.bypass.ops", &self.bypass_ops);
+        registry.register_counter("kv.bypass.crc_retries", &self.crc_retries);
     }
 }
 
@@ -203,6 +217,39 @@ impl SystemConfig {
     }
 }
 
+/// Retained finished request spans per system: enough to keep the tail
+/// of a measurement window without unbounded memory growth.
+const SPAN_CAPACITY: usize = 4096;
+
+/// One registry + span ring per system: NIC engines and the `kv.*`
+/// stats are registered up front; RFP connections add their own
+/// `rfp.client.<n>.*` instruments lazily.
+fn system_telemetry(cluster: &Cluster, stats: &KvStats) -> (MetricsRegistry, SpanRecorder) {
+    let registry = MetricsRegistry::new();
+    cluster.attach_metrics(&registry);
+    stats.register_into(&registry);
+    (registry, SpanRecorder::new(SPAN_CAPACITY))
+}
+
+/// `base` specialised for client `idx`: instruments land under
+/// `rfp.client.<idx>.*` and spans render on Chrome-trace row `idx`.
+fn client_rfp_cfg(
+    base: &RfpConfig,
+    registry: &MetricsRegistry,
+    spans: &SpanRecorder,
+    idx: usize,
+) -> RfpConfig {
+    RfpConfig {
+        telemetry: Some(RfpTelemetry {
+            registry: registry.clone(),
+            spans: spans.clone(),
+            prefix: format!("rfp.client.{idx}"),
+            track: idx as u32,
+        }),
+        ..base.clone()
+    }
+}
+
 /// A running system: clients loop forever; sample the stats between
 /// `run_for` windows.
 pub struct KvSystem {
@@ -210,6 +257,10 @@ pub struct KvSystem {
     pub cluster: Cluster,
     /// Shared measurements.
     pub stats: Rc<KvStats>,
+    /// Unified instrument registry (`nic.*`, `kv.*`, `rfp.client.*`).
+    pub registry: MetricsRegistry,
+    /// Finished request-lifecycle spans (RFP transports only).
+    pub spans: SpanRecorder,
     /// The server machine.
     pub server_machine: Rc<Machine>,
     /// All client threads (for utilisation readings).
@@ -237,6 +288,11 @@ impl KvSystem {
         for c in &self.rfp_clients {
             c.stats().reset();
         }
+        // Registered instruments overlap the resets above (same Rc
+        // cells); this additionally clears client-connection counters
+        // and the diff baseline, and drops warm-up spans.
+        self.registry.reset();
+        self.spans.reset();
     }
 
     /// Mean client CPU utilisation (Figure 15's metric).
@@ -355,6 +411,7 @@ fn spawn_routed_kv(sim: &mut Simulation, cfg: &SystemConfig, server_reply: bool)
     let cluster = Cluster::new(sim, cfg.profile.clone(), 1 + cfg.client_machines);
     let server_m = cluster.machine(0);
     let stats = Rc::new(KvStats::default());
+    let (registry, spans) = system_telemetry(&cluster, &stats);
     let partitions = build_partitions(cfg);
     let rfp_cfg = cfg.sized_rfp();
 
@@ -371,6 +428,8 @@ fn spawn_routed_kv(sim: &mut Simulation, cfg: &SystemConfig, server_reply: bool)
             client_threads.push(Rc::clone(&thread));
             // One connection per server thread (requests are routed to
             // the partition owner — EREW).
+            let idx = m * cfg.clients_per_machine + t;
+            let ccfg = client_rfp_cfg(&rfp_cfg, &registry, &spans, idx);
             let mut conns = Vec::with_capacity(cfg.server_threads);
             for sconns in server_conns.iter_mut() {
                 let (cl, sc) = if server_reply {
@@ -379,7 +438,7 @@ fn spawn_routed_kv(sim: &mut Simulation, cfg: &SystemConfig, server_reply: bool)
                         &server_m,
                         cluster.qp(1 + m, 0),
                         cluster.qp(0, 1 + m),
-                        rfp_cfg.clone(),
+                        ccfg.clone(),
                     )
                 } else {
                     connect(
@@ -387,7 +446,7 @@ fn spawn_routed_kv(sim: &mut Simulation, cfg: &SystemConfig, server_reply: bool)
                         &server_m,
                         cluster.qp(1 + m, 0),
                         cluster.qp(0, 1 + m),
-                        rfp_cfg.clone(),
+                        ccfg.clone(),
                     )
                 };
                 let cl = Rc::new(cl);
@@ -453,6 +512,8 @@ fn spawn_routed_kv(sim: &mut Simulation, cfg: &SystemConfig, server_reply: bool)
         server_machine: server_m,
         cluster,
         stats,
+        registry,
+        spans,
         client_threads,
         rfp_clients,
         server_conns,
@@ -476,6 +537,7 @@ pub fn spawn_memcached(sim: &mut Simulation, cfg: &SystemConfig) -> KvSystem {
     let cluster = Cluster::new(sim, cfg.profile.clone(), 1 + cfg.client_machines);
     let server_m = cluster.machine(0);
     let stats = Rc::new(KvStats::default());
+    let (registry, spans) = system_telemetry(&cluster, &stats);
     let rfp_cfg = cfg.sized_rfp();
 
     let store = McdStore::new(
@@ -503,7 +565,7 @@ pub fn spawn_memcached(sim: &mut Simulation, cfg: &SystemConfig) -> KvSystem {
                 &server_m,
                 cluster.qp(1 + m, 0),
                 cluster.qp(0, 1 + m),
-                rfp_cfg.clone(),
+                client_rfp_cfg(&rfp_cfg, &registry, &spans, client_idx),
             );
             let cl = Rc::new(cl);
             rfp_clients.push(Rc::clone(&cl));
@@ -584,6 +646,8 @@ pub fn spawn_memcached(sim: &mut Simulation, cfg: &SystemConfig) -> KvSystem {
         server_machine: server_m,
         cluster,
         stats,
+        registry,
+        spans,
         client_threads,
         rfp_clients,
         server_conns: Vec::new(),
@@ -596,6 +660,7 @@ pub fn spawn_pilaf(sim: &mut Simulation, cfg: &SystemConfig) -> KvSystem {
     let cluster = Cluster::new(sim, cfg.profile.clone(), 1 + cfg.client_machines);
     let server_m = cluster.machine(0);
     let stats = Rc::new(KvStats::default());
+    let (registry, spans) = system_telemetry(&cluster, &stats);
     let rfp_cfg = cfg.sized_rfp();
 
     // 75% fill: buckets = keys / 0.75.
@@ -632,7 +697,7 @@ pub fn spawn_pilaf(sim: &mut Simulation, cfg: &SystemConfig) -> KvSystem {
                 &server_m,
                 cluster.qp(1 + m, 0),
                 cluster.qp(0, 1 + m),
-                rfp_cfg.clone(),
+                client_rfp_cfg(&rfp_cfg, &registry, &spans, client_idx),
             );
             let put_cl = Rc::new(put_cl);
             rfp_clients.push(Rc::clone(&put_cl));
@@ -727,6 +792,8 @@ pub fn spawn_pilaf(sim: &mut Simulation, cfg: &SystemConfig) -> KvSystem {
         server_machine: server_m,
         cluster,
         stats,
+        registry,
+        spans,
         client_threads,
         rfp_clients,
         server_conns: Vec::new(),
@@ -745,6 +812,7 @@ pub fn spawn_herd(sim: &mut Simulation, cfg: &SystemConfig) -> KvSystem {
     let cluster = Cluster::new(sim, cfg.profile.clone(), 1 + cfg.client_machines);
     let server_m = cluster.machine(0);
     let stats = Rc::new(KvStats::default());
+    let (registry, spans) = system_telemetry(&cluster, &stats);
     let partitions = build_partitions(cfg);
     let herd_cfg = HerdConfig {
         req_capacity: (rfp_core::REQ_HDR + 7 + cfg.spec.key_len + cfg.spec.values.max())
@@ -834,6 +902,8 @@ pub fn spawn_herd(sim: &mut Simulation, cfg: &SystemConfig) -> KvSystem {
         server_machine: server_m,
         cluster,
         stats,
+        registry,
+        spans,
         client_threads,
         rfp_clients: Vec::new(),
         server_conns: Vec::new(),
@@ -851,6 +921,7 @@ pub fn spawn_jakiro_shared(sim: &mut Simulation, cfg: &SystemConfig) -> KvSystem
     let cluster = Cluster::new(sim, cfg.profile.clone(), 1 + cfg.client_machines);
     let server_m = cluster.machine(0);
     let stats = Rc::new(KvStats::default());
+    let (registry, spans) = system_telemetry(&cluster, &stats);
     let rfp_cfg = cfg.sized_rfp();
 
     // One shared partition, one global lock.
@@ -882,7 +953,7 @@ pub fn spawn_jakiro_shared(sim: &mut Simulation, cfg: &SystemConfig) -> KvSystem
                 &server_m,
                 cluster.qp(1 + m, 0),
                 cluster.qp(0, 1 + m),
-                rfp_cfg.clone(),
+                client_rfp_cfg(&rfp_cfg, &registry, &spans, client_idx),
             );
             let cl = Rc::new(cl);
             rfp_clients.push(Rc::clone(&cl));
@@ -957,6 +1028,8 @@ pub fn spawn_jakiro_shared(sim: &mut Simulation, cfg: &SystemConfig) -> KvSystem
         server_machine: server_m,
         cluster,
         stats,
+        registry,
+        spans,
         client_threads,
         rfp_clients,
         server_conns: Vec::new(),
@@ -973,6 +1046,7 @@ pub fn spawn_farm(sim: &mut Simulation, cfg: &SystemConfig) -> KvSystem {
     let cluster = Cluster::new(sim, cfg.profile.clone(), 1 + cfg.client_machines);
     let server_m = cluster.machine(0);
     let stats = Rc::new(KvStats::default());
+    let (registry, spans) = system_telemetry(&cluster, &stats);
     let rfp_cfg = cfg.sized_rfp();
 
     let cell_size = (6 + cfg.spec.key_len + cfg.spec.values.max() + 8)
@@ -1009,7 +1083,7 @@ pub fn spawn_farm(sim: &mut Simulation, cfg: &SystemConfig) -> KvSystem {
                 &server_m,
                 cluster.qp(1 + m, 0),
                 cluster.qp(0, 1 + m),
-                rfp_cfg.clone(),
+                client_rfp_cfg(&rfp_cfg, &registry, &spans, client_idx),
             );
             let put_cl = Rc::new(put_cl);
             rfp_clients.push(Rc::clone(&put_cl));
@@ -1098,6 +1172,8 @@ pub fn spawn_farm(sim: &mut Simulation, cfg: &SystemConfig) -> KvSystem {
         server_machine: server_m,
         cluster,
         stats,
+        registry,
+        spans,
         client_threads,
         rfp_clients,
         server_conns: Vec::new(),

@@ -66,6 +66,14 @@ impl Cluster {
         Rc::clone(&self.machines[i])
     }
 
+    /// Registers every machine's NIC instruments into `registry` under
+    /// `nic.<machine-index>.*`.
+    pub fn attach_metrics(&self, registry: &rfp_simnet::MetricsRegistry) {
+        for (i, m) in self.machines.iter().enumerate() {
+            m.nic().attach_metrics(registry, &format!("nic.{i}"));
+        }
+    }
+
     /// Creates an RC queue pair from machine `from` to machine `to`.
     ///
     /// # Panics

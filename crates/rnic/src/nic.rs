@@ -1,9 +1,9 @@
 //! The NIC model: two asymmetric engines plus operation accounting.
 
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 
-use rfp_simnet::{FifoServer, SimHandle, SimSpan};
+use rfp_simnet::{Counter, FifoServer, Gauge, MetricsRegistry, SimHandle, SimSpan};
 
 use crate::profile::NicProfile;
 
@@ -23,37 +23,84 @@ pub struct NicCounters {
     pub outbound_bytes: u64,
 }
 
+/// Gauges kept current by the engines once a registry is attached.
+struct NicGauges {
+    inbound_backlog_ns: Rc<Gauge>,
+    outbound_backlog_ns: Rc<Gauge>,
+    inbound_busy_ns: Rc<Gauge>,
+    outbound_busy_ns: Rc<Gauge>,
+}
+
 /// One simulated RNIC with separate in-bound and out-bound pipelines.
 pub struct Nic {
     profile: NicProfile,
+    handle: SimHandle,
     inbound: FifoServer,
     outbound: FifoServer,
     /// Threads currently inside an issuing verb on this NIC; drives the
     /// out-bound contention multiplier.
     active_issuers: Cell<usize>,
-    inbound_ops: Cell<u64>,
-    outbound_ops: Cell<u64>,
-    inbound_bytes: Cell<u64>,
-    outbound_bytes: Cell<u64>,
+    inbound_ops: Rc<Counter>,
+    outbound_ops: Rc<Counter>,
+    inbound_bytes: Rc<Counter>,
+    outbound_bytes: Rc<Counter>,
+    gauges: RefCell<Option<NicGauges>>,
 }
 
 impl Nic {
     pub(crate) fn new(handle: SimHandle, profile: NicProfile) -> Self {
         Nic {
             profile,
+            handle: handle.clone(),
             inbound: FifoServer::new(handle.clone()),
             outbound: FifoServer::new(handle),
             active_issuers: Cell::new(0),
-            inbound_ops: Cell::new(0),
-            outbound_ops: Cell::new(0),
-            inbound_bytes: Cell::new(0),
-            outbound_bytes: Cell::new(0),
+            inbound_ops: Rc::new(Counter::new()),
+            outbound_ops: Rc::new(Counter::new()),
+            inbound_bytes: Rc::new(Counter::new()),
+            outbound_bytes: Rc::new(Counter::new()),
+            gauges: RefCell::new(None),
         }
     }
 
     /// The timing model of this NIC.
     pub fn profile(&self) -> &NicProfile {
         &self.profile
+    }
+
+    /// Registers this NIC's instruments under `prefix` (e.g. `nic.0`):
+    /// the four op/byte counters plus per-engine backlog and busy-time
+    /// gauges, refreshed on every operation the engines accept.
+    pub fn attach_metrics(&self, registry: &MetricsRegistry, prefix: &str) {
+        registry.register_counter(&format!("{prefix}.inbound.ops"), &self.inbound_ops);
+        registry.register_counter(&format!("{prefix}.outbound.ops"), &self.outbound_ops);
+        registry.register_counter(&format!("{prefix}.inbound.bytes"), &self.inbound_bytes);
+        registry.register_counter(&format!("{prefix}.outbound.bytes"), &self.outbound_bytes);
+        *self.gauges.borrow_mut() = Some(NicGauges {
+            inbound_backlog_ns: registry.gauge(&format!("{prefix}.inbound.backlog_ns")),
+            outbound_backlog_ns: registry.gauge(&format!("{prefix}.outbound.backlog_ns")),
+            inbound_busy_ns: registry.gauge(&format!("{prefix}.inbound.busy_ns")),
+            outbound_busy_ns: registry.gauge(&format!("{prefix}.outbound.busy_ns")),
+        });
+        self.refresh_gauges();
+    }
+
+    /// Pushes current engine state into the attached gauges, if any.
+    /// Backlog is the service time already committed past `now` — the
+    /// analytic queue length of the never-materialised FIFO.
+    fn refresh_gauges(&self) {
+        if let Some(g) = self.gauges.borrow().as_ref() {
+            let now = self.handle.now();
+            let backlog =
+                |next_free: rfp_simnet::SimTime| next_free.max(now).since(now).as_nanos() as i64;
+            g.inbound_backlog_ns.set(backlog(self.inbound.next_free()));
+            g.outbound_backlog_ns
+                .set(backlog(self.outbound.next_free()));
+            g.inbound_busy_ns
+                .set(self.inbound.busy_time().as_nanos() as i64);
+            g.outbound_busy_ns
+                .set(self.outbound.busy_time().as_nanos() as i64);
+        }
     }
 
     /// Marks a thread as inside an issuing verb; the guard un-marks on
@@ -78,57 +125,63 @@ impl Nic {
         let base = self.profile.outbound_service(bytes);
         let service =
             SimSpan::from_nanos_f64(base.as_nanos() as f64 * self.contention_multiplier());
-        self.outbound_ops.set(self.outbound_ops.get() + 1);
-        self.outbound_bytes
-            .set(self.outbound_bytes.get() + bytes as u64);
-        self.outbound.serve(service)
+        self.outbound_ops.incr();
+        self.outbound_bytes.add(bytes as u64);
+        let sleep = self.outbound.serve(service);
+        self.refresh_gauges();
+        sleep
     }
 
     /// Occupies the in-bound engine for one op of `bytes`; resolves at
     /// service completion (the instant data lands / leaves).
     pub(crate) fn serve_inbound(&self, bytes: usize) -> rfp_simnet::Sleep {
-        self.inbound_ops.set(self.inbound_ops.get() + 1);
-        self.inbound_bytes
-            .set(self.inbound_bytes.get() + bytes as u64);
-        self.inbound.serve(self.profile.inbound_service(bytes))
+        self.inbound_ops.incr();
+        self.inbound_bytes.add(bytes as u64);
+        let sleep = self.inbound.serve(self.profile.inbound_service(bytes));
+        self.refresh_gauges();
+        sleep
     }
 
     /// Occupies the out-bound engine for one two-sided SEND of `bytes`.
     pub(crate) fn serve_twosided_tx(&self, bytes: usize) -> rfp_simnet::Sleep {
         let service = self.profile.twosided_service(bytes);
-        self.outbound_ops.set(self.outbound_ops.get() + 1);
-        self.outbound_bytes
-            .set(self.outbound_bytes.get() + bytes as u64);
-        self.outbound.serve(service)
+        self.outbound_ops.incr();
+        self.outbound_bytes.add(bytes as u64);
+        let sleep = self.outbound.serve(service);
+        self.refresh_gauges();
+        sleep
     }
 
     /// Occupies the in-bound engine for one two-sided RECV of `bytes`
     /// at the two-sided (symmetric) cost.
     pub(crate) fn serve_twosided_rx(&self, bytes: usize) -> rfp_simnet::Sleep {
         let service = self.profile.twosided_service(bytes);
-        self.inbound_ops.set(self.inbound_ops.get() + 1);
-        self.inbound_bytes
-            .set(self.inbound_bytes.get() + bytes as u64);
-        self.inbound.serve(service)
+        self.inbound_ops.incr();
+        self.inbound_bytes.add(bytes as u64);
+        let sleep = self.inbound.serve(service);
+        self.refresh_gauges();
+        sleep
     }
 
     /// Occupies the out-bound engine for one UD datagram SEND of
     /// `bytes` (cheaper than RC: no connection state, no ACK handling).
     pub(crate) fn serve_ud_tx(&self, bytes: usize) -> rfp_simnet::Sleep {
         let service = self.profile.ud_service(bytes);
-        self.outbound_ops.set(self.outbound_ops.get() + 1);
-        self.outbound_bytes
-            .set(self.outbound_bytes.get() + bytes as u64);
-        self.outbound.serve(service)
+        self.outbound_ops.incr();
+        self.outbound_bytes.add(bytes as u64);
+        let sleep = self.outbound.serve(service);
+        self.refresh_gauges();
+        sleep
     }
 
     /// Occupies the in-bound engine for one UD datagram RECV of `bytes`.
     pub(crate) fn serve_ud_rx(&self, bytes: usize) -> rfp_simnet::Sleep {
         let service = self.profile.ud_service(bytes);
-        self.inbound_ops.set(self.inbound_ops.get() + 1);
-        self.inbound_bytes
-            .set(self.inbound_bytes.get() + bytes as u64);
-        self.inbound.serve(service)
+        self.inbound_ops.incr();
+        self.inbound_bytes.add(bytes as u64);
+        let sleep = self.inbound.serve(service);
+        self.refresh_gauges();
+        sleep
     }
 
     /// Snapshot of the operation counters.
@@ -144,12 +197,13 @@ impl Nic {
     /// Resets counters and engine statistics (keeps queued work), to
     /// discard warm-up before a measurement window.
     pub fn reset_counters(&self) {
-        self.inbound_ops.set(0);
-        self.outbound_ops.set(0);
-        self.inbound_bytes.set(0);
-        self.outbound_bytes.set(0);
+        self.inbound_ops.reset();
+        self.outbound_ops.reset();
+        self.inbound_bytes.reset();
+        self.outbound_bytes.reset();
         self.inbound.reset_stats();
         self.outbound.reset_stats();
+        self.refresh_gauges();
     }
 
     /// Busy time of the in-bound engine since the last reset (for

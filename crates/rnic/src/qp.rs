@@ -532,6 +532,34 @@ mod tests {
     }
 
     #[test]
+    fn attached_registry_sees_nic_traffic() {
+        let (mut sim, cluster) = two_machines();
+        let registry = rfp_simnet::MetricsRegistry::new();
+        cluster.attach_metrics(&registry);
+        let client = cluster.machine(0);
+        let server = cluster.machine(1);
+        let local = client.alloc_mr(64);
+        let remote = server.alloc_mr(64);
+        let qp = cluster.qp(0, 1);
+        let t = client.thread("c");
+        sim.spawn(async move {
+            qp.write(&t, &local, 0, &remote, 16, 4).await;
+        });
+        sim.run();
+        let snap = registry.snapshot();
+        // A WRITE from machine 0 to machine 1: out-bound at the issuer,
+        // in-bound at the target — mirrored through the registry.
+        assert_eq!(snap.scalar("nic.0.outbound.ops"), Some(1.0));
+        assert_eq!(snap.scalar("nic.1.inbound.ops"), Some(1.0));
+        assert_eq!(snap.scalar("nic.1.inbound.bytes"), Some(4.0));
+        assert_eq!(snap.scalar("nic.0.inbound.ops"), Some(0.0));
+        // Engine busy gauges track FifoServer busy time.
+        let busy = snap.scalar("nic.1.inbound.busy_ns").unwrap();
+        assert!(busy > 0.0, "in-bound engine must have accrued busy time");
+        assert_eq!(busy, server.nic().inbound_busy().as_nanos() as f64);
+    }
+
+    #[test]
     fn single_read_latency_matches_model() {
         let (mut sim, cluster) = two_machines();
         let client = cluster.machine(0);

@@ -12,7 +12,11 @@
 //!   sections ([`SimLock`]),
 //! * synchronisation primitives for simulated processes ([`Signal`],
 //!   [`Channel`]),
-//! * measurement helpers ([`Counter`], [`Histogram`], [`BusyClock`]).
+//! * measurement helpers ([`Counter`], [`Histogram`], [`BusyClock`]),
+//! * request-lifecycle telemetry: a registry of hierarchically named
+//!   instruments ([`MetricsRegistry`]), per-request phase spans
+//!   ([`RequestTrace`], [`SpanRecorder`]) and fixed-interval series
+//!   ([`TimeSeriesSampler`]).
 //!
 //! Determinism: all state lives on one OS thread; events that fire at the
 //! same virtual instant are dispatched in insertion order, so every run
@@ -34,7 +38,10 @@
 
 mod coord;
 mod executor;
+mod metrics;
 mod resource;
+mod sampler;
+mod span;
 mod stats;
 mod sync;
 mod time;
@@ -43,7 +50,10 @@ mod trace;
 
 pub use coord::{Barrier, Semaphore, SemaphoreGuard, WaitGroup, WaitGroupToken};
 pub use executor::{yield_now, SimHandle, Simulation, Sleep};
+pub use metrics::{Gauge, MetricValue, MetricsRegistry, MetricsSnapshot};
 pub use resource::{FifoServer, MultiServer};
+pub use sampler::{SampleRow, TimeSeriesSampler};
+pub use span::{Phase, RequestTrace, SpanRecorder};
 pub use stats::{BusyClock, Counter, Histogram};
 pub use sync::{Channel, Recv, Signal, SimLock, SimLockGuard};
 pub use time::{SimSpan, SimTime};

@@ -1,0 +1,478 @@
+//! A unified registry of named instruments.
+//!
+//! Components register (or lazily create) [`Counter`]s, [`Gauge`]s and
+//! [`Histogram`]s under hierarchical dot-separated names —
+//! `nic.0.inbound.ops`, `rfp.client.3.retries` — and experiments read
+//! them back uniformly: as a point-in-time [`MetricsSnapshot`], as a
+//! delta since the previous snapshot, or exported as CSV / JSON.
+//!
+//! Everything is keyed through `BTreeMap`s, so iteration order — and
+//! therefore every exported byte — is deterministic for a given set of
+//! recorded values.
+//!
+//! # Examples
+//!
+//! ```
+//! use rfp_simnet::MetricsRegistry;
+//!
+//! let reg = MetricsRegistry::new();
+//! reg.counter("nic.0.inbound.ops").add(3);
+//! reg.gauge("nic.0.inbound.depth").set(2);
+//! let snap = reg.snapshot();
+//! assert_eq!(snap.scalar("nic.0.inbound.ops"), Some(3.0));
+//! ```
+
+use std::cell::{Cell, RefCell};
+use std::collections::BTreeMap;
+use std::io::{self, Write};
+use std::rc::Rc;
+
+use crate::stats::{Counter, Histogram};
+
+/// An instantaneous level (queue depth, busy nanoseconds, current mode).
+///
+/// Unlike a [`Counter`] it can go down.
+#[derive(Default)]
+pub struct Gauge {
+    value: Cell<i64>,
+}
+
+impl Gauge {
+    /// Creates a gauge at zero.
+    pub fn new() -> Self {
+        Gauge::default()
+    }
+
+    /// Sets the level.
+    pub fn set(&self, value: i64) {
+        self.value.set(value);
+    }
+
+    /// Moves the level by `delta` (saturating).
+    pub fn add(&self, delta: i64) {
+        self.value.set(self.value.get().saturating_add(delta));
+    }
+
+    /// Current level.
+    pub fn get(&self) -> i64 {
+        self.value.get()
+    }
+}
+
+/// One exported value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum MetricValue {
+    /// Cumulative event count.
+    Counter(u64),
+    /// Instantaneous level.
+    Gauge(i64),
+    /// Distribution summary (all durations in sim-nanoseconds).
+    Histogram {
+        count: u64,
+        mean_ns: u64,
+        p50_ns: u64,
+        p95_ns: u64,
+        p99_ns: u64,
+        max_ns: u64,
+    },
+}
+
+impl MetricValue {
+    /// The value reduced to one number: count for counters and
+    /// histograms, level for gauges.
+    pub fn scalar(&self) -> f64 {
+        match *self {
+            MetricValue::Counter(v) => v as f64,
+            MetricValue::Gauge(v) => v as f64,
+            MetricValue::Histogram { count, .. } => count as f64,
+        }
+    }
+}
+
+/// A point-in-time, deterministically ordered view of every registered
+/// instrument.
+#[derive(Clone, Debug, Default)]
+pub struct MetricsSnapshot {
+    /// Metric name → value, in name order.
+    pub values: BTreeMap<String, MetricValue>,
+}
+
+impl MetricsSnapshot {
+    /// The named metric reduced to one number (see
+    /// [`MetricValue::scalar`]), or `None` if absent.
+    pub fn scalar(&self, name: &str) -> Option<f64> {
+        self.values.get(name).map(MetricValue::scalar)
+    }
+
+    /// Writes `metric,field,value` rows, one line per exported number,
+    /// sorted by metric name.
+    pub fn write_csv(&self, w: &mut dyn Write) -> io::Result<()> {
+        writeln!(w, "metric,field,value")?;
+        for (name, value) in &self.values {
+            match *value {
+                MetricValue::Counter(v) => writeln!(w, "{name},count,{v}")?,
+                MetricValue::Gauge(v) => writeln!(w, "{name},level,{v}")?,
+                MetricValue::Histogram {
+                    count,
+                    mean_ns,
+                    p50_ns,
+                    p95_ns,
+                    p99_ns,
+                    max_ns,
+                } => {
+                    writeln!(w, "{name},count,{count}")?;
+                    writeln!(w, "{name},mean_ns,{mean_ns}")?;
+                    writeln!(w, "{name},p50_ns,{p50_ns}")?;
+                    writeln!(w, "{name},p95_ns,{p95_ns}")?;
+                    writeln!(w, "{name},p99_ns,{p99_ns}")?;
+                    writeln!(w, "{name},max_ns,{max_ns}")?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Writes the snapshot as a JSON object keyed by metric name
+    /// (counters and gauges as numbers, histograms as objects).
+    pub fn write_json(&self, w: &mut dyn Write) -> io::Result<()> {
+        writeln!(w, "{{")?;
+        let last = self.values.len().saturating_sub(1);
+        for (i, (name, value)) in self.values.iter().enumerate() {
+            let comma = if i == last { "" } else { "," };
+            match *value {
+                MetricValue::Counter(v) => writeln!(w, "  {}: {v}{comma}", json_string(name))?,
+                MetricValue::Gauge(v) => writeln!(w, "  {}: {v}{comma}", json_string(name))?,
+                MetricValue::Histogram {
+                    count,
+                    mean_ns,
+                    p50_ns,
+                    p95_ns,
+                    p99_ns,
+                    max_ns,
+                } => writeln!(
+                    w,
+                    "  {}: {{\"count\": {count}, \"mean_ns\": {mean_ns}, \
+                     \"p50_ns\": {p50_ns}, \"p95_ns\": {p95_ns}, \
+                     \"p99_ns\": {p99_ns}, \"max_ns\": {max_ns}}}{comma}",
+                    json_string(name)
+                )?,
+            }
+        }
+        writeln!(w, "}}")
+    }
+}
+
+/// Renders `s` as a JSON string literal.
+pub(crate) fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[derive(Default)]
+struct Inner {
+    counters: BTreeMap<String, Rc<Counter>>,
+    gauges: BTreeMap<String, Rc<Gauge>>,
+    histograms: BTreeMap<String, Rc<Histogram>>,
+    /// Scalar baselines captured by the previous [`MetricsRegistry::diff`].
+    baseline: BTreeMap<String, f64>,
+}
+
+/// A shareable registry of named instruments.
+///
+/// Cloning is shallow: clones observe and extend the same instrument
+/// set, so a registry can be threaded through every layer of a system
+/// under test.
+#[derive(Clone, Default)]
+pub struct MetricsRegistry {
+    inner: Rc<RefCell<Inner>>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// The counter named `name`, created on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different kind.
+    pub fn counter(&self, name: &str) -> Rc<Counter> {
+        let mut inner = self.inner.borrow_mut();
+        assert_kind_free(&inner.gauges, &inner.histograms, name);
+        Rc::clone(
+            inner
+                .counters
+                .entry(name.to_string())
+                .or_insert_with(|| Rc::new(Counter::new())),
+        )
+    }
+
+    /// The gauge named `name`, created on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different kind.
+    pub fn gauge(&self, name: &str) -> Rc<Gauge> {
+        let mut inner = self.inner.borrow_mut();
+        assert_kind_free(&inner.counters, &inner.histograms, name);
+        Rc::clone(
+            inner
+                .gauges
+                .entry(name.to_string())
+                .or_insert_with(|| Rc::new(Gauge::new())),
+        )
+    }
+
+    /// The histogram named `name`, created on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different kind.
+    pub fn histogram(&self, name: &str) -> Rc<Histogram> {
+        let mut inner = self.inner.borrow_mut();
+        assert_kind_free(&inner.counters, &inner.gauges, name);
+        Rc::clone(
+            inner
+                .histograms
+                .entry(name.to_string())
+                .or_insert_with(|| Rc::new(Histogram::new())),
+        )
+    }
+
+    /// Registers an existing counter under `name` (components that
+    /// already own their instruments expose them this way).
+    pub fn register_counter(&self, name: &str, counter: &Rc<Counter>) {
+        self.inner
+            .borrow_mut()
+            .counters
+            .insert(name.to_string(), Rc::clone(counter));
+    }
+
+    /// Registers an existing gauge under `name`.
+    pub fn register_gauge(&self, name: &str, gauge: &Rc<Gauge>) {
+        self.inner
+            .borrow_mut()
+            .gauges
+            .insert(name.to_string(), Rc::clone(gauge));
+    }
+
+    /// Registers an existing histogram under `name`.
+    pub fn register_histogram(&self, name: &str, histogram: &Rc<Histogram>) {
+        self.inner
+            .borrow_mut()
+            .histograms
+            .insert(name.to_string(), Rc::clone(histogram));
+    }
+
+    /// All registered names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        let inner = self.inner.borrow();
+        let mut names: Vec<String> = inner
+            .counters
+            .keys()
+            .chain(inner.gauges.keys())
+            .chain(inner.histograms.keys())
+            .cloned()
+            .collect();
+        names.sort();
+        names
+    }
+
+    /// A point-in-time view of every instrument.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let inner = self.inner.borrow();
+        let mut values = BTreeMap::new();
+        for (name, c) in &inner.counters {
+            values.insert(name.clone(), MetricValue::Counter(c.get()));
+        }
+        for (name, g) in &inner.gauges {
+            values.insert(name.clone(), MetricValue::Gauge(g.get()));
+        }
+        for (name, h) in &inner.histograms {
+            let ns = |s: Option<crate::SimSpan>| s.map_or(0, |v| v.as_nanos());
+            values.insert(
+                name.clone(),
+                MetricValue::Histogram {
+                    count: h.len() as u64,
+                    mean_ns: ns(h.mean()),
+                    p50_ns: ns(h.percentile(50.0)),
+                    p95_ns: ns(h.percentile(95.0)),
+                    p99_ns: ns(h.percentile(99.0)),
+                    max_ns: ns(h.max()),
+                },
+            );
+        }
+        MetricsSnapshot { values }
+    }
+
+    /// Scalar change of every instrument since the previous `diff` call
+    /// (or since registration, the first time): counter and histogram
+    /// counts as deltas, gauges as their current level.
+    pub fn diff(&self) -> BTreeMap<String, f64> {
+        let snap = self.snapshot();
+        let mut inner = self.inner.borrow_mut();
+        let mut out = BTreeMap::new();
+        for (name, value) in &snap.values {
+            let now = value.scalar();
+            let delta = match value {
+                MetricValue::Gauge(_) => now,
+                _ => now - inner.baseline.get(name).copied().unwrap_or(0.0),
+            };
+            inner.baseline.insert(name.clone(), now);
+            out.insert(name.clone(), delta);
+        }
+        out
+    }
+
+    /// Resets every counter, histogram and diff baseline (gauges keep
+    /// their level: they describe present state, not history).
+    pub fn reset(&self) {
+        let inner = self.inner.borrow_mut();
+        for c in inner.counters.values() {
+            c.reset();
+        }
+        for h in inner.histograms.values() {
+            h.reset();
+        }
+        drop(inner);
+        self.inner.borrow_mut().baseline.clear();
+    }
+}
+
+fn assert_kind_free<A, B>(a: &BTreeMap<String, A>, b: &BTreeMap<String, B>, name: &str) {
+    assert!(
+        !a.contains_key(name) && !b.contains_key(name),
+        "metric {name:?} already registered as a different kind"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SimSpan;
+
+    #[test]
+    fn create_or_get_shares_instruments() {
+        let reg = MetricsRegistry::new();
+        reg.counter("a.ops").incr();
+        reg.counter("a.ops").incr();
+        assert_eq!(reg.counter("a.ops").get(), 2);
+        let clone = reg.clone();
+        clone.counter("a.ops").incr();
+        assert_eq!(reg.counter("a.ops").get(), 3);
+    }
+
+    #[test]
+    fn register_existing_instrument() {
+        let reg = MetricsRegistry::new();
+        let c = Rc::new(Counter::new());
+        reg.register_counter("sys.served", &c);
+        c.add(7);
+        assert_eq!(reg.snapshot().scalar("sys.served"), Some(7.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "different kind")]
+    fn kind_conflicts_rejected() {
+        let reg = MetricsRegistry::new();
+        reg.counter("x");
+        reg.gauge("x");
+    }
+
+    #[test]
+    fn snapshot_covers_all_kinds() {
+        let reg = MetricsRegistry::new();
+        reg.counter("c").add(4);
+        reg.gauge("g").set(-2);
+        let h = reg.histogram("h");
+        h.record(SimSpan::nanos(10));
+        h.record(SimSpan::nanos(30));
+        let snap = reg.snapshot();
+        assert_eq!(snap.values["c"], MetricValue::Counter(4));
+        assert_eq!(snap.values["g"], MetricValue::Gauge(-2));
+        match snap.values["h"] {
+            MetricValue::Histogram {
+                count,
+                mean_ns,
+                max_ns,
+                ..
+            } => {
+                assert_eq!((count, mean_ns, max_ns), (2, 20, 30));
+            }
+            ref other => panic!("expected histogram, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn diff_reports_deltas_for_counters_levels_for_gauges() {
+        let reg = MetricsRegistry::new();
+        reg.counter("c").add(5);
+        reg.gauge("g").set(9);
+        assert_eq!(reg.diff()["c"], 5.0);
+        reg.counter("c").add(2);
+        let d = reg.diff();
+        assert_eq!(d["c"], 2.0);
+        assert_eq!(d["g"], 9.0);
+    }
+
+    #[test]
+    fn csv_and_json_are_deterministic_and_ordered() {
+        let build = || {
+            let reg = MetricsRegistry::new();
+            reg.counter("b.ops").add(2);
+            reg.counter("a.ops").add(1);
+            reg.gauge("m.depth").set(3);
+            reg.histogram("z.lat").record(SimSpan::nanos(100));
+            let mut csv = Vec::new();
+            let mut json = Vec::new();
+            let snap = reg.snapshot();
+            snap.write_csv(&mut csv).unwrap();
+            snap.write_json(&mut json).unwrap();
+            (csv, json)
+        };
+        let (csv1, json1) = build();
+        let (csv2, json2) = build();
+        assert_eq!(csv1, csv2);
+        assert_eq!(json1, json2);
+        let text = String::from_utf8(csv1).unwrap();
+        let a = text.find("a.ops").unwrap();
+        let b = text.find("b.ops").unwrap();
+        assert!(a < b, "rows must be name-sorted:\n{text}");
+        let jtext = String::from_utf8(json1).unwrap();
+        assert!(jtext.contains("\"m.depth\": 3"), "{jtext}");
+        assert!(jtext.contains("\"count\": 1"), "{jtext}");
+    }
+
+    #[test]
+    fn reset_clears_counts_keeps_gauges() {
+        let reg = MetricsRegistry::new();
+        reg.counter("c").add(5);
+        reg.gauge("g").set(7);
+        reg.histogram("h").record(SimSpan::nanos(1));
+        reg.reset();
+        let snap = reg.snapshot();
+        assert_eq!(snap.scalar("c"), Some(0.0));
+        assert_eq!(snap.scalar("g"), Some(7.0));
+        assert_eq!(snap.scalar("h"), Some(0.0));
+    }
+
+    #[test]
+    fn json_string_escapes() {
+        assert_eq!(json_string("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+    }
+}

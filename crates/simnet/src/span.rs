@@ -1,0 +1,326 @@
+//! Per-request lifecycle spans.
+//!
+//! A [`RequestTrace`] records the instants a request passes named
+//! milestones (issue → posted → dequeued → processed → completed…).
+//! Phases are the intervals between consecutive marks, named after the
+//! mark that *ends* them — so the phase durations of a trace always sum
+//! exactly, in sim-nanoseconds, to its end-to-end latency.
+//!
+//! A [`SpanRecorder`] keeps a bounded ring of finished traces and can
+//! export them in the Chrome trace-event JSON format (load the file in
+//! `chrome://tracing` or Perfetto; one row per track).
+//!
+//! # Examples
+//!
+//! ```
+//! use rfp_simnet::{RequestTrace, SimTime};
+//!
+//! let t = |ns| SimTime::from_nanos(ns);
+//! let mut trace = RequestTrace::begin(1, 0, t(100), "issue");
+//! trace.mark(t(250), "write_done");
+//! trace.mark(t(400), "completed");
+//! let total: u64 = trace.phases().iter().map(|p| p.duration.as_nanos()).sum();
+//! assert_eq!(total, trace.end_to_end().as_nanos());
+//! ```
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::io::{self, Write};
+use std::rc::Rc;
+
+use crate::metrics::json_string;
+use crate::time::{SimSpan, SimTime};
+
+/// One interval of a request's lifetime.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Phase {
+    /// The milestone that ends this phase.
+    pub name: &'static str,
+    /// When the phase started.
+    pub start: SimTime,
+    /// How long it lasted.
+    pub duration: SimSpan,
+}
+
+/// The recorded lifecycle of one request.
+#[derive(Clone, Debug)]
+pub struct RequestTrace {
+    /// Caller-chosen request identity (e.g. RFP sequence number).
+    pub id: u64,
+    /// Display row, e.g. the issuing client's index.
+    pub track: u32,
+    marks: Vec<(SimTime, &'static str)>,
+}
+
+impl RequestTrace {
+    /// Starts a trace for request `id` on display row `track`, with its
+    /// first milestone `label` at instant `at`.
+    pub fn begin(id: u64, track: u32, at: SimTime, label: &'static str) -> Self {
+        RequestTrace {
+            id,
+            track,
+            marks: vec![(at, label)],
+        }
+    }
+
+    /// Records the next milestone.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` precedes the previous mark — simulated requests
+    /// move forward in time.
+    pub fn mark(&mut self, at: SimTime, label: &'static str) {
+        let (last, _) = *self.marks.last().expect("trace always has marks");
+        assert!(at >= last, "span mark moves backwards: {at} < {last}");
+        self.marks.push((at, label));
+    }
+
+    /// Records a milestone that may be observed out of order relative
+    /// to marks made elsewhere (e.g. a server dequeue that lands before
+    /// the client's ACK-driven WRITE completion): inserts in timestamp
+    /// order, after existing marks with the same instant.
+    pub fn mark_unordered(&mut self, at: SimTime, label: &'static str) {
+        let pos = self.marks.partition_point(|&(t, _)| t <= at);
+        self.marks.insert(pos, (at, label));
+    }
+
+    /// The recorded milestones, oldest first.
+    pub fn marks(&self) -> &[(SimTime, &'static str)] {
+        &self.marks
+    }
+
+    /// When the request was issued.
+    pub fn started_at(&self) -> SimTime {
+        self.marks[0].0
+    }
+
+    /// Time from first to last mark. Zero for a trace with one mark.
+    pub fn end_to_end(&self) -> SimSpan {
+        let first = self.marks[0].0;
+        let last = self.marks[self.marks.len() - 1].0;
+        last.since(first)
+    }
+
+    /// The intervals between consecutive marks. Their durations sum
+    /// exactly to [`end_to_end`](RequestTrace::end_to_end) — each is the
+    /// difference of adjacent timestamps, so the sum telescopes.
+    pub fn phases(&self) -> Vec<Phase> {
+        self.marks
+            .windows(2)
+            .map(|w| Phase {
+                name: w[1].1,
+                start: w[0].0,
+                duration: w[1].0.since(w[0].0),
+            })
+            .collect()
+    }
+}
+
+struct Inner {
+    spans: VecDeque<RequestTrace>,
+    capacity: usize,
+    recorded: u64,
+    dropped: u64,
+}
+
+/// A bounded, shareable ring of finished [`RequestTrace`]s.
+#[derive(Clone)]
+pub struct SpanRecorder {
+    inner: Rc<RefCell<Inner>>,
+}
+
+impl SpanRecorder {
+    /// Creates a recorder keeping the most recent `capacity` traces.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "span capacity must be positive");
+        SpanRecorder {
+            inner: Rc::new(RefCell::new(Inner {
+                spans: VecDeque::with_capacity(capacity.min(4096)),
+                capacity,
+                recorded: 0,
+                dropped: 0,
+            })),
+        }
+    }
+
+    /// Stores a finished trace, evicting the oldest when full.
+    pub fn record(&self, trace: RequestTrace) {
+        let mut inner = self.inner.borrow_mut();
+        if inner.spans.len() == inner.capacity {
+            inner.spans.pop_front();
+            inner.dropped += 1;
+        }
+        inner.spans.push_back(trace);
+        inner.recorded += 1;
+    }
+
+    /// Number of traces currently retained.
+    pub fn len(&self) -> usize {
+        self.inner.borrow().spans.len()
+    }
+
+    /// Whether nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total traces ever recorded (including evicted ones).
+    pub fn recorded(&self) -> u64 {
+        self.inner.borrow().recorded
+    }
+
+    /// Traces evicted by the ring bound.
+    pub fn dropped(&self) -> u64 {
+        self.inner.borrow().dropped
+    }
+
+    /// A copy of the retained traces, oldest first.
+    pub fn snapshot(&self) -> Vec<RequestTrace> {
+        self.inner.borrow().spans.iter().cloned().collect()
+    }
+
+    /// Discards retained traces and zeroes the cumulative counters.
+    pub fn reset(&self) {
+        let mut inner = self.inner.borrow_mut();
+        inner.spans.clear();
+        inner.recorded = 0;
+        inner.dropped = 0;
+    }
+
+    /// Writes the retained traces as a Chrome trace-event JSON array of
+    /// complete (`"ph": "X"`) events — one event per phase, with `ts`
+    /// and `dur` in microseconds (fractions keep nanosecond precision),
+    /// `tid` the trace's track, and the request id in `args`.
+    pub fn write_chrome_trace(&self, w: &mut dyn Write) -> io::Result<()> {
+        let inner = self.inner.borrow();
+        writeln!(w, "[")?;
+        let mut first = true;
+        for trace in &inner.spans {
+            for phase in trace.phases() {
+                if !first {
+                    writeln!(w, ",")?;
+                }
+                first = false;
+                write!(
+                    w,
+                    "{{\"name\": {}, \"ph\": \"X\", \"pid\": 0, \"tid\": {}, \
+                     \"ts\": {}, \"dur\": {}, \"args\": {{\"req\": {}}}}}",
+                    json_string(phase.name),
+                    trace.track,
+                    micros(phase.start.as_nanos()),
+                    micros(phase.duration.as_nanos()),
+                    trace.id,
+                )?;
+            }
+        }
+        if !first {
+            writeln!(w)?;
+        }
+        writeln!(w, "]")
+    }
+}
+
+/// Nanoseconds rendered as a decimal microsecond literal (exact, no
+/// floating point — determinism matters more than brevity).
+fn micros(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1_000, ns % 1_000)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ns: u64) -> SimTime {
+        SimTime::from_nanos(ns)
+    }
+
+    fn sample_trace() -> RequestTrace {
+        let mut tr = RequestTrace::begin(7, 2, t(1_000), "issue");
+        tr.mark(t(1_400), "write_done");
+        tr.mark(t(1_400), "dequeued"); // zero-length phase is legal
+        tr.mark(t(2_100), "processed");
+        tr.mark(t(2_500), "completed");
+        tr
+    }
+
+    #[test]
+    fn phases_telescope_to_end_to_end() {
+        let tr = sample_trace();
+        let phases = tr.phases();
+        assert_eq!(phases.len(), 4);
+        assert_eq!(phases[0].name, "write_done");
+        assert_eq!(phases[1].duration, SimSpan::ZERO);
+        let sum: u64 = phases.iter().map(|p| p.duration.as_nanos()).sum();
+        assert_eq!(sum, tr.end_to_end().as_nanos());
+        assert_eq!(sum, 1_500);
+    }
+
+    #[test]
+    fn unordered_marks_keep_timestamps_sorted() {
+        let mut tr = RequestTrace::begin(0, 0, t(100), "issue");
+        tr.mark(t(900), "completed");
+        tr.mark_unordered(t(400), "server_dequeued");
+        tr.mark_unordered(t(600), "response_posted");
+        let times: Vec<u64> = tr.marks().iter().map(|m| m.0.as_nanos()).collect();
+        assert_eq!(times, vec![100, 400, 600, 900]);
+        let sum: u64 = tr.phases().iter().map(|p| p.duration.as_nanos()).sum();
+        assert_eq!(sum, tr.end_to_end().as_nanos());
+    }
+
+    #[test]
+    #[should_panic(expected = "moves backwards")]
+    fn backwards_mark_rejected() {
+        let mut tr = RequestTrace::begin(0, 0, t(500), "issue");
+        tr.mark(t(400), "oops");
+    }
+
+    #[test]
+    fn recorder_ring_bounds() {
+        let rec = SpanRecorder::new(2);
+        for i in 0..3 {
+            rec.record(RequestTrace::begin(i, 0, t(i * 10), "issue"));
+        }
+        assert_eq!(rec.len(), 2);
+        assert_eq!(rec.recorded(), 3);
+        assert_eq!(rec.dropped(), 1);
+        assert_eq!(rec.snapshot()[0].id, 1);
+        rec.reset();
+        assert!(rec.is_empty());
+        assert_eq!((rec.recorded(), rec.dropped()), (0, 0));
+    }
+
+    #[test]
+    fn chrome_trace_shape_and_determinism() {
+        let render = || {
+            let rec = SpanRecorder::new(8);
+            rec.record(sample_trace());
+            let mut out = Vec::new();
+            rec.write_chrome_trace(&mut out).unwrap();
+            String::from_utf8(out).unwrap()
+        };
+        let a = render();
+        assert_eq!(a, render());
+        assert!(a.starts_with("[\n"), "{a}");
+        assert!(a.trim_end().ends_with(']'), "{a}");
+        assert!(a.contains("\"name\": \"write_done\""), "{a}");
+        assert!(a.contains("\"ph\": \"X\""), "{a}");
+        assert!(a.contains("\"ts\": 1.000"), "{a}");
+        assert!(a.contains("\"dur\": 0.400"), "{a}");
+        assert!(a.contains("\"tid\": 2"), "{a}");
+        assert!(a.contains("\"req\": 7"), "{a}");
+        // Four phases -> four events.
+        assert_eq!(a.matches("\"ph\": \"X\"").count(), 4);
+    }
+
+    #[test]
+    fn empty_recorder_writes_valid_json() {
+        let rec = SpanRecorder::new(1);
+        let mut out = Vec::new();
+        rec.write_chrome_trace(&mut out).unwrap();
+        assert_eq!(String::from_utf8(out).unwrap(), "[\n]\n");
+    }
+}

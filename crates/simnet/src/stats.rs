@@ -21,9 +21,10 @@ impl Counter {
         self.add(1);
     }
 
-    /// Adds `n`.
+    /// Adds `n`, saturating at `u64::MAX` — a pegged counter is a
+    /// visible anomaly, a wrapped one silently reports garbage.
     pub fn add(&self, n: u64) {
-        self.count.set(self.count.get() + n);
+        self.count.set(self.count.get().saturating_add(n));
     }
 
     /// Current value.
@@ -42,10 +43,16 @@ impl Counter {
 /// Stores raw samples (nanoseconds); experiments in this workspace record
 /// at most a few million samples per run, so exact percentiles/CDFs are
 /// affordable and simpler than bucketing.
+///
+/// Samples live in two runs: a sorted prefix and an unsorted tail of
+/// recent inserts. Queries sort only the tail and merge it in, so a
+/// record/query/record pattern (time-series sampling does this every
+/// tick) costs O(tail log tail + n) per query instead of re-sorting all
+/// n samples each time.
 #[derive(Default)]
 pub struct Histogram {
-    samples: RefCell<Vec<u64>>,
-    sorted: Cell<bool>,
+    sorted: RefCell<Vec<u64>>,
+    tail: RefCell<Vec<u64>>,
 }
 
 impl Histogram {
@@ -56,13 +63,12 @@ impl Histogram {
 
     /// Records one duration sample.
     pub fn record(&self, span: SimSpan) {
-        self.samples.borrow_mut().push(span.as_nanos());
-        self.sorted.set(false);
+        self.tail.borrow_mut().push(span.as_nanos());
     }
 
     /// Number of samples recorded.
     pub fn len(&self) -> usize {
-        self.samples.borrow().len()
+        self.sorted.borrow().len() + self.tail.borrow().len()
     }
 
     /// Whether no samples have been recorded.
@@ -72,25 +78,47 @@ impl Histogram {
 
     /// Discards all samples (e.g. after warm-up).
     pub fn reset(&self) {
-        self.samples.borrow_mut().clear();
-        self.sorted.set(true);
+        self.sorted.borrow_mut().clear();
+        self.tail.borrow_mut().clear();
     }
 
+    /// Folds the unsorted tail into the sorted run (one linear merge of
+    /// two sorted sequences).
     fn ensure_sorted(&self) {
-        if !self.sorted.get() {
-            self.samples.borrow_mut().sort_unstable();
-            self.sorted.set(true);
+        let mut tail = self.tail.borrow_mut();
+        if tail.is_empty() {
+            return;
         }
+        tail.sort_unstable();
+        let mut sorted = self.sorted.borrow_mut();
+        let mut merged = Vec::with_capacity(sorted.len() + tail.len());
+        let (mut i, mut j) = (0, 0);
+        while i < sorted.len() && j < tail.len() {
+            if sorted[i] <= tail[j] {
+                merged.push(sorted[i]);
+                i += 1;
+            } else {
+                merged.push(tail[j]);
+                j += 1;
+            }
+        }
+        merged.extend_from_slice(&sorted[i..]);
+        merged.extend_from_slice(&tail[j..]);
+        *sorted = merged;
+        tail.clear();
     }
 
-    /// Arithmetic mean, or `None` when empty.
+    /// Arithmetic mean, or `None` when empty. Order-insensitive, so the
+    /// tail is summed in place without merging.
     pub fn mean(&self) -> Option<SimSpan> {
-        let s = self.samples.borrow();
-        if s.is_empty() {
+        let sorted = self.sorted.borrow();
+        let tail = self.tail.borrow();
+        let n = sorted.len() + tail.len();
+        if n == 0 {
             return None;
         }
-        let sum: u128 = s.iter().map(|&v| v as u128).sum();
-        Some(SimSpan::nanos((sum / s.len() as u128) as u64))
+        let sum: u128 = sorted.iter().chain(tail.iter()).map(|&v| v as u128).sum();
+        Some(SimSpan::nanos((sum / n as u128) as u64))
     }
 
     /// The `p`-th percentile (0.0..=100.0) by nearest-rank, or `None` when
@@ -102,7 +130,7 @@ impl Histogram {
     pub fn percentile(&self, p: f64) -> Option<SimSpan> {
         assert!((0.0..=100.0).contains(&p), "percentile out of range");
         self.ensure_sorted();
-        let s = self.samples.borrow();
+        let s = self.sorted.borrow();
         if s.is_empty() {
             return None;
         }
@@ -114,14 +142,14 @@ impl Histogram {
     /// Maximum sample, or `None` when empty.
     pub fn max(&self) -> Option<SimSpan> {
         self.ensure_sorted();
-        self.samples.borrow().last().map(|&v| SimSpan::nanos(v))
+        self.sorted.borrow().last().map(|&v| SimSpan::nanos(v))
     }
 
     /// `points` evenly spaced (latency, cumulative-probability) pairs —
     /// the series plotted in the paper's CDF figures (Figs 13 and 20).
     pub fn cdf(&self, points: usize) -> Vec<(SimSpan, f64)> {
         self.ensure_sorted();
-        let s = self.samples.borrow();
+        let s = self.sorted.borrow();
         if s.is_empty() || points == 0 {
             return Vec::new();
         }
@@ -192,6 +220,37 @@ mod tests {
         assert_eq!(c.get(), 5);
         c.reset();
         assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn counter_saturates_instead_of_wrapping() {
+        let c = Counter::new();
+        c.add(u64::MAX - 1);
+        c.add(5);
+        assert_eq!(c.get(), u64::MAX);
+        c.incr();
+        assert_eq!(c.get(), u64::MAX);
+    }
+
+    #[test]
+    fn histogram_merges_tail_across_interleaved_queries() {
+        let h = Histogram::new();
+        // Build up several sorted-run/tail generations and check every
+        // query sees the full sample set in order.
+        let mut all = Vec::new();
+        for round in 0..5u64 {
+            for k in 0..20u64 {
+                let v = (k * 37 + round * 11) % 100 + 1;
+                h.record(SimSpan::nanos(v));
+                all.push(v);
+            }
+            let mut expect = all.clone();
+            expect.sort_unstable();
+            assert_eq!(h.len(), all.len());
+            assert_eq!(h.max().unwrap().as_nanos(), *expect.last().unwrap());
+            let mid = expect[expect.len().div_ceil(2) - 1];
+            assert_eq!(h.percentile(50.0).unwrap().as_nanos(), mid);
+        }
     }
 
     #[test]

@@ -139,6 +139,15 @@ impl TraceLog {
         self.inner.borrow_mut().entries.clear();
     }
 
+    /// Zeroes the cumulative `recorded`/`dropped` counters without
+    /// touching retained events — pairs with [`clear`](TraceLog::clear)
+    /// when a measurement window starts after warm-up.
+    pub fn reset_counters(&self) {
+        let mut inner = self.inner.borrow_mut();
+        inner.recorded = 0;
+        inner.dropped = 0;
+    }
+
     /// Writes every retained event as one line each.
     pub fn dump(&self, w: &mut dyn std::io::Write) -> std::io::Result<()> {
         for e in self.inner.borrow().entries.iter() {
@@ -197,6 +206,21 @@ mod tests {
         let other = log.clone();
         other.record(t(9), "shared", "visible to both");
         assert_eq!(log.len(), 1);
+    }
+
+    #[test]
+    fn reset_counters_keeps_entries() {
+        let log = TraceLog::new(2);
+        for i in 0..4u64 {
+            log.record(t(i), "x", format!("e{i}"));
+        }
+        assert_eq!((log.recorded(), log.dropped()), (4, 2));
+        log.reset_counters();
+        assert_eq!((log.recorded(), log.dropped()), (0, 0));
+        // Retained events survive; counting restarts from zero.
+        assert_eq!(log.len(), 2);
+        log.record(t(9), "x", "after");
+        assert_eq!((log.recorded(), log.dropped()), (1, 1));
     }
 
     #[test]

@@ -1,0 +1,74 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the one type it uses: [`queue::SegQueue`]. The upstream
+//! version is a lock-free segmented queue; this stand-in is a mutex
+//! around a `VecDeque`, which preserves the API and the FIFO + Send +
+//! Sync contract. The simulator is single-threaded, so the mutex is
+//! uncontended and the performance difference is irrelevant here.
+
+pub mod queue {
+    use std::collections::VecDeque;
+    use std::sync::Mutex;
+
+    /// FIFO queue with interior mutability, shareable across threads.
+    #[derive(Debug, Default)]
+    pub struct SegQueue<T> {
+        inner: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> SegQueue<T> {
+        /// Creates an empty queue.
+        pub fn new() -> Self {
+            SegQueue {
+                inner: Mutex::new(VecDeque::new()),
+            }
+        }
+
+        /// Appends `value` at the tail.
+        pub fn push(&self, value: T) {
+            self.inner.lock().unwrap().push_back(value);
+        }
+
+        /// Removes the head, or `None` if empty.
+        pub fn pop(&self) -> Option<T> {
+            self.inner.lock().unwrap().pop_front()
+        }
+
+        /// Whether the queue is empty.
+        pub fn is_empty(&self) -> bool {
+            self.inner.lock().unwrap().is_empty()
+        }
+
+        /// Number of queued values.
+        pub fn len(&self) -> usize {
+            self.inner.lock().unwrap().len()
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::SegQueue;
+        use std::sync::Arc;
+
+        #[test]
+        fn fifo_order() {
+            let q = SegQueue::new();
+            q.push(1);
+            q.push(2);
+            q.push(3);
+            assert_eq!(q.pop(), Some(1));
+            assert_eq!(q.pop(), Some(2));
+            assert_eq!(q.pop(), Some(3));
+            assert_eq!(q.pop(), None);
+        }
+
+        #[test]
+        fn shared_across_threads() {
+            let q = Arc::new(SegQueue::new());
+            let q2 = Arc::clone(&q);
+            std::thread::spawn(move || q2.push(42u64)).join().unwrap();
+            assert_eq!(q.pop(), Some(42));
+        }
+    }
+}

@@ -1,0 +1,426 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors a deterministic mini property-testing engine covering the
+//! strategy combinators its test suites use: ranges, `any`, tuples,
+//! `prop_map`, `collection::vec`, `prop_oneof!`, `prop::option::of`,
+//! and `prop::sample::Index`.
+//!
+//! Differences from upstream, deliberately accepted:
+//!
+//! * **No shrinking.** A failing case reports its inputs via the
+//!   panic message (every generated binding is `Debug`-printed by
+//!   `proptest!`); minimisation is manual.
+//! * **Fixed case count** (256 per property) with a deterministic
+//!   per-property seed, so failures reproduce exactly across runs.
+//! * `.proptest-regressions` files are ignored.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
+
+/// Cases generated per `proptest!` property.
+pub const CASES: u64 = 256;
+
+/// The deterministic RNG handed to strategies.
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// Creates the RNG for one (property, case) pair. `label` is the
+    /// property name so distinct properties draw distinct streams.
+    pub fn for_case(label: &str, case: u64) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in label.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        TestRng(StdRng::seed_from_u64(
+            h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        ))
+    }
+
+    /// Uniform `u64`.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        self.0.gen()
+    }
+
+    /// Uniform index in `[0, n)`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.0.gen_range(0..n.max(1))
+    }
+}
+
+/// A generator of test-case values.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erases the strategy (used by `prop_oneof!`).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(move |rng| self.generate(rng)))
+    }
+}
+
+/// Type-erased strategy.
+#[derive(Clone)]
+pub struct BoxedStrategy<V>(Rc<dyn Fn(&mut TestRng) -> V>);
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        (self.0)(rng)
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Uniform choice among boxed alternatives (the engine of
+/// `prop_oneof!`).
+pub fn one_of<V: 'static>(alternatives: Vec<BoxedStrategy<V>>) -> BoxedStrategy<V> {
+    assert!(
+        !alternatives.is_empty(),
+        "prop_oneof! needs at least one arm"
+    );
+    BoxedStrategy(Rc::new(move |rng| {
+        let i = rng.below(alternatives.len() as u64) as usize;
+        alternatives[i].generate(rng)
+    }))
+}
+
+/// Types with a canonical whole-domain strategy.
+pub trait Arbitrary: Sized {
+    /// Draws one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// Whole-domain strategy for `T` (`any::<u8>()` etc.).
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(std::marker::PhantomData)
+}
+
+/// Strategy returned by [`any`].
+pub struct AnyStrategy<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! arbitrary_ints {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+arbitrary_ints!(u8, u16, u32, u64, usize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_f64()
+    }
+}
+
+macro_rules! range_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                self.start + rng.below((self.end - self.start) as u64) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi - lo) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo + rng.below(span + 1) as $t
+            }
+        }
+    )*};
+}
+range_strategies!(u8, u16, u32, u64, usize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.next_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        lo + rng.next_f64() * (hi - lo)
+    }
+}
+
+macro_rules! tuple_strategies {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategies! {
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+}
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Strategy for `Vec`s whose length is drawn from `len`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    /// Strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            assert!(self.len.start < self.len.end, "empty length range");
+            let span = (self.len.end - self.len.start) as u64;
+            let n = self.len.start + rng.below(span) as usize;
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// The `prop::` namespace (`prop::sample::Index`, `prop::option::of`,
+/// `prop::collection`).
+pub mod prop {
+    pub use crate::collection;
+
+    pub mod sample {
+        use crate::{Arbitrary, TestRng};
+
+        /// An index into a collection whose length is only known at use
+        /// time.
+        #[derive(Copy, Clone, Debug)]
+        pub struct Index(u64);
+
+        impl Index {
+            /// This index reduced to `[0, len)`.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `len` is zero.
+            pub fn index(&self, len: usize) -> usize {
+                assert!(len > 0, "Index::index on empty collection");
+                (self.0 % len as u64) as usize
+            }
+        }
+
+        impl Arbitrary for Index {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                Index(rng.next_u64())
+            }
+        }
+    }
+
+    pub mod option {
+        use crate::{BoxedStrategy, Strategy};
+        use std::rc::Rc;
+
+        /// `Option` strategy: `None` in roughly one case out of five.
+        pub fn of<S: Strategy + 'static>(inner: S) -> BoxedStrategy<Option<S::Value>> {
+            BoxedStrategy(Rc::new(move |rng| {
+                if rng.below(5) == 0 {
+                    None
+                } else {
+                    Some(inner.generate(rng))
+                }
+            }))
+        }
+    }
+}
+
+/// Everything the test files import.
+pub mod prelude {
+    pub use crate::{
+        any, one_of, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof,
+        proptest, BoxedStrategy, Strategy,
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond)
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*)
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_eq!($a, $b, $($fmt)*)
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {
+        assert_ne!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_ne!($a, $b, $($fmt)*)
+    };
+}
+
+/// Skips the current case when its inputs are uninteresting.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return;
+        }
+    };
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::one_of(vec![$($crate::Strategy::boxed($arm)),+])
+    };
+}
+
+/// Defines deterministic property tests.
+///
+/// Each property runs [`CASES`] generated cases; on failure the panic
+/// message includes the case number and the `Debug` rendering of every
+/// generated input.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let case_body = |__case: u64| {
+                    let mut __rng = $crate::TestRng::for_case(stringify!($name), __case);
+                    $(let $pat = $crate::Strategy::generate(&($strat), &mut __rng);)+
+                    $body
+                };
+                for case in 0..$crate::CASES {
+                    case_body(case);
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::collection::vec;
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_in_bounds(a in 3u64..9, b in 0u8..=255, f in 0.5f64..1.0) {
+            prop_assert!((3..9).contains(&a));
+            let _ = b;
+            prop_assert!((0.5..1.0).contains(&f));
+        }
+
+        #[test]
+        fn vec_lengths_respected(v in vec(any::<u8>(), 2..5)) {
+            prop_assert!(v.len() >= 2 && v.len() < 5);
+        }
+
+        #[test]
+        fn oneof_and_map(x in prop_oneof![
+            (0u16..4).prop_map(|v| v as u32),
+            (10u16..14).prop_map(|v| v as u32),
+        ]) {
+            prop_assert!(x < 4 || (10..14).contains(&x));
+        }
+
+        #[test]
+        fn index_reduces(idx in any::<prop::sample::Index>()) {
+            prop_assert!(idx.index(7) < 7);
+        }
+
+        #[test]
+        fn option_of_generates_both(o in prop::option::of(0u32..10)) {
+            if let Some(v) = o {
+                prop_assert!(v < 10);
+            }
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let draw = || {
+            let mut rng = crate::TestRng::for_case("x", 3);
+            (0u64..4).generate(&mut rng)
+        };
+        assert_eq!(draw(), draw());
+    }
+}
