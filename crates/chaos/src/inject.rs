@@ -1,0 +1,198 @@
+//! Delivery of a [`FaultPlan`] into a running simulation.
+//!
+//! [`install`] spawns one controller task per scheduled event. Each
+//! controller sleeps (idle — injection consumes no simulated CPU) until
+//! its instant, flips the corresponding fault state in `rfp-rnic`
+//! ([`MachineFaults`](rfp_rnic::MachineFaults) /
+//! [`FabricFaults`](rfp_rnic::FabricFaults)), and reverts it when the
+//! window closes. Crash events additionally drive the restart protocol:
+//! cold restarts wipe every registered memory region, and an optional
+//! restart hook lets the application layer rebuild its process state
+//! (e.g. [`RfpServerConn::recover_after_restart`]
+//! (rfp_core::RfpServerConn::recover_after_restart)) before the machine
+//! comes back.
+//!
+//! All `fault.*` instruments and trace entries are created lazily at
+//! fire time, so a plan whose events never fire inside the run window —
+//! or an empty plan — leaves metrics and trace output byte-identical to
+//! a run with no injector at all.
+
+use std::rc::Rc;
+
+use rfp_rnic::Cluster;
+use rfp_simnet::{MetricsRegistry, SimTime, Simulation, TraceLog};
+
+use crate::plan::{FaultKind, FaultPlan};
+
+/// Details of one completed crash/restart cycle, passed to the restart
+/// hook at the restart instant (while the machine is still marked
+/// crashed, after a cold wipe has already zeroed registered memory).
+#[derive(Clone, Copy, Debug)]
+pub struct Restart {
+    /// The machine that crashed.
+    pub machine: usize,
+    /// Whether registered memory survived.
+    pub warm: bool,
+    /// When the crash struck.
+    pub crashed_at: SimTime,
+    /// When the restart completes (the hook runs at this instant).
+    pub restored_at: SimTime,
+}
+
+/// A hook invoked at each restart instant (see
+/// [`InjectorSinks::on_restart`]).
+pub type RestartHook = Rc<dyn Fn(&Restart)>;
+
+/// Telemetry sinks and application hooks for an injector.
+#[derive(Clone, Default)]
+pub struct InjectorSinks {
+    /// Receives `fault.*` counters (created lazily at fire time).
+    pub registry: Option<MetricsRegistry>,
+    /// Receives `chaos.fault` entries (one per state change).
+    pub trace: Option<TraceLog>,
+    /// Runs at each restart instant, before the machine is unmarked.
+    pub on_restart: Option<RestartHook>,
+}
+
+impl std::fmt::Debug for InjectorSinks {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("InjectorSinks")
+            .field("registry", &self.registry.is_some())
+            .field("trace", &self.trace.is_some())
+            .field("on_restart", &self.on_restart.is_some())
+            .finish()
+    }
+}
+
+impl InjectorSinks {
+    fn count(&self, name: &str) {
+        if let Some(reg) = &self.registry {
+            reg.counter(name).incr();
+        }
+    }
+
+    fn note(&self, at: SimTime, message: String) {
+        if let Some(trace) = &self.trace {
+            trace.record(at, "chaos.fault", message);
+        }
+    }
+}
+
+/// Spawns the plan's controller tasks into `sim`.
+///
+/// Overlapping windows of the *same* fault kind on the same target are
+/// not composed — the later revert wins — so plans should keep same-kind
+/// windows disjoint (the builders in [`FaultPlan`] make that easy to
+/// arrange).
+///
+/// # Panics
+///
+/// Panics if an event targets a machine index outside the cluster.
+pub fn install(sim: &mut Simulation, cluster: &Cluster, plan: &FaultPlan, sinks: InjectorSinks) {
+    for event in plan.events() {
+        if let FaultKind::LossBurst { machine, .. }
+        | FaultKind::Straggler { machine, .. }
+        | FaultKind::QpError { machine }
+        | FaultKind::Crash { machine, .. } = &event.kind
+        {
+            assert!(
+                *machine < cluster.len(),
+                "fault targets machine {machine} outside the {}-machine cluster",
+                cluster.len()
+            );
+        }
+    }
+
+    for event in plan.events().iter().cloned() {
+        let handle = cluster.handle().clone();
+        let fabric = Rc::clone(cluster.fabric());
+        let target = match &event.kind {
+            FaultKind::LossBurst { machine, .. }
+            | FaultKind::Straggler { machine, .. }
+            | FaultKind::QpError { machine }
+            | FaultKind::Crash { machine, .. } => Some(cluster.machine(*machine)),
+            FaultKind::LinkDegrade { .. } => None,
+        };
+        let sinks = sinks.clone();
+        sim.spawn(async move {
+            let now = handle.now();
+            if event.at > now {
+                handle.sleep(event.at.since(now)).await;
+            }
+            let at = handle.now();
+            match event.kind {
+                FaultKind::LossBurst { machine, loss } => {
+                    let m = target.expect("loss burst has a target");
+                    m.faults().set_extra_loss(loss);
+                    sinks.count("fault.loss_bursts");
+                    sinks.note(at, format!("machine {machine}: loss burst {loss:.3}"));
+                    handle.sleep(event.duration).await;
+                    m.faults().set_extra_loss(0.0);
+                    sinks.note(handle.now(), format!("machine {machine}: loss burst over"));
+                }
+                FaultKind::LinkDegrade { factor } => {
+                    fabric.set_link_factor(factor);
+                    sinks.count("fault.link_degrades");
+                    sinks.note(at, format!("fabric: link degraded {factor:.2}x"));
+                    handle.sleep(event.duration).await;
+                    fabric.set_link_factor(1.0);
+                    sinks.note(handle.now(), "fabric: link restored".to_string());
+                }
+                FaultKind::Straggler { machine, factor } => {
+                    let m = target.expect("straggler has a target");
+                    m.faults().set_cpu_factor(factor);
+                    sinks.count("fault.stragglers");
+                    sinks.note(at, format!("machine {machine}: straggling {factor:.2}x"));
+                    handle.sleep(event.duration).await;
+                    m.faults().set_cpu_factor(1.0);
+                    sinks.note(handle.now(), format!("machine {machine}: straggler over"));
+                }
+                FaultKind::QpError { machine } => {
+                    let m = target.expect("qp error has a target");
+                    m.faults().bump_qp_epoch();
+                    sinks.count("fault.qp_errors");
+                    sinks.note(at, format!("machine {machine}: QPs transitioned to error"));
+                }
+                FaultKind::Crash { machine, warm } => {
+                    let m = target.expect("crash has a target");
+                    m.faults().set_crashed(true);
+                    sinks.count(if warm {
+                        "fault.crashes_warm"
+                    } else {
+                        "fault.crashes_cold"
+                    });
+                    sinks.note(
+                        at,
+                        format!(
+                            "machine {machine}: crashed ({})",
+                            if warm { "warm" } else { "cold" }
+                        ),
+                    );
+                    handle.sleep(event.duration).await;
+                    if !warm {
+                        // Registered memory did not survive: the machine
+                        // comes back with zeroed regions.
+                        m.wipe_memory();
+                    }
+                    let restart = Restart {
+                        machine,
+                        warm,
+                        crashed_at: at,
+                        restored_at: handle.now(),
+                    };
+                    if let Some(hook) = &sinks.on_restart {
+                        hook(&restart);
+                    }
+                    m.faults().set_crashed(false);
+                    sinks.note(
+                        restart.restored_at,
+                        format!(
+                            "machine {machine}: restarted ({})",
+                            if warm { "warm" } else { "cold" }
+                        ),
+                    );
+                }
+            }
+        });
+    }
+}

@@ -1,0 +1,25 @@
+//! Deterministic fault injection for the RFP simulator.
+//!
+//! The paper evaluates RFP on a healthy cluster; this crate supplies the
+//! adversarial half of the story. A [`FaultPlan`] schedules faults at
+//! simulated instants — NIC loss bursts, fabric-wide link degradation,
+//! straggler cores, QP error transitions, and server crashes with warm
+//! or cold restarts — and [`install`] (or the bundled
+//! [`spawn_chaos_kv`] rig) delivers them into a running simulation.
+//! Because the simulator is single-threaded over a virtual clock, every
+//! run is exactly reproducible from `(plan, seed)`: a recovery bug found
+//! under chaos replays under a debugger, fault for fault.
+//!
+//! The rig in [`harness`] drives a Jakiro-style KV store through
+//! [`RfpClient::call_with_recovery`](rfp_core::RfpClient::call_with_recovery)
+//! and checks the recovery invariants online (no acked write lost, no
+//! stale data after a cold wipe) — see `cargo run -p rfp-bench --bin
+//! chaos` for the scenario sweep.
+
+mod harness;
+mod inject;
+mod plan;
+
+pub use harness::{spawn_chaos_kv, ChaosConfig, ChaosKv, ChaosState};
+pub use inject::{install, InjectorSinks, Restart, RestartHook};
+pub use plan::{FaultEvent, FaultKind, FaultPlan};

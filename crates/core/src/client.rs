@@ -4,11 +4,15 @@ use std::cell::{Cell, RefCell};
 use std::collections::BTreeMap;
 use std::rc::Rc;
 
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
 use rfp_rnic::{Qp, ThreadCtx};
-use rfp_simnet::{timeout, Counter, Gauge, Histogram, RequestTrace, SimSpan};
+use rfp_simnet::{derive_seed, retry, timeout, Counter, Gauge, Histogram, RequestTrace, SimSpan};
 
 use crate::conn::{Mode, RfpTelemetry, Shared, MODE_REMOTE_FETCH, MODE_SERVER_REPLY};
 use crate::header::{ReqHeader, RespHeader, REQ_HDR, RESP_HDR};
+use crate::recovery::{FailureCause, RecoveryConfig, RpcError};
 
 /// Registry-backed instruments of one connection, created when the
 /// config carries an [`RfpTelemetry`].
@@ -184,6 +188,10 @@ impl ClientStats {
     }
 }
 
+/// A factory minting a fresh QP to the server, used to re-establish an
+/// errored one (see [`RfpClient::set_reconnect`]).
+pub type QpFactory = Box<dyn Fn() -> Rc<Qp>>;
+
 /// Client endpoint of one RFP connection, bound to one simulated thread.
 ///
 /// Implements the paper's `client_send` / `client_recv` (Table 2) plus
@@ -191,7 +199,10 @@ impl ClientStats {
 /// remote-fetch ↔ server-reply switch, and the two-segment fetch.
 pub struct RfpClient {
     shared: Rc<Shared>,
-    qp: Rc<Qp>,
+    qp: RefCell<Rc<Qp>>,
+    /// Factory minting a fresh QP to the server, installed by fault-
+    /// tolerant deployments; used to re-establish an errored QP.
+    reconnect: RefCell<Option<QpFactory>>,
     seq: Cell<u32>,
     /// When the current call's request WRITE was issued (latency epoch).
     sent_at: Cell<rfp_simnet::SimTime>,
@@ -218,7 +229,8 @@ impl RfpClient {
             .map(|t| Instruments::new(t, initial_mode));
         RfpClient {
             shared,
-            qp,
+            qp: RefCell::new(qp),
+            reconnect: RefCell::new(None),
             seq: Cell::new(0),
             sent_at: Cell::new(rfp_simnet::SimTime::ZERO),
             mode: Cell::new(initial_mode),
@@ -228,6 +240,19 @@ impl RfpClient {
             stats: ClientStats::default(),
             instruments,
         }
+    }
+
+    /// The QP currently carrying this connection's verbs.
+    fn qp(&self) -> Rc<Qp> {
+        Rc::clone(&self.qp.borrow())
+    }
+
+    /// Installs the QP factory used to re-establish the connection after
+    /// a QP error (see [`RecoveryConfig`]). Without one, recovery keeps
+    /// retrying on the original QP and a QP-error fault is fatal to the
+    /// call.
+    pub fn set_reconnect(&self, factory: impl Fn() -> Rc<Qp> + 'static) {
+        *self.reconnect.borrow_mut() = Some(Box::new(factory));
     }
 
     /// Aggregated statistics.
@@ -302,7 +327,7 @@ impl RfpClient {
         hdr.encode(&mut hdr_bytes);
         self.shared.client_req.write_local(0, &hdr_bytes);
         self.shared.client_req.write_local(REQ_HDR, req);
-        self.qp
+        self.qp()
             .write(
                 thread,
                 &self.shared.client_req,
@@ -375,7 +400,7 @@ impl RfpClient {
         loop {
             attempts += 1;
             let f = self.fetch_size.get();
-            self.qp
+            self.qp()
                 .read(thread, &self.shared.client_resp, 0, &self.shared.resp, 0, f)
                 .await;
             self.span_mark(thread, "fetch_read");
@@ -391,7 +416,7 @@ impl RfpClient {
                     // Second fetch for the remainder (paper §3.2: only if
                     // the real result exceeds the default fetch size).
                     let rest = RESP_HDR + size - f;
-                    self.qp
+                    self.qp()
                         .read(
                             thread,
                             &self.shared.client_resp,
@@ -494,7 +519,7 @@ impl RfpClient {
                 }
                 attempts += 1;
                 let f = self.fetch_size.get().max(self.shared.cfg.resp_capacity);
-                self.qp
+                self.qp()
                     .read(thread, &self.shared.client_resp, 0, &self.shared.resp, 0, f)
                     .await;
                 self.span_mark(thread, "fallback_fetch_read");
@@ -506,13 +531,206 @@ impl RfpClient {
         }
     }
 
+    /// One fault-tolerant RPC: deposits the request, fetches the
+    /// response under a per-attempt deadline, and on failure backs off
+    /// (jittered exponential), re-establishes an errored QP, and
+    /// resubmits under the **same** sequence number so a restarted
+    /// server dedups the replay. See [`RecoveryConfig`].
+    ///
+    /// Always runs in remote-fetch terms (the recovery path does not
+    /// interact with the hybrid mode switch). On a healthy cluster the
+    /// first attempt succeeds and this behaves exactly like
+    /// [`call`](RfpClient::call) in remote-fetch mode: no recovery
+    /// instrument is created, no extra event is scheduled.
+    pub async fn call_with_recovery(
+        &self,
+        thread: &ThreadCtx,
+        req: &[u8],
+        rec: &RecoveryConfig,
+    ) -> Result<CallResult, RpcError> {
+        assert!(
+            req.len() <= self.shared.cfg.max_req_payload(),
+            "request exceeds buffer capacity"
+        );
+        let seq = self.seq.get().wrapping_add(1);
+        self.seq.set(seq);
+        let t0 = thread.now();
+        self.sent_at.set(t0);
+        // Stage the request once; every attempt re-deposits these bytes.
+        let hdr = ReqHeader {
+            valid: true,
+            size: req.len() as u32,
+            seq,
+        };
+        let mut hdr_bytes = [0u8; REQ_HDR];
+        hdr.encode(&mut hdr_bytes);
+        self.shared.client_req.write_local(0, &hdr_bytes);
+        self.shared.client_req.write_local(REQ_HDR, req);
+        let wire_len = REQ_HDR + req.len();
+
+        // Jitter stream: deterministic per (config seed, call seq), and
+        // constructed without touching the simulation's shared RNG.
+        let mut jitter_rng = StdRng::seed_from_u64(derive_seed(rec.seed, seq as u64));
+        let handle = thread.handle().clone();
+        let fetches = Cell::new(0u32);
+        let outcome = retry(
+            &handle,
+            &rec.retry,
+            || jitter_rng.gen::<f64>(),
+            |attempt| self.attempt_call(thread, seq, wire_len, attempt, rec, &fetches),
+        )
+        .await;
+        match outcome {
+            Ok(mut out) => {
+                // Latency spans the whole recovered call, backoffs
+                // included.
+                out.info.latency = thread.now() - t0;
+                out.info.attempts = fetches.get();
+                self.stats.record(&out.info);
+                if let Some(ins) = &self.instruments {
+                    ins.calls.incr();
+                    ins.latency.record(out.info.latency);
+                    ins.retries.add(out.info.attempts.saturating_sub(1) as u64);
+                }
+                Ok(out)
+            }
+            Err(exhausted) => {
+                self.note_recovery(thread, "recovery.failed_calls", "call exhausted its budget");
+                Err(RpcError {
+                    attempts: exhausted.attempts,
+                    last: exhausted.last,
+                })
+            }
+        }
+    }
+
+    /// One recovery attempt: (re)submit the request, then fetch until
+    /// the per-attempt deadline.
+    async fn attempt_call(
+        &self,
+        thread: &ThreadCtx,
+        seq: u32,
+        wire_len: usize,
+        attempt: u32,
+        rec: &RecoveryConfig,
+        fetches: &Cell<u32>,
+    ) -> Result<CallResult, FailureCause> {
+        if attempt > 0 {
+            self.note_recovery(
+                thread,
+                "recovery.resubmits",
+                "resubmitting request under the same seq",
+            );
+            if self.qp().error_state().is_some() {
+                self.reestablish_qp(thread, rec).await;
+            }
+        }
+        let qp = self.qp();
+        qp.try_write(
+            thread,
+            &self.shared.client_req,
+            0,
+            &self.shared.req,
+            0,
+            wire_len,
+        )
+        .await
+        .map_err(|e| self.verb_failure(thread, e))?;
+
+        let deadline = thread.now() + rec.fetch_deadline;
+        loop {
+            let f = self.fetch_size.get();
+            qp.try_read(thread, &self.shared.client_resp, 0, &self.shared.resp, 0, f)
+                .await
+                .map_err(|e| self.verb_failure(thread, e))?;
+            fetches.set(fetches.get() + 1);
+            if let Some(ins) = &self.instruments {
+                ins.fetch_bytes.add(f as u64);
+            }
+            thread.busy(self.shared.cfg.check_cpu).await;
+            let hdr = RespHeader::decode(&self.shared.client_resp.read_local(0, RESP_HDR));
+            if hdr.valid && hdr.seq == seq {
+                let size = hdr.size as usize;
+                let mut extra_read = false;
+                if RESP_HDR + size > f {
+                    let rest = RESP_HDR + size - f;
+                    qp.try_read(
+                        thread,
+                        &self.shared.client_resp,
+                        f,
+                        &self.shared.resp,
+                        f,
+                        rest,
+                    )
+                    .await
+                    .map_err(|e| self.verb_failure(thread, e))?;
+                    if let Some(ins) = &self.instruments {
+                        ins.fetch_bytes.add(rest as u64);
+                    }
+                    extra_read = true;
+                }
+                return Ok(CallResult {
+                    data: self.shared.client_resp.read_local(RESP_HDR, size),
+                    info: CallInfo {
+                        attempts: fetches.get(),
+                        extra_read,
+                        completed_in: Mode::RemoteFetch,
+                        latency: SimSpan::ZERO, // patched by the caller
+                        server_time_us: hdr.time_us,
+                    },
+                });
+            }
+            if thread.now() >= deadline {
+                self.note_recovery(thread, "recovery.deadlines", "attempt deadline expired");
+                return Err(FailureCause::Deadline);
+            }
+        }
+    }
+
+    /// Re-establishes the QP via the installed factory (charging the
+    /// reconnect CPU cost). Without a factory the old QP stays in place.
+    async fn reestablish_qp(&self, thread: &ThreadCtx, rec: &RecoveryConfig) {
+        let fresh = {
+            let factory = self.reconnect.borrow();
+            factory.as_ref().map(|f| f())
+        };
+        let Some(fresh) = fresh else { return };
+        // Connection handshake + MR re-registration.
+        thread.busy(rec.reconnect_cpu).await;
+        *self.qp.borrow_mut() = fresh;
+        self.note_recovery(thread, "recovery.reconnects", "QP re-established");
+    }
+
+    /// Records a verb error completion against the recovery instruments.
+    fn verb_failure(&self, thread: &ThreadCtx, e: rfp_rnic::VerbError) -> FailureCause {
+        self.note_recovery(thread, "recovery.verb_errors", "verb completed with error");
+        FailureCause::Verb(e)
+    }
+
+    /// Bumps a `recovery.*` counter and trace entry. Instruments are
+    /// created lazily at the first event, so a run without faults never
+    /// materialises them — keeping fault-free metric output byte-equal
+    /// to a build without recovery wired in.
+    fn note_recovery(&self, thread: &ThreadCtx, counter: &str, what: &str) {
+        if let Some(ins) = &self.instruments {
+            ins.telemetry.registry.counter(counter).incr();
+        }
+        if let Some(trace) = &self.shared.cfg.trace {
+            trace.record(
+                thread.now(),
+                "rfp.recovery",
+                format!("seq {}: {what}", self.seq.get()),
+            );
+        }
+    }
+
     async fn switch_mode(&self, thread: &ThreadCtx, to: Mode) {
         let byte = match to {
             Mode::RemoteFetch => MODE_REMOTE_FETCH,
             Mode::ServerReply => MODE_SERVER_REPLY,
         };
         self.shared.client_mode.write_local(0, &[byte]);
-        self.qp
+        self.qp()
             .write(thread, &self.shared.client_mode, 0, &self.shared.mode, 0, 1)
             .await;
         self.mode.set(to);

@@ -253,12 +253,19 @@ impl RfpServerConn {
     /// Checks the request buffer for a newly arrived request
     /// (`server_recv`). Returns its payload, or `None`.
     ///
+    /// Acceptance doubles as idempotent dedup: a request is delivered
+    /// iff its sequence differs from the last *delivered* one. The
+    /// connection carries one call at a time, so a client resubmitting
+    /// under the same seq (crash recovery) is ignored while that seq is
+    /// in flight or already answered, and accepted fresh seqs — e.g.
+    /// the first request after a server restart — need no handshake.
+    ///
     /// Charges one header inspection of CPU time.
     pub async fn try_recv(&self, thread: &ThreadCtx) -> Option<Vec<u8>> {
         thread.busy(self.shared.cfg.check_cpu).await;
         let hdr_bytes = self.shared.req.read_local(0, REQ_HDR);
         let hdr = ReqHeader::decode(&hdr_bytes);
-        if !hdr.valid || hdr.seq != self.last_seq.get().wrapping_add(1) {
+        if !hdr.valid || hdr.seq == self.last_seq.get() {
             return None;
         }
         self.last_seq.set(hdr.seq);
@@ -323,6 +330,25 @@ impl RfpServerConn {
                 )
                 .await;
         }
+    }
+
+    /// Rebuilds this connection's process state after a server restart.
+    ///
+    /// Process state (`last_seq`, the in-flight marker) died with the
+    /// old process; what survives is whatever is in the registered
+    /// buffers. After a **warm** restart the response buffer still holds
+    /// the last answered response, so its header seq restores the dedup
+    /// state — an already-answered request that the client replays is
+    /// recognised and not re-executed. After a **cold** restart the
+    /// buffers were wiped, the recovered seq is 0, and every replay is
+    /// (correctly) executed against the empty store.
+    pub fn recover_after_restart(&self) {
+        let hdr = RespHeader::decode(&self.shared.resp.read_local(0, RESP_HDR));
+        let recovered = if hdr.valid { hdr.seq } else { 0 };
+        self.last_seq.set(recovered);
+        self.cur_seq.set(recovered);
+        // Any span of a call interrupted by the crash is stale.
+        *self.shared.span.borrow_mut() = None;
     }
 
     /// Requests answered so far.

@@ -71,6 +71,7 @@ mod conn;
 mod header;
 mod params;
 mod pool;
+mod recovery;
 mod server;
 mod tuner;
 
@@ -79,5 +80,6 @@ pub use conn::{connect, Mode, RfpConfig, RfpServerConn, RfpTelemetry};
 pub use header::{ReqHeader, RespHeader, MAX_PAYLOAD, REQ_HDR, RESP_HDR};
 pub use params::{ParamSelector, Params, WorkloadSample};
 pub use pool::RfpPool;
+pub use recovery::{FailureCause, RecoveryConfig, RpcError};
 pub use server::{serve_loop, RfpHandler};
 pub use tuner::OnlineTuner;

@@ -43,12 +43,30 @@ pub async fn serve_loop(
 ) {
     assert!(!conns.is_empty(), "server thread with no connections");
     loop {
+        // A crashed machine runs no software: park (idle, not busy)
+        // until the restart clears the flag. Healthy runs pay only the
+        // flag load per scan.
+        if thread.machine().faults().is_crashed() {
+            thread
+                .idle_wait(thread.handle().sleep(idle_pause.max(SimSpan::micros(1))))
+                .await;
+            continue;
+        }
         let mut served_any = false;
         for conn in &conns {
+            if thread.machine().faults().is_crashed() {
+                break;
+            }
             if let Some(req) = conn.try_recv(&thread).await {
                 let (resp, process) = handler.handle(&req);
                 if !process.is_zero() {
                     thread.busy(process).await;
+                }
+                if thread.machine().faults().is_crashed() {
+                    // The process died while handling this request: the
+                    // half-done work dies with it. (The client's
+                    // resubmission redelivers it after the restart.)
+                    break;
                 }
                 conn.send(&thread, &resp).await;
                 served_any = true;

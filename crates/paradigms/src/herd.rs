@@ -19,7 +19,7 @@ use std::rc::Rc;
 
 use rfp_core::{ReqHeader, REQ_HDR};
 use rfp_rnic::{Machine, MemRegion, Qp, ThreadCtx, Transport};
-use rfp_simnet::{timeout, SimSpan};
+use rfp_simnet::{retry, timeout, RetryPolicy, SimSpan};
 
 /// Tuning of one HERD-style connection.
 #[derive(Clone, Debug)]
@@ -123,6 +123,45 @@ impl HerdClient {
             .await;
     }
 
+    /// One transmit-and-wait attempt: (re)send the staged request, then
+    /// wait for a response frame carrying our sequence number. Stale
+    /// frames (responses to retransmitted older calls that arrived late)
+    /// are discarded and restart the wait. HERD clients spin on their
+    /// CQs, so the whole wait is busy time.
+    async fn attempt(
+        &self,
+        thread: &ThreadCtx,
+        seq: u32,
+        total: usize,
+        attempt: u32,
+    ) -> Result<Vec<u8>, ()> {
+        if attempt > 0 {
+            self.retransmits.set(self.retransmits.get() + 1);
+        }
+        self.transmit(thread, total).await;
+        loop {
+            match thread
+                .busy_wait(timeout(
+                    thread.handle(),
+                    self.cfg.retransmit_after,
+                    self.ud.incoming(),
+                ))
+                .await
+            {
+                Some(frame) => {
+                    if frame.len() >= 4 {
+                        let got_seq = u32::from_le_bytes(frame[..4].try_into().expect("4 bytes"));
+                        if got_seq == seq {
+                            return Ok(frame[4..].to_vec());
+                        }
+                    }
+                    // Stale or corrupt frame: keep waiting.
+                }
+                None => return Err(()),
+            }
+        }
+    }
+
     /// One RPC over the unreliable pair. Returns `None` when the call
     /// had to be abandoned after the retransmit budget (an error a
     /// reliable-transport application never has to surface).
@@ -144,40 +183,24 @@ impl HerdClient {
         self.req_local.write_local(REQ_HDR, req);
 
         let total = REQ_HDR + req.len();
-        self.transmit(thread, total).await;
-        let mut resends = 0;
-        loop {
-            // Wait for a response frame carrying our sequence number;
-            // stale frames (responses to retransmitted older calls that
-            // arrived late) are discarded. HERD clients spin on their
-            // CQs, so the whole wait is busy time.
-            match thread
-                .busy_wait(timeout(
-                    thread.handle(),
-                    self.cfg.retransmit_after,
-                    self.ud.incoming(),
-                ))
-                .await
-            {
-                Some(frame) => {
-                    if frame.len() >= 4 {
-                        let got_seq = u32::from_le_bytes(frame[..4].try_into().expect("4 bytes"));
-                        if got_seq == seq {
-                            self.calls.set(self.calls.get() + 1);
-                            return Some(frame[4..].to_vec());
-                        }
-                    }
-                    // Stale or corrupt frame: keep waiting.
-                }
-                None => {
-                    if resends >= self.cfg.max_retransmits {
-                        return None;
-                    }
-                    resends += 1;
-                    self.retransmits.set(self.retransmits.get() + 1);
-                    self.transmit(thread, total).await;
-                }
+        // HERD retransmits immediately on timeout: zero backoff, one
+        // initial transmission plus `max_retransmits` resends. The same
+        // retry loop drives RFP's crash recovery with an exponential
+        // policy instead.
+        let policy = RetryPolicy::immediate(self.cfg.max_retransmits + 1);
+        match retry(
+            thread.handle(),
+            &policy,
+            || 0.0,
+            |n| self.attempt(thread, seq, total, n),
+        )
+        .await
+        {
+            Ok(payload) => {
+                self.calls.set(self.calls.get() + 1);
+                Some(payload)
             }
+            Err(_) => None,
         }
     }
 }

@@ -4,6 +4,7 @@ use std::rc::Rc;
 
 use rfp_simnet::{SimHandle, Simulation};
 
+use crate::fault::FabricFaults;
 use crate::machine::{Machine, MachineId};
 use crate::profile::ClusterProfile;
 use crate::qp::{Qp, Transport};
@@ -16,6 +17,7 @@ pub struct Cluster {
     handle: SimHandle,
     profile: ClusterProfile,
     machines: Vec<Rc<Machine>>,
+    fabric: Rc<FabricFaults>,
 }
 
 impl Cluster {
@@ -34,7 +36,14 @@ impl Cluster {
             handle,
             profile,
             machines,
+            fabric: Rc::new(FabricFaults::default()),
         }
+    }
+
+    /// Cluster-wide fabric fault state (link degradation) shared by
+    /// every QP created through this cluster.
+    pub fn fabric(&self) -> &Rc<FabricFaults> {
+        &self.fabric
     }
 
     /// The shared timing profile.
@@ -97,8 +106,35 @@ impl Cluster {
             self.machine(from),
             self.machine(to),
             self.profile.link.clone(),
+            Rc::clone(&self.fabric),
             transport,
         )
+    }
+
+    /// A factory that mints fresh RC queue pairs from `from` to `to`
+    /// without borrowing the cluster — the re-establishment hook a
+    /// recovering client installs. Each call picks up the endpoints'
+    /// *current* QP epochs, so QPs minted after a QP-error fault are
+    /// healthy.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Cluster::qp`].
+    pub fn qp_factory(&self, from: usize, to: usize) -> impl Fn() -> Rc<Qp> {
+        assert_ne!(from, to, "loopback QP: access local memory directly");
+        let local = self.machine(from);
+        let remote = self.machine(to);
+        let link = self.profile.link.clone();
+        let fabric = Rc::clone(&self.fabric);
+        move || {
+            Qp::with_transport(
+                Rc::clone(&local),
+                Rc::clone(&remote),
+                link.clone(),
+                Rc::clone(&fabric),
+                Transport::Rc,
+            )
+        }
     }
 }
 

@@ -1,0 +1,182 @@
+//! Fault state consulted by the verb delivery paths.
+//!
+//! The chaos subsystem (`rfp-chaos`) injects faults by flipping the
+//! cells below at scheduled sim instants; the NIC/QP code reads them on
+//! every operation. All state is plain `Cell`s — checking a fault costs
+//! one load and schedules nothing, so an idle fault plan leaves the
+//! event stream (and therefore every metric and trace byte) unchanged.
+//!
+//! Fault classes:
+//!
+//! * **crash** — the machine's software is down. Verbs issued *by* it
+//!   fail immediately ([`VerbError::LocalDown`]); verbs targeting it
+//!   fail after the wire round trip ([`VerbError::RemoteDown`]), the
+//!   way a real initiator only learns of a dead peer from the NACK /
+//!   retry-exhausted completion.
+//! * **QP error** — bumping [`MachineFaults::bump_qp_epoch`] moves every
+//!   QP attached to the machine to the error state
+//!   ([`VerbError::QpError`]); they must be re-established (a new QP
+//!   picks up the current epoch).
+//! * **loss burst** — [`MachineFaults::set_extra_loss`] raises the drop
+//!   probability of unreliable (UC/UD) traffic touching the machine and
+//!   makes reliable (RC) traffic pay occasional retransmission delays.
+//! * **straggler** — [`MachineFaults::set_cpu_factor`] inflates
+//!   explicit CPU costs ([`ThreadCtx::busy`](crate::ThreadCtx::busy))
+//!   on the machine's cores.
+//! * **link degradation** — [`FabricFaults::set_link_factor`] scales
+//!   wire propagation cluster-wide.
+
+use std::cell::Cell;
+use std::fmt;
+
+/// Error completion of an RDMA verb under injected faults.
+///
+/// On a healthy cluster no verb ever returns one of these; the
+/// infallible verb wrappers rely on that and panic if proven wrong.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum VerbError {
+    /// The issuing machine is crashed; nothing was put on the wire.
+    LocalDown,
+    /// The target machine is crashed; the op failed after the NACK /
+    /// retry-exhausted round trip.
+    RemoteDown,
+    /// The queue pair is in the error state (its endpoint's QP epoch
+    /// advanced since creation); it must be re-established.
+    QpError,
+}
+
+impl fmt::Display for VerbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerbError::LocalDown => write!(f, "local machine is down"),
+            VerbError::RemoteDown => write!(f, "remote machine is down"),
+            VerbError::QpError => write!(f, "queue pair in error state"),
+        }
+    }
+}
+
+impl std::error::Error for VerbError {}
+
+/// Mutable fault state of one machine.
+#[derive(Debug)]
+pub struct MachineFaults {
+    crashed: Cell<bool>,
+    extra_loss: Cell<f64>,
+    cpu_factor: Cell<f64>,
+    qp_epoch: Cell<u64>,
+}
+
+impl Default for MachineFaults {
+    fn default() -> Self {
+        MachineFaults {
+            crashed: Cell::new(false),
+            extra_loss: Cell::new(0.0),
+            cpu_factor: Cell::new(1.0),
+            qp_epoch: Cell::new(0),
+        }
+    }
+}
+
+impl MachineFaults {
+    /// Whether the machine's software is currently down.
+    pub fn is_crashed(&self) -> bool {
+        self.crashed.get()
+    }
+
+    /// Marks the machine crashed / restarted.
+    pub fn set_crashed(&self, down: bool) {
+        self.crashed.set(down);
+    }
+
+    /// Additional drop probability for unreliable traffic touching this
+    /// machine (0 outside loss-burst windows).
+    pub fn extra_loss(&self) -> f64 {
+        self.extra_loss.get()
+    }
+
+    /// Opens/closes a loss-burst window.
+    pub fn set_extra_loss(&self, p: f64) {
+        self.extra_loss.set(p.clamp(0.0, 1.0));
+    }
+
+    /// Multiplier on explicit CPU costs of this machine's threads
+    /// (1.0 = healthy, >1 = straggler).
+    pub fn cpu_factor(&self) -> f64 {
+        self.cpu_factor.get()
+    }
+
+    /// Sets the straggler multiplier.
+    pub fn set_cpu_factor(&self, factor: f64) {
+        self.cpu_factor.set(factor.max(0.0));
+    }
+
+    /// Current QP generation; QPs created against an older generation
+    /// are in the error state.
+    pub fn qp_epoch(&self) -> u64 {
+        self.qp_epoch.get()
+    }
+
+    /// Transitions every QP attached to this machine to the error
+    /// state.
+    pub fn bump_qp_epoch(&self) {
+        self.qp_epoch.set(self.qp_epoch.get() + 1);
+    }
+}
+
+/// Cluster-wide fabric fault state shared by every QP.
+#[derive(Debug)]
+pub struct FabricFaults {
+    link_factor: Cell<f64>,
+}
+
+impl Default for FabricFaults {
+    fn default() -> Self {
+        FabricFaults {
+            link_factor: Cell::new(1.0),
+        }
+    }
+}
+
+impl FabricFaults {
+    /// Multiplier on wire propagation delay (1.0 = healthy).
+    pub fn link_factor(&self) -> f64 {
+        self.link_factor.get()
+    }
+
+    /// Sets the link-degradation multiplier.
+    pub fn set_link_factor(&self, factor: f64) {
+        self.link_factor.set(factor.max(0.0));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_healthy() {
+        let m = MachineFaults::default();
+        assert!(!m.is_crashed());
+        assert_eq!(m.extra_loss(), 0.0);
+        assert_eq!(m.cpu_factor(), 1.0);
+        assert_eq!(m.qp_epoch(), 0);
+        assert_eq!(FabricFaults::default().link_factor(), 1.0);
+    }
+
+    #[test]
+    fn loss_is_clamped_to_probability_range() {
+        let m = MachineFaults::default();
+        m.set_extra_loss(1.5);
+        assert_eq!(m.extra_loss(), 1.0);
+        m.set_extra_loss(-0.5);
+        assert_eq!(m.extra_loss(), 0.0);
+    }
+
+    #[test]
+    fn qp_epoch_is_monotone() {
+        let m = MachineFaults::default();
+        m.bump_qp_epoch();
+        m.bump_qp_epoch();
+        assert_eq!(m.qp_epoch(), 2);
+    }
+}

@@ -25,6 +25,7 @@
 
 mod async_verbs;
 mod cluster;
+mod fault;
 mod machine;
 mod mem;
 mod nic;
@@ -33,6 +34,7 @@ mod qp;
 
 pub use async_verbs::Completion;
 pub use cluster::Cluster;
+pub use fault::{FabricFaults, MachineFaults, VerbError};
 pub use machine::{Machine, MachineId, ThreadCtx};
 pub use mem::{MemRegion, MrId};
 pub use nic::{Nic, NicCounters};

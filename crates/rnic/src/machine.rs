@@ -1,11 +1,12 @@
 //! Machines and simulated threads.
 
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
 use std::future::Future;
-use std::rc::Rc;
+use std::rc::{Rc, Weak};
 
 use rfp_simnet::{BusyClock, SimHandle, SimSpan, SimTime};
 
+use crate::fault::MachineFaults;
 use crate::mem::{MemRegion, MrId};
 use crate::nic::Nic;
 use crate::profile::NicProfile;
@@ -24,6 +25,9 @@ pub struct Machine {
     nic: Rc<Nic>,
     handle: SimHandle,
     next_mr: Cell<u64>,
+    faults: MachineFaults,
+    /// Every region registered on this machine, for cold-restart wipes.
+    regions: RefCell<Vec<Weak<MemRegion>>>,
 }
 
 impl Machine {
@@ -33,6 +37,8 @@ impl Machine {
             nic: Rc::new(Nic::new(handle.clone(), profile)),
             handle,
             next_mr: Cell::new(0),
+            faults: MachineFaults::default(),
+            regions: RefCell::new(Vec::new()),
         })
     }
 
@@ -51,6 +57,11 @@ impl Machine {
         &self.handle
     }
 
+    /// This machine's injected-fault state (all healthy by default).
+    pub fn faults(&self) -> &MachineFaults {
+        &self.faults
+    }
+
     /// Registers a zero-filled memory region of `len` bytes with the NIC
     /// (the `malloc_buf` substrate of RFP's Table 2).
     pub fn alloc_mr(&self, len: usize) -> Rc<MemRegion> {
@@ -58,7 +69,24 @@ impl Machine {
         self.next_mr.set(seq + 1);
         // Encode the owner in the rkey for debuggability.
         let id = MrId(((self.id.0 as u64) << 32) | seq);
-        MemRegion::new(id, self.id, len)
+        let mr = MemRegion::new(id, self.id, len);
+        self.regions.borrow_mut().push(Rc::downgrade(&mr));
+        mr
+    }
+
+    /// Zero-fills every live memory region registered on this machine —
+    /// the cold-restart path, where a rebooted host loses its pinned
+    /// buffers along with its DRAM contents. Watchers stay armed; they
+    /// wake on the next remote write as usual.
+    pub fn wipe_memory(&self) {
+        let mut regions = self.regions.borrow_mut();
+        regions.retain(|weak| match weak.upgrade() {
+            Some(mr) => {
+                mr.zero();
+                true
+            }
+            None => false,
+        });
     }
 
     /// Creates a simulated thread (= dedicated core) on this machine.
@@ -107,7 +135,14 @@ impl ThreadCtx {
 
     /// Spends `span` of CPU time (accrues busy time and advances the
     /// clock). Used for request processing (`P`) and software verb costs.
+    /// A straggler fault on the machine inflates the span.
     pub async fn busy(&self, span: SimSpan) {
+        let factor = self.machine.faults().cpu_factor();
+        let span = if factor == 1.0 {
+            span
+        } else {
+            SimSpan::from_nanos_f64(span.as_nanos() as f64 * factor)
+        };
         self.busy.add_busy(span);
         self.handle.sleep(span).await;
     }

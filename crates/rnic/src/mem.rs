@@ -122,6 +122,12 @@ impl MemRegion {
         f(&mut self.bytes.borrow_mut())
     }
 
+    /// Zero-fills the region (cold-restart wipe). Not a remote write:
+    /// the write epoch does not advance and watchers are not woken.
+    pub(crate) fn zero(&self) {
+        self.bytes.borrow_mut().fill(0);
+    }
+
     /// Applies a *remote* write (called by the NIC at the instant the
     /// in-bound engine finishes the op) and wakes overlapping watchers.
     pub(crate) fn apply_remote_write(&self, offset: usize, src: &[u8]) {

@@ -21,6 +21,9 @@ pub struct NicCounters {
     pub inbound_bytes: u64,
     /// Payload bytes sent by one-sided ops.
     pub outbound_bytes: u64,
+    /// Unreliable (UC/UD) packets this NIC put on the wire that never
+    /// arrived — lost in transit or addressed to a crashed peer.
+    pub dropped: u64,
 }
 
 /// Gauges kept current by the engines once a registry is attached.
@@ -44,6 +47,7 @@ pub struct Nic {
     outbound_ops: Rc<Counter>,
     inbound_bytes: Rc<Counter>,
     outbound_bytes: Rc<Counter>,
+    dropped: Rc<Counter>,
     gauges: RefCell<Option<NicGauges>>,
 }
 
@@ -59,6 +63,7 @@ impl Nic {
             outbound_ops: Rc::new(Counter::new()),
             inbound_bytes: Rc::new(Counter::new()),
             outbound_bytes: Rc::new(Counter::new()),
+            dropped: Rc::new(Counter::new()),
             gauges: RefCell::new(None),
         }
     }
@@ -76,6 +81,7 @@ impl Nic {
         registry.register_counter(&format!("{prefix}.outbound.ops"), &self.outbound_ops);
         registry.register_counter(&format!("{prefix}.inbound.bytes"), &self.inbound_bytes);
         registry.register_counter(&format!("{prefix}.outbound.bytes"), &self.outbound_bytes);
+        registry.register_counter(&format!("{prefix}.dropped"), &self.dropped);
         *self.gauges.borrow_mut() = Some(NicGauges {
             inbound_backlog_ns: registry.gauge(&format!("{prefix}.inbound.backlog_ns")),
             outbound_backlog_ns: registry.gauge(&format!("{prefix}.outbound.backlog_ns")),
@@ -184,6 +190,12 @@ impl Nic {
         sleep
     }
 
+    /// Records one unreliable packet that left this NIC but never
+    /// arrived.
+    pub(crate) fn note_drop(&self) {
+        self.dropped.incr();
+    }
+
     /// Snapshot of the operation counters.
     pub fn counters(&self) -> NicCounters {
         NicCounters {
@@ -191,6 +203,7 @@ impl Nic {
             outbound_ops: self.outbound_ops.get(),
             inbound_bytes: self.inbound_bytes.get(),
             outbound_bytes: self.outbound_bytes.get(),
+            dropped: self.dropped.get(),
         }
     }
 
@@ -201,6 +214,7 @@ impl Nic {
         self.outbound_ops.reset();
         self.inbound_bytes.reset();
         self.outbound_bytes.reset();
+        self.dropped.reset();
         self.inbound.reset_stats();
         self.outbound.reset_stats();
         self.refresh_gauges();

@@ -33,10 +33,11 @@ use std::rc::Rc;
 
 use rand::Rng;
 
+use crate::fault::{FabricFaults, VerbError};
 use crate::machine::{Machine, ThreadCtx};
 use crate::mem::MemRegion;
 use crate::profile::LinkProfile;
-use rfp_simnet::Channel;
+use rfp_simnet::{Channel, SimSpan};
 
 /// InfiniBand transport service type of a queue pair (paper §5).
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -72,7 +73,12 @@ pub struct Qp {
     local: Rc<Machine>,
     remote: Rc<Machine>,
     link: LinkProfile,
+    fabric: Rc<FabricFaults>,
     transport: Transport,
+    /// QP generation of each endpoint at creation time; if either
+    /// machine's generation advances, this QP is in the error state.
+    local_epoch: u64,
+    remote_epoch: u64,
     /// In-flight two-sided messages awaiting `recv`.
     rx: Channel<Vec<u8>>,
 }
@@ -82,13 +88,19 @@ impl Qp {
         local: Rc<Machine>,
         remote: Rc<Machine>,
         link: LinkProfile,
+        fabric: Rc<FabricFaults>,
         transport: Transport,
     ) -> Rc<Self> {
+        let local_epoch = local.faults().qp_epoch();
+        let remote_epoch = remote.faults().qp_epoch();
         Rc::new(Qp {
             local,
             remote,
             link,
+            fabric,
             transport,
+            local_epoch,
+            remote_epoch,
             rx: Channel::new(),
         })
     }
@@ -108,10 +120,87 @@ impl Qp {
         self.transport
     }
 
-    /// Draws whether an unreliable op is lost in transit.
+    /// Whether this QP is usable by its issuing side right now.
+    ///
+    /// Healthy clusters never fail this; under injected faults it is the
+    /// completion-with-error a real CQ would report.
+    pub fn error_state(&self) -> Option<VerbError> {
+        if self.local.faults().is_crashed() {
+            return Some(VerbError::LocalDown);
+        }
+        if self.local_epoch != self.local.faults().qp_epoch()
+            || self.remote_epoch != self.remote.faults().qp_epoch()
+        {
+            return Some(VerbError::QpError);
+        }
+        None
+    }
+
+    /// Issue-time fault gate shared by the fallible verbs.
+    fn check_live(&self) -> Result<(), VerbError> {
+        match self.error_state() {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// Wire-arrival fault gate: the op reached the remote NIC; is the
+    /// peer still there and is this QP still valid on it?
+    fn remote_live(&self) -> Result<(), VerbError> {
+        if self.remote.faults().is_crashed() {
+            return Err(VerbError::RemoteDown);
+        }
+        if self.remote_epoch != self.remote.faults().qp_epoch() {
+            return Err(VerbError::QpError);
+        }
+        Ok(())
+    }
+
+    /// One-way propagation delay, inflated by any fabric degradation.
+    fn prop(&self) -> SimSpan {
+        let factor = self.fabric.link_factor();
+        if factor == 1.0 {
+            self.link.propagation
+        } else {
+            SimSpan::from_nanos_f64(self.link.propagation.as_nanos() as f64 * factor)
+        }
+    }
+
+    /// Loss-burst probability contributed by the endpoints' fault state.
+    fn burst_loss(&self) -> f64 {
+        self.local
+            .faults()
+            .extra_loss()
+            .max(self.remote.faults().extra_loss())
+    }
+
+    /// Draws whether an unreliable op is lost in transit; a loss burst
+    /// on either endpoint compounds with the profile's base loss rate.
+    /// Losses are charged to the sender's NIC drop counter.
     fn lost_in_transit(&self) -> bool {
-        let p = self.local.nic().profile().unreliable_loss;
-        p > 0.0 && self.local.handle().with_rng(|rng| rng.gen::<f64>()) < p
+        let base = self.local.nic().profile().unreliable_loss;
+        let burst = self.burst_loss();
+        let p = if burst == 0.0 {
+            base
+        } else {
+            1.0 - (1.0 - base) * (1.0 - burst)
+        };
+        let lost = p > 0.0 && self.local.handle().with_rng(|rng| rng.gen::<f64>()) < p;
+        if lost {
+            self.local.nic().note_drop();
+        }
+        lost
+    }
+
+    /// During a loss burst, reliable (RC) traffic does not drop but pays
+    /// occasional hardware retransmissions; model each as one extra
+    /// timeout-and-resend round trip. Draws nothing outside bursts, so
+    /// healthy runs are bit-identical with or without the fault layer.
+    async fn rc_burst_retransmit(&self) {
+        let burst = self.burst_loss();
+        if burst > 0.0 && self.local.handle().with_rng(|rng| rng.gen::<f64>()) < burst {
+            self.local.handle().sleep(self.prop() * 3).await;
+        }
     }
 
     fn check_one_sided(
@@ -152,7 +241,8 @@ impl Qp {
     /// # Panics
     ///
     /// Panics if the thread or regions do not belong to this QP's
-    /// machines or if a range exceeds a region.
+    /// machines, if a range exceeds a region, or if an injected fault
+    /// errors the op (fault-aware callers use [`Qp::try_read`]).
     pub async fn read(
         &self,
         thread: &ThreadCtx,
@@ -162,12 +252,29 @@ impl Qp {
         remote_off: usize,
         len: usize,
     ) {
+        self.try_read(thread, local, local_off, remote, remote_off, len)
+            .await
+            .expect("READ failed on a QP with no recovery path");
+    }
+
+    /// Fallible [`Qp::read`]: completes with a [`VerbError`] instead of
+    /// panicking when an injected fault errors the op.
+    pub async fn try_read(
+        &self,
+        thread: &ThreadCtx,
+        local: &Rc<MemRegion>,
+        local_off: usize,
+        remote: &Rc<MemRegion>,
+        remote_off: usize,
+        len: usize,
+    ) -> Result<(), VerbError> {
         assert!(
             self.transport.supports_read(),
             "one-sided READ requires RC (got {:?})",
             self.transport
         );
         self.check_one_sided(thread, local, local_off, remote, remote_off, len);
+        self.check_live()?;
         let h = thread.handle().clone();
         let t0 = h.now();
         let local_nic = Rc::clone(self.local.nic());
@@ -177,13 +284,22 @@ impl Qp {
         let _issuing = local_nic.begin_issue();
         h.sleep(prof.issue_cpu).await;
         local_nic.serve_outbound(len).await;
-        h.sleep(self.link.propagation).await;
+        self.rc_burst_retransmit().await;
+        h.sleep(self.prop()).await;
+        if let Err(e) = self.remote_live() {
+            // NACK / retry-exhausted completion: one wire round trip,
+            // then the CQ reports the error.
+            h.sleep(self.prop()).await;
+            thread.note_busy(h.now() - t0);
+            return Err(e);
+        }
         remote_nic.serve_inbound(len).await;
         // Data is sampled at the instant the serving NIC processes the op.
         let snapshot = remote.read_local(remote_off, len);
-        h.sleep(self.link.propagation + prof.read_turnaround).await;
+        h.sleep(self.prop() + prof.read_turnaround).await;
         local.write_local(local_off, &snapshot);
         thread.note_busy(h.now() - t0);
+        Ok(())
     }
 
     /// One-sided RDMA WRITE: copies `len` bytes from the local region
@@ -193,7 +309,8 @@ impl Qp {
     ///
     /// # Panics
     ///
-    /// Same conditions as [`Qp::read`].
+    /// Same conditions as [`Qp::read`] (fault-aware callers use
+    /// [`Qp::try_write`]).
     pub async fn write(
         &self,
         thread: &ThreadCtx,
@@ -203,12 +320,31 @@ impl Qp {
         remote_off: usize,
         len: usize,
     ) {
+        self.try_write(thread, local, local_off, remote, remote_off, len)
+            .await
+            .expect("WRITE failed on a QP with no recovery path");
+    }
+
+    /// Fallible [`Qp::write`]: completes with a [`VerbError`] instead of
+    /// panicking when an injected fault errors the op. A UC write to a
+    /// crashed peer still completes `Ok` (fire-and-forget) — the packet
+    /// is counted dropped at the sender's NIC.
+    pub async fn try_write(
+        &self,
+        thread: &ThreadCtx,
+        local: &Rc<MemRegion>,
+        local_off: usize,
+        remote: &Rc<MemRegion>,
+        remote_off: usize,
+        len: usize,
+    ) -> Result<(), VerbError> {
         assert!(
             self.transport.supports_write(),
             "one-sided WRITE requires RC or UC (got {:?})",
             self.transport
         );
         self.check_one_sided(thread, local, local_off, remote, remote_off, len);
+        self.check_live()?;
         let h = thread.handle().clone();
         let t0 = h.now();
         let local_nic = Rc::clone(self.local.nic());
@@ -222,20 +358,32 @@ impl Qp {
         match self.transport {
             Transport::Rc => {
                 // Reliable: the completion waits for the remote side.
-                h.sleep(self.link.propagation).await;
+                self.rc_burst_retransmit().await;
+                h.sleep(self.prop()).await;
+                if let Err(e) = self.remote_live() {
+                    h.sleep(self.prop()).await;
+                    thread.note_busy(h.now() - t0);
+                    return Err(e);
+                }
                 remote_nic.serve_inbound(len).await;
                 remote.apply_remote_write(remote_off, &payload);
-                h.sleep(self.link.propagation).await;
+                h.sleep(self.prop()).await;
             }
             Transport::Uc => {
                 // Fire-and-forget: complete as soon as the op left the
                 // NIC; deliver (or lose) the packet asynchronously.
                 if !self.lost_in_transit() {
-                    let prop = self.link.propagation;
+                    let prop = self.prop();
+                    let remote_m = Rc::clone(&self.remote);
                     let remote = Rc::clone(remote);
+                    let local_nic2 = Rc::clone(&local_nic);
                     let h2 = h.clone();
                     h.spawn(async move {
                         h2.sleep(prop).await;
+                        if remote_m.faults().is_crashed() {
+                            local_nic2.note_drop();
+                            return;
+                        }
                         remote_nic.serve_inbound(len).await;
                         remote.apply_remote_write(remote_off, &payload);
                     });
@@ -244,6 +392,7 @@ impl Qp {
             Transport::Ud => unreachable!("guarded by supports_write"),
         }
         thread.note_busy(h.now() - t0);
+        Ok(())
     }
 
     /// Two-sided SEND. On RC the completion is ACK-driven and two-sided
@@ -254,13 +403,30 @@ impl Qp {
     ///
     /// # Panics
     ///
-    /// Panics if the thread is not on this QP's local machine.
+    /// Panics if the thread is not on this QP's local machine (or, on
+    /// RC, if an injected fault errors the op — fault-aware callers use
+    /// [`Qp::try_send`]).
     pub async fn send(self: &Rc<Self>, thread: &ThreadCtx, payload: Vec<u8>) {
+        self.try_send(thread, payload)
+            .await
+            .expect("SEND failed on a QP with no recovery path");
+    }
+
+    /// Fallible [`Qp::send`]: RC sends complete with a [`VerbError`]
+    /// instead of panicking when an injected fault errors the op; UC/UD
+    /// sends to a crashed peer still complete `Ok` (fire-and-forget)
+    /// with the datagram counted dropped at the sender's NIC.
+    pub async fn try_send(
+        self: &Rc<Self>,
+        thread: &ThreadCtx,
+        payload: Vec<u8>,
+    ) -> Result<(), VerbError> {
         assert_eq!(
             thread.machine().id(),
             self.local.id(),
             "thread must issue on the QP's local machine"
         );
+        self.check_live()?;
         let h = thread.handle().clone();
         let t0 = h.now();
         let local_nic = Rc::clone(self.local.nic());
@@ -273,10 +439,16 @@ impl Qp {
         match self.transport {
             Transport::Rc => {
                 local_nic.serve_twosided_tx(len).await;
-                h.sleep(self.link.propagation).await;
+                self.rc_burst_retransmit().await;
+                h.sleep(self.prop()).await;
+                if let Err(e) = self.remote_live() {
+                    h.sleep(self.prop()).await;
+                    thread.note_busy(h.now() - t0);
+                    return Err(e);
+                }
                 remote_nic.serve_twosided_rx(len).await;
                 self.rx.send(payload);
-                h.sleep(self.link.propagation).await;
+                h.sleep(self.prop()).await;
             }
             Transport::Uc | Transport::Ud => {
                 let datagram = self.transport == Transport::Ud;
@@ -286,11 +458,15 @@ impl Qp {
                     local_nic.serve_twosided_tx(len).await;
                 }
                 if !self.lost_in_transit() {
-                    let prop = self.link.propagation;
+                    let prop = self.prop();
                     let qp = Rc::clone(self);
                     let h2 = h.clone();
                     h.spawn(async move {
                         h2.sleep(prop).await;
+                        if qp.remote.faults().is_crashed() {
+                            qp.local.nic().note_drop();
+                            return;
+                        }
                         if datagram {
                             remote_nic.serve_ud_rx(len).await;
                         } else {
@@ -302,6 +478,7 @@ impl Qp {
             }
         }
         thread.note_busy(h.now() - t0);
+        Ok(())
     }
 
     /// Validation shared by the posted (async) read paths.
@@ -339,7 +516,7 @@ impl Qp {
         let local_nic = Rc::clone(self.local.nic());
         let remote_nic = Rc::clone(self.remote.nic());
         let prof = local_nic.profile().clone();
-        let prop = self.link.propagation;
+        let prop = self.prop();
         let local = Rc::clone(local);
         let remote = Rc::clone(remote);
         let h2 = h.clone();
@@ -373,7 +550,7 @@ impl Qp {
         let h = self.local.handle().clone();
         let local_nic = Rc::clone(self.local.nic());
         let remote_nic = Rc::clone(self.remote.nic());
-        let prop = self.link.propagation;
+        let prop = self.prop();
         let reliable = self.transport.is_reliable();
         let lost = !reliable && self.lost_in_transit();
         let local = Rc::clone(local);
@@ -428,7 +605,7 @@ impl Qp {
         thread.busy(prof.issue_cpu).await;
         let lost = self.lost_in_transit();
         let datagram = self.transport == Transport::Ud;
-        let prop = self.link.propagation;
+        let prop = self.prop();
         let qp = Rc::clone(self);
         h.spawn(async move {
             // The NIC still serializes the send on its out-bound engine;
@@ -442,6 +619,10 @@ impl Qp {
                 return;
             }
             qp.local.handle().sleep(prop).await;
+            if qp.remote.faults().is_crashed() {
+                qp.local.nic().note_drop();
+                return;
+            }
             if datagram {
                 remote_nic.serve_ud_rx(len).await;
             } else {
@@ -829,6 +1010,146 @@ mod transport_tests {
         assert!(received < SENT, "some messages must drop");
         let loss = 1.0 - received as f64 / SENT as f64;
         assert!((0.15..0.35).contains(&loss), "loss rate {loss}");
+    }
+
+    #[test]
+    fn lossy_ud_counts_drops_at_the_sender() {
+        let mut sim = Simulation::new(3);
+        let mut profile = ClusterProfile::paper_testbed();
+        profile.nic.unreliable_loss = 0.25;
+        let cluster = Cluster::new(&mut sim, profile, 2);
+        let client = cluster.machine(0);
+        let server = cluster.machine(1);
+        let ud = cluster.qp_typed(0, 1, Transport::Ud);
+        let ud_rx = Rc::clone(&ud);
+        let ct = client.thread("c");
+        let st = server.thread("s");
+        let received = Rc::new(Cell::new(0u64));
+        let got = Rc::clone(&received);
+        const SENT: u64 = 200;
+        sim.spawn(async move {
+            for i in 0..SENT {
+                ud.send(&ct, i.to_le_bytes().to_vec()).await;
+            }
+        });
+        sim.spawn(async move {
+            loop {
+                let _ = ud_rx.recv(&st).await;
+                got.set(got.get() + 1);
+            }
+        });
+        sim.run_for(SimSpan::millis(2));
+        let dropped = client.nic().counters().dropped;
+        assert!(dropped > 0, "losses must be counted, not silent");
+        assert_eq!(received.get() + dropped, SENT);
+        // The receiving NIC loses nothing of its own.
+        assert_eq!(server.nic().counters().dropped, 0);
+    }
+
+    #[test]
+    fn crashed_remote_errors_reads_after_a_round_trip() {
+        let mut sim = Simulation::new(0);
+        let cluster = Cluster::new(&mut sim, ClusterProfile::paper_testbed(), 2);
+        let client = cluster.machine(0);
+        let server = cluster.machine(1);
+        let local = client.alloc_mr(64);
+        let remote = server.alloc_mr(64);
+        let qp = cluster.qp(0, 1);
+        let t = client.thread("c");
+        server.faults().set_crashed(true);
+        let outcome = Rc::new(Cell::new(None));
+        let out = Rc::clone(&outcome);
+        let h = sim.handle();
+        sim.spawn(async move {
+            let t0 = h.now();
+            let res = qp.try_read(&t, &local, 0, &remote, 0, 8).await;
+            out.set(Some((res, (h.now() - t0).as_nanos())));
+        });
+        sim.run();
+        let (res, elapsed) = outcome.get().unwrap();
+        assert_eq!(res, Err(VerbError::RemoteDown));
+        // The initiator only learns from the NACK timeout: it paid the
+        // issue + out-bound + both propagation legs.
+        assert!(elapsed >= 200 + 474 + 2 * 300, "elapsed {elapsed}");
+    }
+
+    #[test]
+    fn qp_epoch_bump_errors_old_qps_but_not_new_ones() {
+        let mut sim = Simulation::new(0);
+        let cluster = Cluster::new(&mut sim, ClusterProfile::paper_testbed(), 2);
+        let client = cluster.machine(0);
+        let server = cluster.machine(1);
+        let local = client.alloc_mr(64);
+        let remote = server.alloc_mr(64);
+        let old_qp = cluster.qp(0, 1);
+        server.faults().bump_qp_epoch();
+        assert_eq!(old_qp.error_state(), Some(VerbError::QpError));
+        let factory = cluster.qp_factory(0, 1);
+        let new_qp = factory();
+        assert_eq!(new_qp.error_state(), None);
+        let t = client.thread("c");
+        let ok = Rc::new(Cell::new(false));
+        let flag = Rc::clone(&ok);
+        sim.spawn(async move {
+            assert_eq!(
+                old_qp.try_write(&t, &local, 0, &remote, 0, 8).await,
+                Err(VerbError::QpError)
+            );
+            assert_eq!(new_qp.try_write(&t, &local, 0, &remote, 0, 8).await, Ok(()));
+            flag.set(true);
+        });
+        sim.run();
+        assert!(ok.get());
+    }
+
+    #[test]
+    fn link_degradation_scales_propagation() {
+        let mut sim = Simulation::new(0);
+        let cluster = Cluster::new(&mut sim, ClusterProfile::paper_testbed(), 2);
+        let client = cluster.machine(0);
+        let server = cluster.machine(1);
+        let local = client.alloc_mr(64);
+        let remote = server.alloc_mr(64);
+        let qp = cluster.qp(0, 1);
+        cluster.fabric().set_link_factor(10.0);
+        let t = client.thread("c");
+        let lat = Rc::new(Cell::new(0u64));
+        let out = Rc::clone(&lat);
+        let h = sim.handle();
+        sim.spawn(async move {
+            let t0 = h.now();
+            qp.read(&t, &local, 0, &remote, 0, 32).await;
+            out.set((h.now() - t0).as_nanos());
+        });
+        sim.run();
+        // Healthy latency is 1513ns with 2×300ns propagation; at 10× the
+        // propagation legs cost 6000ns instead of 600ns.
+        assert_eq!(lat.get(), 1513 - 600 + 6000);
+    }
+
+    #[test]
+    fn straggler_factor_inflates_cpu_busy_spans() {
+        let mut sim = Simulation::new(0);
+        let cluster = Cluster::new(&mut sim, ClusterProfile::paper_testbed(), 1);
+        let m = cluster.machine(0);
+        m.faults().set_cpu_factor(3.0);
+        let t = m.thread("slow");
+        sim.spawn(async move {
+            t.busy(SimSpan::micros(2)).await;
+        });
+        sim.run();
+        assert_eq!(sim.now().as_nanos(), 6_000);
+    }
+
+    #[test]
+    fn cold_wipe_zeroes_registered_regions() {
+        let mut sim = Simulation::new(0);
+        let cluster = Cluster::new(&mut sim, ClusterProfile::paper_testbed(), 1);
+        let m = cluster.machine(0);
+        let mr = m.alloc_mr(16);
+        mr.write_local(0, b"payload");
+        m.wipe_memory();
+        assert_eq!(mr.read_local(0, 7), vec![0; 7]);
     }
 
     #[test]

@@ -40,6 +40,7 @@ mod coord;
 mod executor;
 mod metrics;
 mod resource;
+mod retry;
 mod sampler;
 mod span;
 mod stats;
@@ -52,6 +53,7 @@ pub use coord::{Barrier, Semaphore, SemaphoreGuard, WaitGroup, WaitGroupToken};
 pub use executor::{yield_now, SimHandle, Simulation, Sleep};
 pub use metrics::{Gauge, MetricValue, MetricsRegistry, MetricsSnapshot};
 pub use resource::{FifoServer, MultiServer};
+pub use retry::{retry, RetryExhausted, RetryPolicy};
 pub use sampler::{SampleRow, TimeSeriesSampler};
 pub use span::{Phase, RequestTrace, SpanRecorder};
 pub use stats::{BusyClock, Counter, Histogram};

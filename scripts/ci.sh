@@ -6,4 +6,12 @@ cd "$(dirname "$0")/.."
 cargo build --release
 cargo test -q
 cargo clippy -- -D warnings
+cargo clippy -p rfp-chaos -- -D warnings
 cargo fmt --check
+
+# Chaos smoke: every fault scenario under a fixed seed must hold the
+# safety invariants (the binary asserts zero lost acked writes and zero
+# stale reads) and be deterministic run-to-run.
+cargo run -q --release -p rfp-bench --bin chaos 42 > /tmp/chaos_a.csv
+cargo run -q --release -p rfp-bench --bin chaos 42 > /tmp/chaos_b.csv
+cmp /tmp/chaos_a.csv /tmp/chaos_b.csv
