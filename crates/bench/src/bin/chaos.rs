@@ -13,6 +13,7 @@
 
 use rfp_bench::telemetry::{bench_registry, emit_bench_json};
 use rfp_chaos::{spawn_chaos_kv, ChaosConfig, FaultPlan};
+use rfp_core::OverloadConfig;
 use rfp_simnet::{SimSpan, SimTime, Simulation};
 
 /// Faults strike after this much warm-up…
@@ -24,31 +25,47 @@ const FAULT_SPAN: SimSpan = SimSpan::millis(1);
 /// Server downtime of crash scenarios.
 const DOWNTIME: SimSpan = SimSpan::micros(300);
 
-fn scenarios(seed: u64) -> Vec<(&'static str, Option<FaultPlan>)> {
+/// One row of the ablation: a fault plan, optionally run with overload
+/// control armed.
+struct Scenario {
+    name: &'static str,
+    plan: Option<FaultPlan>,
+    /// Arm credit-based admission and deadline-aware shedding. The
+    /// deadline is generous (well above healthy latency), so only
+    /// genuine pile-ups — the straggler window — shed.
+    overload: bool,
+}
+
+fn scenarios(seed: u64) -> Vec<Scenario> {
+    let sc = |name, plan| Scenario {
+        name,
+        plan,
+        overload: false,
+    };
     vec![
-        ("baseline", None),
-        (
+        sc("baseline", None),
+        sc(
             "loss_burst",
             Some(FaultPlan::new(seed).loss_burst(FAULT_AT, FAULT_SPAN, 0, 0.3)),
         ),
-        (
+        sc(
             "link_degrade",
             Some(FaultPlan::new(seed).link_degrade(FAULT_AT, FAULT_SPAN, 8.0)),
         ),
-        (
+        sc(
             "straggler",
             Some(FaultPlan::new(seed).straggler(FAULT_AT, FAULT_SPAN, 0, 4.0)),
         ),
-        ("qp_error", Some(FaultPlan::new(seed).qp_error(FAULT_AT, 0))),
-        (
+        sc("qp_error", Some(FaultPlan::new(seed).qp_error(FAULT_AT, 0))),
+        sc(
             "warm_restart",
             Some(FaultPlan::new(seed).crash(FAULT_AT, DOWNTIME, 0, true)),
         ),
-        (
+        sc(
             "cold_restart",
             Some(FaultPlan::new(seed).crash(FAULT_AT, DOWNTIME, 0, false)),
         ),
-        (
+        sc(
             "mixed",
             Some(FaultPlan::random(
                 seed,
@@ -58,6 +75,15 @@ fn scenarios(seed: u64) -> Vec<(&'static str, Option<FaultPlan>)> {
                 4,
             )),
         ),
+        // Overload control composed with a severe straggler core:
+        // requests stuck behind the slow thread miss their deadline and
+        // are shed instead of queueing; both safety invariants must
+        // still hold, because a shed request was never executed.
+        Scenario {
+            name: "overload_straggler",
+            plan: Some(FaultPlan::new(seed).straggler(FAULT_AT, FAULT_SPAN, 0, 64.0)),
+            overload: true,
+        },
     ]
 }
 
@@ -74,16 +100,29 @@ fn main() {
     );
     println!(
         "scenario,completed,acked_puts,failed_calls,lost_acked,stale_reads,\
-         recovery_us_max,resubmits,reconnects,deadlines,verb_errors,faults_fired"
+         recovery_us_max,resubmits,reconnects,deadlines,verb_errors,faults_fired,\
+         rejected,busy_rejects,sheds"
     );
 
     let bench = bench_registry();
-    for (name, plan) in scenarios(seed) {
+    for Scenario {
+        name,
+        plan,
+        overload,
+    } in scenarios(seed)
+    {
         let mut sim = Simulation::new(seed);
-        let cfg = ChaosConfig {
+        let mut cfg = ChaosConfig {
             seed,
             ..ChaosConfig::default()
         };
+        if overload {
+            cfg.overload = OverloadConfig {
+                enabled: true,
+                deadline: SimSpan::micros(25),
+                ..OverloadConfig::default()
+            };
+        }
         let rig = spawn_chaos_kv(&mut sim, &cfg, plan.as_ref());
         sim.run_for(WINDOW);
 
@@ -105,8 +144,12 @@ fn main() {
             .map(|s| s.as_nanos() / 1_000)
             .unwrap_or(0);
         let st = &rig.state;
+        // Server-side admission verdicts (lazy counters: zero — and
+        // absent — when overload is off).
+        let busy_rejects = scalar("overload.busy_rejections");
+        let sheds = scalar("overload.sheds");
         println!(
-            "{name},{},{},{},{},{},{},{},{},{},{},{}",
+            "{name},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
             st.completed.get(),
             st.acked_puts.get(),
             st.failed_calls.get(),
@@ -118,6 +161,9 @@ fn main() {
             scalar("recovery.deadlines"),
             scalar("recovery.verb_errors"),
             faults_fired,
+            st.rejected_calls.get(),
+            busy_rejects,
+            sheds,
         );
 
         for (metric, value) in [
@@ -125,6 +171,8 @@ fn main() {
             ("lost_acked", st.lost_acked.get()),
             ("stale_reads", st.stale_reads.get()),
             ("recovery_us_max", recovery_us),
+            ("rejected", st.rejected_calls.get()),
+            ("sheds", sheds),
         ] {
             bench
                 .counter(&format!("bench.chaos.{name}.{metric}"))

@@ -28,7 +28,10 @@ use std::rc::Rc;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use rfp_core::{connect, serve_loop, RecoveryConfig, RfpConfig, RfpServerConn, RfpTelemetry};
+use rfp_core::{
+    connect, serve_loop, FailureCause, OverloadConfig, RecoveryConfig, RfpConfig, RfpServerConn,
+    RfpTelemetry,
+};
 use rfp_kvstore::systems::apply_to_partition;
 use rfp_kvstore::{partition_of, KvRequest, KvResponse, Partition};
 use rfp_rnic::{Cluster, ClusterProfile};
@@ -52,6 +55,10 @@ pub struct ChaosConfig {
     pub put_ratio: f64,
     /// Client recovery policy (deadline, backoff, reconnect cost).
     pub recovery: RecoveryConfig,
+    /// Server overload control (admission, shedding, credits). Off by
+    /// default; when on, every recovery call is deadline-stamped and the
+    /// server sheds or busy-rejects instead of queueing without bound.
+    pub overload: OverloadConfig,
     /// Cluster timing profile.
     pub profile: ClusterProfile,
     /// Master seed for workloads and recovery jitter.
@@ -66,6 +73,7 @@ impl Default for ChaosConfig {
             keys_per_client: 8,
             put_ratio: 0.5,
             recovery: RecoveryConfig::default(),
+            overload: OverloadConfig::default(),
             profile: ClusterProfile::paper_testbed(),
             seed: 7,
         }
@@ -93,6 +101,10 @@ pub struct ChaosState {
     pub acked_puts: Cell<u64>,
     /// Calls that exhausted their recovery budget.
     pub failed_calls: Cell<u64>,
+    /// Calls whose final failure was an overload rejection
+    /// (`Busy`/`Shed`) rather than a fault — a subset of
+    /// [`failed_calls`](ChaosState::failed_calls).
+    pub rejected_calls: Cell<u64>,
     /// Acked-write losses observed: a GET returned `NotFound` or an
     /// older version for a key with an acknowledged newer PUT.
     pub lost_acked: Cell<u64>,
@@ -176,10 +188,16 @@ fn rig_rfp_cfg(
     registry: &MetricsRegistry,
     spans: &SpanRecorder,
     trace: &TraceLog,
+    overload: &OverloadConfig,
     idx: usize,
 ) -> RfpConfig {
     RfpConfig {
         enable_mode_switch: false,
+        overload: OverloadConfig {
+            // Decorrelate the per-connection backoff jitter streams.
+            seed: derive_seed(overload.seed, idx as u64),
+            ..overload.clone()
+        },
         trace: Some(trace.clone()),
         telemetry: Some(RfpTelemetry {
             registry: registry.clone(),
@@ -223,6 +241,7 @@ pub fn spawn_chaos_kv(
         completed: Cell::new(0),
         acked_puts: Cell::new(0),
         failed_calls: Cell::new(0),
+        rejected_calls: Cell::new(0),
         lost_acked: Cell::new(0),
         stale_reads: Cell::new(0),
         not_found: Cell::new(0),
@@ -258,7 +277,13 @@ pub fn spawn_chaos_kv(
                 &server_m,
                 cluster.qp(1 + c, 0),
                 cluster.qp(0, 1 + c),
-                rig_rfp_cfg(&registry, &spans, &trace, c * cfg.server_threads + s),
+                rig_rfp_cfg(
+                    &registry,
+                    &spans,
+                    &trace,
+                    &cfg.overload,
+                    c * cfg.server_threads + s,
+                ),
             );
             cl.set_reconnect(cluster.qp_factory(1 + c, 0));
             let sc = Rc::new(sc);
@@ -337,8 +362,11 @@ pub fn spawn_chaos_kv(
                             (_, other) => panic!("unexpected response {other:?}"),
                         }
                     }
-                    Err(_) => {
+                    Err(e) => {
                         st.failed_calls.set(st.failed_calls.get() + 1);
+                        if matches!(e.last, FailureCause::Rejected(_)) {
+                            st.rejected_calls.set(st.rejected_calls.get() + 1);
+                        }
                     }
                 }
             }

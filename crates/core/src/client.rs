@@ -8,10 +8,14 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use rfp_rnic::{Qp, ThreadCtx};
-use rfp_simnet::{derive_seed, retry, timeout, Counter, Gauge, Histogram, RequestTrace, SimSpan};
+use rfp_simnet::{
+    derive_seed, retry_with_deadline, timeout, Counter, Gauge, Histogram, RequestTrace,
+    RetryPolicy, SimSpan, SimTime,
+};
 
 use crate::conn::{Mode, RfpTelemetry, Shared, MODE_REMOTE_FETCH, MODE_SERVER_REPLY};
-use crate::header::{ReqHeader, RespHeader, REQ_HDR, RESP_HDR};
+use crate::header::{ReqHeader, RespHeader, RespStatus, REQ_HDR, REQ_HDR_EXT, RESP_HDR};
+use crate::overload::OverloadConfig;
 use crate::recovery::{FailureCause, RecoveryConfig, RpcError};
 
 /// Registry-backed instruments of one connection, created when the
@@ -87,6 +91,10 @@ pub struct CallInfo {
     /// Server-reported process time (the response header's 16-bit
     /// `time` field, µs) — the online tuner's `P` sample.
     pub server_time_us: u16,
+    /// The server's verdict on this call. Always [`RespStatus::Ok`]
+    /// outside the overload-control path; [`RespStatus::Busy`] /
+    /// [`RespStatus::Shed`] mark rejected calls, whose `data` is empty.
+    pub status: RespStatus,
 }
 
 /// Aggregated client statistics.
@@ -192,6 +200,21 @@ impl ClientStats {
 /// errored one (see [`RfpClient::set_reconnect`]).
 pub type QpFactory = Box<dyn Fn() -> Rc<Qp>>;
 
+/// Mutable state shared by the attempts of one recovered call.
+struct AttemptState<'a> {
+    req: &'a [u8],
+    /// Absolute deadline stamped into the wire header (overload only).
+    stamp: Option<SimTime>,
+    /// Stage the request under a fresh sequence number before the next
+    /// submission: set initially and after a `Busy`/`Shed` rejection
+    /// (whose request was never executed, so a new seq cannot
+    /// double-execute — while reusing the rejected seq would match the
+    /// stale verdict response forever).
+    refresh: Cell<bool>,
+    /// Fetch READs issued across all attempts.
+    fetches: Cell<u32>,
+}
+
 /// Client endpoint of one RFP connection, bound to one simulated thread.
 ///
 /// Implements the paper's `client_send` / `client_recv` (Table 2) plus
@@ -213,6 +236,9 @@ pub struct RfpClient {
     retry_threshold: Cell<u32>,
     /// Runtime-tunable `F` (initialised from config).
     fetch_size: Cell<usize>,
+    /// Last credit level the server advertised to this connection
+    /// (overload control; starts at the configured maximum).
+    credits: Cell<u16>,
     stats: ClientStats,
     instruments: Option<Instruments>,
 }
@@ -227,6 +253,7 @@ impl RfpClient {
             .telemetry
             .clone()
             .map(|t| Instruments::new(t, initial_mode));
+        let credits = Cell::new(shared.cfg.overload.credit_max);
         RfpClient {
             shared,
             qp: RefCell::new(qp),
@@ -237,6 +264,7 @@ impl RfpClient {
             consec_over: Cell::new(0),
             retry_threshold,
             fetch_size,
+            credits,
             stats: ClientStats::default(),
             instruments,
         }
@@ -303,10 +331,25 @@ impl RfpClient {
     ///
     /// Panics if `req` exceeds the request capacity.
     pub async fn send(&self, thread: &ThreadCtx, req: &[u8]) {
-        assert!(
-            req.len() <= self.shared.cfg.max_req_payload(),
-            "request exceeds buffer capacity"
-        );
+        self.send_with_deadline(thread, req, None).await
+    }
+
+    /// [`send`](RfpClient::send) with an absolute deadline stamped into
+    /// the (extended) request header, for servers running admission
+    /// control. Without a deadline the wire bytes are identical to the
+    /// legacy 8-byte header.
+    pub async fn send_with_deadline(
+        &self,
+        thread: &ThreadCtx,
+        req: &[u8],
+        deadline: Option<SimTime>,
+    ) {
+        let max = if deadline.is_some() {
+            self.shared.cfg.max_req_payload_with_deadline()
+        } else {
+            self.shared.cfg.max_req_payload()
+        };
+        assert!(req.len() <= max, "request exceeds buffer capacity");
         let seq = self.seq.get().wrapping_add(1);
         self.seq.set(seq);
         self.sent_at.set(thread.now());
@@ -322,11 +365,13 @@ impl RfpClient {
             valid: true,
             size: req.len() as u32,
             seq,
+            deadline,
         };
-        let mut hdr_bytes = [0u8; REQ_HDR];
-        hdr.encode(&mut hdr_bytes);
-        self.shared.client_req.write_local(0, &hdr_bytes);
-        self.shared.client_req.write_local(REQ_HDR, req);
+        let hdr_len = hdr.wire_len();
+        let mut hdr_bytes = [0u8; REQ_HDR_EXT];
+        hdr.encode(&mut hdr_bytes[..hdr_len]);
+        self.shared.client_req.write_local(0, &hdr_bytes[..hdr_len]);
+        self.shared.client_req.write_local(hdr_len, req);
         self.qp()
             .write(
                 thread,
@@ -334,7 +379,7 @@ impl RfpClient {
                 0,
                 &self.shared.req,
                 0,
-                REQ_HDR + req.len(),
+                hdr_len + req.len(),
             )
             .await;
         self.span_mark(thread, "request_written");
@@ -388,6 +433,251 @@ impl RfpClient {
         self.recv(thread).await
     }
 
+    /// The connection's overload-control knobs.
+    pub fn overload_config(&self) -> &OverloadConfig {
+        &self.shared.cfg.overload
+    }
+
+    /// Last credit level the server advertised on this connection.
+    pub fn credits(&self) -> u16 {
+        self.credits.get()
+    }
+
+    /// One overload-aware RPC (requires [`OverloadConfig::enabled`]).
+    ///
+    /// Submission is gated on the server's advertised credits (a zero
+    /// level inserts a jittered pause), every submission stamps a
+    /// deadline into the request header, and the response fetch stops
+    /// tight-polling once that deadline passes, degrading to jittered
+    /// verdict probes. A `Busy`/`Shed` verdict re-admits the call under
+    /// the config's retry schedule **with a fresh sequence number** (a
+    /// rejected request was provably never executed, so resubmission
+    /// cannot double-execute) until the schedule — or the explicit
+    /// `deadline` — is exhausted, at which point the call returns the
+    /// rejection status with empty data instead of an error: under
+    /// overload a rejected call is an expected outcome, not a fault.
+    ///
+    /// `deadline` semantics: `Some(d)` is a hard absolute bound for the
+    /// *whole call*, stamped into every resubmission and clamping every
+    /// pause; `None` gives each admission attempt a fresh
+    /// `now + deadline` budget from the config.
+    pub async fn call_overload(
+        &self,
+        thread: &ThreadCtx,
+        req: &[u8],
+        deadline: Option<SimTime>,
+    ) -> CallResult {
+        let ov = &self.shared.cfg.overload;
+        assert!(ov.enabled, "call_overload requires overload control");
+        assert!(
+            req.len() <= self.shared.cfg.max_req_payload_with_deadline(),
+            "request exceeds buffer capacity"
+        );
+        let t0 = thread.now();
+        let first_seq = self.seq.get().wrapping_add(1);
+        // Jitter stream: deterministic per (config seed, call seq), and
+        // constructed without touching the simulation's shared RNG.
+        let jitter = RefCell::new(StdRng::seed_from_u64(derive_seed(
+            ov.seed,
+            first_seq as u64,
+        )));
+        let handle = thread.handle().clone();
+        let fetches = Cell::new(0u32);
+        let extra = Cell::new(false);
+        let outcome = retry_with_deadline(
+            &handle,
+            &ov.retry,
+            deadline,
+            || jitter.borrow_mut().gen::<f64>(),
+            |_attempt| self.attempt_overload(thread, req, deadline, &fetches, &extra, &jitter),
+        )
+        .await;
+        let (data, status, server_time_us) = match outcome {
+            Ok((data, time_us)) => (data, RespStatus::Ok, time_us),
+            Err(exhausted) => {
+                self.note_overload(
+                    thread,
+                    "overload.give_ups",
+                    "call gave up after repeated rejections",
+                );
+                (Vec::new(), exhausted.last, 0)
+            }
+        };
+        let info = CallInfo {
+            attempts: fetches.get(),
+            extra_read: extra.get(),
+            completed_in: Mode::RemoteFetch,
+            latency: thread.now() - t0,
+            server_time_us,
+            status,
+        };
+        if status == RespStatus::Ok {
+            // Only executed calls feed the throughput/latency stats;
+            // rejections are accounted by the overload counters.
+            self.stats.record(&info);
+            if let Some(ins) = &self.instruments {
+                ins.calls.incr();
+                ins.latency.record(info.latency);
+                ins.retries.add(info.attempts.saturating_sub(1) as u64);
+                if info.extra_read {
+                    ins.extra_reads.incr();
+                }
+            }
+        }
+        if let Some(ins) = &self.instruments {
+            if let Some(mut span) = self.shared.span.borrow_mut().take() {
+                span.mark_unordered(
+                    thread.now(),
+                    if status == RespStatus::Ok {
+                        "completed"
+                    } else {
+                        "gave_up"
+                    },
+                );
+                ins.telemetry.spans.record(span);
+            }
+        }
+        CallResult { data, info }
+    }
+
+    /// One overload admission attempt: credit gate, deadline-stamped
+    /// submission, deadline-bounded fetch. `Err` carries the rejection
+    /// verdict (from the server, or locally synthesised when the probes
+    /// for a verdict ran out).
+    async fn attempt_overload(
+        &self,
+        thread: &ThreadCtx,
+        req: &[u8],
+        call_deadline: Option<SimTime>,
+        fetches: &Cell<u32>,
+        extra: &Cell<bool>,
+        jitter: &RefCell<StdRng>,
+    ) -> Result<(Vec<u8>, u16), RespStatus> {
+        let ov = &self.shared.cfg.overload;
+        // Credit gate: a zero advertisement means the server's queue was
+        // full — pause (jittered, so clients desynchronise) instead of
+        // submitting work that will bounce.
+        if self.credits.get() == 0 {
+            self.note_overload(
+                thread,
+                "overload.credit_waits",
+                "zero credits: pausing before submit",
+            );
+            let unit: f64 = jitter.borrow_mut().gen();
+            let mut pause =
+                SimSpan::from_nanos_f64(ov.credit_wait.as_nanos() as f64 * (0.5 + unit));
+            if let Some(d) = call_deadline {
+                if thread.now() >= d {
+                    return Err(RespStatus::Busy);
+                }
+                pause = pause.min(d.since(thread.now()));
+            }
+            if !pause.is_zero() {
+                thread.idle_wait(thread.handle().sleep(pause)).await;
+            }
+            // The pause expires the gate: submit optimistically — the
+            // worst case is one cheap Busy verdict refreshing the level.
+            self.credits.set(1);
+        }
+        let deadline = call_deadline.unwrap_or_else(|| thread.now() + ov.deadline);
+        self.send_with_deadline(thread, req, Some(deadline)).await;
+        let seq = self.seq.get();
+        let probe_policy = RetryPolicy::exponential(
+            ov.max_probes,
+            ov.probe_pause,
+            SimSpan::nanos(ov.probe_pause.as_nanos().saturating_mul(8)),
+            0.25,
+        );
+        let mut probes = 0u32;
+        loop {
+            if thread.now() > deadline {
+                // Past the deadline the verdict is (or shortly will be)
+                // `Shed`: stop burning the in-bound engine on tight
+                // polling and probe at a widening, jittered pace.
+                if probes >= ov.max_probes.max(1) {
+                    self.note_overload(
+                        thread,
+                        "overload.local_sheds",
+                        "gave up probing for a verdict",
+                    );
+                    return Err(RespStatus::Shed);
+                }
+                probes += 1;
+                let unit: f64 = jitter.borrow_mut().gen();
+                let pause = probe_policy.backoff_for(probes, unit);
+                if !pause.is_zero() {
+                    thread.idle_wait(thread.handle().sleep(pause)).await;
+                }
+            }
+            let f = self.fetch_size.get();
+            self.qp()
+                .read(thread, &self.shared.client_resp, 0, &self.shared.resp, 0, f)
+                .await;
+            fetches.set(fetches.get() + 1);
+            self.span_mark(thread, "fetch_read");
+            if let Some(ins) = &self.instruments {
+                ins.fetch_bytes.add(f as u64);
+            }
+            thread.busy(self.shared.cfg.check_cpu).await;
+            let hdr = RespHeader::decode(&self.shared.client_resp.read_local(0, RESP_HDR));
+            if !(hdr.valid && hdr.seq == seq) {
+                continue;
+            }
+            self.credits.set(hdr.credits);
+            match hdr.status {
+                RespStatus::Ok => {
+                    let size = hdr.size as usize;
+                    if RESP_HDR + size > f {
+                        let rest = RESP_HDR + size - f;
+                        self.qp()
+                            .read(
+                                thread,
+                                &self.shared.client_resp,
+                                f,
+                                &self.shared.resp,
+                                f,
+                                rest,
+                            )
+                            .await;
+                        self.span_mark(thread, "extra_fetch_read");
+                        if let Some(ins) = &self.instruments {
+                            ins.fetch_bytes.add(rest as u64);
+                        }
+                        extra.set(true);
+                    }
+                    return Ok((
+                        self.shared.client_resp.read_local(RESP_HDR, size),
+                        hdr.time_us,
+                    ));
+                }
+                RespStatus::Busy => {
+                    self.note_overload(thread, "overload.busy_seen", "server answered Busy");
+                    return Err(RespStatus::Busy);
+                }
+                RespStatus::Shed => {
+                    self.note_overload(thread, "overload.sheds_seen", "server shed the request");
+                    return Err(RespStatus::Shed);
+                }
+            }
+        }
+    }
+
+    /// Bumps an `overload.*` counter and trace entry. Lazy like the
+    /// recovery counters: a run that never hits the overload machinery
+    /// materialises no instrument.
+    fn note_overload(&self, thread: &ThreadCtx, counter: &str, what: &str) {
+        if let Some(ins) = &self.instruments {
+            ins.telemetry.registry.counter(counter).incr();
+        }
+        if let Some(trace) = &self.shared.cfg.trace {
+            trace.record(
+                thread.now(),
+                "rfp.overload",
+                format!("seq {}: {what}", self.seq.get()),
+            );
+        }
+    }
+
     async fn recv_remote_fetch(
         &self,
         thread: &ThreadCtx,
@@ -435,6 +725,7 @@ impl RfpClient {
                 if !counted_over {
                     self.consec_over.set(0);
                 }
+                self.credits.set(hdr.credits);
                 return CallResult {
                     data: self.shared.client_resp.read_local(RESP_HDR, size),
                     info: CallInfo {
@@ -443,6 +734,7 @@ impl RfpClient {
                         completed_in: Mode::RemoteFetch,
                         latency: thread.now() - t0,
                         server_time_us: hdr.time_us,
+                        status: hdr.status,
                     },
                 };
             }
@@ -486,6 +778,7 @@ impl RfpClient {
                 {
                     self.switch_mode(thread, Mode::RemoteFetch).await;
                 }
+                self.credits.set(hdr.credits);
                 return CallResult {
                     data,
                     info: CallInfo {
@@ -494,6 +787,7 @@ impl RfpClient {
                         completed_in: Mode::ServerReply,
                         latency: thread.now() - t0,
                         server_time_us: hdr.time_us,
+                        status: hdr.status,
                     },
                 };
             }
@@ -548,38 +842,49 @@ impl RfpClient {
         req: &[u8],
         rec: &RecoveryConfig,
     ) -> Result<CallResult, RpcError> {
-        assert!(
-            req.len() <= self.shared.cfg.max_req_payload(),
-            "request exceeds buffer capacity"
-        );
-        let seq = self.seq.get().wrapping_add(1);
-        self.seq.set(seq);
+        let ov = &self.shared.cfg.overload;
+        let max = if ov.enabled {
+            self.shared.cfg.max_req_payload_with_deadline()
+        } else {
+            self.shared.cfg.max_req_payload()
+        };
+        assert!(req.len() <= max, "request exceeds buffer capacity");
         let t0 = thread.now();
         self.sent_at.set(t0);
-        // Stage the request once; every attempt re-deposits these bytes.
-        let hdr = ReqHeader {
-            valid: true,
-            size: req.len() as u32,
-            seq,
+        // Wire stamp (overload only) and the client-side clamp bounding
+        // retry backoffs and per-attempt fetch deadlines: the tighter of
+        // the overload deadline and the recovery call deadline.
+        let stamp = if ov.enabled {
+            Some(t0 + ov.deadline)
+        } else {
+            None
         };
-        let mut hdr_bytes = [0u8; REQ_HDR];
-        hdr.encode(&mut hdr_bytes);
-        self.shared.client_req.write_local(0, &hdr_bytes);
-        self.shared.client_req.write_local(REQ_HDR, req);
-        let wire_len = REQ_HDR + req.len();
+        let clamp = match (rec.call_deadline, stamp) {
+            (Some(d), Some(s)) => Some(s.min(t0 + d)),
+            (Some(d), None) => Some(t0 + d),
+            (None, s) => s,
+        };
+        let first_seq = self.seq.get().wrapping_add(1);
+        let state = AttemptState {
+            req,
+            stamp,
+            refresh: Cell::new(true),
+            fetches: Cell::new(0),
+        };
 
         // Jitter stream: deterministic per (config seed, call seq), and
         // constructed without touching the simulation's shared RNG.
-        let mut jitter_rng = StdRng::seed_from_u64(derive_seed(rec.seed, seq as u64));
+        let mut jitter_rng = StdRng::seed_from_u64(derive_seed(rec.seed, first_seq as u64));
         let handle = thread.handle().clone();
-        let fetches = Cell::new(0u32);
-        let outcome = retry(
+        let outcome = retry_with_deadline(
             &handle,
             &rec.retry,
+            clamp,
             || jitter_rng.gen::<f64>(),
-            |attempt| self.attempt_call(thread, seq, wire_len, attempt, rec, &fetches),
+            |attempt| self.attempt_call(thread, attempt, rec, clamp, &state),
         )
         .await;
+        let fetches = &state.fetches;
         match outcome {
             Ok(mut out) => {
                 // Latency spans the whole recovered call, backoffs
@@ -606,25 +911,55 @@ impl RfpClient {
 
     /// One recovery attempt: (re)submit the request, then fetch until
     /// the per-attempt deadline.
+    ///
+    /// Submissions reuse the staged bytes — and the staged sequence —
+    /// so a restarted server dedups the replay. The exception is an
+    /// attempt following a `Busy`/`Shed` rejection: the rejected
+    /// request was provably never executed, so the resubmission is
+    /// staged fresh under a **new** sequence (reusing the rejected one
+    /// would match the stale verdict response forever).
     async fn attempt_call(
         &self,
         thread: &ThreadCtx,
-        seq: u32,
-        wire_len: usize,
         attempt: u32,
         rec: &RecoveryConfig,
-        fetches: &Cell<u32>,
+        clamp: Option<rfp_simnet::SimTime>,
+        state: &AttemptState<'_>,
     ) -> Result<CallResult, FailureCause> {
         if attempt > 0 {
-            self.note_recovery(
-                thread,
-                "recovery.resubmits",
-                "resubmitting request under the same seq",
-            );
+            let what = if state.refresh.get() {
+                "resubmitting rejected request under a fresh seq"
+            } else {
+                "resubmitting request under the same seq"
+            };
+            self.note_recovery(thread, "recovery.resubmits", what);
             if self.qp().error_state().is_some() {
                 self.reestablish_qp(thread, rec).await;
             }
         }
+        if state.refresh.take() {
+            let seq = self.seq.get().wrapping_add(1);
+            self.seq.set(seq);
+            let hdr = ReqHeader {
+                valid: true,
+                size: state.req.len() as u32,
+                seq,
+                deadline: state.stamp,
+            };
+            let hdr_len = hdr.wire_len();
+            let mut hdr_bytes = [0u8; REQ_HDR_EXT];
+            hdr.encode(&mut hdr_bytes[..hdr_len]);
+            self.shared.client_req.write_local(0, &hdr_bytes[..hdr_len]);
+            self.shared.client_req.write_local(hdr_len, state.req);
+        }
+        let seq = self.seq.get();
+        let hdr_len = if state.stamp.is_some() {
+            REQ_HDR_EXT
+        } else {
+            REQ_HDR
+        };
+        let wire_len = hdr_len + state.req.len();
+        let fetches = &state.fetches;
         let qp = self.qp();
         qp.try_write(
             thread,
@@ -637,7 +972,10 @@ impl RfpClient {
         .await
         .map_err(|e| self.verb_failure(thread, e))?;
 
-        let deadline = thread.now() + rec.fetch_deadline;
+        let mut deadline = thread.now() + rec.fetch_deadline;
+        if let Some(c) = clamp {
+            deadline = deadline.min(c);
+        }
         loop {
             let f = self.fetch_size.get();
             qp.try_read(thread, &self.shared.client_resp, 0, &self.shared.resp, 0, f)
@@ -650,6 +988,16 @@ impl RfpClient {
             thread.busy(self.shared.cfg.check_cpu).await;
             let hdr = RespHeader::decode(&self.shared.client_resp.read_local(0, RESP_HDR));
             if hdr.valid && hdr.seq == seq {
+                self.credits.set(hdr.credits);
+                if hdr.status != RespStatus::Ok {
+                    let counter = match hdr.status {
+                        RespStatus::Busy => "overload.busy_seen",
+                        _ => "overload.sheds_seen",
+                    };
+                    self.note_overload(thread, counter, "server rejected the request");
+                    state.refresh.set(true);
+                    return Err(FailureCause::Rejected(hdr.status));
+                }
                 let size = hdr.size as usize;
                 let mut extra_read = false;
                 if RESP_HDR + size > f {
@@ -677,6 +1025,7 @@ impl RfpClient {
                         completed_in: Mode::RemoteFetch,
                         latency: SimSpan::ZERO, // patched by the caller
                         server_time_us: hdr.time_us,
+                        status: hdr.status,
                     },
                 });
             }

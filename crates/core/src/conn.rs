@@ -31,7 +31,8 @@ use std::rc::Rc;
 use rfp_rnic::{Machine, MemRegion, Qp, ThreadCtx};
 use rfp_simnet::{MetricsRegistry, RequestTrace, SimSpan, SimTime, SpanRecorder};
 
-use crate::header::{ReqHeader, RespHeader, REQ_HDR, RESP_HDR};
+use crate::header::{ReqHeader, RespHeader, RespStatus, REQ_HDR, REQ_HDR_EXT, RESP_HDR};
+use crate::overload::OverloadConfig;
 
 /// Destination for one connection's telemetry: counters/gauges go into
 /// `registry` under `prefix`, and one [`RequestTrace`] per completed
@@ -97,6 +98,10 @@ pub struct RfpConfig {
     /// Optional telemetry sink: per-connection counters/gauges plus one
     /// request-lifecycle span per completed call.
     pub telemetry: Option<RfpTelemetry>,
+    /// Overload control (credit-based admission, deadline shedding,
+    /// cooperative backoff). Off by default: a disabled config leaves
+    /// every wire byte and scheduled event exactly as without it.
+    pub overload: OverloadConfig,
 }
 
 impl Default for RfpConfig {
@@ -115,6 +120,7 @@ impl Default for RfpConfig {
             check_cpu: SimSpan::nanos(50),
             trace: None,
             telemetry: None,
+            overload: OverloadConfig::default(),
         }
     }
 }
@@ -128,6 +134,12 @@ impl RfpConfig {
     /// Largest request payload this connection can carry.
     pub fn max_req_payload(&self) -> usize {
         self.req_capacity - REQ_HDR
+    }
+
+    /// Largest request payload when the extended (deadline-stamped)
+    /// request header is in use — the overload path's capacity.
+    pub fn max_req_payload_with_deadline(&self) -> usize {
+        self.req_capacity - REQ_HDR_EXT
     }
 }
 
@@ -186,6 +198,10 @@ pub fn connect(
         "fetch size must cover the response header"
     );
     assert!(
+        cfg.req_capacity >= REQ_HDR_EXT,
+        "request buffer must cover the extended header"
+    );
+    assert!(
         cfg.fetch_size <= cfg.resp_capacity,
         "fetch size exceeds the response buffer"
     );
@@ -224,8 +240,12 @@ pub fn connect(
         last_seq: Cell::new(0),
         pickup: Cell::new(SimTime::ZERO),
         cur_seq: Cell::new(0),
+        cur_deadline: Cell::new(None),
+        advertise: Cell::new(0),
         served: Cell::new(0),
         replied_out_of_band: Cell::new(0),
+        rejected_busy: Cell::new(0),
+        rejected_shed: Cell::new(0),
     };
     (client, server)
 }
@@ -245,8 +265,16 @@ pub struct RfpServerConn {
     pickup: Cell<SimTime>,
     /// Sequence of the in-flight request.
     cur_seq: Cell<u32>,
+    /// Deadline stamped into the in-flight request, if any.
+    cur_deadline: Cell<Option<SimTime>>,
+    /// Credit level stamped into outgoing response headers (overload
+    /// control; stays 0 — the legacy zero fill — when the subsystem is
+    /// off).
+    advertise: Cell<u16>,
     served: Cell<u64>,
     replied_out_of_band: Cell<u64>,
+    rejected_busy: Cell<u64>,
+    rejected_shed: Cell<u64>,
 }
 
 impl RfpServerConn {
@@ -263,18 +291,42 @@ impl RfpServerConn {
     /// Charges one header inspection of CPU time.
     pub async fn try_recv(&self, thread: &ThreadCtx) -> Option<Vec<u8>> {
         thread.busy(self.shared.cfg.check_cpu).await;
-        let hdr_bytes = self.shared.req.read_local(0, REQ_HDR);
+        // Read the extended-header window: `decode` consumes 8 or 16
+        // bytes depending on the deadline bit (capacity ≥ 16 is a
+        // `connect` invariant).
+        let hdr_bytes = self.shared.req.read_local(0, REQ_HDR_EXT);
         let hdr = ReqHeader::decode(&hdr_bytes);
         if !hdr.valid || hdr.seq == self.last_seq.get() {
             return None;
         }
         self.last_seq.set(hdr.seq);
         self.cur_seq.set(hdr.seq);
+        self.cur_deadline.set(hdr.deadline);
         self.pickup.set(thread.now());
         if let Some(span) = self.shared.span.borrow_mut().as_mut() {
             span.mark_unordered(thread.now(), "server_dequeued");
         }
-        Some(self.shared.req.read_local(REQ_HDR, hdr.size as usize))
+        Some(
+            self.shared
+                .req
+                .read_local(hdr.wire_len(), hdr.size as usize),
+        )
+    }
+
+    /// Deadline stamped into the request last delivered by
+    /// [`try_recv`](RfpServerConn::try_recv), if the client stamped one.
+    pub fn current_deadline(&self) -> Option<SimTime> {
+        self.cur_deadline.get()
+    }
+
+    /// Sets the credit level stamped into subsequent response headers.
+    pub fn set_advertised_credits(&self, credits: u16) {
+        self.advertise.set(credits);
+    }
+
+    /// The connection's overload knobs (shared config).
+    pub(crate) fn overload(&self) -> &OverloadConfig {
+        &self.shared.cfg.overload
     }
 
     /// Posts the response for the in-flight request (`server_send`).
@@ -289,6 +341,44 @@ impl RfpServerConn {
     /// Panics if `payload` exceeds the response capacity or no request
     /// is in flight.
     pub async fn send(&self, thread: &ThreadCtx, payload: &[u8]) {
+        self.post_response(thread, payload, RespStatus::Ok).await;
+        self.served.set(self.served.get() + 1);
+    }
+
+    /// Answers the in-flight request with an overload rejection: an
+    /// empty-payload response whose header carries the `Busy`/`Shed`
+    /// verdict. The request was *not* executed; the client may resubmit
+    /// under a fresh seq. Costs the same local post as a normal response
+    /// and zero out-bound RDMA in remote-fetch mode — the client learns
+    /// the verdict from its next (single) fetch READ.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no request is in flight or `status` is `Ok`.
+    pub async fn reject(&self, thread: &ThreadCtx, status: RespStatus) {
+        assert!(status != RespStatus::Ok, "reject needs a rejection status");
+        self.post_response(thread, &[], status).await;
+        let (cell, counter) = match status {
+            RespStatus::Busy => (&self.rejected_busy, "overload.busy_rejections"),
+            RespStatus::Shed => (&self.rejected_shed, "overload.sheds"),
+            RespStatus::Ok => unreachable!(),
+        };
+        cell.set(cell.get() + 1);
+        // Lazy, like the recovery counters: a run that never rejects
+        // materialises nothing.
+        if let Some(t) = &self.shared.cfg.telemetry {
+            t.registry.counter(counter).incr();
+        }
+        if let Some(trace) = &self.shared.cfg.trace {
+            trace.record(
+                thread.now(),
+                "rfp.overload",
+                format!("seq {}: rejected {status:?}", self.cur_seq.get()),
+            );
+        }
+    }
+
+    async fn post_response(&self, thread: &ThreadCtx, payload: &[u8], status: RespStatus) {
         let seq = self.cur_seq.get();
         assert!(seq != 0, "send without a received request");
         assert!(
@@ -302,6 +392,8 @@ impl RfpServerConn {
             size: payload.len() as u32,
             seq,
             time_us,
+            status,
+            credits: self.advertise.get(),
         };
         let mut hdr_bytes = [0u8; RESP_HDR];
         hdr.encode(&mut hdr_bytes);
@@ -310,9 +402,15 @@ impl RfpServerConn {
         self.shared.resp.write_local(RESP_HDR, payload);
         self.shared.resp.write_local(0, &hdr_bytes);
         thread.busy(self.shared.cfg.post_cpu).await;
-        self.served.set(self.served.get() + 1);
         if let Some(span) = self.shared.span.borrow_mut().as_mut() {
-            span.mark_unordered(thread.now(), "response_posted");
+            span.mark_unordered(
+                thread.now(),
+                match status {
+                    RespStatus::Ok => "response_posted",
+                    RespStatus::Busy => "rejected_busy",
+                    RespStatus::Shed => "rejected_shed",
+                },
+            );
         }
 
         let mode = self.shared.mode.read_local(0, 1)[0];
@@ -347,6 +445,7 @@ impl RfpServerConn {
         let recovered = if hdr.valid { hdr.seq } else { 0 };
         self.last_seq.set(recovered);
         self.cur_seq.set(recovered);
+        self.cur_deadline.set(None);
         // Any span of a call interrupted by the crash is stale.
         *self.shared.span.borrow_mut() = None;
     }
@@ -359,6 +458,16 @@ impl RfpServerConn {
     /// Responses pushed via out-bound WRITE (server-reply mode).
     pub fn replied_out_of_band(&self) -> u64 {
         self.replied_out_of_band.get()
+    }
+
+    /// Requests turned away with `Busy` (queue bound reached).
+    pub fn rejected_busy(&self) -> u64 {
+        self.rejected_busy.get()
+    }
+
+    /// Requests shed for an expired deadline.
+    pub fn rejected_shed(&self) -> u64 {
+        self.rejected_shed.get()
     }
 
     /// Current mode flag as last written by the client.

@@ -1,7 +1,7 @@
 //! Buffer headers of the RFP wire protocol (paper Figure 7).
 //!
 //! Every request buffer starts with an 8-byte header carrying a status
-//! bit and a 31-bit payload size; every response buffer starts with a
+//! bit and a 30-bit payload size; every response buffer starts with a
 //! 16-byte header additionally carrying the paper's 16-bit server
 //! response time. Both headers also carry a 32-bit sequence number — an
 //! engineering detail the paper leaves implicit: the client must be able
@@ -9,18 +9,81 @@
 //! of the previous call without an extra round trip to clear the remote
 //! status bit, and matching on the call sequence does exactly that.
 //!
+//! Two extensions ride in space the base format leaves unused, so that
+//! a connection not using them stays byte-identical to the original
+//! layout:
+//!
+//! * **request deadline** — bit 30 of the request word marks an extended
+//!   16-byte header whose trailing 8 bytes carry the client-stamped
+//!   absolute deadline (nanoseconds of sim time). The overload-control
+//!   path stamps it so the server can shed requests that already missed
+//!   their deadline (see [`crate::OverloadConfig`]); without it the bit
+//!   is clear and the header is the classic 8 bytes.
+//! * **response status + credits** — byte 10 of the response header
+//!   carries a [`RespStatus`] (`Ok`/`Busy`/`Shed`) and bytes 11..13 a
+//!   16-bit admission-credit advertisement. Both encode as zero for the
+//!   default (`Ok`, 0 credits), which is exactly what the original
+//!   format zero-filled there.
+//!
 //! All fields are little-endian.
 
-/// Size of the request header in bytes.
+use rfp_simnet::SimTime;
+
+/// Size of the base request header in bytes.
 pub const REQ_HDR: usize = 8;
+
+/// Size of the extended request header (base + 8-byte deadline).
+pub const REQ_HDR_EXT: usize = 16;
 
 /// Size of the response header in bytes.
 pub const RESP_HDR: usize = 16;
 
-/// Maximum payload size encodable in the 31-bit size field.
-pub const MAX_PAYLOAD: usize = (1 << 31) - 1;
+/// Maximum payload size encodable in the 30-bit size field.
+pub const MAX_PAYLOAD: usize = (1 << 30) - 1;
 
 const VALID_BIT: u32 = 1 << 31;
+const DEADLINE_BIT: u32 = 1 << 30;
+const SIZE_MASK: u32 = (1 << 30) - 1;
+
+/// Server verdict carried in a response header.
+///
+/// `Busy` and `Shed` are the overload-control rejections: the request
+/// was *not* executed (the server either had no queue room or saw the
+/// stamped deadline already expired), so the client may safely resubmit
+/// it under a fresh sequence number. Both verdicts carry an empty
+/// payload — the whole point is that a rejection costs the client one
+/// in-bound READ, not `R` of them.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum RespStatus {
+    /// The request was executed; the payload is the result.
+    Ok,
+    /// Admission rejected: the server's bounded queue was full.
+    Busy,
+    /// Deadline shed: the request's stamped deadline had already passed
+    /// when the server picked it up.
+    Shed,
+}
+
+impl RespStatus {
+    /// Wire encoding (one byte).
+    pub fn to_u8(self) -> u8 {
+        match self {
+            RespStatus::Ok => 0,
+            RespStatus::Busy => 1,
+            RespStatus::Shed => 2,
+        }
+    }
+
+    /// Decodes a wire byte; unknown values read as `Ok` so pre-extension
+    /// peers (which zero-fill the byte) interoperate.
+    pub fn from_u8(b: u8) -> Self {
+        match b {
+            1 => RespStatus::Busy,
+            2 => RespStatus::Shed,
+            _ => RespStatus::Ok,
+        }
+    }
+}
 
 /// Decoded request header.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -31,33 +94,62 @@ pub struct ReqHeader {
     pub size: u32,
     /// Call sequence number.
     pub seq: u32,
+    /// Client-stamped absolute deadline, when the overload-control path
+    /// stamped one. `None` encodes to the classic 8-byte header.
+    pub deadline: Option<SimTime>,
 }
 
 impl ReqHeader {
-    /// Encodes into the first [`REQ_HDR`] bytes of `buf`.
+    /// Bytes this header occupies on the wire ([`REQ_HDR`] or
+    /// [`REQ_HDR_EXT`]); the payload starts at this offset.
+    pub fn wire_len(&self) -> usize {
+        if self.deadline.is_some() {
+            REQ_HDR_EXT
+        } else {
+            REQ_HDR
+        }
+    }
+
+    /// Encodes into the first [`wire_len`](ReqHeader::wire_len) bytes of
+    /// `buf`.
     ///
     /// # Panics
     ///
-    /// Panics if `buf` is shorter than [`REQ_HDR`] or `size` exceeds
+    /// Panics if `buf` is shorter than the wire length or `size` exceeds
     /// [`MAX_PAYLOAD`].
     pub fn encode(&self, buf: &mut [u8]) {
         assert!(self.size as usize <= MAX_PAYLOAD, "payload too large");
-        let word = self.size | if self.valid { VALID_BIT } else { 0 };
+        let mut word = self.size | if self.valid { VALID_BIT } else { 0 };
+        if self.deadline.is_some() {
+            word |= DEADLINE_BIT;
+        }
         buf[0..4].copy_from_slice(&word.to_le_bytes());
         buf[4..8].copy_from_slice(&self.seq.to_le_bytes());
+        if let Some(deadline) = self.deadline {
+            buf[8..16].copy_from_slice(&deadline.as_nanos().to_le_bytes());
+        }
     }
 
-    /// Decodes from the first [`REQ_HDR`] bytes of `buf`.
+    /// Decodes from the first [`REQ_HDR`] bytes of `buf` (the first
+    /// [`REQ_HDR_EXT`] when the deadline bit is set).
     ///
     /// # Panics
     ///
-    /// Panics if `buf` is shorter than [`REQ_HDR`].
+    /// Panics if `buf` is shorter than the encoded header.
     pub fn decode(buf: &[u8]) -> Self {
         let word = u32::from_le_bytes(buf[0..4].try_into().expect("len checked"));
+        let deadline = if word & DEADLINE_BIT != 0 {
+            Some(SimTime::from_nanos(u64::from_le_bytes(
+                buf[8..16].try_into().expect("len checked"),
+            )))
+        } else {
+            None
+        };
         ReqHeader {
             valid: word & VALID_BIT != 0,
-            size: word & !VALID_BIT,
+            size: word & SIZE_MASK,
             seq: u32::from_le_bytes(buf[4..8].try_into().expect("len checked")),
+            deadline,
         }
     }
 }
@@ -75,6 +167,11 @@ pub struct RespHeader {
     /// `u16::MAX` (the paper's two-byte `time` field; clients use it to
     /// decide when to switch back from server-reply mode, §3.2).
     pub time_us: u16,
+    /// Server verdict: executed, queue-full rejection, or deadline shed.
+    pub status: RespStatus,
+    /// Admission credits the server currently advertises on this
+    /// connection (overload control; 0 when the subsystem is off).
+    pub credits: u16,
 }
 
 impl RespHeader {
@@ -90,7 +187,9 @@ impl RespHeader {
         buf[0..4].copy_from_slice(&word.to_le_bytes());
         buf[4..8].copy_from_slice(&self.seq.to_le_bytes());
         buf[8..10].copy_from_slice(&self.time_us.to_le_bytes());
-        buf[10..16].fill(0);
+        buf[10] = self.status.to_u8();
+        buf[11..13].copy_from_slice(&self.credits.to_le_bytes());
+        buf[13..16].fill(0);
     }
 
     /// Decodes from the first [`RESP_HDR`] bytes of `buf`.
@@ -102,9 +201,11 @@ impl RespHeader {
         let word = u32::from_le_bytes(buf[0..4].try_into().expect("len checked"));
         RespHeader {
             valid: word & VALID_BIT != 0,
-            size: word & !VALID_BIT,
+            size: word & SIZE_MASK,
             seq: u32::from_le_bytes(buf[4..8].try_into().expect("len checked")),
             time_us: u16::from_le_bytes(buf[8..10].try_into().expect("len checked")),
+            status: RespStatus::from_u8(buf[10]),
+            credits: u16::from_le_bytes(buf[11..13].try_into().expect("len checked")),
         }
     }
 }
@@ -119,6 +220,7 @@ mod tests {
             valid: true,
             size: 12345,
             seq: 0xDEAD_BEEF,
+            deadline: None,
         };
         let mut buf = [0u8; REQ_HDR];
         h.encode(&mut buf);
@@ -131,6 +233,7 @@ mod tests {
             valid: false,
             size: MAX_PAYLOAD as u32,
             seq: 7,
+            deadline: None,
         };
         let mut buf = [0u8; REQ_HDR];
         h.encode(&mut buf);
@@ -140,12 +243,48 @@ mod tests {
     }
 
     #[test]
+    fn req_header_deadline_round_trip() {
+        let h = ReqHeader {
+            valid: true,
+            size: 64,
+            seq: 9,
+            deadline: Some(SimTime::from_nanos(123_456_789)),
+        };
+        assert_eq!(h.wire_len(), REQ_HDR_EXT);
+        let mut buf = [0u8; REQ_HDR_EXT];
+        h.encode(&mut buf);
+        assert_eq!(ReqHeader::decode(&buf), h);
+    }
+
+    #[test]
+    fn req_header_without_deadline_matches_legacy_layout() {
+        // The pre-extension encoder wrote `size | VALID` then the seq and
+        // nothing else; a deadline-less header must produce those exact
+        // bytes (the byte-identical-when-off guarantee).
+        let h = ReqHeader {
+            valid: true,
+            size: 300,
+            seq: 0x0102_0304,
+            deadline: None,
+        };
+        assert_eq!(h.wire_len(), REQ_HDR);
+        let mut buf = [0u8; REQ_HDR];
+        h.encode(&mut buf);
+        let mut legacy = [0u8; REQ_HDR];
+        legacy[0..4].copy_from_slice(&(300u32 | (1 << 31)).to_le_bytes());
+        legacy[4..8].copy_from_slice(&0x0102_0304u32.to_le_bytes());
+        assert_eq!(buf, legacy);
+    }
+
+    #[test]
     fn resp_header_round_trip() {
         let h = RespHeader {
             valid: true,
             size: 99,
             seq: 42,
             time_us: 65535,
+            status: RespStatus::Ok,
+            credits: 0,
         };
         let mut buf = [0u8; RESP_HDR];
         h.encode(&mut buf);
@@ -153,9 +292,60 @@ mod tests {
     }
 
     #[test]
+    fn resp_header_status_and_credits_round_trip() {
+        for status in [RespStatus::Ok, RespStatus::Busy, RespStatus::Shed] {
+            let h = RespHeader {
+                valid: true,
+                size: 0,
+                seq: 77,
+                time_us: 3,
+                status,
+                credits: 0xBEEF,
+            };
+            let mut buf = [0u8; RESP_HDR];
+            h.encode(&mut buf);
+            let d = RespHeader::decode(&buf);
+            assert_eq!(d.status, status);
+            assert_eq!(d.credits, 0xBEEF);
+            assert_eq!(d, h);
+        }
+    }
+
+    #[test]
+    fn resp_header_default_status_matches_legacy_layout() {
+        // `Ok` + 0 credits must reproduce the original zero-filled tail.
+        let h = RespHeader {
+            valid: true,
+            size: 17,
+            seq: 5,
+            time_us: 1200,
+            status: RespStatus::Ok,
+            credits: 0,
+        };
+        let mut buf = [0xFFu8; RESP_HDR];
+        h.encode(&mut buf);
+        let mut legacy = [0u8; RESP_HDR];
+        legacy[0..4].copy_from_slice(&(17u32 | (1 << 31)).to_le_bytes());
+        legacy[4..8].copy_from_slice(&5u32.to_le_bytes());
+        legacy[8..10].copy_from_slice(&1200u16.to_le_bytes());
+        assert_eq!(buf, legacy);
+    }
+
+    #[test]
+    fn status_byte_unknown_values_read_as_ok() {
+        assert_eq!(RespStatus::from_u8(0), RespStatus::Ok);
+        assert_eq!(RespStatus::from_u8(1), RespStatus::Busy);
+        assert_eq!(RespStatus::from_u8(2), RespStatus::Shed);
+        assert_eq!(RespStatus::from_u8(200), RespStatus::Ok);
+    }
+
+    #[test]
     fn zeroed_buffer_decodes_invalid() {
         assert!(!ReqHeader::decode(&[0u8; REQ_HDR]).valid);
-        assert!(!RespHeader::decode(&[0u8; RESP_HDR]).valid);
+        let resp = RespHeader::decode(&[0u8; RESP_HDR]);
+        assert!(!resp.valid);
+        assert_eq!(resp.status, RespStatus::Ok);
+        assert_eq!(resp.credits, 0);
     }
 
     #[test]
@@ -165,6 +355,7 @@ mod tests {
             valid: true,
             size: u32::MAX,
             seq: 0,
+            deadline: None,
         };
         h.encode(&mut [0u8; REQ_HDR]);
     }

@@ -69,6 +69,7 @@ pub mod api;
 mod client;
 mod conn;
 mod header;
+mod overload;
 mod params;
 mod pool;
 mod recovery;
@@ -77,7 +78,8 @@ mod tuner;
 
 pub use client::{CallInfo, CallResult, ClientStats, RfpClient};
 pub use conn::{connect, Mode, RfpConfig, RfpServerConn, RfpTelemetry};
-pub use header::{ReqHeader, RespHeader, MAX_PAYLOAD, REQ_HDR, RESP_HDR};
+pub use header::{ReqHeader, RespHeader, RespStatus, MAX_PAYLOAD, REQ_HDR, REQ_HDR_EXT, RESP_HDR};
+pub use overload::{admit, credits_for, Admission, OverloadConfig};
 pub use params::{ParamSelector, Params, WorkloadSample};
 pub use pool::RfpPool;
 pub use recovery::{FailureCause, RecoveryConfig, RpcError};

@@ -1,0 +1,238 @@
+//! Overload control: credit-based admission and deadline-aware shedding.
+//!
+//! Under overload RFP's own mechanics work against it (§2.2 of the
+//! paper): clients that exhaust their `R` fetch retries either keep
+//! polling with RDMA READs — burning the in-bound engine the server
+//! needs to absorb request WRITEs — or switch to server-reply mode and
+//! burn the ≈5×-slower out-bound engine. Either way saturation turns
+//! into collapse. This module adds the protocol-level pieces that turn
+//! the collapse back into a plateau:
+//!
+//! * **deadline stamping** — a client using the overload path stamps an
+//!   absolute deadline into the (extended) request header;
+//! * **admission control** — the server bounds how many requests it
+//!   admits per scan and sheds requests whose stamped deadline already
+//!   passed, answering rejections with an explicit
+//!   [`RespStatus`](crate::RespStatus) verdict that costs the client
+//!   *one* in-bound READ instead of `R` of them;
+//! * **credit advertisement** — every response carries the server's
+//!   current admission-credit level; clients pause before submitting
+//!   when credits hit zero, keeping rejected work off the wire
+//!   entirely.
+//!
+//! Everything is gated on [`OverloadConfig::enabled`], which defaults to
+//! `false`; a disabled config changes no wire byte, schedules no event
+//! and creates no instrument, so existing runs are byte-identical.
+
+use rfp_simnet::{RetryPolicy, SimSpan, SimTime};
+
+/// Tunables of the overload-control subsystem. Carried by
+/// [`RfpConfig`](crate::RfpConfig), so both endpoints of a connection
+/// see the same knobs.
+#[derive(Clone, Debug)]
+pub struct OverloadConfig {
+    /// Master switch. `false` (the default) keeps every path — wire
+    /// format, scheduling, instruments — exactly as without the
+    /// subsystem.
+    pub enabled: bool,
+    /// Requests a server thread admits per scan of its connections;
+    /// pending requests beyond this bound are answered `Busy`.
+    pub queue_limit: usize,
+    /// Per-call budget: the client stamps `now + deadline` into the
+    /// request header, the server sheds any request it picks up after
+    /// that instant, and the client stops tight-polling for the
+    /// response once it passes.
+    pub deadline: SimSpan,
+    /// Credits advertised when the server is idle (backlog at or below
+    /// [`credit_low_water`](OverloadConfig::credit_low_water)).
+    pub credit_max: u16,
+    /// Backlog (pending requests seen in one scan) at or below which
+    /// the full [`credit_max`](OverloadConfig::credit_max) is
+    /// advertised.
+    pub credit_low_water: usize,
+    /// Backlog at or above which zero credits are advertised; between
+    /// the waters the advertisement falls linearly.
+    pub credit_high_water: usize,
+    /// Re-admission schedule: attempts and jittered backoff applied
+    /// when a call's submission is answered `Busy`/`Shed`.
+    pub retry: RetryPolicy,
+    /// Pause before submitting while the last advertised credit level
+    /// is zero (jittered like a backoff step).
+    pub credit_wait: SimSpan,
+    /// After the call's deadline passes, the client stops tight-polling
+    /// and probes for the verdict at this (jittered, exponentially
+    /// growing) pace instead.
+    pub probe_pause: SimSpan,
+    /// Verdict probes issued after the deadline before the client gives
+    /// up on the attempt locally.
+    pub max_probes: u32,
+    /// Seed of the client's backoff-jitter stream. Derive a distinct
+    /// stream per client (e.g. `derive_seed(base, idx)`) so backoffs
+    /// don't synchronise into a thundering herd.
+    pub seed: u64,
+}
+
+impl Default for OverloadConfig {
+    fn default() -> Self {
+        OverloadConfig {
+            enabled: false,
+            queue_limit: 8,
+            deadline: SimSpan::micros(50),
+            credit_max: 8,
+            credit_low_water: 4,
+            credit_high_water: 16,
+            retry: RetryPolicy::exponential(4, SimSpan::micros(10), SimSpan::micros(200), 0.3),
+            credit_wait: SimSpan::micros(10),
+            probe_pause: SimSpan::micros(5),
+            max_probes: 8,
+            seed: 0x0C10_AD00,
+        }
+    }
+}
+
+/// Verdict of the server's admission check for one pending request.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Admission {
+    /// Execute it (and never shed it afterwards).
+    Admit,
+    /// Reject: the scan's admission budget is exhausted.
+    Busy,
+    /// Reject: the stamped deadline already passed.
+    Shed,
+}
+
+/// The admission rule, as a pure function so its safety properties are
+/// directly testable: a request is shed **iff** its stamped deadline
+/// has passed, turned away `Busy` **iff** it is within deadline but the
+/// queue bound is reached, and admitted otherwise. `serve_loop` calls
+/// this once per pending request *before* any processing, so a request
+/// the server has begun processing can never be shed.
+pub fn admit(
+    cfg: &OverloadConfig,
+    now: SimTime,
+    deadline: Option<SimTime>,
+    queue_depth: usize,
+) -> Admission {
+    if let Some(d) = deadline {
+        if now > d {
+            return Admission::Shed;
+        }
+    }
+    if queue_depth >= cfg.queue_limit.max(1) {
+        return Admission::Busy;
+    }
+    Admission::Admit
+}
+
+/// Credits to advertise for a scan that found `backlog` pending
+/// requests: `credit_max` at or below the low water, zero at or above
+/// the high water, linear in between.
+pub fn credits_for(cfg: &OverloadConfig, backlog: usize) -> u16 {
+    let low = cfg.credit_low_water;
+    let high = cfg.credit_high_water.max(low + 1);
+    if backlog <= low {
+        return cfg.credit_max;
+    }
+    if backlog >= high {
+        return 0;
+    }
+    let span = (high - low) as f64;
+    let over = (backlog - low) as f64;
+    (cfg.credit_max as f64 * (1.0 - over / span)).round() as u16
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> OverloadConfig {
+        OverloadConfig {
+            enabled: true,
+            queue_limit: 4,
+            credit_max: 8,
+            credit_low_water: 2,
+            credit_high_water: 10,
+            ..OverloadConfig::default()
+        }
+    }
+
+    #[test]
+    fn default_is_off() {
+        assert!(!OverloadConfig::default().enabled);
+    }
+
+    #[test]
+    fn expired_deadline_sheds_regardless_of_queue() {
+        let c = cfg();
+        let now = SimTime::from_nanos(1_000);
+        let past = Some(SimTime::from_nanos(999));
+        assert_eq!(admit(&c, now, past, 0), Admission::Shed);
+        assert_eq!(admit(&c, now, past, 100), Admission::Shed);
+    }
+
+    #[test]
+    fn deadline_boundary_is_inclusive() {
+        // A pickup exactly at the deadline still makes it.
+        let c = cfg();
+        let now = SimTime::from_nanos(1_000);
+        assert_eq!(
+            admit(&c, now, Some(SimTime::from_nanos(1_000)), 0),
+            Admission::Admit
+        );
+    }
+
+    #[test]
+    fn queue_bound_turns_busy() {
+        let c = cfg();
+        let now = SimTime::from_nanos(50);
+        let future = Some(SimTime::from_nanos(10_000));
+        assert_eq!(admit(&c, now, future, 3), Admission::Admit);
+        assert_eq!(admit(&c, now, future, 4), Admission::Busy);
+        // No deadline stamped: only the queue bound applies.
+        assert_eq!(admit(&c, now, None, 4), Admission::Busy);
+        assert_eq!(admit(&c, now, None, 0), Admission::Admit);
+    }
+
+    #[test]
+    fn zero_queue_limit_behaves_like_one() {
+        let c = OverloadConfig {
+            queue_limit: 0,
+            ..cfg()
+        };
+        assert_eq!(admit(&c, SimTime::ZERO, None, 0), Admission::Admit);
+        assert_eq!(admit(&c, SimTime::ZERO, None, 1), Admission::Busy);
+    }
+
+    #[test]
+    fn credits_interpolate_between_waters() {
+        let c = cfg();
+        assert_eq!(credits_for(&c, 0), 8);
+        assert_eq!(credits_for(&c, 2), 8);
+        assert_eq!(credits_for(&c, 6), 4);
+        assert_eq!(credits_for(&c, 10), 0);
+        assert_eq!(credits_for(&c, 50), 0);
+    }
+
+    #[test]
+    fn credits_monotone_in_backlog() {
+        let c = cfg();
+        let mut prev = u16::MAX;
+        for backlog in 0..20 {
+            let cur = credits_for(&c, backlog);
+            assert!(cur <= prev, "credits rose with backlog at {backlog}");
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn degenerate_waters_still_total() {
+        let c = OverloadConfig {
+            credit_low_water: 5,
+            credit_high_water: 5,
+            ..cfg()
+        };
+        assert_eq!(credits_for(&c, 4), c.credit_max);
+        assert_eq!(credits_for(&c, 5), c.credit_max);
+        assert_eq!(credits_for(&c, 6), 0);
+    }
+}

@@ -23,6 +23,8 @@
 use rfp_rnic::VerbError;
 use rfp_simnet::{RetryPolicy, SimSpan};
 
+use crate::header::RespStatus;
+
 /// Tunables of the client recovery loop.
 #[derive(Clone, Debug)]
 pub struct RecoveryConfig {
@@ -35,6 +37,11 @@ pub struct RecoveryConfig {
     /// CPU cost of re-establishing the QP and re-registering buffers
     /// (connection setup handshake, `ibv_create_qp` + rkey exchange).
     pub reconnect_cpu: SimSpan,
+    /// Optional deadline on the *whole call*, measured from its start:
+    /// backoff sleeps are clamped so they never overshoot it, and once
+    /// the clock reaches it the loop gives up instead of resubmitting.
+    /// `None` (the default) bounds the call by the attempt budget only.
+    pub call_deadline: Option<SimSpan>,
     /// Seed of the backoff-jitter stream (independent per client).
     pub seed: u64,
 }
@@ -45,6 +52,7 @@ impl Default for RecoveryConfig {
             fetch_deadline: SimSpan::micros(100),
             retry: RetryPolicy::exponential(16, SimSpan::micros(20), SimSpan::millis(2), 0.2),
             reconnect_cpu: SimSpan::micros(5),
+            call_deadline: None,
             seed: 0x5EED_0001,
         }
     }
@@ -57,6 +65,10 @@ pub enum FailureCause {
     Verb(VerbError),
     /// The per-attempt deadline expired with no matching response.
     Deadline,
+    /// The server's admission control rejected the request
+    /// (`Busy`/`Shed`); it was never executed, and the next attempt
+    /// resubmits it under a fresh sequence number.
+    Rejected(RespStatus),
 }
 
 /// A call that exhausted its recovery budget.

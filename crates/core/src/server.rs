@@ -4,6 +4,16 @@
 //! trade against server-bypass): each server thread owns a disjoint set
 //! of connections (EREW partitioning, as Jakiro does) and scans their
 //! request buffers in round-robin, processing and answering in place.
+//!
+//! With overload control enabled ([`OverloadConfig`] on the shared
+//! connection config) each scan runs in two phases: an **admission
+//! sweep** that picks up every pending request and immediately answers
+//! the ones it will not execute (`Shed` for an expired client-stamped
+//! deadline, `Busy` beyond the scan's queue bound), then a **processing
+//! phase** over the admitted batch. Admission decisions are made by the
+//! pure [`admit`](crate::overload::admit) rule *before* any processing,
+//! so a request the server has begun executing is never shed — the
+//! invariant the shedding-safety proptest pins.
 
 use std::rc::Rc;
 
@@ -11,6 +21,8 @@ use rfp_rnic::ThreadCtx;
 use rfp_simnet::SimSpan;
 
 use crate::conn::RfpServerConn;
+use crate::header::RespStatus;
+use crate::overload::{admit, credits_for, Admission, OverloadConfig};
 
 /// How a server thread produces a response from a request payload.
 ///
@@ -38,10 +50,24 @@ where
 pub async fn serve_loop(
     thread: Rc<ThreadCtx>,
     conns: Vec<Rc<RfpServerConn>>,
-    mut handler: impl RfpHandler,
+    handler: impl RfpHandler,
     idle_pause: SimSpan,
 ) {
     assert!(!conns.is_empty(), "server thread with no connections");
+    if conns[0].overload().enabled {
+        serve_loop_overload(thread, conns, handler, idle_pause).await
+    } else {
+        serve_loop_plain(thread, conns, handler, idle_pause).await
+    }
+}
+
+/// The classic loop: every pending request is processed in scan order.
+async fn serve_loop_plain(
+    thread: Rc<ThreadCtx>,
+    conns: Vec<Rc<RfpServerConn>>,
+    mut handler: impl RfpHandler,
+    idle_pause: SimSpan,
+) {
     loop {
         // A crashed machine runs no software: park (idle, not busy)
         // until the restart clears the flag. Healthy runs pay only the
@@ -69,6 +95,86 @@ pub async fn serve_loop(
                     break;
                 }
                 conn.send(&thread, &resp).await;
+                served_any = true;
+            }
+        }
+        if !served_any {
+            thread.busy(idle_pause).await;
+        }
+    }
+}
+
+/// The admission-controlled loop (two-phase scan, see module docs).
+async fn serve_loop_overload(
+    thread: Rc<ThreadCtx>,
+    conns: Vec<Rc<RfpServerConn>>,
+    mut handler: impl RfpHandler,
+    idle_pause: SimSpan,
+) {
+    let ov: OverloadConfig = conns[0].overload().clone();
+    debug_assert!(
+        conns.iter().all(|c| c.overload().enabled),
+        "mixed overload configs on one server thread"
+    );
+    // Credits advertised on responses posted during the admission
+    // sweep, computed from the *previous* scan's backlog (the freshest
+    // level the server knows when a rejection goes out).
+    let mut advertised = ov.credit_max;
+    loop {
+        if thread.machine().faults().is_crashed() {
+            thread
+                .idle_wait(thread.handle().sleep(idle_pause.max(SimSpan::micros(1))))
+                .await;
+            continue;
+        }
+        let mut served_any = false;
+        let mut crashed = false;
+        // Phase 1: admission sweep. Every pending request is picked up
+        // and either queued for processing or answered with its verdict
+        // on the spot — one bounded batch per scan.
+        let mut admitted: Vec<(usize, Vec<u8>)> = Vec::new();
+        let mut backlog = 0usize;
+        for (i, conn) in conns.iter().enumerate() {
+            if thread.machine().faults().is_crashed() {
+                crashed = true;
+                break;
+            }
+            if let Some(req) = conn.try_recv(&thread).await {
+                backlog += 1;
+                match admit(&ov, thread.now(), conn.current_deadline(), admitted.len()) {
+                    Admission::Admit => admitted.push((i, req)),
+                    Admission::Busy => {
+                        // Out of queue room: advertise zero so the
+                        // client backs off before resubmitting.
+                        conn.set_advertised_credits(0);
+                        conn.reject(&thread, RespStatus::Busy).await;
+                        served_any = true;
+                    }
+                    Admission::Shed => {
+                        conn.set_advertised_credits(advertised);
+                        conn.reject(&thread, RespStatus::Shed).await;
+                        served_any = true;
+                    }
+                }
+            }
+        }
+        advertised = credits_for(&ov, backlog);
+        // Phase 2: processing. Admission is final — nothing in this
+        // batch is ever shed, deadline expired or not.
+        if !crashed {
+            for (i, req) in admitted {
+                if thread.machine().faults().is_crashed() {
+                    break;
+                }
+                let (resp, process) = handler.handle(&req);
+                if !process.is_zero() {
+                    thread.busy(process).await;
+                }
+                if thread.machine().faults().is_crashed() {
+                    break;
+                }
+                conns[i].set_advertised_credits(advertised);
+                conns[i].send(&thread, &resp).await;
                 served_any = true;
             }
         }

@@ -9,27 +9,70 @@ use proptest::collection::vec;
 use proptest::prelude::*;
 
 use rfp_core::{
-    connect, serve_loop, ParamSelector, ReqHeader, RespHeader, RfpConfig, WorkloadSample,
-    MAX_PAYLOAD, REQ_HDR, RESP_HDR,
+    connect, serve_loop, ParamSelector, ReqHeader, RespHeader, RespStatus, RfpConfig,
+    WorkloadSample, MAX_PAYLOAD, REQ_HDR, REQ_HDR_EXT, RESP_HDR,
 };
 use rfp_rnic::{Cluster, ClusterProfile, LinkProfile, NicProfile};
-use rfp_simnet::{SimSpan, Simulation};
+use rfp_simnet::{SimSpan, SimTime, Simulation};
+
+/// Uniform draw over the three wire statuses.
+fn any_status() -> impl Strategy<Value = RespStatus> {
+    (0u8..3).prop_map(RespStatus::from_u8)
+}
 
 proptest! {
     #[test]
-    fn req_header_round_trips(valid in any::<bool>(), size in 0u32..=MAX_PAYLOAD as u32, seq in any::<u32>()) {
-        let h = ReqHeader { valid, size, seq };
-        let mut buf = [0u8; REQ_HDR];
-        h.encode(&mut buf);
+    fn req_header_round_trips(
+        valid in any::<bool>(),
+        size in 0u32..=MAX_PAYLOAD as u32,
+        seq in any::<u32>(),
+        deadline_ns in prop::option::of(any::<u64>()),
+    ) {
+        let h = ReqHeader { valid, size, seq, deadline: deadline_ns.map(SimTime::from_nanos) };
+        prop_assert_eq!(h.wire_len(), if deadline_ns.is_some() { REQ_HDR_EXT } else { REQ_HDR });
+        let mut buf = [0u8; REQ_HDR_EXT];
+        h.encode(&mut buf[..h.wire_len()]);
         prop_assert_eq!(ReqHeader::decode(&buf), h);
     }
 
+    /// Encode/decode identity over the full status × size × time × credit
+    /// product: no combination of the new fields perturbs any other.
     #[test]
-    fn resp_header_round_trips(valid in any::<bool>(), size in 0u32..=MAX_PAYLOAD as u32, seq in any::<u32>(), time_us in any::<u16>()) {
-        let h = RespHeader { valid, size, seq, time_us };
+    fn resp_header_round_trips(
+        valid in any::<bool>(),
+        size in 0u32..=MAX_PAYLOAD as u32,
+        seq in any::<u32>(),
+        time_us in any::<u16>(),
+        status in any_status(),
+        credits in any::<u16>(),
+    ) {
+        let h = RespHeader { valid, size, seq, time_us, status, credits };
         let mut buf = [0u8; RESP_HDR];
         h.encode(&mut buf);
         prop_assert_eq!(RespHeader::decode(&buf), h);
+    }
+
+    /// A response with the default verdict (`Ok`, zero credits) encodes
+    /// byte-identically to the pre-extension format, whatever the other
+    /// fields — the wire-compatibility half of the off-is-inert
+    /// guarantee.
+    #[test]
+    fn resp_header_default_verdict_is_legacy_bytes(
+        size in 0u32..=MAX_PAYLOAD as u32,
+        seq in any::<u32>(),
+        time_us in any::<u16>(),
+    ) {
+        let h = RespHeader {
+            valid: true, size, seq, time_us,
+            status: RespStatus::Ok, credits: 0,
+        };
+        let mut buf = [0xAAu8; RESP_HDR];
+        h.encode(&mut buf);
+        let mut legacy = [0u8; RESP_HDR];
+        legacy[0..4].copy_from_slice(&(size | (1 << 31)).to_le_bytes());
+        legacy[4..8].copy_from_slice(&seq.to_le_bytes());
+        legacy[8..10].copy_from_slice(&time_us.to_le_bytes());
+        prop_assert_eq!(buf, legacy);
     }
 
     /// Echoing arbitrary payloads through the full RFP stack reassembles

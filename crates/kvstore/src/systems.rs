@@ -17,7 +17,9 @@
 
 use std::rc::Rc;
 
-use rfp_core::{connect, serve_loop, RfpClient, RfpConfig, RfpServerConn, RfpTelemetry, RESP_HDR};
+use rfp_core::{
+    connect, serve_loop, RespStatus, RfpClient, RfpConfig, RfpServerConn, RfpTelemetry, RESP_HDR,
+};
 use rfp_paradigms::{sr_connect, BypassClient};
 use rfp_rnic::{Cluster, ClusterProfile, Machine, ThreadCtx};
 use rfp_simnet::{Counter, Histogram, MetricsRegistry, SimSpan, Simulation, SpanRecorder};
@@ -56,6 +58,10 @@ pub struct KvStats {
     pub bypass_ops: Rc<Counter>,
     /// Checksum-failure rereads observed by bypass GETs (Pilaf only).
     pub crc_retries: Rc<Counter>,
+    /// Requests answered `Busy` by admission control (overload only).
+    pub rejected_busy: Rc<Counter>,
+    /// Requests shed for a missed deadline (overload only).
+    pub rejected_shed: Rc<Counter>,
 }
 
 impl KvStats {
@@ -68,6 +74,8 @@ impl KvStats {
         self.latency.reset();
         self.bypass_ops.reset();
         self.crc_retries.reset();
+        self.rejected_busy.reset();
+        self.rejected_shed.reset();
     }
 
     /// Exposes every instrument in `registry` under `kv.*`.
@@ -79,6 +87,14 @@ impl KvStats {
         registry.register_histogram("kv.latency", &self.latency);
         registry.register_counter("kv.bypass.ops", &self.bypass_ops);
         registry.register_counter("kv.bypass.crc_retries", &self.crc_retries);
+    }
+
+    /// Additionally exposes the overload rejection counters. Called only
+    /// when the subsystem is on, so runs without it keep their exported
+    /// metric rows unchanged.
+    pub fn register_overload_into(&self, registry: &MetricsRegistry) {
+        registry.register_counter("kv.rejected.busy", &self.rejected_busy);
+        registry.register_counter("kv.rejected.shed", &self.rejected_shed);
     }
 }
 
@@ -206,7 +222,13 @@ impl SystemConfig {
             .next_multiple_of(64)
             .max(256)
             .max(self.rfp.fetch_size);
-        let req = (rfp_core::REQ_HDR + 7 + self.spec.key_len + max_val)
+        // Deadline-stamped requests carry the 16-byte extended header.
+        let hdr = if self.rfp.overload.enabled {
+            rfp_core::REQ_HDR_EXT
+        } else {
+            rfp_core::REQ_HDR
+        };
+        let req = (hdr + 7 + self.spec.key_len + max_val)
             .next_multiple_of(64)
             .max(256);
         RfpConfig {
@@ -414,6 +436,12 @@ fn spawn_routed_kv(sim: &mut Simulation, cfg: &SystemConfig, server_reply: bool)
     let (registry, spans) = system_telemetry(&cluster, &stats);
     let partitions = build_partitions(cfg);
     let rfp_cfg = cfg.sized_rfp();
+    // Overload control only guards the remote-fetch transport; the
+    // server-reply comparator has no deadline-aware admission path.
+    let overload = !server_reply && rfp_cfg.overload.enabled;
+    if overload {
+        stats.register_overload_into(&registry);
+    }
 
     // Per server thread: the connections it polls.
     let mut server_conns: Vec<Vec<Rc<RfpServerConn>>> =
@@ -429,7 +457,11 @@ fn spawn_routed_kv(sim: &mut Simulation, cfg: &SystemConfig, server_reply: bool)
             // One connection per server thread (requests are routed to
             // the partition owner — EREW).
             let idx = m * cfg.clients_per_machine + t;
-            let ccfg = client_rfp_cfg(&rfp_cfg, &registry, &spans, idx);
+            let mut ccfg = client_rfp_cfg(&rfp_cfg, &registry, &spans, idx);
+            if overload {
+                // Decorrelate the per-client backoff jitter streams.
+                ccfg.overload.seed = rfp_simnet::derive_seed(rfp_cfg.overload.seed, idx as u64);
+            }
             let mut conns = Vec::with_capacity(cfg.server_threads);
             for sconns in server_conns.iter_mut() {
                 let (cl, sc) = if server_reply {
@@ -484,7 +516,20 @@ fn spawn_routed_kv(sim: &mut Simulation, cfg: &SystemConfig, server_reply: bool)
                         Op::Put { key, value } => KvRequest::Put { key, value }.encode(),
                     };
                     let t0 = h.now();
-                    let out = conn.call(&thread, &req).await;
+                    let out = if overload {
+                        conn.call_overload(&thread, &req, None).await
+                    } else {
+                        conn.call(&thread, &req).await
+                    };
+                    if out.info.status != RespStatus::Ok {
+                        // Rejected under overload: no payload to decode,
+                        // and rejections never count as goodput.
+                        match out.info.status {
+                            RespStatus::Busy => st.rejected_busy.incr(),
+                            _ => st.rejected_shed.incr(),
+                        }
+                        continue;
+                    }
                     let resp = KvResponse::decode(&out.data).expect("server response");
                     record_outcome(&st, &op, &resp, h.now() - t0);
                 }

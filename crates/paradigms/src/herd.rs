@@ -176,6 +176,7 @@ impl HerdClient {
             valid: true,
             size: req.len() as u32,
             seq,
+            deadline: None,
         };
         let mut hdr_bytes = [0u8; REQ_HDR];
         hdr.encode(&mut hdr_bytes);
@@ -249,6 +250,7 @@ impl HerdServerConn {
                 valid: false,
                 size: 0,
                 seq: hdr.seq,
+                deadline: None,
             }
             .encode(&mut cleared);
             self.req.write_local(0, &cleared);
@@ -265,6 +267,7 @@ impl HerdServerConn {
                 valid: false,
                 size: 0,
                 seq: hdr.seq,
+                deadline: None,
             }
             .encode(&mut cleared);
             self.req.write_local(0, &cleared);

@@ -53,7 +53,7 @@ pub use coord::{Barrier, Semaphore, SemaphoreGuard, WaitGroup, WaitGroupToken};
 pub use executor::{yield_now, SimHandle, Simulation, Sleep};
 pub use metrics::{Gauge, MetricValue, MetricsRegistry, MetricsSnapshot};
 pub use resource::{FifoServer, MultiServer};
-pub use retry::{retry, RetryExhausted, RetryPolicy};
+pub use retry::{retry, retry_with_deadline, RetryExhausted, RetryPolicy};
 pub use sampler::{SampleRow, TimeSeriesSampler};
 pub use span::{Phase, RequestTrace, SpanRecorder};
 pub use stats::{BusyClock, Counter, Histogram};

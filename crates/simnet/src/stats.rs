@@ -145,6 +145,19 @@ impl Histogram {
         self.sorted.borrow().last().map(|&v| SimSpan::nanos(v))
     }
 
+    /// Fraction of samples at or below `bound` (0.0 when empty) — the
+    /// goodput accounting of the overload ablation: completions slower
+    /// than the deadline are throughput but not goodput.
+    pub fn frac_at_most(&self, bound: SimSpan) -> f64 {
+        self.ensure_sorted();
+        let s = self.sorted.borrow();
+        if s.is_empty() {
+            return 0.0;
+        }
+        let n = s.partition_point(|&v| v <= bound.as_nanos());
+        n as f64 / s.len() as f64
+    }
+
     /// `points` evenly spaced (latency, cumulative-probability) pairs —
     /// the series plotted in the paper's CDF figures (Figs 13 and 20).
     pub fn cdf(&self, points: usize) -> Vec<(SimSpan, f64)> {
@@ -251,6 +264,22 @@ mod tests {
             let mid = expect[expect.len().div_ceil(2) - 1];
             assert_eq!(h.percentile(50.0).unwrap().as_nanos(), mid);
         }
+    }
+
+    #[test]
+    fn histogram_frac_at_most() {
+        let h = Histogram::new();
+        assert_eq!(h.frac_at_most(SimSpan::nanos(10)), 0.0);
+        for v in [10, 20, 30, 40] {
+            h.record(SimSpan::nanos(v));
+        }
+        assert_eq!(h.frac_at_most(SimSpan::nanos(5)), 0.0);
+        assert_eq!(h.frac_at_most(SimSpan::nanos(10)), 0.25);
+        assert_eq!(h.frac_at_most(SimSpan::nanos(25)), 0.5);
+        assert_eq!(h.frac_at_most(SimSpan::nanos(40)), 1.0);
+        // Unmerged tail samples count too.
+        h.record(SimSpan::nanos(1));
+        assert_eq!(h.frac_at_most(SimSpan::nanos(5)), 0.2);
     }
 
     #[test]

@@ -7,6 +7,7 @@ cargo build --release
 cargo test -q
 cargo clippy -- -D warnings
 cargo clippy -p rfp-chaos -- -D warnings
+cargo clippy -p rfp-core -p rfp-kvstore -p rfp-bench -- -D warnings
 cargo fmt --check
 
 # Chaos smoke: every fault scenario under a fixed seed must hold the
@@ -15,3 +16,11 @@ cargo fmt --check
 cargo run -q --release -p rfp-bench --bin chaos 42 > /tmp/chaos_a.csv
 cargo run -q --release -p rfp-bench --bin chaos 42 > /tmp/chaos_b.csv
 cmp /tmp/chaos_a.csv /tmp/chaos_b.csv
+
+# Overload smoke: the binary itself asserts the shed cost (2 in-bound,
+# 0 out-bound NIC ops per shed) and the goodput plateau (controlled
+# goodput at 4x saturation >= 70% of peak, uncontrolled below it);
+# here we additionally pin run-to-run determinism under a fixed seed.
+cargo run -q --release -p rfp-bench --bin overload 42 > /tmp/overload_a.csv
+cargo run -q --release -p rfp-bench --bin overload 42 > /tmp/overload_b.csv
+cmp /tmp/overload_a.csv /tmp/overload_b.csv
