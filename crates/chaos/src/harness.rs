@@ -29,8 +29,8 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use rfp_core::{
-    connect, serve_loop, FailureCause, OverloadConfig, RecoveryConfig, RfpConfig, RfpServerConn,
-    RfpTelemetry,
+    connect, serve_loop, FailureCause, IntegrityConfig, OverloadConfig, RecoveryConfig, RfpConfig,
+    RfpServerConn, RfpTelemetry,
 };
 use rfp_kvstore::systems::apply_to_partition;
 use rfp_kvstore::{partition_of, KvRequest, KvResponse, Partition};
@@ -59,6 +59,11 @@ pub struct ChaosConfig {
     /// default; when on, every recovery call is deadline-stamped and the
     /// server sheds or busy-rejects instead of queueing without bound.
     pub overload: OverloadConfig,
+    /// End-to-end fetch integrity (CRC + generation + canary). Off by
+    /// default; when on, every fetched response is verified and corrupt
+    /// images are refetched instead of surfaced — required for rigs that
+    /// schedule torn-DMA or bit-flip fault windows.
+    pub integrity: IntegrityConfig,
     /// Cluster timing profile.
     pub profile: ClusterProfile,
     /// Master seed for workloads and recovery jitter.
@@ -74,6 +79,7 @@ impl Default for ChaosConfig {
             put_ratio: 0.5,
             recovery: RecoveryConfig::default(),
             overload: OverloadConfig::default(),
+            integrity: IntegrityConfig::default(),
             profile: ClusterProfile::paper_testbed(),
             seed: 7,
         }
@@ -189,6 +195,7 @@ fn rig_rfp_cfg(
     spans: &SpanRecorder,
     trace: &TraceLog,
     overload: &OverloadConfig,
+    integrity: &IntegrityConfig,
     idx: usize,
 ) -> RfpConfig {
     RfpConfig {
@@ -198,6 +205,7 @@ fn rig_rfp_cfg(
             seed: derive_seed(overload.seed, idx as u64),
             ..overload.clone()
         },
+        integrity: integrity.clone(),
         trace: Some(trace.clone()),
         telemetry: Some(RfpTelemetry {
             registry: registry.clone(),
@@ -282,6 +290,7 @@ pub fn spawn_chaos_kv(
                     &spans,
                     &trace,
                     &cfg.overload,
+                    &cfg.integrity,
                     c * cfg.server_threads + s,
                 ),
             );

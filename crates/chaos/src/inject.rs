@@ -93,7 +93,9 @@ pub fn install(sim: &mut Simulation, cluster: &Cluster, plan: &FaultPlan, sinks:
         if let FaultKind::LossBurst { machine, .. }
         | FaultKind::Straggler { machine, .. }
         | FaultKind::QpError { machine }
-        | FaultKind::Crash { machine, .. } = &event.kind
+        | FaultKind::Crash { machine, .. }
+        | FaultKind::TornDma { machine, .. }
+        | FaultKind::BitFlip { machine, .. } = &event.kind
         {
             assert!(
                 *machine < cluster.len(),
@@ -110,7 +112,9 @@ pub fn install(sim: &mut Simulation, cluster: &Cluster, plan: &FaultPlan, sinks:
             FaultKind::LossBurst { machine, .. }
             | FaultKind::Straggler { machine, .. }
             | FaultKind::QpError { machine }
-            | FaultKind::Crash { machine, .. } => Some(cluster.machine(*machine)),
+            | FaultKind::Crash { machine, .. }
+            | FaultKind::TornDma { machine, .. }
+            | FaultKind::BitFlip { machine, .. } => Some(cluster.machine(*machine)),
             FaultKind::LinkDegrade { .. } => None,
         };
         let sinks = sinks.clone();
@@ -146,6 +150,24 @@ pub fn install(sim: &mut Simulation, cluster: &Cluster, plan: &FaultPlan, sinks:
                     handle.sleep(event.duration).await;
                     m.faults().set_cpu_factor(1.0);
                     sinks.note(handle.now(), format!("machine {machine}: straggler over"));
+                }
+                FaultKind::TornDma { machine, p } => {
+                    let m = target.expect("torn dma has a target");
+                    m.faults().set_torn_dma(p);
+                    sinks.count("fault.torn_dma");
+                    sinks.note(at, format!("machine {machine}: torn-DMA window p={p:.3}"));
+                    handle.sleep(event.duration).await;
+                    m.faults().set_torn_dma(0.0);
+                    sinks.note(handle.now(), format!("machine {machine}: torn-DMA over"));
+                }
+                FaultKind::BitFlip { machine, p } => {
+                    let m = target.expect("bit flip has a target");
+                    m.faults().set_bitflip(p);
+                    sinks.count("fault.bit_flips");
+                    sinks.note(at, format!("machine {machine}: bit-flip window p={p:.3}"));
+                    handle.sleep(event.duration).await;
+                    m.faults().set_bitflip(0.0);
+                    sinks.note(handle.now(), format!("machine {machine}: bit-flip over"));
                 }
                 FaultKind::QpError { machine } => {
                     let m = target.expect("qp error has a target");

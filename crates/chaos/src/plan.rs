@@ -54,6 +54,23 @@ pub enum FaultKind {
         /// Whether registered memory survives the restart.
         warm: bool,
     },
+    /// Torn-DMA window on one machine: READs of its memory complete
+    /// mid-write with probability `p`, returning a spliced old/new
+    /// buffer (the non-atomic-DMA race the integrity layer detects).
+    TornDma {
+        /// Target machine index.
+        machine: usize,
+        /// Per-READ tear probability in `[0, 1]`.
+        p: f64,
+    },
+    /// Memory bit-flip window on one machine: READs of its memory
+    /// return an image with one flipped bit with probability `p`.
+    BitFlip {
+        /// Target machine index.
+        machine: usize,
+        /// Per-READ flip probability in `[0, 1]`.
+        p: f64,
+    },
 }
 
 /// One scheduled fault.
@@ -134,6 +151,16 @@ impl FaultPlan {
         self.push(at, downtime, FaultKind::Crash { machine, warm })
     }
 
+    /// Schedules a torn-DMA window on `machine`.
+    pub fn torn_dma(self, at: SimTime, duration: SimSpan, machine: usize, p: f64) -> Self {
+        self.push(at, duration, FaultKind::TornDma { machine, p })
+    }
+
+    /// Schedules a memory bit-flip window on `machine`.
+    pub fn bit_flip(self, at: SimTime, duration: SimSpan, machine: usize, p: f64) -> Self {
+        self.push(at, duration, FaultKind::BitFlip { machine, p })
+    }
+
     /// Draws a mixed plan of `events` faults over `(start, horizon)`
     /// against machines `0..machines`, deterministically from the seed.
     /// Crashes always target machine 0 (the conventional server).
@@ -186,12 +213,22 @@ mod tests {
         let plan = FaultPlan::new(7)
             .loss_burst(SimTime::from_nanos(10), SimSpan::micros(1), 1, 0.2)
             .qp_error(SimTime::from_nanos(20), 0)
-            .crash(SimTime::from_nanos(30), SimSpan::micros(5), 0, true);
-        assert_eq!(plan.len(), 3);
+            .crash(SimTime::from_nanos(30), SimSpan::micros(5), 0, true)
+            .torn_dma(SimTime::from_nanos(40), SimSpan::micros(2), 0, 0.3)
+            .bit_flip(SimTime::from_nanos(50), SimSpan::micros(2), 0, 0.1);
+        assert_eq!(plan.len(), 5);
         assert_eq!(plan.events()[1].duration, SimSpan::ZERO);
         assert!(matches!(
             plan.events()[2].kind,
             FaultKind::Crash { warm: true, .. }
+        ));
+        assert!(matches!(
+            plan.events()[3].kind,
+            FaultKind::TornDma { machine: 0, .. }
+        ));
+        assert!(matches!(
+            plan.events()[4].kind,
+            FaultKind::BitFlip { machine: 0, .. }
         ));
     }
 

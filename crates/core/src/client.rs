@@ -14,7 +14,10 @@ use rfp_simnet::{
 };
 
 use crate::conn::{Mode, RfpTelemetry, Shared, MODE_REMOTE_FETCH, MODE_SERVER_REPLY};
-use crate::header::{ReqHeader, RespHeader, RespStatus, REQ_HDR, REQ_HDR_EXT, RESP_HDR};
+use crate::header::{
+    ReqHeader, RespHeader, RespStatus, REQ_HDR, REQ_HDR_EXT, RESP_HDR, RESP_TRAILER,
+};
+use crate::integrity::{verify_response, IntegrityFault};
 use crate::overload::OverloadConfig;
 use crate::recovery::{FailureCause, RecoveryConfig, RpcError};
 
@@ -95,6 +98,10 @@ pub struct CallInfo {
     /// outside the overload-control path; [`RespStatus::Busy`] /
     /// [`RespStatus::Shed`] mark rejected calls, whose `data` is empty.
     pub status: RespStatus,
+    /// Fetches of this call discarded and retried because they failed
+    /// integrity verification (torn DMA, bit flips). Always 0 with the
+    /// integrity layer off.
+    pub integrity_retries: u32,
 }
 
 /// Aggregated client statistics.
@@ -213,6 +220,14 @@ struct AttemptState<'a> {
     refresh: Cell<bool>,
     /// Fetch READs issued across all attempts.
     fetches: Cell<u32>,
+    /// Fetches discarded by integrity verification across all attempts.
+    integrity_retries: Cell<u32>,
+    /// Escalation marker set when an attempt exhausted its
+    /// verify-and-refetch budget ([`FailureCause::Corrupt`]): the next
+    /// attempt re-establishes the QP even though it reports no error
+    /// state — persistent corruption on a "healthy" QP is the one fault
+    /// the transport cannot see.
+    force_reconnect: Cell<bool>,
 }
 
 /// Client endpoint of one RFP connection, bound to one simulated thread.
@@ -315,7 +330,10 @@ impl RfpClient {
     ///
     /// Panics if `f` cannot cover the response header.
     pub fn set_params(&self, r: u32, f: usize) {
-        assert!(f >= RESP_HDR, "F must cover the response header");
+        assert!(
+            f >= self.shared.cfg.resp_wire_hdr(),
+            "F must cover the response header"
+        );
         assert!(
             f <= self.shared.cfg.resp_capacity,
             "F exceeds response buffer"
@@ -484,12 +502,23 @@ impl RfpClient {
         let handle = thread.handle().clone();
         let fetches = Cell::new(0u32);
         let extra = Cell::new(false);
+        let integrity_retries = Cell::new(0u32);
         let outcome = retry_with_deadline(
             &handle,
             &ov.retry,
             deadline,
             || jitter.borrow_mut().gen::<f64>(),
-            |_attempt| self.attempt_overload(thread, req, deadline, &fetches, &extra, &jitter),
+            |_attempt| {
+                self.attempt_overload(
+                    thread,
+                    req,
+                    deadline,
+                    &fetches,
+                    &extra,
+                    &integrity_retries,
+                    &jitter,
+                )
+            },
         )
         .await;
         let (data, status, server_time_us) = match outcome {
@@ -510,6 +539,7 @@ impl RfpClient {
             latency: thread.now() - t0,
             server_time_us,
             status,
+            integrity_retries: integrity_retries.get(),
         };
         if status == RespStatus::Ok {
             // Only executed calls feed the throughput/latency stats;
@@ -544,6 +574,7 @@ impl RfpClient {
     /// submission, deadline-bounded fetch. `Err` carries the rejection
     /// verdict (from the server, or locally synthesised when the probes
     /// for a verdict ran out).
+    #[allow(clippy::too_many_arguments)]
     async fn attempt_overload(
         &self,
         thread: &ThreadCtx,
@@ -551,6 +582,7 @@ impl RfpClient {
         call_deadline: Option<SimTime>,
         fetches: &Cell<u32>,
         extra: &Cell<bool>,
+        integrity_retries: &Cell<u32>,
         jitter: &RefCell<StdRng>,
     ) -> Result<(Vec<u8>, u16), RespStatus> {
         let ov = &self.shared.cfg.overload;
@@ -619,34 +651,51 @@ impl RfpClient {
                 ins.fetch_bytes.add(f as u64);
             }
             thread.busy(self.shared.cfg.check_cpu).await;
-            let hdr = RespHeader::decode(&self.shared.client_resp.read_local(0, RESP_HDR));
+            let hdr = RespHeader::decode(
+                &self
+                    .shared
+                    .client_resp
+                    .read_local(0, self.shared.cfg.resp_wire_hdr()),
+            );
             if !(hdr.valid && hdr.seq == seq) {
+                continue;
+            }
+            let total = self.resp_total_len(&hdr);
+            if !self.resp_len_plausible(total) {
+                self.note_integrity_failure(thread, IntegrityFault::Torn);
+                integrity_retries.set(integrity_retries.get() + 1);
+                continue;
+            }
+            let size = hdr.size as usize;
+            if total > f {
+                let rest = total - f;
+                self.qp()
+                    .read(
+                        thread,
+                        &self.shared.client_resp,
+                        f,
+                        &self.shared.resp,
+                        f,
+                        rest,
+                    )
+                    .await;
+                self.span_mark(thread, "extra_fetch_read");
+                if let Some(ins) = &self.instruments {
+                    ins.fetch_bytes.add(rest as u64);
+                }
+                extra.set(true);
+            }
+            if self.verify_fetched(thread, &hdr).is_err() {
+                // Verdicts are verified too: a corrupt fetch must not
+                // surface a spurious rejection (or a bogus payload).
+                integrity_retries.set(integrity_retries.get() + 1);
                 continue;
             }
             self.credits.set(hdr.credits);
             match hdr.status {
                 RespStatus::Ok => {
-                    let size = hdr.size as usize;
-                    if RESP_HDR + size > f {
-                        let rest = RESP_HDR + size - f;
-                        self.qp()
-                            .read(
-                                thread,
-                                &self.shared.client_resp,
-                                f,
-                                &self.shared.resp,
-                                f,
-                                rest,
-                            )
-                            .await;
-                        self.span_mark(thread, "extra_fetch_read");
-                        if let Some(ins) = &self.instruments {
-                            ins.fetch_bytes.add(rest as u64);
-                        }
-                        extra.set(true);
-                    }
                     return Ok((
-                        self.shared.client_resp.read_local(RESP_HDR, size),
+                        self.shared.client_resp.read_local(hdr.wire_len(), size),
                         hdr.time_us,
                     ));
                 }
@@ -660,6 +709,83 @@ impl RfpClient {
                 }
             }
         }
+    }
+
+    /// Records one discarded-and-retried fetch against the integrity
+    /// instruments (`fetch.torn` / `fetch.crc_fail` plus the shared
+    /// `fetch.integrity_retries`). Lazy like the recovery counters: a
+    /// run that never sees a corrupt fetch materialises no instrument.
+    fn note_integrity_failure(&self, thread: &ThreadCtx, fault: IntegrityFault) {
+        let counter = match fault {
+            IntegrityFault::Torn => "fetch.torn",
+            IntegrityFault::CrcMismatch => "fetch.crc_fail",
+        };
+        if let Some(ins) = &self.instruments {
+            ins.telemetry.registry.counter(counter).incr();
+            ins.telemetry
+                .registry
+                .counter("fetch.integrity_retries")
+                .incr();
+        }
+        if let Some(trace) = &self.shared.cfg.trace {
+            trace.record(
+                thread.now(),
+                "rfp.integrity",
+                format!(
+                    "seq {}: {fault:?} fetch discarded — refetching",
+                    self.seq.get()
+                ),
+            );
+        }
+    }
+
+    /// Verifies one fully fetched response image in the landing zone
+    /// (header from the first segment, payload + trailing canary as
+    /// currently fetched). `Err` carries the failure class; the caller
+    /// discards the fetch and retries. No-op `Ok` with the layer off.
+    fn verify_fetched(&self, thread: &ThreadCtx, hdr: &RespHeader) -> Result<(), IntegrityFault> {
+        if !self.shared.cfg.integrity.enabled {
+            return Ok(());
+        }
+        let wire_hdr = hdr.wire_len();
+        let size = hdr.size as usize;
+        let outcome = if wire_hdr + size + RESP_TRAILER > self.shared.cfg.resp_capacity {
+            // A flipped size bit can claim more payload than the buffer
+            // holds; classify it as torn instead of reading past the MR.
+            Err(IntegrityFault::Torn)
+        } else {
+            self.shared.client_resp.with_bytes(|bytes| {
+                verify_response(
+                    hdr,
+                    &bytes[wire_hdr..wire_hdr + size],
+                    &bytes[wire_hdr + size..wire_hdr + size + RESP_TRAILER],
+                )
+            })
+        };
+        if let Err(fault) = outcome {
+            self.note_integrity_failure(thread, fault);
+        }
+        outcome
+    }
+
+    /// Whether a fetched header's claimed footprint fits the response
+    /// buffer. Always true with integrity off (the server is trusted);
+    /// with it on, a flipped size bit must not drive the second READ
+    /// past the registered region.
+    fn resp_len_plausible(&self, total: usize) -> bool {
+        !self.shared.cfg.integrity.enabled || total <= self.shared.cfg.resp_capacity
+    }
+
+    /// Total fetched footprint of a response: wire header + payload +
+    /// (with integrity on) the trailing canary. The two-segment fetch
+    /// must cover all of it before the response can be verified.
+    fn resp_total_len(&self, hdr: &RespHeader) -> usize {
+        let trailer = if self.shared.cfg.integrity.enabled {
+            RESP_TRAILER
+        } else {
+            0
+        };
+        hdr.wire_len() + hdr.size as usize + trailer
     }
 
     /// Bumps an `overload.*` counter and trace entry. Lazy like the
@@ -686,6 +812,7 @@ impl RfpClient {
     ) -> CallResult {
         let r = self.retry_threshold.get();
         let mut attempts = 0u32;
+        let mut integrity_retries = 0u32;
         let mut counted_over = false;
         loop {
             attempts += 1;
@@ -698,14 +825,25 @@ impl RfpClient {
                 ins.fetch_bytes.add(f as u64);
             }
             thread.busy(self.shared.cfg.check_cpu).await;
-            let hdr = RespHeader::decode(&self.shared.client_resp.read_local(0, RESP_HDR));
+            let hdr = RespHeader::decode(
+                &self
+                    .shared
+                    .client_resp
+                    .read_local(0, self.shared.cfg.resp_wire_hdr()),
+            );
             if hdr.valid && hdr.seq == seq {
+                let total = self.resp_total_len(&hdr);
+                if !self.resp_len_plausible(total) {
+                    self.note_integrity_failure(thread, IntegrityFault::Torn);
+                    integrity_retries += 1;
+                    continue;
+                }
                 let size = hdr.size as usize;
                 let mut extra_read = false;
-                if RESP_HDR + size > f {
+                if total > f {
                     // Second fetch for the remainder (paper §3.2: only if
                     // the real result exceeds the default fetch size).
-                    let rest = RESP_HDR + size - f;
+                    let rest = total - f;
                     self.qp()
                         .read(
                             thread,
@@ -722,12 +860,18 @@ impl RfpClient {
                     }
                     extra_read = true;
                 }
+                if self.verify_fetched(thread, &hdr).is_err() {
+                    // Discard the fetched image and refetch: the next READ
+                    // samples the buffer afresh.
+                    integrity_retries += 1;
+                    continue;
+                }
                 if !counted_over {
                     self.consec_over.set(0);
                 }
                 self.credits.set(hdr.credits);
                 return CallResult {
-                    data: self.shared.client_resp.read_local(RESP_HDR, size),
+                    data: self.shared.client_resp.read_local(hdr.wire_len(), size),
                     info: CallInfo {
                         attempts,
                         extra_read,
@@ -735,6 +879,7 @@ impl RfpClient {
                         latency: thread.now() - t0,
                         server_time_us: hdr.time_us,
                         status: hdr.status,
+                        integrity_retries,
                     },
                 };
             }
@@ -762,13 +907,23 @@ impl RfpClient {
         prior_attempts: u32,
     ) -> CallResult {
         let mut attempts = prior_attempts;
+        let mut integrity_retries = 0u32;
         loop {
             thread.busy(self.shared.cfg.check_cpu).await;
-            let hdr = RespHeader::decode(&self.shared.client_resp.read_local(0, RESP_HDR));
-            if hdr.valid && hdr.seq == seq {
+            let hdr = RespHeader::decode(
+                &self
+                    .shared
+                    .client_resp
+                    .read_local(0, self.shared.cfg.resp_wire_hdr()),
+            );
+            // In reply mode the server pushes (and the fallback fetch
+            // reads) the whole image, so verification needs no second
+            // READ; a corrupt image falls through to the wait/fallback
+            // below, which refreshes the landing zone.
+            if hdr.valid && hdr.seq == seq && self.verify_fetched(thread, &hdr).is_ok() {
                 self.span_mark(thread, "reply_received");
                 let size = hdr.size as usize;
-                let data = self.shared.client_resp.read_local(RESP_HDR, size);
+                let data = self.shared.client_resp.read_local(hdr.wire_len(), size);
                 // §3.2: record the server's response time; if it got
                 // short again, remote fetching is profitable — switch
                 // back.
@@ -788,8 +943,13 @@ impl RfpClient {
                         latency: thread.now() - t0,
                         server_time_us: hdr.time_us,
                         status: hdr.status,
+                        integrity_retries,
                     },
                 };
+            }
+            if hdr.valid && hdr.seq == seq {
+                // Matching but corrupt (verify_fetched noted it above).
+                integrity_retries += 1;
             }
             // Block (idle — no busy polling in reply mode, which is the
             // whole CPU saving of Figure 15) until a reply lands, with a
@@ -870,6 +1030,8 @@ impl RfpClient {
             stamp,
             refresh: Cell::new(true),
             fetches: Cell::new(0),
+            integrity_retries: Cell::new(0),
+            force_reconnect: Cell::new(false),
         };
 
         // Jitter stream: deterministic per (config seed, call seq), and
@@ -933,7 +1095,10 @@ impl RfpClient {
                 "resubmitting request under the same seq"
             };
             self.note_recovery(thread, "recovery.resubmits", what);
-            if self.qp().error_state().is_some() {
+            // A corrupt-exhausted attempt escalates to reconnection even
+            // though the QP reports no error: persistent corruption on a
+            // "healthy" QP is invisible to the transport.
+            if state.force_reconnect.take() || self.qp().error_state().is_some() {
                 self.reestablish_qp(thread, rec).await;
             }
         }
@@ -976,6 +1141,10 @@ impl RfpClient {
         if let Some(c) = clamp {
             deadline = deadline.min(c);
         }
+        // Consecutive corrupt fetches within *this* attempt; at the
+        // configured budget the attempt fails with `Corrupt` and the
+        // next one escalates to reconnection.
+        let mut corrupt_streak = 0u32;
         loop {
             let f = self.fetch_size.get();
             qp.try_read(thread, &self.shared.client_resp, 0, &self.shared.resp, 0, f)
@@ -986,48 +1155,79 @@ impl RfpClient {
                 ins.fetch_bytes.add(f as u64);
             }
             thread.busy(self.shared.cfg.check_cpu).await;
-            let hdr = RespHeader::decode(&self.shared.client_resp.read_local(0, RESP_HDR));
+            let hdr = RespHeader::decode(
+                &self
+                    .shared
+                    .client_resp
+                    .read_local(0, self.shared.cfg.resp_wire_hdr()),
+            );
+            let mut corrupt = false;
             if hdr.valid && hdr.seq == seq {
-                self.credits.set(hdr.credits);
-                if hdr.status != RespStatus::Ok {
-                    let counter = match hdr.status {
-                        RespStatus::Busy => "overload.busy_seen",
-                        _ => "overload.sheds_seen",
-                    };
-                    self.note_overload(thread, counter, "server rejected the request");
-                    state.refresh.set(true);
-                    return Err(FailureCause::Rejected(hdr.status));
-                }
-                let size = hdr.size as usize;
-                let mut extra_read = false;
-                if RESP_HDR + size > f {
-                    let rest = RESP_HDR + size - f;
-                    qp.try_read(
-                        thread,
-                        &self.shared.client_resp,
-                        f,
-                        &self.shared.resp,
-                        f,
-                        rest,
-                    )
-                    .await
-                    .map_err(|e| self.verb_failure(thread, e))?;
-                    if let Some(ins) = &self.instruments {
-                        ins.fetch_bytes.add(rest as u64);
+                let total = self.resp_total_len(&hdr);
+                if !self.resp_len_plausible(total) {
+                    self.note_integrity_failure(thread, IntegrityFault::Torn);
+                    corrupt = true;
+                } else {
+                    let size = hdr.size as usize;
+                    let mut extra_read = false;
+                    if total > f {
+                        let rest = total - f;
+                        qp.try_read(
+                            thread,
+                            &self.shared.client_resp,
+                            f,
+                            &self.shared.resp,
+                            f,
+                            rest,
+                        )
+                        .await
+                        .map_err(|e| self.verb_failure(thread, e))?;
+                        if let Some(ins) = &self.instruments {
+                            ins.fetch_bytes.add(rest as u64);
+                        }
+                        extra_read = true;
                     }
-                    extra_read = true;
+                    if self.verify_fetched(thread, &hdr).is_ok() {
+                        self.credits.set(hdr.credits);
+                        if hdr.status != RespStatus::Ok {
+                            let counter = match hdr.status {
+                                RespStatus::Busy => "overload.busy_seen",
+                                _ => "overload.sheds_seen",
+                            };
+                            self.note_overload(thread, counter, "server rejected the request");
+                            state.refresh.set(true);
+                            return Err(FailureCause::Rejected(hdr.status));
+                        }
+                        return Ok(CallResult {
+                            data: self.shared.client_resp.read_local(hdr.wire_len(), size),
+                            info: CallInfo {
+                                attempts: fetches.get(),
+                                extra_read,
+                                completed_in: Mode::RemoteFetch,
+                                latency: SimSpan::ZERO, // patched by the caller
+                                server_time_us: hdr.time_us,
+                                status: hdr.status,
+                                integrity_retries: state.integrity_retries.get(),
+                            },
+                        });
+                    }
+                    corrupt = true;
                 }
-                return Ok(CallResult {
-                    data: self.shared.client_resp.read_local(RESP_HDR, size),
-                    info: CallInfo {
-                        attempts: fetches.get(),
-                        extra_read,
-                        completed_in: Mode::RemoteFetch,
-                        latency: SimSpan::ZERO, // patched by the caller
-                        server_time_us: hdr.time_us,
-                        status: hdr.status,
-                    },
-                });
+            }
+            if corrupt {
+                state
+                    .integrity_retries
+                    .set(state.integrity_retries.get() + 1);
+                corrupt_streak += 1;
+                if corrupt_streak >= self.shared.cfg.integrity.verify_retries {
+                    self.note_recovery(
+                        thread,
+                        "recovery.corrupt_attempts",
+                        "verify-and-refetch budget exhausted",
+                    );
+                    state.force_reconnect.set(true);
+                    return Err(FailureCause::Corrupt);
+                }
             }
             if thread.now() >= deadline {
                 self.note_recovery(thread, "recovery.deadlines", "attempt deadline expired");

@@ -31,8 +31,13 @@ use std::rc::Rc;
 use rfp_rnic::{Machine, MemRegion, Qp, ThreadCtx};
 use rfp_simnet::{MetricsRegistry, RequestTrace, SimSpan, SimTime, SpanRecorder};
 
-use crate::header::{ReqHeader, RespHeader, RespStatus, REQ_HDR, REQ_HDR_EXT, RESP_HDR};
+use crate::header::{
+    resp_canary, ReqHeader, RespHeader, RespIntegrity, RespStatus, REQ_HDR, REQ_HDR_EXT, RESP_HDR,
+    RESP_HDR_EXT, RESP_TRAILER,
+};
+use crate::integrity::IntegrityConfig;
 use crate::overload::OverloadConfig;
+use rfp_simnet::crc64;
 
 /// Destination for one connection's telemetry: counters/gauges go into
 /// `registry` under `prefix`, and one [`RequestTrace`] per completed
@@ -102,6 +107,10 @@ pub struct RfpConfig {
     /// cooperative backoff). Off by default: a disabled config leaves
     /// every wire byte and scheduled event exactly as without it.
     pub overload: OverloadConfig,
+    /// End-to-end integrity for remote fetches (payload CRC, buffer
+    /// generation, trailing canary; see [`crate::IntegrityConfig`]).
+    /// Off by default with the same disabled-knobs-inert guarantee.
+    pub integrity: IntegrityConfig,
 }
 
 impl Default for RfpConfig {
@@ -121,14 +130,31 @@ impl Default for RfpConfig {
             trace: None,
             telemetry: None,
             overload: OverloadConfig::default(),
+            integrity: IntegrityConfig::default(),
         }
     }
 }
 
 impl RfpConfig {
-    /// Largest response payload this connection can carry.
+    /// Bytes of response header this connection writes on the wire
+    /// ([`RESP_HDR`], or [`RESP_HDR_EXT`] with integrity on).
+    pub fn resp_wire_hdr(&self) -> usize {
+        if self.integrity.enabled {
+            RESP_HDR_EXT
+        } else {
+            RESP_HDR
+        }
+    }
+
+    /// Largest response payload this connection can carry (integrity on
+    /// additionally reserves the extended header and the trailing
+    /// canary).
     pub fn max_resp_payload(&self) -> usize {
-        self.resp_capacity - RESP_HDR
+        if self.integrity.enabled {
+            self.resp_capacity - RESP_HDR_EXT - RESP_TRAILER
+        } else {
+            self.resp_capacity - RESP_HDR
+        }
     }
 
     /// Largest request payload this connection can carry.
@@ -205,6 +231,20 @@ pub fn connect(
         cfg.fetch_size <= cfg.resp_capacity,
         "fetch size exceeds the response buffer"
     );
+    if cfg.integrity.enabled {
+        assert!(
+            cfg.fetch_size >= RESP_HDR_EXT,
+            "fetch size must cover the extended response header"
+        );
+        assert!(
+            cfg.resp_capacity >= RESP_HDR_EXT + RESP_TRAILER,
+            "response buffer must cover the extended header and trailer"
+        );
+        assert!(
+            cfg.integrity.verify_retries > 0,
+            "integrity needs at least one verify retry"
+        );
+    }
     assert_eq!(qp_c2s.local().id(), client_machine.id(), "qp_c2s direction");
     assert_eq!(
         qp_c2s.remote().id(),
@@ -242,6 +282,7 @@ pub fn connect(
         cur_seq: Cell::new(0),
         cur_deadline: Cell::new(None),
         advertise: Cell::new(0),
+        generation: Cell::new(0),
         served: Cell::new(0),
         replied_out_of_band: Cell::new(0),
         rejected_busy: Cell::new(0),
@@ -271,6 +312,9 @@ pub struct RfpServerConn {
     /// control; stays 0 — the legacy zero fill — when the subsystem is
     /// off).
     advertise: Cell<u16>,
+    /// Buffer generation: bumped on every local post into the response
+    /// buffer (integrity layer; stays 0 and unstamped when it is off).
+    generation: Cell<u32>,
     served: Cell<u64>,
     replied_out_of_band: Cell<u64>,
     rejected_busy: Cell<u64>,
@@ -387,6 +431,23 @@ impl RfpServerConn {
         );
         let elapsed = thread.now() - self.pickup.get();
         let time_us = (elapsed.as_nanos() / 1_000).min(u16::MAX as u64) as u16;
+        let integrity_on = self.shared.cfg.integrity.enabled;
+        let integrity = if integrity_on {
+            // The torn-DMA fault splices a concurrent READ from the
+            // buffer's pre-post image; capture it only while that fault
+            // is armed so healthy runs allocate nothing extra.
+            if thread.machine().faults().torn_dma() > 0.0 {
+                self.shared.resp.snapshot_history();
+            }
+            let generation = self.generation.get().wrapping_add(1);
+            self.generation.set(generation);
+            Some(RespIntegrity {
+                crc: crc64(payload),
+                generation,
+            })
+        } else {
+            None
+        };
         let hdr = RespHeader {
             valid: true,
             size: payload.len() as u32,
@@ -394,13 +455,21 @@ impl RfpServerConn {
             time_us,
             status,
             credits: self.advertise.get(),
+            integrity,
         };
-        let mut hdr_bytes = [0u8; RESP_HDR];
-        hdr.encode(&mut hdr_bytes);
-        // Header after payload: a concurrent remote fetch must never see
-        // a valid header with stale payload bytes.
-        self.shared.resp.write_local(RESP_HDR, payload);
-        self.shared.resp.write_local(0, &hdr_bytes);
+        let wire_hdr = hdr.wire_len();
+        let mut hdr_bytes = [0u8; RESP_HDR_EXT];
+        hdr.encode(&mut hdr_bytes[..wire_hdr]);
+        // Header after payload (and trailer): a concurrent remote fetch
+        // must never see a valid header with stale payload bytes.
+        self.shared.resp.write_local(wire_hdr, payload);
+        if let Some(integrity) = integrity {
+            self.shared.resp.write_local(
+                wire_hdr + payload.len(),
+                &resp_canary(seq, integrity.generation).to_le_bytes(),
+            );
+        }
+        self.shared.resp.write_local(0, &hdr_bytes[..wire_hdr]);
         thread.busy(self.shared.cfg.post_cpu).await;
         if let Some(span) = self.shared.span.borrow_mut().as_mut() {
             span.mark_unordered(
@@ -417,6 +486,7 @@ impl RfpServerConn {
         if mode == MODE_SERVER_REPLY {
             self.replied_out_of_band
                 .set(self.replied_out_of_band.get() + 1);
+            let trailer = if integrity_on { RESP_TRAILER } else { 0 };
             self.qp_reply
                 .write(
                     thread,
@@ -424,7 +494,7 @@ impl RfpServerConn {
                     0,
                     &self.shared.client_resp,
                     0,
-                    RESP_HDR + payload.len(),
+                    wire_hdr + payload.len() + trailer,
                 )
                 .await;
         }
@@ -441,11 +511,21 @@ impl RfpServerConn {
     /// buffers were wiped, the recovered seq is 0, and every replay is
     /// (correctly) executed against the empty store.
     pub fn recover_after_restart(&self) {
-        let hdr = RespHeader::decode(&self.shared.resp.read_local(0, RESP_HDR));
+        let hdr = RespHeader::decode(
+            &self
+                .shared
+                .resp
+                .read_local(0, self.shared.cfg.resp_wire_hdr()),
+        );
         let recovered = if hdr.valid { hdr.seq } else { 0 };
         self.last_seq.set(recovered);
         self.cur_seq.set(recovered);
         self.cur_deadline.set(None);
+        // A warm restart resumes the generation counter from the buffer
+        // (the next post must not reuse the stamped generation); a cold
+        // restart starts over from 0.
+        self.generation
+            .set(hdr.integrity.map_or(0, |i| i.generation));
         // Any span of a call interrupted by the crash is stale.
         *self.shared.span.borrow_mut() = None;
     }

@@ -24,6 +24,16 @@
 //!   16-bit admission-credit advertisement. Both encode as zero for the
 //!   default (`Ok`, 0 credits), which is exactly what the original
 //!   format zero-filled there.
+//! * **response integrity** — bit 30 of the response word marks an
+//!   extended 32-byte response header whose trailing 16 bytes carry a
+//!   CRC-64 of the payload and a 32-bit buffer-generation stamp
+//!   ([`RespIntegrity`]). An integrity-stamped response additionally
+//!   carries an 8-byte trailing canary word ([`resp_canary`], derived
+//!   from seq ⊕ generation) *after* the payload, so a one-sided READ
+//!   that raced the server's local write — or straddled a buffer reuse
+//!   across the two-segment fetch — is detectable from the fetched
+//!   bytes alone. Without the bit the header is the classic 16 bytes
+//!   and no trailer exists.
 //!
 //! All fields are little-endian.
 
@@ -38,12 +48,34 @@ pub const REQ_HDR_EXT: usize = 16;
 /// Size of the response header in bytes.
 pub const RESP_HDR: usize = 16;
 
+/// Size of the extended response header (base + 8-byte payload CRC +
+/// 4-byte generation + 4 spare zero bytes).
+pub const RESP_HDR_EXT: usize = 32;
+
+/// Size of the trailing canary word following an integrity-stamped
+/// payload.
+pub const RESP_TRAILER: usize = 8;
+
 /// Maximum payload size encodable in the 30-bit size field.
 pub const MAX_PAYLOAD: usize = (1 << 30) - 1;
 
 const VALID_BIT: u32 = 1 << 31;
 const DEADLINE_BIT: u32 = 1 << 30;
+const INTEGRITY_BIT: u32 = 1 << 30;
 const SIZE_MASK: u32 = (1 << 30) - 1;
+
+/// Salt folded into the trailing canary so a zero-filled (fresh or
+/// cold-wiped) buffer never accidentally matches seq 0 / generation 0.
+const CANARY_SALT: u64 = 0x5AFE_C0DE_D00D_FEED;
+
+/// The trailing canary word of an integrity-stamped response: the call
+/// sequence and the buffer generation folded into one 8-byte value. A
+/// fetch whose header and trailer disagree on it straddled a server
+/// write (the DMA tear / buffer-reuse race the integrity layer exists
+/// to catch).
+pub fn resp_canary(seq: u32, generation: u32) -> u64 {
+    (((seq as u64) << 32) | generation as u64) ^ CANARY_SALT
+}
 
 /// Server verdict carried in a response header.
 ///
@@ -154,6 +186,17 @@ impl ReqHeader {
     }
 }
 
+/// Integrity fields of an extended response header (bytes 16..28).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct RespIntegrity {
+    /// CRC-64 (XZ variant, [`rfp_simnet::crc64`]) of the payload bytes.
+    pub crc: u64,
+    /// Buffer-generation stamp: the server bumps it on every local post
+    /// into this response buffer, so two fetch segments observing
+    /// different generations provably straddled a reuse.
+    pub generation: u32,
+}
+
 /// Decoded response header.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub struct RespHeader {
@@ -172,33 +215,68 @@ pub struct RespHeader {
     /// Admission credits the server currently advertises on this
     /// connection (overload control; 0 when the subsystem is off).
     pub credits: u16,
+    /// Payload CRC + buffer generation, when the integrity layer
+    /// stamped them. `None` encodes to the classic 16-byte header.
+    pub integrity: Option<RespIntegrity>,
 }
 
 impl RespHeader {
-    /// Encodes into the first [`RESP_HDR`] bytes of `buf`.
+    /// Bytes this header occupies on the wire ([`RESP_HDR`] or
+    /// [`RESP_HDR_EXT`]); the payload starts at this offset.
+    pub fn wire_len(&self) -> usize {
+        if self.integrity.is_some() {
+            RESP_HDR_EXT
+        } else {
+            RESP_HDR
+        }
+    }
+
+    /// Encodes into the first [`wire_len`](RespHeader::wire_len) bytes
+    /// of `buf`.
     ///
     /// # Panics
     ///
-    /// Panics if `buf` is shorter than [`RESP_HDR`] or `size` exceeds
+    /// Panics if `buf` is shorter than the wire length or `size` exceeds
     /// [`MAX_PAYLOAD`].
     pub fn encode(&self, buf: &mut [u8]) {
         assert!(self.size as usize <= MAX_PAYLOAD, "payload too large");
-        let word = self.size | if self.valid { VALID_BIT } else { 0 };
+        let mut word = self.size | if self.valid { VALID_BIT } else { 0 };
+        if self.integrity.is_some() {
+            word |= INTEGRITY_BIT;
+        }
         buf[0..4].copy_from_slice(&word.to_le_bytes());
         buf[4..8].copy_from_slice(&self.seq.to_le_bytes());
         buf[8..10].copy_from_slice(&self.time_us.to_le_bytes());
         buf[10] = self.status.to_u8();
         buf[11..13].copy_from_slice(&self.credits.to_le_bytes());
         buf[13..16].fill(0);
+        if let Some(integrity) = self.integrity {
+            buf[16..24].copy_from_slice(&integrity.crc.to_le_bytes());
+            buf[24..28].copy_from_slice(&integrity.generation.to_le_bytes());
+            buf[28..32].fill(0);
+        }
     }
 
-    /// Decodes from the first [`RESP_HDR`] bytes of `buf`.
+    /// Decodes from the first [`RESP_HDR`] bytes of `buf` (the first
+    /// [`RESP_HDR_EXT`] when the integrity bit is set).
     ///
     /// # Panics
     ///
-    /// Panics if `buf` is shorter than [`RESP_HDR`].
+    /// Panics if `buf` is shorter than the encoded header.
     pub fn decode(buf: &[u8]) -> Self {
         let word = u32::from_le_bytes(buf[0..4].try_into().expect("len checked"));
+        // The length guard matters under fault injection: a bit flip can
+        // set the integrity bit on a legacy 16-byte window, and the
+        // decoder must degrade to a (garbage, seq-mismatching) legacy
+        // header rather than read past the window.
+        let integrity = if word & INTEGRITY_BIT != 0 && buf.len() >= RESP_HDR_EXT {
+            Some(RespIntegrity {
+                crc: u64::from_le_bytes(buf[16..24].try_into().expect("len checked")),
+                generation: u32::from_le_bytes(buf[24..28].try_into().expect("len checked")),
+            })
+        } else {
+            None
+        };
         RespHeader {
             valid: word & VALID_BIT != 0,
             size: word & SIZE_MASK,
@@ -206,6 +284,7 @@ impl RespHeader {
             time_us: u16::from_le_bytes(buf[8..10].try_into().expect("len checked")),
             status: RespStatus::from_u8(buf[10]),
             credits: u16::from_le_bytes(buf[11..13].try_into().expect("len checked")),
+            integrity,
         }
     }
 }
@@ -285,6 +364,7 @@ mod tests {
             time_us: 65535,
             status: RespStatus::Ok,
             credits: 0,
+            integrity: None,
         };
         let mut buf = [0u8; RESP_HDR];
         h.encode(&mut buf);
@@ -301,6 +381,7 @@ mod tests {
                 time_us: 3,
                 status,
                 credits: 0xBEEF,
+                integrity: None,
             };
             let mut buf = [0u8; RESP_HDR];
             h.encode(&mut buf);
@@ -321,6 +402,7 @@ mod tests {
             time_us: 1200,
             status: RespStatus::Ok,
             credits: 0,
+            integrity: None,
         };
         let mut buf = [0xFFu8; RESP_HDR];
         h.encode(&mut buf);
@@ -329,6 +411,63 @@ mod tests {
         legacy[4..8].copy_from_slice(&5u32.to_le_bytes());
         legacy[8..10].copy_from_slice(&1200u16.to_le_bytes());
         assert_eq!(buf, legacy);
+    }
+
+    #[test]
+    fn resp_header_integrity_round_trip() {
+        let h = RespHeader {
+            valid: true,
+            size: 4096,
+            seq: 0xFEED_F00D,
+            time_us: 12,
+            status: RespStatus::Ok,
+            credits: 3,
+            integrity: Some(RespIntegrity {
+                crc: 0x0123_4567_89AB_CDEF,
+                generation: 0xDEAD_0042,
+            }),
+        };
+        assert_eq!(h.wire_len(), RESP_HDR_EXT);
+        let mut buf = [0u8; RESP_HDR_EXT];
+        h.encode(&mut buf);
+        assert_eq!(RespHeader::decode(&buf), h);
+        // Spare tail bytes stay zero for forward compatibility.
+        assert_eq!(&buf[28..32], &[0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn resp_header_without_integrity_is_legacy_sized() {
+        let h = RespHeader {
+            valid: true,
+            size: 1,
+            seq: 2,
+            time_us: 3,
+            status: RespStatus::Ok,
+            credits: 0,
+            integrity: None,
+        };
+        assert_eq!(h.wire_len(), RESP_HDR);
+        // The integrity bit must be clear: decoding sees a legacy header.
+        let mut buf = [0u8; RESP_HDR];
+        h.encode(&mut buf);
+        let word = u32::from_le_bytes(buf[0..4].try_into().unwrap());
+        assert_eq!(word & (1 << 30), 0);
+    }
+
+    #[test]
+    fn canary_separates_seq_generation_and_zeroed_memory() {
+        // Different (seq, generation) pairs must yield different
+        // canaries, and no pair may collide with zero-filled memory.
+        let mut seen = std::collections::BTreeSet::new();
+        for seq in [0u32, 1, 2, 0xFFFF_FFFF] {
+            for generation in [0u32, 1, 7, 0xFFFF_FFFF] {
+                let c = resp_canary(seq, generation);
+                assert_ne!(c, 0, "canary must never look like wiped memory");
+                assert!(seen.insert(c), "canary collision at {seq}/{generation}");
+            }
+        }
+        // And the tear signature: same seq, adjacent generations differ.
+        assert_ne!(resp_canary(9, 1), resp_canary(9, 2));
     }
 
     #[test]

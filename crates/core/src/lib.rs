@@ -69,6 +69,7 @@ pub mod api;
 mod client;
 mod conn;
 mod header;
+mod integrity;
 mod overload;
 mod params;
 mod pool;
@@ -78,7 +79,11 @@ mod tuner;
 
 pub use client::{CallInfo, CallResult, ClientStats, RfpClient};
 pub use conn::{connect, Mode, RfpConfig, RfpServerConn, RfpTelemetry};
-pub use header::{ReqHeader, RespHeader, RespStatus, MAX_PAYLOAD, REQ_HDR, REQ_HDR_EXT, RESP_HDR};
+pub use header::{
+    resp_canary, ReqHeader, RespHeader, RespIntegrity, RespStatus, MAX_PAYLOAD, REQ_HDR,
+    REQ_HDR_EXT, RESP_HDR, RESP_HDR_EXT, RESP_TRAILER,
+};
+pub use integrity::{verify_response, IntegrityConfig, IntegrityFault};
 pub use overload::{admit, credits_for, Admission, OverloadConfig};
 pub use params::{ParamSelector, Params, WorkloadSample};
 pub use pool::RfpPool;

@@ -34,6 +34,24 @@ struct PoolInstruments {
     /// Overload calls shed in the pool because their deadline budget was
     /// spent before a connection freed up (zero wire traffic).
     local_sheds: Rc<Counter>,
+    /// Registry + prefix kept for the lazily created
+    /// `<prefix>.integrity_retries` counter: like the client's recovery
+    /// counters, a run that never sees a corrupt fetch materialises no
+    /// instrument (keeping fault-free metric output byte-identical).
+    registry: MetricsRegistry,
+    prefix: String,
+}
+
+impl PoolInstruments {
+    /// Folds one call's discarded-fetch count into the lazy pool-level
+    /// counter.
+    fn note_integrity(&self, retries: u32) {
+        if retries > 0 {
+            self.registry
+                .counter(&format!("{}.integrity_retries", self.prefix))
+                .add(retries as u64);
+        }
+    }
 }
 
 /// A fixed-size pool of RFP connections.
@@ -72,6 +90,8 @@ impl RfpPool {
             acquire_wait: registry.histogram(&format!("{prefix}.acquire_wait")),
             queue_depth: registry.gauge(&format!("{prefix}.queue_depth")),
             local_sheds: registry.counter(&format!("{prefix}.local_sheds")),
+            registry: registry.clone(),
+            prefix: prefix.to_string(),
         });
     }
 
@@ -118,6 +138,9 @@ impl RfpPool {
         let (_permit, idx) = self.acquire(thread).await;
         let out = self.clients[idx].call(thread, req).await;
         self.free.borrow_mut().push(idx);
+        if let Some(ins) = &*self.instruments.borrow() {
+            ins.note_integrity(out.info.integrity_retries);
+        }
         out
     }
 
@@ -154,6 +177,7 @@ impl RfpPool {
                     latency: thread.now() - t0,
                     server_time_us: 0,
                     status: RespStatus::Shed,
+                    integrity_retries: 0,
                 },
             };
         }
@@ -161,6 +185,9 @@ impl RfpPool {
             .call_overload(thread, req, Some(deadline))
             .await;
         self.free.borrow_mut().push(idx);
+        if let Some(ins) = &*self.instruments.borrow() {
+            ins.note_integrity(out.info.integrity_retries);
+        }
         out
     }
 

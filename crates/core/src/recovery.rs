@@ -69,6 +69,13 @@ pub enum FailureCause {
     /// (`Busy`/`Shed`); it was never executed, and the next attempt
     /// resubmits it under a fresh sequence number.
     Rejected(RespStatus),
+    /// The attempt's bounded verify-and-refetch budget was exhausted:
+    /// every fetch of an otherwise matching response failed integrity
+    /// verification (torn DMA, bit flips). The next attempt escalates
+    /// to a QP re-establishment and resubmits under the same seq (the
+    /// server may well have executed the request — only the fetched
+    /// image is suspect — and dedup makes the replay harmless).
+    Corrupt,
 }
 
 /// A call that exhausted its recovery budget.

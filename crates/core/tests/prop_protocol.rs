@@ -9,8 +9,9 @@ use proptest::collection::vec;
 use proptest::prelude::*;
 
 use rfp_core::{
-    connect, serve_loop, ParamSelector, ReqHeader, RespHeader, RespStatus, RfpConfig,
-    WorkloadSample, MAX_PAYLOAD, REQ_HDR, REQ_HDR_EXT, RESP_HDR,
+    connect, resp_canary, serve_loop, ParamSelector, ReqHeader, RespHeader, RespIntegrity,
+    RespStatus, RfpConfig, WorkloadSample, MAX_PAYLOAD, REQ_HDR, REQ_HDR_EXT, RESP_HDR,
+    RESP_HDR_EXT,
 };
 use rfp_rnic::{Cluster, ClusterProfile, LinkProfile, NicProfile};
 use rfp_simnet::{SimSpan, SimTime, Simulation};
@@ -46,10 +47,35 @@ proptest! {
         status in any_status(),
         credits in any::<u16>(),
     ) {
-        let h = RespHeader { valid, size, seq, time_us, status, credits };
+        let h = RespHeader { valid, size, seq, time_us, status, credits, integrity: None };
         let mut buf = [0u8; RESP_HDR];
         h.encode(&mut buf);
         prop_assert_eq!(RespHeader::decode(&buf), h);
+    }
+
+    /// Integrity-stamped headers round-trip through the extended layout,
+    /// and the trailing canary is a pure function of (seq, generation).
+    #[test]
+    fn resp_header_integrity_round_trips(
+        valid in any::<bool>(),
+        size in 0u32..=MAX_PAYLOAD as u32,
+        seq in any::<u32>(),
+        time_us in any::<u16>(),
+        status in any_status(),
+        credits in any::<u16>(),
+        crc in any::<u64>(),
+        generation in any::<u32>(),
+    ) {
+        let h = RespHeader {
+            valid, size, seq, time_us, status, credits,
+            integrity: Some(RespIntegrity { crc, generation }),
+        };
+        prop_assert_eq!(h.wire_len(), RESP_HDR_EXT);
+        let mut buf = [0u8; RESP_HDR_EXT];
+        h.encode(&mut buf);
+        prop_assert_eq!(RespHeader::decode(&buf), h);
+        prop_assert_eq!(resp_canary(seq, generation), resp_canary(seq, generation));
+        prop_assert_ne!(resp_canary(seq, generation), 0);
     }
 
     /// A response with the default verdict (`Ok`, zero credits) encodes
@@ -64,7 +90,7 @@ proptest! {
     ) {
         let h = RespHeader {
             valid: true, size, seq, time_us,
-            status: RespStatus::Ok, credits: 0,
+            status: RespStatus::Ok, credits: 0, integrity: None,
         };
         let mut buf = [0xAAu8; RESP_HDR];
         h.encode(&mut buf);
@@ -73,6 +99,38 @@ proptest! {
         legacy[4..8].copy_from_slice(&seq.to_le_bytes());
         legacy[8..10].copy_from_slice(&time_us.to_le_bytes());
         prop_assert_eq!(buf, legacy);
+    }
+
+    /// The integrity extension's off-is-inert wire half: whatever the
+    /// other fields, an integrity-less header occupies the classic 16
+    /// bytes and encodes them exactly as the pre-integrity encoder did
+    /// (valid|size word, seq, time, status byte, credits, zero fill).
+    #[test]
+    fn integrity_off_headers_encode_legacy_bytes(
+        valid in any::<bool>(),
+        size in 0u32..=MAX_PAYLOAD as u32,
+        seq in any::<u32>(),
+        time_us in any::<u16>(),
+        status in any_status(),
+        credits in any::<u16>(),
+    ) {
+        let h = RespHeader { valid, size, seq, time_us, status, credits, integrity: None };
+        prop_assert_eq!(h.wire_len(), RESP_HDR);
+        let mut buf = [0x5Au8; RESP_HDR];
+        h.encode(&mut buf);
+        let mut legacy = [0u8; RESP_HDR];
+        legacy[0..4].copy_from_slice(
+            &(size | if valid { 1u32 << 31 } else { 0 }).to_le_bytes(),
+        );
+        legacy[4..8].copy_from_slice(&seq.to_le_bytes());
+        legacy[8..10].copy_from_slice(&time_us.to_le_bytes());
+        legacy[10] = status.to_u8();
+        legacy[11..13].copy_from_slice(&credits.to_le_bytes());
+        prop_assert_eq!(buf, legacy);
+        // And the integrity bit (bit 30) is clear, so no peer will ever
+        // look for the extended fields or a trailer.
+        let word = u32::from_le_bytes(buf[0..4].try_into().unwrap());
+        prop_assert_eq!(word & (1 << 30), 0);
     }
 
     /// Echoing arbitrary payloads through the full RFP stack reassembles

@@ -62,6 +62,9 @@ pub struct KvStats {
     pub rejected_busy: Rc<Counter>,
     /// Requests shed for a missed deadline (overload only).
     pub rejected_shed: Rc<Counter>,
+    /// Corrupt fetched images discarded and refetched by the RFP
+    /// integrity layer before the response surfaced (integrity only).
+    pub integrity_retries: Rc<Counter>,
 }
 
 impl KvStats {
@@ -76,6 +79,7 @@ impl KvStats {
         self.crc_retries.reset();
         self.rejected_busy.reset();
         self.rejected_shed.reset();
+        self.integrity_retries.reset();
     }
 
     /// Exposes every instrument in `registry` under `kv.*`.
@@ -95,6 +99,13 @@ impl KvStats {
     pub fn register_overload_into(&self, registry: &MetricsRegistry) {
         registry.register_counter("kv.rejected.busy", &self.rejected_busy);
         registry.register_counter("kv.rejected.shed", &self.rejected_shed);
+    }
+
+    /// Additionally exposes the fetch-integrity counter. Like the
+    /// overload registration, called only when the integrity layer is
+    /// on, so integrity-off runs export the same metric rows as before.
+    pub fn register_integrity_into(&self, registry: &MetricsRegistry) {
+        registry.register_counter("kv.integrity_retries", &self.integrity_retries);
     }
 }
 
@@ -218,7 +229,14 @@ impl SystemConfig {
 
     fn sized_rfp(&self) -> RfpConfig {
         let max_val = self.spec.values.max();
-        let resp = (RESP_HDR + 5 + max_val)
+        // Integrity-stamped responses carry the 32-byte extended header
+        // plus the 8-byte trailing canary.
+        let resp_overhead = if self.rfp.integrity.enabled {
+            rfp_core::RESP_HDR_EXT + rfp_core::RESP_TRAILER
+        } else {
+            RESP_HDR
+        };
+        let resp = (resp_overhead + 5 + max_val)
             .next_multiple_of(64)
             .max(256)
             .max(self.rfp.fetch_size);
@@ -442,6 +460,10 @@ fn spawn_routed_kv(sim: &mut Simulation, cfg: &SystemConfig, server_reply: bool)
     if overload {
         stats.register_overload_into(&registry);
     }
+    // Likewise integrity only guards the remote-fetch transport.
+    if !server_reply && rfp_cfg.integrity.enabled {
+        stats.register_integrity_into(&registry);
+    }
 
     // Per server thread: the connections it polls.
     let mut server_conns: Vec<Vec<Rc<RfpServerConn>>> =
@@ -521,6 +543,9 @@ fn spawn_routed_kv(sim: &mut Simulation, cfg: &SystemConfig, server_reply: bool)
                     } else {
                         conn.call(&thread, &req).await
                     };
+                    if out.info.integrity_retries > 0 {
+                        st.integrity_retries.add(out.info.integrity_retries as u64);
+                    }
                     if out.info.status != RespStatus::Ok {
                         // Rejected under overload: no payload to decode,
                         // and rejections never count as goodput.

@@ -64,6 +64,8 @@ pub struct MachineFaults {
     extra_loss: Cell<f64>,
     cpu_factor: Cell<f64>,
     qp_epoch: Cell<u64>,
+    torn_dma: Cell<f64>,
+    bitflip: Cell<f64>,
 }
 
 impl Default for MachineFaults {
@@ -73,6 +75,8 @@ impl Default for MachineFaults {
             extra_loss: Cell::new(0.0),
             cpu_factor: Cell::new(1.0),
             qp_epoch: Cell::new(0),
+            torn_dma: Cell::new(0.0),
+            bitflip: Cell::new(0.0),
         }
     }
 }
@@ -121,6 +125,29 @@ impl MachineFaults {
     pub fn bump_qp_epoch(&self) {
         self.qp_epoch.set(self.qp_epoch.get() + 1);
     }
+
+    /// Probability that a READ of this machine's memory observes a torn
+    /// image: the fetch completes mid-write and returns a spliced
+    /// old/new buffer (0 outside torn-DMA fault windows).
+    pub fn torn_dma(&self) -> f64 {
+        self.torn_dma.get()
+    }
+
+    /// Opens/closes a torn-DMA window.
+    pub fn set_torn_dma(&self, p: f64) {
+        self.torn_dma.set(p.clamp(0.0, 1.0));
+    }
+
+    /// Probability that a READ of this machine's memory returns an image
+    /// with one flipped bit (0 outside bit-flip fault windows).
+    pub fn bitflip(&self) -> f64 {
+        self.bitflip.get()
+    }
+
+    /// Opens/closes a memory bit-flip window.
+    pub fn set_bitflip(&self, p: f64) {
+        self.bitflip.set(p.clamp(0.0, 1.0));
+    }
 }
 
 /// Cluster-wide fabric fault state shared by every QP.
@@ -160,7 +187,18 @@ mod tests {
         assert_eq!(m.extra_loss(), 0.0);
         assert_eq!(m.cpu_factor(), 1.0);
         assert_eq!(m.qp_epoch(), 0);
+        assert_eq!(m.torn_dma(), 0.0);
+        assert_eq!(m.bitflip(), 0.0);
         assert_eq!(FabricFaults::default().link_factor(), 1.0);
+    }
+
+    #[test]
+    fn integrity_fault_probabilities_are_clamped() {
+        let m = MachineFaults::default();
+        m.set_torn_dma(2.0);
+        assert_eq!(m.torn_dma(), 1.0);
+        m.set_bitflip(-1.0);
+        assert_eq!(m.bitflip(), 0.0);
     }
 
     #[test]

@@ -34,6 +34,10 @@ pub struct MemRegion {
     /// Monotone count of remote writes applied, used by watchers to
     /// detect writes that landed between polls.
     write_epoch: RefCell<u64>,
+    /// Pre-write image captured by [`MemRegion::snapshot_history`]; the
+    /// torn-DMA fault splices concurrent READs from it. `None` unless a
+    /// writer explicitly snapshots (healthy runs never allocate it).
+    history: RefCell<Option<Vec<u8>>>,
 }
 
 struct Watcher {
@@ -49,6 +53,7 @@ impl MemRegion {
             bytes: RefCell::new(vec![0; len]),
             watchers: RefCell::new(Vec::new()),
             write_epoch: RefCell::new(0),
+            history: RefCell::new(None),
         })
     }
 
@@ -126,6 +131,24 @@ impl MemRegion {
     /// the write epoch does not advance and watchers are not woken.
     pub(crate) fn zero(&self) {
         self.bytes.borrow_mut().fill(0);
+        *self.history.borrow_mut() = None;
+    }
+
+    /// Records the region's current contents as its pre-write image.
+    ///
+    /// A writer about to overwrite the region calls this so the torn-DMA
+    /// fault can splice a concurrent READ from the bytes the write is
+    /// replacing. Fault-injection support: overwrites any prior
+    /// snapshot, and costs nothing unless called.
+    pub fn snapshot_history(&self) {
+        let current = self.bytes.borrow().clone();
+        *self.history.borrow_mut() = Some(current);
+    }
+
+    /// Borrow the pre-write image captured by
+    /// [`snapshot_history`](MemRegion::snapshot_history), if any.
+    pub fn with_history<T>(&self, f: impl FnOnce(Option<&[u8]>) -> T) -> T {
+        f(self.history.borrow().as_deref())
     }
 
     /// Applies a *remote* write (called by the NIC at the instant the
@@ -231,6 +254,19 @@ mod tests {
         assert!(ranges_overlap(&(0..4), &(3..5)));
         assert!(!ranges_overlap(&(0..4), &(4..5)));
         assert!(ranges_overlap(&(2..3), &(0..10)));
+    }
+
+    #[test]
+    fn history_snapshot_holds_pre_write_image() {
+        let mr = region(8);
+        mr.with_history(|h| assert!(h.is_none()));
+        mr.write_local(0, &[1, 2, 3]);
+        mr.snapshot_history();
+        mr.write_local(0, &[9, 9, 9]);
+        mr.with_history(|h| assert_eq!(h.unwrap()[..3], [1, 2, 3]));
+        // A cold wipe discards the image along with the contents.
+        mr.zero();
+        mr.with_history(|h| assert!(h.is_none()));
     }
 
     #[test]

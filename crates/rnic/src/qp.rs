@@ -203,6 +203,55 @@ impl Qp {
         }
     }
 
+    /// Applies the remote machine's memory-integrity faults to a READ
+    /// snapshot. Torn DMA splices the snapshot's suffix from the remote
+    /// region's pre-write image (the READ completed mid-write); a bit
+    /// flip corrupts one sampled bit. Draws nothing while both faults
+    /// are disarmed, so healthy runs are bit-identical with or without
+    /// the fault layer.
+    fn corrupt_in_flight(
+        &self,
+        remote: &MemRegion,
+        remote_off: usize,
+        mut snapshot: Vec<u8>,
+    ) -> Vec<u8> {
+        let faults = self.remote.faults();
+        let torn = faults.torn_dma();
+        if torn > 0.0
+            && !snapshot.is_empty()
+            && self.local.handle().with_rng(|rng| rng.gen::<f64>()) < torn
+        {
+            remote.with_history(|hist| {
+                if let Some(hist) = hist {
+                    // Prefix from the new image, suffix from the old:
+                    // the in-bound engine sampled the front of the
+                    // buffer after the write and the back before it.
+                    let cut = self
+                        .local
+                        .handle()
+                        .with_rng(|rng| rng.gen_range(0..snapshot.len()));
+                    for (i, byte) in snapshot.iter_mut().enumerate().skip(cut) {
+                        if let Some(&old) = hist.get(remote_off + i) {
+                            *byte = old;
+                        }
+                    }
+                }
+            });
+        }
+        let flip = faults.bitflip();
+        if flip > 0.0
+            && !snapshot.is_empty()
+            && self.local.handle().with_rng(|rng| rng.gen::<f64>()) < flip
+        {
+            let (byte, bit) = self
+                .local
+                .handle()
+                .with_rng(|rng| (rng.gen_range(0..snapshot.len()), rng.gen_range(0..8u32)));
+            snapshot[byte] ^= 1 << bit;
+        }
+        snapshot
+    }
+
     fn check_one_sided(
         &self,
         thread: &ThreadCtx,
@@ -296,6 +345,7 @@ impl Qp {
         remote_nic.serve_inbound(len).await;
         // Data is sampled at the instant the serving NIC processes the op.
         let snapshot = remote.read_local(remote_off, len);
+        let snapshot = self.corrupt_in_flight(remote, remote_off, snapshot);
         h.sleep(self.prop() + prof.read_turnaround).await;
         local.write_local(local_off, &snapshot);
         thread.note_busy(h.now() - t0);

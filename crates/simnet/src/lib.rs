@@ -36,6 +36,8 @@
 //! sim.run();
 //! ```
 
+pub mod crc64;
+
 mod coord;
 mod executor;
 mod metrics;
@@ -50,6 +52,7 @@ mod timeout;
 mod trace;
 
 pub use coord::{Barrier, Semaphore, SemaphoreGuard, WaitGroup, WaitGroupToken};
+pub use crc64::{crc64, crc64_pair, Crc64};
 pub use executor::{yield_now, SimHandle, Simulation, Sleep};
 pub use metrics::{Gauge, MetricValue, MetricsRegistry, MetricsSnapshot};
 pub use resource::{FifoServer, MultiServer};

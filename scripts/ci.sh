@@ -7,7 +7,7 @@ cargo build --release
 cargo test -q
 cargo clippy -- -D warnings
 cargo clippy -p rfp-chaos -- -D warnings
-cargo clippy -p rfp-core -p rfp-kvstore -p rfp-bench -- -D warnings
+cargo clippy -p rfp-core -p rfp-kvstore -p rfp-bench -p rfp-rnic -- -D warnings
 cargo fmt --check
 
 # Chaos smoke: every fault scenario under a fixed seed must hold the
@@ -24,3 +24,11 @@ cmp /tmp/chaos_a.csv /tmp/chaos_b.csv
 cargo run -q --release -p rfp-bench --bin overload 42 > /tmp/overload_a.csv
 cargo run -q --release -p rfp-bench --bin overload 42 > /tmp/overload_b.csv
 cmp /tmp/overload_a.csv /tmp/overload_b.csv
+
+# Integrity smoke: the binary asserts zero corrupt payloads ever reach
+# a caller across the whole fault-rate sweep (and that the fault knobs
+# actually fire); here we additionally pin run-to-run determinism of
+# the sweep under a fixed seed.
+cargo run -q --release -p rfp-bench --bin integrity 42 > /tmp/integrity_a.csv
+cargo run -q --release -p rfp-bench --bin integrity 42 > /tmp/integrity_b.csv
+cmp /tmp/integrity_a.csv /tmp/integrity_b.csv
