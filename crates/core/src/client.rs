@@ -15,7 +15,7 @@ use rfp_simnet::{
 
 use crate::conn::{Mode, RfpTelemetry, Shared, MODE_REMOTE_FETCH, MODE_SERVER_REPLY};
 use crate::header::{
-    ReqHeader, RespHeader, RespStatus, REQ_HDR, REQ_HDR_EXT, RESP_HDR, RESP_TRAILER,
+    ReqHeader, RespHeader, RespStatus, REQ_HDR, REQ_HDR_EXT, RESP_HDR, RESP_HDR_EXT, RESP_TRAILER,
 };
 use crate::integrity::{verify_response, IntegrityFault};
 use crate::overload::OverloadConfig;
@@ -113,6 +113,14 @@ pub struct ClientStats {
     switches_to_reply: Cell<u64>,
     switches_to_fetch: Cell<u64>,
     attempts_hist: RefCell<BTreeMap<u32, u64>>,
+    /// Doorbell rings paid by the pipelined driver's batched fetch
+    /// rounds (each covers ≥ 2 READs).
+    doorbells: Cell<u64>,
+    /// Fetch READs issued inside doorbell batches.
+    doorbell_reads: Cell<u64>,
+    /// Pipelined fetch READs issued individually (paying their own
+    /// doorbell, like the sequential path).
+    single_reads: Cell<u64>,
     /// End-to-end call latencies.
     pub latency: Histogram,
 }
@@ -191,6 +199,21 @@ impl ClientStats {
         self.switches_to_fetch.get()
     }
 
+    /// Doorbell rings paid for batched fetch rounds (pipelined driver).
+    pub fn doorbells(&self) -> u64 {
+        self.doorbells.get()
+    }
+
+    /// Fetch READs that rode a shared doorbell (pipelined driver).
+    pub fn doorbell_reads(&self) -> u64 {
+        self.doorbell_reads.get()
+    }
+
+    /// Pipelined fetch READs that paid their own doorbell.
+    pub fn single_reads(&self) -> u64 {
+        self.single_reads.get()
+    }
+
     /// Clears all statistics (discard warm-up).
     pub fn reset(&self) {
         self.calls.set(0);
@@ -198,6 +221,9 @@ impl ClientStats {
         self.extra_reads.set(0);
         self.switches_to_reply.set(0);
         self.switches_to_fetch.set(0);
+        self.doorbells.set(0);
+        self.doorbell_reads.set(0);
+        self.single_reads.set(0);
         self.attempts_hist.borrow_mut().clear();
         self.latency.reset();
     }
@@ -230,6 +256,28 @@ struct AttemptState<'a> {
     force_reconnect: Cell<bool>,
 }
 
+/// One outstanding call of the pipelined driver
+/// ([`RfpClient::call_pipelined`]).
+struct Flight {
+    /// Index into the caller's request batch (and the result vector).
+    idx: usize,
+    /// Ring slot carrying this call.
+    slot: usize,
+    seq: u32,
+    /// Staged request bytes on the wire (header + payload).
+    wire_len: usize,
+    /// When the call was staged (latency epoch, like `sent_at`).
+    t0: SimTime,
+    /// Fetch READs that actually sampled the slot (the paper's `N`).
+    attempts: u32,
+    integrity_retries: u32,
+    /// Whether this call already counted toward the consecutive-overrun
+    /// guard (at most once per call, like the sequential path).
+    counted_over: bool,
+    /// The request WRITE has not (successfully) deposited yet.
+    needs_send: bool,
+}
+
 /// Client endpoint of one RFP connection, bound to one simulated thread.
 ///
 /// Implements the paper's `client_send` / `client_recv` (Table 2) plus
@@ -241,7 +289,16 @@ pub struct RfpClient {
     /// Factory minting a fresh QP to the server, installed by fault-
     /// tolerant deployments; used to re-establish an errored QP.
     reconnect: RefCell<Option<QpFactory>>,
+    /// Last allocated sequence number (mirrors the winning slot counter;
+    /// drives the sequential paths and trace/diagnostic text).
     seq: Cell<u32>,
+    /// Per-ring-slot sequence counters: slot `s` carries seqs
+    /// `s+1, s+1+W, s+1+2W, …` so `seq ≡ slot+1 (mod W)` always holds
+    /// (see [`slot_of`](crate::header::slot_of)). With `W = 1` this
+    /// degenerates to the single `+1` counter.
+    slot_seq: Vec<Cell<u32>>,
+    /// Round-robin slot cursor for the sequential (one-at-a-time) paths.
+    next_slot: Cell<usize>,
     /// When the current call's request WRITE was issued (latency epoch).
     sent_at: Cell<rfp_simnet::SimTime>,
     mode: Cell<Mode>,
@@ -269,11 +326,17 @@ impl RfpClient {
             .clone()
             .map(|t| Instruments::new(t, initial_mode));
         let credits = Cell::new(shared.cfg.overload.credit_max);
+        let window = shared.cfg.window;
         RfpClient {
             shared,
             qp: RefCell::new(qp),
             reconnect: RefCell::new(None),
             seq: Cell::new(0),
+            // Slot `s` starts one allocation (`+W`) short of `s + 1`.
+            slot_seq: (0..window)
+                .map(|s| Cell::new((s as u32 + 1).wrapping_sub(window as u32)))
+                .collect(),
+            next_slot: Cell::new(0),
             sent_at: Cell::new(rfp_simnet::SimTime::ZERO),
             mode: Cell::new(initial_mode),
             consec_over: Cell::new(0),
@@ -288,6 +351,43 @@ impl RfpClient {
     /// The QP currently carrying this connection's verbs.
     fn qp(&self) -> Rc<Qp> {
         Rc::clone(&self.qp.borrow())
+    }
+
+    /// Allocates the next sequence number of ring `slot` (counters of
+    /// one slot advance by `W`, preserving `seq ≡ slot+1 (mod W)`).
+    fn alloc_seq_in(&self, slot: usize) -> u32 {
+        let w = self.shared.cfg.window as u32;
+        let seq = self.slot_seq[slot].get().wrapping_add(w);
+        self.slot_seq[slot].set(seq);
+        self.seq.set(seq);
+        seq
+    }
+
+    /// Allocates a `(slot, seq)` pair at the sequential paths' rotating
+    /// cursor. With `W = 1` this is slot 0 and `seq + 1`, always.
+    fn alloc_next_seq(&self) -> (usize, u32) {
+        let slot = self.next_slot.get();
+        self.next_slot.set((slot + 1) % self.shared.cfg.window);
+        (slot, self.alloc_seq_in(slot))
+    }
+
+    /// The sequence number the next sequential allocation will return,
+    /// without allocating (jitter-seed derivation).
+    fn peek_next_seq(&self) -> u32 {
+        self.slot_seq[self.next_slot.get()]
+            .get()
+            .wrapping_add(self.shared.cfg.window as u32)
+    }
+
+    /// Decodes the response header currently in `slot`'s landing zone,
+    /// through a stack buffer (the fetch hot path allocates nothing).
+    fn resp_hdr_at(&self, slot: usize) -> RespHeader {
+        let mut buf = [0u8; RESP_HDR_EXT];
+        let n = self.shared.cfg.resp_wire_hdr();
+        self.shared
+            .client_resp
+            .read_local_into(self.shared.resp_off(slot), &mut buf[..n]);
+        RespHeader::decode(&buf[..n])
     }
 
     /// Installs the QP factory used to re-establish the connection after
@@ -368,11 +468,10 @@ impl RfpClient {
             self.shared.cfg.max_req_payload()
         };
         assert!(req.len() <= max, "request exceeds buffer capacity");
-        let seq = self.seq.get().wrapping_add(1);
-        self.seq.set(seq);
+        let (slot, seq) = self.alloc_next_seq();
         self.sent_at.set(thread.now());
         if let Some(ins) = &self.instruments {
-            *self.shared.span.borrow_mut() = Some(RequestTrace::begin(
+            *self.shared.span_mut(slot) = Some(RequestTrace::begin(
                 seq as u64,
                 ins.telemetry.track,
                 thread.now(),
@@ -388,19 +487,22 @@ impl RfpClient {
         let hdr_len = hdr.wire_len();
         let mut hdr_bytes = [0u8; REQ_HDR_EXT];
         hdr.encode(&mut hdr_bytes[..hdr_len]);
-        self.shared.client_req.write_local(0, &hdr_bytes[..hdr_len]);
-        self.shared.client_req.write_local(hdr_len, req);
+        let base = self.shared.req_off(slot);
+        self.shared
+            .client_req
+            .write_local(base, &hdr_bytes[..hdr_len]);
+        self.shared.client_req.write_local(base + hdr_len, req);
         self.qp()
             .write(
                 thread,
                 &self.shared.client_req,
-                0,
+                base,
                 &self.shared.req,
-                0,
+                base,
                 hdr_len + req.len(),
             )
             .await;
-        self.span_mark(thread, "request_written");
+        self.span_mark(thread, slot, "request_written");
     }
 
     /// `client_recv`: obtains the response for the last
@@ -416,6 +518,14 @@ impl RfpClient {
             Mode::RemoteFetch => self.recv_remote_fetch(thread, seq, t0).await,
             Mode::ServerReply => self.recv_server_reply(thread, seq, t0, 0).await,
         };
+        self.record_completion(thread, self.shared.slot_of(seq), &out);
+        out
+    }
+
+    /// Books one finished call against the stats/instruments and closes
+    /// `slot`'s span — shared verbatim by the sequential and pipelined
+    /// drivers so their per-call telemetry is identical.
+    fn record_completion(&self, thread: &ThreadCtx, slot: usize, out: &CallResult) {
         self.stats.record(&out.info);
         if let Some(ins) = &self.instruments {
             ins.calls.incr();
@@ -430,17 +540,16 @@ impl RfpClient {
             if out.info.extra_read {
                 ins.extra_reads.incr();
             }
-            if let Some(mut span) = self.shared.span.borrow_mut().take() {
+            if let Some(mut span) = self.shared.span_mut(slot).take() {
                 span.mark_unordered(thread.now(), "completed");
                 ins.telemetry.spans.record(span);
             }
         }
-        out
     }
 
-    /// Adds a milestone to the in-flight request's span, if one exists.
-    fn span_mark(&self, thread: &ThreadCtx, label: &'static str) {
-        if let Some(span) = self.shared.span.borrow_mut().as_mut() {
+    /// Adds a milestone to `slot`'s in-flight span, if one exists.
+    fn span_mark(&self, thread: &ThreadCtx, slot: usize, label: &'static str) {
+        if let Some(span) = self.shared.span_mut(slot).as_mut() {
             span.mark_unordered(thread.now(), label);
         }
     }
@@ -449,6 +558,312 @@ impl RfpClient {
     pub async fn call(&self, thread: &ThreadCtx, req: &[u8]) -> CallResult {
         self.send(thread, req).await;
         self.recv(thread).await
+    }
+
+    /// Pipelined multi-call driver: runs every request in `reqs` on this
+    /// connection, keeping up to `W` (the configured
+    /// [`window`](crate::RfpConfig::window)) calls outstanding in the
+    /// ring and polling all of their fetches with **one doorbell ring
+    /// per round** ([`Qp::post_read_batch`]) — the client-side issue
+    /// cost the paper charges per READ (§2.2) is paid once per round
+    /// instead of once per outstanding call.
+    ///
+    /// With `W = 1` (or a single request) every round degenerates to the
+    /// sequential `send`/`recv` verbs — same WRITEs, same READs, same
+    /// CPU charges, same telemetry — so the legacy path is exactly the
+    /// `W = 1` instance of this driver.
+    ///
+    /// The driver runs in remote-fetch terms only and does not engage
+    /// the hybrid mode switch mid-batch (it still feeds the
+    /// consecutive-overrun guard, so a subsequent sequential call can
+    /// switch). Verb errors from injected faults are absorbed: failed
+    /// request WRITEs are re-deposited and errored fetch polls simply
+    /// don't count as attempts, so the batch rides out a server restart
+    /// the same way [`call_with_recovery`] rides one out per call.
+    ///
+    /// Returns one [`CallResult`] per request, in request order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the connection is in server-reply mode or any request
+    /// exceeds the per-slot capacity.
+    ///
+    /// [`call_with_recovery`]: RfpClient::call_with_recovery
+    pub async fn call_pipelined(&self, thread: &ThreadCtx, reqs: &[Vec<u8>]) -> Vec<CallResult> {
+        assert_eq!(
+            self.mode.get(),
+            Mode::RemoteFetch,
+            "call_pipelined drives remote fetching only"
+        );
+        let window = self.shared.cfg.window;
+        let r = self.retry_threshold.get();
+        let max = self.shared.cfg.max_req_payload();
+        for req in reqs {
+            assert!(req.len() <= max, "request exceeds buffer capacity");
+        }
+        let mut results: Vec<Option<CallResult>> = reqs.iter().map(|_| None).collect();
+        // Free ring slots, lowest on top so W=1 always stages slot 0.
+        let mut free: Vec<usize> = (0..window).rev().collect();
+        let mut flights: Vec<Flight> = Vec::new();
+        let mut next_req = 0usize;
+        while next_req < reqs.len() || !flights.is_empty() {
+            // Refill: stage fresh calls into free slots (bytes + span;
+            // the deposit WRITE happens in the submit step below).
+            while next_req < reqs.len() {
+                let Some(slot) = free.pop() else { break };
+                let req = &reqs[next_req];
+                let seq = self.alloc_seq_in(slot);
+                if let Some(ins) = &self.instruments {
+                    *self.shared.span_mut(slot) = Some(RequestTrace::begin(
+                        seq as u64,
+                        ins.telemetry.track,
+                        thread.now(),
+                        "issue",
+                    ));
+                }
+                let hdr = ReqHeader {
+                    valid: true,
+                    size: req.len() as u32,
+                    seq,
+                    deadline: None,
+                };
+                let hdr_len = hdr.wire_len();
+                let mut hdr_bytes = [0u8; REQ_HDR_EXT];
+                hdr.encode(&mut hdr_bytes[..hdr_len]);
+                let base = self.shared.req_off(slot);
+                self.shared
+                    .client_req
+                    .write_local(base, &hdr_bytes[..hdr_len]);
+                self.shared.client_req.write_local(base + hdr_len, req);
+                flights.push(Flight {
+                    idx: next_req,
+                    slot,
+                    seq,
+                    wire_len: hdr_len + req.len(),
+                    t0: thread.now(),
+                    attempts: 0,
+                    integrity_retries: 0,
+                    counted_over: false,
+                    needs_send: true,
+                });
+                next_req += 1;
+            }
+            // Submit: deposit staged requests. A single deposit uses the
+            // synchronous WRITE (identical to `send`); two or more are
+            // posted so their round trips overlap. A WRITE that
+            // completes with a verb error stays pending and is retried
+            // next round (the NACK round trip advanced time).
+            let to_send: Vec<usize> = flights
+                .iter()
+                .enumerate()
+                .filter_map(|(i, fl)| fl.needs_send.then_some(i))
+                .collect();
+            if to_send.len() == 1 {
+                let i = to_send[0];
+                let (slot, wire_len) = (flights[i].slot, flights[i].wire_len);
+                let base = self.shared.req_off(slot);
+                if self
+                    .qp()
+                    .try_write(
+                        thread,
+                        &self.shared.client_req,
+                        base,
+                        &self.shared.req,
+                        base,
+                        wire_len,
+                    )
+                    .await
+                    .is_ok()
+                {
+                    flights[i].needs_send = false;
+                    self.span_mark(thread, slot, "request_written");
+                }
+            } else if to_send.len() >= 2 {
+                let qp = self.qp();
+                let mut posted = Vec::with_capacity(to_send.len());
+                for &i in &to_send {
+                    let (slot, wire_len) = (flights[i].slot, flights[i].wire_len);
+                    let base = self.shared.req_off(slot);
+                    posted.push((
+                        i,
+                        qp.write_post(
+                            thread,
+                            &self.shared.client_req,
+                            base,
+                            &self.shared.req,
+                            base,
+                            wire_len,
+                        )
+                        .await,
+                    ));
+                }
+                for (i, c) in posted {
+                    c.wait(thread).await;
+                    if c.error().is_none() {
+                        flights[i].needs_send = false;
+                        self.span_mark(thread, flights[i].slot, "request_written");
+                    }
+                }
+            }
+            // Poll: one fetch READ per deposited flight. A lone flight
+            // fetches synchronously (identical to the sequential READ);
+            // k ≥ 2 flights share one doorbell ring.
+            let f = self.fetch_size.get();
+            let pollable: Vec<usize> = flights
+                .iter()
+                .enumerate()
+                .filter_map(|(i, fl)| (!fl.needs_send).then_some(i))
+                .collect();
+            let mut landed = vec![false; flights.len()];
+            if pollable.len() == 1 {
+                let i = pollable[0];
+                let slot = flights[i].slot;
+                let base = self.shared.resp_off(slot);
+                if self
+                    .qp()
+                    .try_read(
+                        thread,
+                        &self.shared.client_resp,
+                        base,
+                        &self.shared.resp,
+                        base,
+                        f,
+                    )
+                    .await
+                    .is_ok()
+                {
+                    landed[i] = true;
+                    flights[i].attempts += 1;
+                    self.span_mark(thread, slot, "fetch_read");
+                    if let Some(ins) = &self.instruments {
+                        ins.fetch_bytes.add(f as u64);
+                    }
+                    self.stats
+                        .single_reads
+                        .set(self.stats.single_reads.get() + 1);
+                }
+            } else if pollable.len() >= 2 {
+                let qp = self.qp();
+                let entries: Vec<_> = pollable
+                    .iter()
+                    .map(|&i| {
+                        let base = self.shared.resp_off(flights[i].slot);
+                        (
+                            Rc::clone(&self.shared.client_resp),
+                            base,
+                            Rc::clone(&self.shared.resp),
+                            base,
+                            f,
+                        )
+                    })
+                    .collect();
+                let completions = qp.post_read_batch(thread, &entries).await;
+                self.stats.doorbells.set(self.stats.doorbells.get() + 1);
+                self.stats
+                    .doorbell_reads
+                    .set(self.stats.doorbell_reads.get() + completions.len() as u64);
+                for (&i, c) in pollable.iter().zip(&completions) {
+                    c.wait(thread).await;
+                    if c.error().is_none() {
+                        landed[i] = true;
+                        flights[i].attempts += 1;
+                        self.span_mark(thread, flights[i].slot, "fetch_read");
+                        if let Some(ins) = &self.instruments {
+                            ins.fetch_bytes.add(f as u64);
+                        }
+                    }
+                }
+            }
+            // Check: decode every landed fetch; completed flights free
+            // their slot for the next refill, the rest poll again.
+            let mut kept = Vec::with_capacity(flights.len());
+            for (i, mut fl) in flights.into_iter().enumerate() {
+                if !landed[i] {
+                    kept.push(fl);
+                    continue;
+                }
+                thread.busy(self.shared.cfg.check_cpu).await;
+                let hdr = self.resp_hdr_at(fl.slot);
+                if !(hdr.valid && hdr.seq == fl.seq) {
+                    // Missed poll: replicate the sequential overrun
+                    // bookkeeping (never switching modes mid-batch).
+                    if fl.attempts > r && !fl.counted_over {
+                        fl.counted_over = true;
+                        if self.shared.cfg.enable_mode_switch {
+                            self.consec_over.set(self.consec_over.get() + 1);
+                        }
+                    }
+                    kept.push(fl);
+                    continue;
+                }
+                let total = self.resp_total_len(&hdr);
+                if !self.resp_len_plausible(total) {
+                    self.note_integrity_failure(thread, IntegrityFault::Torn);
+                    fl.integrity_retries += 1;
+                    kept.push(fl);
+                    continue;
+                }
+                let base = self.shared.resp_off(fl.slot);
+                let size = hdr.size as usize;
+                let mut extra_read = false;
+                if total > f {
+                    let rest = total - f;
+                    if self
+                        .qp()
+                        .try_read(
+                            thread,
+                            &self.shared.client_resp,
+                            base + f,
+                            &self.shared.resp,
+                            base + f,
+                            rest,
+                        )
+                        .await
+                        .is_err()
+                    {
+                        kept.push(fl);
+                        continue;
+                    }
+                    self.span_mark(thread, fl.slot, "extra_fetch_read");
+                    if let Some(ins) = &self.instruments {
+                        ins.fetch_bytes.add(rest as u64);
+                    }
+                    extra_read = true;
+                }
+                if self.verify_fetched(thread, fl.slot, &hdr).is_err() {
+                    fl.integrity_retries += 1;
+                    kept.push(fl);
+                    continue;
+                }
+                if !fl.counted_over {
+                    self.consec_over.set(0);
+                }
+                self.credits.set(hdr.credits);
+                let out = CallResult {
+                    data: self
+                        .shared
+                        .client_resp
+                        .read_local(base + hdr.wire_len(), size),
+                    info: CallInfo {
+                        attempts: fl.attempts,
+                        extra_read,
+                        completed_in: Mode::RemoteFetch,
+                        latency: thread.now() - fl.t0,
+                        server_time_us: hdr.time_us,
+                        status: hdr.status,
+                        integrity_retries: fl.integrity_retries,
+                    },
+                };
+                self.record_completion(thread, fl.slot, &out);
+                free.push(fl.slot);
+                results[fl.idx] = Some(out);
+            }
+            flights = kept;
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("every pipelined call completes"))
+            .collect()
     }
 
     /// The connection's overload-control knobs.
@@ -492,7 +907,7 @@ impl RfpClient {
             "request exceeds buffer capacity"
         );
         let t0 = thread.now();
-        let first_seq = self.seq.get().wrapping_add(1);
+        let first_seq = self.peek_next_seq();
         // Jitter stream: deterministic per (config seed, call seq), and
         // constructed without touching the simulation's shared RNG.
         let jitter = RefCell::new(StdRng::seed_from_u64(derive_seed(
@@ -555,7 +970,8 @@ impl RfpClient {
             }
         }
         if let Some(ins) = &self.instruments {
-            if let Some(mut span) = self.shared.span.borrow_mut().take() {
+            let slot = self.shared.slot_of(self.seq.get());
+            if let Some(mut span) = self.shared.span_mut(slot).take() {
                 span.mark_unordered(
                     thread.now(),
                     if status == RespStatus::Ok {
@@ -614,6 +1030,8 @@ impl RfpClient {
         let deadline = call_deadline.unwrap_or_else(|| thread.now() + ov.deadline);
         self.send_with_deadline(thread, req, Some(deadline)).await;
         let seq = self.seq.get();
+        let slot = self.shared.slot_of(seq);
+        let base = self.shared.resp_off(slot);
         let probe_policy = RetryPolicy::exponential(
             ov.max_probes,
             ov.probe_pause,
@@ -643,20 +1061,22 @@ impl RfpClient {
             }
             let f = self.fetch_size.get();
             self.qp()
-                .read(thread, &self.shared.client_resp, 0, &self.shared.resp, 0, f)
+                .read(
+                    thread,
+                    &self.shared.client_resp,
+                    base,
+                    &self.shared.resp,
+                    base,
+                    f,
+                )
                 .await;
             fetches.set(fetches.get() + 1);
-            self.span_mark(thread, "fetch_read");
+            self.span_mark(thread, slot, "fetch_read");
             if let Some(ins) = &self.instruments {
                 ins.fetch_bytes.add(f as u64);
             }
             thread.busy(self.shared.cfg.check_cpu).await;
-            let hdr = RespHeader::decode(
-                &self
-                    .shared
-                    .client_resp
-                    .read_local(0, self.shared.cfg.resp_wire_hdr()),
-            );
+            let hdr = self.resp_hdr_at(slot);
             if !(hdr.valid && hdr.seq == seq) {
                 continue;
             }
@@ -673,19 +1093,19 @@ impl RfpClient {
                     .read(
                         thread,
                         &self.shared.client_resp,
-                        f,
+                        base + f,
                         &self.shared.resp,
-                        f,
+                        base + f,
                         rest,
                     )
                     .await;
-                self.span_mark(thread, "extra_fetch_read");
+                self.span_mark(thread, slot, "extra_fetch_read");
                 if let Some(ins) = &self.instruments {
                     ins.fetch_bytes.add(rest as u64);
                 }
                 extra.set(true);
             }
-            if self.verify_fetched(thread, &hdr).is_err() {
+            if self.verify_fetched(thread, slot, &hdr).is_err() {
                 // Verdicts are verified too: a corrupt fetch must not
                 // surface a spurious rejection (or a bogus payload).
                 integrity_retries.set(integrity_retries.get() + 1);
@@ -695,7 +1115,9 @@ impl RfpClient {
             match hdr.status {
                 RespStatus::Ok => {
                     return Ok((
-                        self.shared.client_resp.read_local(hdr.wire_len(), size),
+                        self.shared
+                            .client_resp
+                            .read_local(base + hdr.wire_len(), size),
                         hdr.time_us,
                     ));
                 }
@@ -743,7 +1165,12 @@ impl RfpClient {
     /// (header from the first segment, payload + trailing canary as
     /// currently fetched). `Err` carries the failure class; the caller
     /// discards the fetch and retries. No-op `Ok` with the layer off.
-    fn verify_fetched(&self, thread: &ThreadCtx, hdr: &RespHeader) -> Result<(), IntegrityFault> {
+    fn verify_fetched(
+        &self,
+        thread: &ThreadCtx,
+        slot: usize,
+        hdr: &RespHeader,
+    ) -> Result<(), IntegrityFault> {
         if !self.shared.cfg.integrity.enabled {
             return Ok(());
         }
@@ -754,11 +1181,12 @@ impl RfpClient {
             // holds; classify it as torn instead of reading past the MR.
             Err(IntegrityFault::Torn)
         } else {
+            let base = self.shared.resp_off(slot);
             self.shared.client_resp.with_bytes(|bytes| {
                 verify_response(
                     hdr,
-                    &bytes[wire_hdr..wire_hdr + size],
-                    &bytes[wire_hdr + size..wire_hdr + size + RESP_TRAILER],
+                    &bytes[base + wire_hdr..base + wire_hdr + size],
+                    &bytes[base + wire_hdr + size..base + wire_hdr + size + RESP_TRAILER],
                 )
             })
         };
@@ -811,6 +1239,8 @@ impl RfpClient {
         t0: rfp_simnet::SimTime,
     ) -> CallResult {
         let r = self.retry_threshold.get();
+        let slot = self.shared.slot_of(seq);
+        let base = self.shared.resp_off(slot);
         let mut attempts = 0u32;
         let mut integrity_retries = 0u32;
         let mut counted_over = false;
@@ -818,19 +1248,21 @@ impl RfpClient {
             attempts += 1;
             let f = self.fetch_size.get();
             self.qp()
-                .read(thread, &self.shared.client_resp, 0, &self.shared.resp, 0, f)
+                .read(
+                    thread,
+                    &self.shared.client_resp,
+                    base,
+                    &self.shared.resp,
+                    base,
+                    f,
+                )
                 .await;
-            self.span_mark(thread, "fetch_read");
+            self.span_mark(thread, slot, "fetch_read");
             if let Some(ins) = &self.instruments {
                 ins.fetch_bytes.add(f as u64);
             }
             thread.busy(self.shared.cfg.check_cpu).await;
-            let hdr = RespHeader::decode(
-                &self
-                    .shared
-                    .client_resp
-                    .read_local(0, self.shared.cfg.resp_wire_hdr()),
-            );
+            let hdr = self.resp_hdr_at(slot);
             if hdr.valid && hdr.seq == seq {
                 let total = self.resp_total_len(&hdr);
                 if !self.resp_len_plausible(total) {
@@ -848,19 +1280,19 @@ impl RfpClient {
                         .read(
                             thread,
                             &self.shared.client_resp,
-                            f,
+                            base + f,
                             &self.shared.resp,
-                            f,
+                            base + f,
                             rest,
                         )
                         .await;
-                    self.span_mark(thread, "extra_fetch_read");
+                    self.span_mark(thread, slot, "extra_fetch_read");
                     if let Some(ins) = &self.instruments {
                         ins.fetch_bytes.add(rest as u64);
                     }
                     extra_read = true;
                 }
-                if self.verify_fetched(thread, &hdr).is_err() {
+                if self.verify_fetched(thread, slot, &hdr).is_err() {
                     // Discard the fetched image and refetch: the next READ
                     // samples the buffer afresh.
                     integrity_retries += 1;
@@ -871,7 +1303,10 @@ impl RfpClient {
                 }
                 self.credits.set(hdr.credits);
                 return CallResult {
-                    data: self.shared.client_resp.read_local(hdr.wire_len(), size),
+                    data: self
+                        .shared
+                        .client_resp
+                        .read_local(base + hdr.wire_len(), size),
                     info: CallInfo {
                         attempts,
                         extra_read,
@@ -906,24 +1341,24 @@ impl RfpClient {
         t0: rfp_simnet::SimTime,
         prior_attempts: u32,
     ) -> CallResult {
+        let slot = self.shared.slot_of(seq);
+        let base = self.shared.resp_off(slot);
         let mut attempts = prior_attempts;
         let mut integrity_retries = 0u32;
         loop {
             thread.busy(self.shared.cfg.check_cpu).await;
-            let hdr = RespHeader::decode(
-                &self
-                    .shared
-                    .client_resp
-                    .read_local(0, self.shared.cfg.resp_wire_hdr()),
-            );
+            let hdr = self.resp_hdr_at(slot);
             // In reply mode the server pushes (and the fallback fetch
             // reads) the whole image, so verification needs no second
             // READ; a corrupt image falls through to the wait/fallback
             // below, which refreshes the landing zone.
-            if hdr.valid && hdr.seq == seq && self.verify_fetched(thread, &hdr).is_ok() {
-                self.span_mark(thread, "reply_received");
+            if hdr.valid && hdr.seq == seq && self.verify_fetched(thread, slot, &hdr).is_ok() {
+                self.span_mark(thread, slot, "reply_received");
                 let size = hdr.size as usize;
-                let data = self.shared.client_resp.read_local(hdr.wire_len(), size);
+                let data = self
+                    .shared
+                    .client_resp
+                    .read_local(base + hdr.wire_len(), size);
                 // §3.2: record the server's response time; if it got
                 // short again, remote fetching is profitable — switch
                 // back.
@@ -958,7 +1393,9 @@ impl RfpClient {
                 .idle_wait(timeout(
                     thread.handle(),
                     self.shared.cfg.reply_fallback_poll,
-                    self.shared.client_resp.wait_remote_write(0..RESP_HDR),
+                    self.shared
+                        .client_resp
+                        .wait_remote_write(base..base + RESP_HDR),
                 ))
                 .await;
             if landed.is_none() {
@@ -974,9 +1411,16 @@ impl RfpClient {
                 attempts += 1;
                 let f = self.fetch_size.get().max(self.shared.cfg.resp_capacity);
                 self.qp()
-                    .read(thread, &self.shared.client_resp, 0, &self.shared.resp, 0, f)
+                    .read(
+                        thread,
+                        &self.shared.client_resp,
+                        base,
+                        &self.shared.resp,
+                        base,
+                        f,
+                    )
                     .await;
-                self.span_mark(thread, "fallback_fetch_read");
+                self.span_mark(thread, slot, "fallback_fetch_read");
                 if let Some(ins) = &self.instruments {
                     ins.fallback_fetches.incr();
                     ins.fetch_bytes.add(f as u64);
@@ -1024,7 +1468,7 @@ impl RfpClient {
             (Some(d), None) => Some(t0 + d),
             (None, s) => s,
         };
-        let first_seq = self.seq.get().wrapping_add(1);
+        let first_seq = self.peek_next_seq();
         let state = AttemptState {
             req,
             stamp,
@@ -1103,8 +1547,7 @@ impl RfpClient {
             }
         }
         if state.refresh.take() {
-            let seq = self.seq.get().wrapping_add(1);
-            self.seq.set(seq);
+            let (slot, seq) = self.alloc_next_seq();
             let hdr = ReqHeader {
                 valid: true,
                 size: state.req.len() as u32,
@@ -1114,10 +1557,18 @@ impl RfpClient {
             let hdr_len = hdr.wire_len();
             let mut hdr_bytes = [0u8; REQ_HDR_EXT];
             hdr.encode(&mut hdr_bytes[..hdr_len]);
-            self.shared.client_req.write_local(0, &hdr_bytes[..hdr_len]);
-            self.shared.client_req.write_local(hdr_len, state.req);
+            let base = self.shared.req_off(slot);
+            self.shared
+                .client_req
+                .write_local(base, &hdr_bytes[..hdr_len]);
+            self.shared
+                .client_req
+                .write_local(base + hdr_len, state.req);
         }
         let seq = self.seq.get();
+        let slot = self.shared.slot_of(seq);
+        let req_base = self.shared.req_off(slot);
+        let resp_base = self.shared.resp_off(slot);
         let hdr_len = if state.stamp.is_some() {
             REQ_HDR_EXT
         } else {
@@ -1129,9 +1580,9 @@ impl RfpClient {
         qp.try_write(
             thread,
             &self.shared.client_req,
-            0,
+            req_base,
             &self.shared.req,
-            0,
+            req_base,
             wire_len,
         )
         .await
@@ -1147,20 +1598,22 @@ impl RfpClient {
         let mut corrupt_streak = 0u32;
         loop {
             let f = self.fetch_size.get();
-            qp.try_read(thread, &self.shared.client_resp, 0, &self.shared.resp, 0, f)
-                .await
-                .map_err(|e| self.verb_failure(thread, e))?;
+            qp.try_read(
+                thread,
+                &self.shared.client_resp,
+                resp_base,
+                &self.shared.resp,
+                resp_base,
+                f,
+            )
+            .await
+            .map_err(|e| self.verb_failure(thread, e))?;
             fetches.set(fetches.get() + 1);
             if let Some(ins) = &self.instruments {
                 ins.fetch_bytes.add(f as u64);
             }
             thread.busy(self.shared.cfg.check_cpu).await;
-            let hdr = RespHeader::decode(
-                &self
-                    .shared
-                    .client_resp
-                    .read_local(0, self.shared.cfg.resp_wire_hdr()),
-            );
+            let hdr = self.resp_hdr_at(slot);
             let mut corrupt = false;
             if hdr.valid && hdr.seq == seq {
                 let total = self.resp_total_len(&hdr);
@@ -1175,9 +1628,9 @@ impl RfpClient {
                         qp.try_read(
                             thread,
                             &self.shared.client_resp,
-                            f,
+                            resp_base + f,
                             &self.shared.resp,
-                            f,
+                            resp_base + f,
                             rest,
                         )
                         .await
@@ -1187,7 +1640,7 @@ impl RfpClient {
                         }
                         extra_read = true;
                     }
-                    if self.verify_fetched(thread, &hdr).is_ok() {
+                    if self.verify_fetched(thread, slot, &hdr).is_ok() {
                         self.credits.set(hdr.credits);
                         if hdr.status != RespStatus::Ok {
                             let counter = match hdr.status {
@@ -1199,7 +1652,10 @@ impl RfpClient {
                             return Err(FailureCause::Rejected(hdr.status));
                         }
                         return Ok(CallResult {
-                            data: self.shared.client_resp.read_local(hdr.wire_len(), size),
+                            data: self
+                                .shared
+                                .client_resp
+                                .read_local(resp_base + hdr.wire_len(), size),
                             info: CallInfo {
                                 attempts: fetches.get(),
                                 extra_read,
@@ -1284,7 +1740,7 @@ impl RfpClient {
             .await;
         self.mode.set(to);
         self.consec_over.set(0);
-        self.span_mark(thread, "mode_switched");
+        self.span_mark(thread, self.shared.slot_of(self.seq.get()), "mode_switched");
         if let Some(trace) = &self.shared.cfg.trace {
             trace.record(thread.now(), "rfp.mode", format!("switched to {to:?}"));
         }

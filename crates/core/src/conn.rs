@@ -32,8 +32,8 @@ use rfp_rnic::{Machine, MemRegion, Qp, ThreadCtx};
 use rfp_simnet::{MetricsRegistry, RequestTrace, SimSpan, SimTime, SpanRecorder};
 
 use crate::header::{
-    resp_canary, ReqHeader, RespHeader, RespIntegrity, RespStatus, REQ_HDR, REQ_HDR_EXT, RESP_HDR,
-    RESP_HDR_EXT, RESP_TRAILER,
+    resp_canary, slot_of, ReqHeader, RespHeader, RespIntegrity, RespStatus, REQ_HDR, REQ_HDR_EXT,
+    RESP_HDR, RESP_HDR_EXT, RESP_TRAILER,
 };
 use crate::integrity::IntegrityConfig;
 use crate::overload::OverloadConfig;
@@ -88,10 +88,19 @@ pub struct RfpConfig {
     /// `ServerReply` with the switch disabled *is* the paper's
     /// ServerReply baseline (which it derives from Jakiro the same way).
     pub initial_mode: Mode,
-    /// Capacity of the request buffer (header + payload).
+    /// Capacity of the request buffer (header + payload). With a
+    /// multi-slot ring this is the capacity of *one slot*.
     pub req_capacity: usize,
-    /// Capacity of the response buffer (header + payload).
+    /// Capacity of the response buffer (header + payload). With a
+    /// multi-slot ring this is the capacity of *one slot*.
     pub resp_capacity: usize,
+    /// `W`: ring slots per connection — the number of calls the
+    /// pipelined client driver can keep outstanding. The default 1 is
+    /// the paper's one-call-at-a-time layout, byte-identical to the
+    /// pre-windowed format; larger powers of two tile `W` independent
+    /// request/response slots into the registered buffers, each call's
+    /// slot carried by its seq (see [`slot_of`]).
+    pub window: usize,
     /// Server CPU cost to post a response into its local buffer.
     pub post_cpu: SimSpan,
     /// CPU cost to inspect a local header (client check / server scan).
@@ -125,6 +134,7 @@ impl Default for RfpConfig {
             initial_mode: Mode::RemoteFetch,
             req_capacity: 16 * 1024,
             resp_capacity: 16 * 1024,
+            window: 1,
             post_cpu: SimSpan::nanos(100),
             check_cpu: SimSpan::nanos(50),
             trace: None,
@@ -184,23 +194,46 @@ pub(crate) const MODE_SERVER_REPLY: u8 = 1;
 
 /// The memory geometry shared by both endpoint objects.
 pub(crate) struct Shared {
-    /// Server-side request buffer.
+    /// Server-side request ring (`window` slots of `req_capacity`).
     pub req: Rc<MemRegion>,
-    /// Server-side response buffer.
+    /// Server-side response ring (`window` slots of `resp_capacity`).
     pub resp: Rc<MemRegion>,
     /// Server-side mode flag (1 byte).
     pub mode: Rc<MemRegion>,
-    /// Client-side response landing zone.
+    /// Client-side response landing zone (mirrors the response ring).
     pub client_resp: Rc<MemRegion>,
-    /// Client-side request staging buffer.
+    /// Client-side request staging buffer (mirrors the request ring).
     pub client_req: Rc<MemRegion>,
     /// Client-side 1-byte staging buffer for mode flips.
     pub client_mode: Rc<MemRegion>,
     pub cfg: RfpConfig,
-    /// The in-flight request's span, when telemetry is enabled. Both
-    /// endpoints add milestones; RFP connections carry one request at a
-    /// time, so one slot suffices.
-    pub span: RefCell<Option<RequestTrace>>,
+    /// Per-slot spans of the in-flight requests, when telemetry is
+    /// enabled. Both endpoints add milestones; each ring slot carries
+    /// one request at a time, so one entry per slot suffices.
+    pub spans: RefCell<Vec<Option<RequestTrace>>>,
+}
+
+impl Shared {
+    /// Byte offset of `slot`'s request buffer in the request ring.
+    pub(crate) fn req_off(&self, slot: usize) -> usize {
+        slot * self.cfg.req_capacity
+    }
+
+    /// Byte offset of `slot`'s response buffer in the response ring.
+    pub(crate) fn resp_off(&self, slot: usize) -> usize {
+        slot * self.cfg.resp_capacity
+    }
+
+    /// Ring slot of a call sequence number under this connection's
+    /// window.
+    pub(crate) fn slot_of(&self, seq: u32) -> usize {
+        slot_of(seq, self.cfg.window)
+    }
+
+    /// Mutable access to `slot`'s in-flight span.
+    pub(crate) fn span_mut(&self, slot: usize) -> std::cell::RefMut<'_, Option<RequestTrace>> {
+        std::cell::RefMut::map(self.spans.borrow_mut(), |v| &mut v[slot])
+    }
 }
 
 /// Creates one client↔server RFP connection.
@@ -257,16 +290,21 @@ pub fn connect(
         client_machine.id(),
         "qp_s2c direction"
     );
+    assert!(
+        cfg.window >= 1 && cfg.window.is_power_of_two(),
+        "window must be a power of two (slot mapping must survive seq wraparound)"
+    );
 
+    let window = cfg.window;
     let shared = Rc::new(Shared {
-        req: server_machine.alloc_mr(cfg.req_capacity),
-        resp: server_machine.alloc_mr(cfg.resp_capacity),
+        req: server_machine.alloc_mr(cfg.req_capacity * window),
+        resp: server_machine.alloc_mr(cfg.resp_capacity * window),
         mode: server_machine.alloc_mr(1),
-        client_resp: client_machine.alloc_mr(cfg.resp_capacity),
-        client_req: client_machine.alloc_mr(cfg.req_capacity),
+        client_resp: client_machine.alloc_mr(cfg.resp_capacity * window),
+        client_req: client_machine.alloc_mr(cfg.req_capacity * window),
         client_mode: client_machine.alloc_mr(1),
         cfg,
-        span: RefCell::new(None),
+        spans: RefCell::new((0..window).map(|_| None).collect()),
     });
     // The initial mode is agreed at registration time (no RDMA needed).
     if shared.cfg.initial_mode == Mode::ServerReply {
@@ -275,14 +313,12 @@ pub fn connect(
 
     let client = crate::client::RfpClient::new(Rc::clone(&shared), qp_c2s);
     let server = RfpServerConn {
+        slots: (0..window).map(|_| SlotState::default()).collect(),
+        cur_slot: Cell::new(0),
+        scan_from: Cell::new(0),
         shared,
         qp_reply: qp_s2c,
-        last_seq: Cell::new(0),
-        pickup: Cell::new(SimTime::ZERO),
-        cur_seq: Cell::new(0),
-        cur_deadline: Cell::new(None),
         advertise: Cell::new(0),
-        generation: Cell::new(0),
         served: Cell::new(0),
         replied_out_of_band: Cell::new(0),
         rejected_busy: Cell::new(0),
@@ -300,25 +336,39 @@ pub fn connect(
 pub struct RfpServerConn {
     shared: Rc<Shared>,
     qp_reply: Rc<Qp>,
-    /// Sequence of the last request delivered to the application.
-    last_seq: Cell<u32>,
-    /// When the in-flight request was picked up (for the `time` field).
-    pickup: Cell<SimTime>,
-    /// Sequence of the in-flight request.
-    cur_seq: Cell<u32>,
-    /// Deadline stamped into the in-flight request, if any.
-    cur_deadline: Cell<Option<SimTime>>,
+    /// Per-ring-slot request state (`window` entries).
+    slots: Vec<SlotState>,
+    /// Slot of the request last delivered by `try_recv` (the serve loop
+    /// strictly alternates recv/send, so one marker suffices).
+    cur_slot: Cell<usize>,
+    /// Round-robin scan cursor across the ring slots.
+    scan_from: Cell<usize>,
     /// Credit level stamped into outgoing response headers (overload
     /// control; stays 0 — the legacy zero fill — when the subsystem is
     /// off).
     advertise: Cell<u16>,
-    /// Buffer generation: bumped on every local post into the response
-    /// buffer (integrity layer; stays 0 and unstamped when it is off).
-    generation: Cell<u32>,
     served: Cell<u64>,
     replied_out_of_band: Cell<u64>,
     rejected_busy: Cell<u64>,
     rejected_shed: Cell<u64>,
+}
+
+/// Per-slot server-side request state.
+#[derive(Default)]
+struct SlotState {
+    /// Sequence of the last request delivered to the application from
+    /// this slot (the idempotent-dedup marker).
+    last_seq: Cell<u32>,
+    /// When the slot's in-flight request was picked up (`time` field).
+    pickup: Cell<SimTime>,
+    /// Sequence of the slot's in-flight request.
+    cur_seq: Cell<u32>,
+    /// Deadline stamped into the slot's in-flight request, if any.
+    cur_deadline: Cell<Option<SimTime>>,
+    /// Buffer generation: bumped on every local post into this slot's
+    /// response buffer (integrity layer; stays 0 and unstamped when it
+    /// is off).
+    generation: Cell<u32>,
 }
 
 impl RfpServerConn {
@@ -332,35 +382,53 @@ impl RfpServerConn {
     /// in flight or already answered, and accepted fresh seqs — e.g.
     /// the first request after a server restart — need no handshake.
     ///
-    /// Charges one header inspection of CPU time.
+    /// Charges one header inspection of CPU time per ring slot scanned;
+    /// a single-slot connection inspects exactly one header per call,
+    /// as before windowing. Multi-slot rings are scanned round-robin
+    /// from a persistent cursor, stopping at the first pending slot.
     pub async fn try_recv(&self, thread: &ThreadCtx) -> Option<Vec<u8>> {
-        thread.busy(self.shared.cfg.check_cpu).await;
-        // Read the extended-header window: `decode` consumes 8 or 16
-        // bytes depending on the deadline bit (capacity ≥ 16 is a
-        // `connect` invariant).
-        let hdr_bytes = self.shared.req.read_local(0, REQ_HDR_EXT);
-        let hdr = ReqHeader::decode(&hdr_bytes);
-        if !hdr.valid || hdr.seq == self.last_seq.get() {
-            return None;
+        let window = self.shared.cfg.window;
+        for _ in 0..window {
+            let slot = self.scan_from.get();
+            self.scan_from.set((slot + 1) % window);
+            thread.busy(self.shared.cfg.check_cpu).await;
+            // Read the extended-header window: `decode` consumes 8 or 16
+            // bytes depending on the deadline bit (capacity ≥ 16 is a
+            // `connect` invariant).
+            let base = self.shared.req_off(slot);
+            let hdr_bytes = self.shared.req.read_local(base, REQ_HDR_EXT);
+            let hdr = ReqHeader::decode(&hdr_bytes);
+            let st = &self.slots[slot];
+            if !hdr.valid || hdr.seq == st.last_seq.get() {
+                continue;
+            }
+            st.last_seq.set(hdr.seq);
+            st.cur_seq.set(hdr.seq);
+            st.cur_deadline.set(hdr.deadline);
+            st.pickup.set(thread.now());
+            self.cur_slot.set(slot);
+            if let Some(span) = self.shared.span_mut(slot).as_mut() {
+                span.mark_unordered(thread.now(), "server_dequeued");
+            }
+            return Some(
+                self.shared
+                    .req
+                    .read_local(base + hdr.wire_len(), hdr.size as usize),
+            );
         }
-        self.last_seq.set(hdr.seq);
-        self.cur_seq.set(hdr.seq);
-        self.cur_deadline.set(hdr.deadline);
-        self.pickup.set(thread.now());
-        if let Some(span) = self.shared.span.borrow_mut().as_mut() {
-            span.mark_unordered(thread.now(), "server_dequeued");
-        }
-        Some(
-            self.shared
-                .req
-                .read_local(hdr.wire_len(), hdr.size as usize),
-        )
+        None
+    }
+
+    /// `W`: ring slots of this connection (the most requests a pipelined
+    /// client can have pending at once — the serve loop's drain bound).
+    pub fn window(&self) -> usize {
+        self.shared.cfg.window
     }
 
     /// Deadline stamped into the request last delivered by
     /// [`try_recv`](RfpServerConn::try_recv), if the client stamped one.
     pub fn current_deadline(&self) -> Option<SimTime> {
-        self.cur_deadline.get()
+        self.slots[self.cur_slot.get()].cur_deadline.get()
     }
 
     /// Sets the credit level stamped into subsequent response headers.
@@ -417,19 +485,24 @@ impl RfpServerConn {
             trace.record(
                 thread.now(),
                 "rfp.overload",
-                format!("seq {}: rejected {status:?}", self.cur_seq.get()),
+                format!(
+                    "seq {}: rejected {status:?}",
+                    self.slots[self.cur_slot.get()].cur_seq.get()
+                ),
             );
         }
     }
 
     async fn post_response(&self, thread: &ThreadCtx, payload: &[u8], status: RespStatus) {
-        let seq = self.cur_seq.get();
+        let slot = self.cur_slot.get();
+        let st = &self.slots[slot];
+        let seq = st.cur_seq.get();
         assert!(seq != 0, "send without a received request");
         assert!(
             payload.len() <= self.shared.cfg.max_resp_payload(),
             "response exceeds buffer capacity"
         );
-        let elapsed = thread.now() - self.pickup.get();
+        let elapsed = thread.now() - st.pickup.get();
         let time_us = (elapsed.as_nanos() / 1_000).min(u16::MAX as u64) as u16;
         let integrity_on = self.shared.cfg.integrity.enabled;
         let integrity = if integrity_on {
@@ -439,8 +512,8 @@ impl RfpServerConn {
             if thread.machine().faults().torn_dma() > 0.0 {
                 self.shared.resp.snapshot_history();
             }
-            let generation = self.generation.get().wrapping_add(1);
-            self.generation.set(generation);
+            let generation = st.generation.get().wrapping_add(1);
+            st.generation.set(generation);
             Some(RespIntegrity {
                 crc: crc64(payload),
                 generation,
@@ -462,16 +535,17 @@ impl RfpServerConn {
         hdr.encode(&mut hdr_bytes[..wire_hdr]);
         // Header after payload (and trailer): a concurrent remote fetch
         // must never see a valid header with stale payload bytes.
-        self.shared.resp.write_local(wire_hdr, payload);
+        let base = self.shared.resp_off(slot);
+        self.shared.resp.write_local(base + wire_hdr, payload);
         if let Some(integrity) = integrity {
             self.shared.resp.write_local(
-                wire_hdr + payload.len(),
+                base + wire_hdr + payload.len(),
                 &resp_canary(seq, integrity.generation).to_le_bytes(),
             );
         }
-        self.shared.resp.write_local(0, &hdr_bytes[..wire_hdr]);
+        self.shared.resp.write_local(base, &hdr_bytes[..wire_hdr]);
         thread.busy(self.shared.cfg.post_cpu).await;
-        if let Some(span) = self.shared.span.borrow_mut().as_mut() {
+        if let Some(span) = self.shared.span_mut(slot).as_mut() {
             span.mark_unordered(
                 thread.now(),
                 match status {
@@ -491,9 +565,9 @@ impl RfpServerConn {
                 .write(
                     thread,
                     &self.shared.resp,
-                    0,
+                    base,
                     &self.shared.client_resp,
-                    0,
+                    base,
                     wire_hdr + payload.len() + trailer,
                 )
                 .await;
@@ -511,23 +585,26 @@ impl RfpServerConn {
     /// buffers were wiped, the recovered seq is 0, and every replay is
     /// (correctly) executed against the empty store.
     pub fn recover_after_restart(&self) {
-        let hdr = RespHeader::decode(
-            &self
-                .shared
-                .resp
-                .read_local(0, self.shared.cfg.resp_wire_hdr()),
-        );
-        let recovered = if hdr.valid { hdr.seq } else { 0 };
-        self.last_seq.set(recovered);
-        self.cur_seq.set(recovered);
-        self.cur_deadline.set(None);
-        // A warm restart resumes the generation counter from the buffer
-        // (the next post must not reuse the stamped generation); a cold
-        // restart starts over from 0.
-        self.generation
-            .set(hdr.integrity.map_or(0, |i| i.generation));
-        // Any span of a call interrupted by the crash is stale.
-        *self.shared.span.borrow_mut() = None;
+        for (slot, st) in self.slots.iter().enumerate() {
+            let hdr = RespHeader::decode(
+                &self
+                    .shared
+                    .resp
+                    .read_local(self.shared.resp_off(slot), self.shared.cfg.resp_wire_hdr()),
+            );
+            let recovered = if hdr.valid { hdr.seq } else { 0 };
+            st.last_seq.set(recovered);
+            st.cur_seq.set(recovered);
+            st.cur_deadline.set(None);
+            // A warm restart resumes the generation counter from the
+            // buffer (the next post must not reuse the stamped
+            // generation); a cold restart starts over from 0.
+            st.generation.set(hdr.integrity.map_or(0, |i| i.generation));
+            // Any span of a call interrupted by the crash is stale.
+            *self.shared.span_mut(slot) = None;
+        }
+        self.cur_slot.set(0);
+        self.scan_from.set(0);
     }
 
     /// Requests answered so far.

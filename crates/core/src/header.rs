@@ -77,6 +77,22 @@ pub fn resp_canary(seq: u32, generation: u32) -> u64 {
     (((seq as u64) << 32) | generation as u64) ^ CANARY_SALT
 }
 
+/// Ring slot a sequence number occupies in a `window`-slot
+/// request/response ring: seq `s` lives in slot `(s − 1) mod window`.
+///
+/// The mapping is carried entirely by the seq — no extra wire field —
+/// because the client allocates seqs so that slot `i`'s calls are
+/// exactly the seqs ≡ `i + 1 (mod window)`. It stays consistent across
+/// u32 wraparound as long as `window` is a power of two (2³² is then a
+/// multiple of `window`), which [`crate::connect`] asserts.
+///
+/// A single-slot ring maps every seq to slot 0, reproducing today's
+/// one-buffer layout exactly.
+pub fn slot_of(seq: u32, window: usize) -> usize {
+    debug_assert!(window >= 1, "ring needs at least one slot");
+    seq.wrapping_sub(1) as usize % window
+}
+
 /// Server verdict carried in a response header.
 ///
 /// `Busy` and `Shed` are the overload-control rejections: the request
@@ -485,6 +501,37 @@ mod tests {
         assert!(!resp.valid);
         assert_eq!(resp.status, RespStatus::Ok);
         assert_eq!(resp.credits, 0);
+    }
+
+    #[test]
+    fn slot_of_single_slot_ring_is_always_zero() {
+        for seq in [1u32, 2, 3, 1000, u32::MAX, 0] {
+            assert_eq!(slot_of(seq, 1), 0);
+        }
+    }
+
+    #[test]
+    fn slot_of_round_robins_consecutive_seqs() {
+        // Consecutive seqs visit slots 0..W in order, then wrap.
+        for window in [2usize, 4, 8, 16] {
+            for seq in 1u32..=3 * window as u32 {
+                assert_eq!(slot_of(seq, window), (seq as usize - 1) % window);
+            }
+        }
+    }
+
+    #[test]
+    fn slot_of_same_slot_survives_seq_wraparound() {
+        // A slot's seq counter advances by W per call; the mapping must
+        // keep it in the same slot across the u32 wrap (power-of-two W).
+        for window in [1usize, 2, 4, 8, 16] {
+            for slot in 0..window {
+                // Highest seq band ≡ slot + 1 (mod W) before the wrap.
+                let near_wrap = (u32::MAX - window as u32 + 1).wrapping_add(slot as u32 + 1);
+                assert_eq!(slot_of(near_wrap, window), slot);
+                assert_eq!(slot_of(near_wrap.wrapping_add(window as u32), window), slot);
+            }
+        }
     }
 
     #[test]

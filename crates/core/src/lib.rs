@@ -80,7 +80,7 @@ mod tuner;
 pub use client::{CallInfo, CallResult, ClientStats, RfpClient};
 pub use conn::{connect, Mode, RfpConfig, RfpServerConn, RfpTelemetry};
 pub use header::{
-    resp_canary, ReqHeader, RespHeader, RespIntegrity, RespStatus, MAX_PAYLOAD, REQ_HDR,
+    resp_canary, slot_of, ReqHeader, RespHeader, RespIntegrity, RespStatus, MAX_PAYLOAD, REQ_HDR,
     REQ_HDR_EXT, RESP_HDR, RESP_HDR_EXT, RESP_TRAILER,
 };
 pub use integrity::{verify_response, IntegrityConfig, IntegrityFault};
@@ -88,5 +88,5 @@ pub use overload::{admit, credits_for, Admission, OverloadConfig};
 pub use params::{ParamSelector, Params, WorkloadSample};
 pub use pool::RfpPool;
 pub use recovery::{FailureCause, RecoveryConfig, RpcError};
-pub use server::{serve_loop, RfpHandler};
+pub use server::{serve_loop, IdlePolicy, RfpHandler};
 pub use tuner::OnlineTuner;

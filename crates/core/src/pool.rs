@@ -144,6 +144,24 @@ impl RfpPool {
         out
     }
 
+    /// Issues a whole batch of calls pipelined over **one** connection
+    /// ([`RfpClient::call_pipelined`]): the connection's ring window
+    /// bounds how many ride concurrently, and their fetch polls share
+    /// doorbell rings. Waits FIFO-fair for a connection like
+    /// [`call`](RfpPool::call); returns one result per request, in
+    /// order.
+    pub async fn call_pipelined(&self, thread: &ThreadCtx, reqs: &[Vec<u8>]) -> Vec<CallResult> {
+        let (_permit, idx) = self.acquire(thread).await;
+        let out = self.clients[idx].call_pipelined(thread, reqs).await;
+        self.free.borrow_mut().push(idx);
+        if let Some(ins) = &*self.instruments.borrow() {
+            for call in &out {
+                ins.note_integrity(call.info.integrity_retries);
+            }
+        }
+        out
+    }
+
     /// Overload-aware [`call`](RfpPool::call): the call's deadline
     /// budget starts at *arrival*, so time queued in the pool counts
     /// against it, and a call whose budget is spent before a connection

@@ -42,48 +42,115 @@ where
     }
 }
 
+/// Idle pacing of a serve loop.
+///
+/// Every scan that finds no work charges `spin` of busy CPU (the poll
+/// itself). With `max_nap` non-zero the loop additionally *backs off*:
+/// consecutive empty scans grow an idle (not busy) nap, doubling from
+/// `spin` up to `max_nap`, reset by the first scan that serves work —
+/// cutting simulated poll burn at low load without touching saturated
+/// throughput (a loaded loop never naps).
+///
+/// A bare [`SimSpan`] converts into the fixed-pause policy
+/// (`max_nap = 0`), which reproduces the classic loop event-for-event.
+#[derive(Copy, Clone, Debug)]
+pub struct IdlePolicy {
+    /// Busy spin cost charged per empty scan.
+    pub spin: SimSpan,
+    /// Adaptive-backoff nap cap; zero disables backoff.
+    pub max_nap: SimSpan,
+}
+
+impl From<SimSpan> for IdlePolicy {
+    fn from(spin: SimSpan) -> Self {
+        IdlePolicy {
+            spin,
+            max_nap: SimSpan::ZERO,
+        }
+    }
+}
+
+impl IdlePolicy {
+    /// Fixed-pause policy (no backoff): the classic loop.
+    pub fn fixed(spin: SimSpan) -> Self {
+        spin.into()
+    }
+
+    /// Adaptive backoff: `spin` per empty scan plus a nap doubling from
+    /// `spin` up to `max_nap` while scans stay empty.
+    pub fn adaptive(spin: SimSpan, max_nap: SimSpan) -> Self {
+        IdlePolicy { spin, max_nap }
+    }
+
+    /// The nap to take after one more consecutive empty scan, given the
+    /// previous nap (zero at first).
+    fn next_nap(&self, prev: SimSpan) -> SimSpan {
+        if self.max_nap.is_zero() {
+            return SimSpan::ZERO;
+        }
+        if prev.is_zero() {
+            self.spin.min(self.max_nap)
+        } else {
+            SimSpan::nanos(prev.as_nanos().saturating_mul(2)).min(self.max_nap)
+        }
+    }
+}
+
 /// Runs one server thread forever: scan the owned connections, process
 /// every pending request, answer through the connection.
 ///
-/// `idle_pause` is the spin cost charged when a full scan found no work,
-/// bounding the simulated poll rate.
+/// `idle` paces the loop when a full scan found no work; a plain
+/// [`SimSpan`] gives the classic fixed spin cost, [`IdlePolicy::adaptive`]
+/// adds exponential idle backoff.
 pub async fn serve_loop(
     thread: Rc<ThreadCtx>,
     conns: Vec<Rc<RfpServerConn>>,
     handler: impl RfpHandler,
-    idle_pause: SimSpan,
+    idle: impl Into<IdlePolicy>,
 ) {
     assert!(!conns.is_empty(), "server thread with no connections");
+    let idle = idle.into();
     if conns[0].overload().enabled {
-        serve_loop_overload(thread, conns, handler, idle_pause).await
+        serve_loop_overload(thread, conns, handler, idle).await
     } else {
-        serve_loop_plain(thread, conns, handler, idle_pause).await
+        serve_loop_plain(thread, conns, handler, idle).await
     }
 }
 
-/// The classic loop: every pending request is processed in scan order.
+/// The classic loop: every pending request is processed in scan order,
+/// each connection drained (up to its ring window) per visit.
 async fn serve_loop_plain(
     thread: Rc<ThreadCtx>,
     conns: Vec<Rc<RfpServerConn>>,
     mut handler: impl RfpHandler,
-    idle_pause: SimSpan,
+    idle: IdlePolicy,
 ) {
+    let mut nap = SimSpan::ZERO;
     loop {
         // A crashed machine runs no software: park (idle, not busy)
         // until the restart clears the flag. Healthy runs pay only the
         // flag load per scan.
         if thread.machine().faults().is_crashed() {
             thread
-                .idle_wait(thread.handle().sleep(idle_pause.max(SimSpan::micros(1))))
+                .idle_wait(thread.handle().sleep(idle.spin.max(SimSpan::micros(1))))
                 .await;
             continue;
         }
         let mut served_any = false;
-        for conn in &conns {
-            if thread.machine().faults().is_crashed() {
-                break;
-            }
-            if let Some(req) = conn.try_recv(&thread).await {
+        'conns: for conn in &conns {
+            // Drain the connection in one visit: a pipelined client can
+            // have up to `window` slots pending, and picking up only one
+            // per full rescan would cost a rescan (plus possible idle
+            // burn) per request. A single-slot connection can never have
+            // a second request pending (its client is synchronous), so
+            // the bound of one `try_recv` is exactly the legacy scan.
+            for _ in 0..conn.window() {
+                if thread.machine().faults().is_crashed() {
+                    break 'conns;
+                }
+                let Some(req) = conn.try_recv(&thread).await else {
+                    break;
+                };
                 let (resp, process) = handler.handle(&req);
                 if !process.is_zero() {
                     thread.busy(process).await;
@@ -92,14 +159,20 @@ async fn serve_loop_plain(
                     // The process died while handling this request: the
                     // half-done work dies with it. (The client's
                     // resubmission redelivers it after the restart.)
-                    break;
+                    break 'conns;
                 }
                 conn.send(&thread, &resp).await;
                 served_any = true;
             }
         }
         if !served_any {
-            thread.busy(idle_pause).await;
+            thread.busy(idle.spin).await;
+            nap = idle.next_nap(nap);
+            if !nap.is_zero() {
+                thread.idle_wait(thread.handle().sleep(nap)).await;
+            }
+        } else {
+            nap = SimSpan::ZERO;
         }
     }
 }
@@ -109,7 +182,7 @@ async fn serve_loop_overload(
     thread: Rc<ThreadCtx>,
     conns: Vec<Rc<RfpServerConn>>,
     mut handler: impl RfpHandler,
-    idle_pause: SimSpan,
+    idle: IdlePolicy,
 ) {
     let ov: OverloadConfig = conns[0].overload().clone();
     debug_assert!(
@@ -120,10 +193,11 @@ async fn serve_loop_overload(
     // sweep, computed from the *previous* scan's backlog (the freshest
     // level the server knows when a rejection goes out).
     let mut advertised = ov.credit_max;
+    let mut nap = SimSpan::ZERO;
     loop {
         if thread.machine().faults().is_crashed() {
             thread
-                .idle_wait(thread.handle().sleep(idle_pause.max(SimSpan::micros(1))))
+                .idle_wait(thread.handle().sleep(idle.spin.max(SimSpan::micros(1))))
                 .await;
             continue;
         }
@@ -131,15 +205,21 @@ async fn serve_loop_overload(
         let mut crashed = false;
         // Phase 1: admission sweep. Every pending request is picked up
         // and either queued for processing or answered with its verdict
-        // on the spot — one bounded batch per scan.
+        // on the spot — one bounded batch per scan. Each connection is
+        // drained (up to its ring window) per visit; every drained
+        // request still passes the admission rule individually, so the
+        // queue bound caps the batch exactly as before.
         let mut admitted: Vec<(usize, Vec<u8>)> = Vec::new();
         let mut backlog = 0usize;
-        for (i, conn) in conns.iter().enumerate() {
-            if thread.machine().faults().is_crashed() {
-                crashed = true;
-                break;
-            }
-            if let Some(req) = conn.try_recv(&thread).await {
+        'sweep: for (i, conn) in conns.iter().enumerate() {
+            for _ in 0..conn.window() {
+                if thread.machine().faults().is_crashed() {
+                    crashed = true;
+                    break 'sweep;
+                }
+                let Some(req) = conn.try_recv(&thread).await else {
+                    break;
+                };
                 backlog += 1;
                 match admit(&ov, thread.now(), conn.current_deadline(), admitted.len()) {
                     Admission::Admit => admitted.push((i, req)),
@@ -179,7 +259,13 @@ async fn serve_loop_overload(
             }
         }
         if !served_any {
-            thread.busy(idle_pause).await;
+            thread.busy(idle.spin).await;
+            nap = idle.next_nap(nap);
+            if !nap.is_zero() {
+                thread.idle_wait(thread.handle().sleep(nap)).await;
+            }
+        } else {
+            nap = SimSpan::ZERO;
         }
     }
 }

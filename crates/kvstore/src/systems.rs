@@ -515,6 +515,11 @@ fn spawn_routed_kv(sim: &mut Simulation, cfg: &SystemConfig, server_reply: bool)
             let st = stats.clone();
             let nthreads = cfg.server_threads;
             let think = cfg.think_time;
+            let window = rfp_cfg.window;
+            // Pipelining rides the plain remote-fetch transport only:
+            // the overload path is deadline-per-call and the
+            // server-reply comparator has no fetch to batch.
+            let pipelined = window > 1 && !overload && !server_reply;
             let h = sim.handle();
             sim.spawn(async move {
                 use rand::{Rng, SeedableRng};
@@ -530,6 +535,43 @@ fn spawn_routed_kv(sim: &mut Simulation, cfg: &SystemConfig, server_reply: bool)
                         let u: f64 = pause_rng.gen_range(1e-9..1.0);
                         let pause = think.as_nanos() as f64 * -u.ln();
                         h.sleep(SimSpan::from_nanos_f64(pause)).await;
+                    }
+                    if pipelined {
+                        // Multi-get pattern: draw one ring window's
+                        // worth of ops, bucket them by partition owner,
+                        // and drive each bucket through the pipelined
+                        // driver — up to `W` calls ride one connection
+                        // concurrently, their fetch polls sharing
+                        // doorbells.
+                        let ops: Vec<Op> = (0..window).map(|_| gen.next_op()).collect();
+                        let mut buckets: Vec<Vec<usize>> =
+                            (0..nthreads).map(|_| Vec::new()).collect();
+                        for (i, op) in ops.iter().enumerate() {
+                            buckets[partition_of(op.key(), nthreads)].push(i);
+                        }
+                        for (p, bucket) in buckets.iter().enumerate() {
+                            if bucket.is_empty() {
+                                continue;
+                            }
+                            let reqs: Vec<Vec<u8>> = bucket
+                                .iter()
+                                .map(|&i| match &ops[i] {
+                                    Op::Get { key } => KvRequest::Get { key }.encode(),
+                                    Op::Put { key, value } => {
+                                        KvRequest::Put { key, value }.encode()
+                                    }
+                                })
+                                .collect();
+                            let outs = conns[p].call_pipelined(&thread, &reqs).await;
+                            for (&i, out) in bucket.iter().zip(&outs) {
+                                if out.info.integrity_retries > 0 {
+                                    st.integrity_retries.add(out.info.integrity_retries as u64);
+                                }
+                                let resp = KvResponse::decode(&out.data).expect("server response");
+                                record_outcome(&st, &ops[i], &resp, out.info.latency);
+                            }
+                        }
+                        continue;
                     }
                     let op = gen.next_op();
                     let conn = &conns[partition_of(op.key(), nthreads)];

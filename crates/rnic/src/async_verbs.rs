@@ -18,13 +18,15 @@
 //! Posted ops still serialize on the NIC engines and move real bytes at
 //! the same instants as their synchronous counterparts.
 
+use std::cell::Cell;
 use std::rc::Rc;
 
 use rfp_simnet::Signal;
 
+use crate::fault::VerbError;
 use crate::machine::ThreadCtx;
 use crate::mem::MemRegion;
-use crate::qp::Qp;
+use crate::qp::{FlightReport, Qp};
 
 /// Handle to an in-flight posted operation.
 ///
@@ -33,17 +35,34 @@ use crate::qp::Qp;
 /// (an unsignaled op whose completion is never consumed).
 pub struct Completion {
     done: Signal,
+    error: Rc<Cell<Option<VerbError>>>,
 }
 
 impl Completion {
-    fn new() -> (Completion, Signal) {
+    fn new() -> (Completion, FlightReport) {
         let done = Signal::new();
-        (Completion { done: done.clone() }, done)
+        let error = Rc::new(Cell::new(None));
+        (
+            Completion {
+                done: done.clone(),
+                error: Rc::clone(&error),
+            },
+            FlightReport { done, error },
+        )
     }
 
     /// Whether the op has already completed.
     pub fn is_done(&self) -> bool {
         self.done.is_fired()
+    }
+
+    /// The completion-with-error a real CQ would report, if the op
+    /// failed under an injected fault. Meaningful once [`is_done`]
+    /// (healthy clusters always complete `None`).
+    ///
+    /// [`is_done`]: Completion::is_done
+    pub fn error(&self) -> Option<VerbError> {
+        self.error.get()
     }
 
     /// Busy-polls until the op completes (CQ spinning: the wait is CPU
@@ -78,8 +97,8 @@ impl Qp {
         self.assert_read_allowed(thread, local, local_off, remote, remote_off, len);
         let issue = self.local().nic().profile().issue_cpu;
         thread.busy(issue).await;
-        let (completion, done) = Completion::new();
-        self.spawn_read_flight(local, local_off, remote, remote_off, len, done);
+        let (completion, report) = Completion::new();
+        self.spawn_read_flight(local, local_off, remote, remote_off, len, report);
         completion
     }
 
@@ -106,8 +125,8 @@ impl Qp {
         entries
             .iter()
             .map(|(local, local_off, remote, remote_off, len)| {
-                let (completion, done) = Completion::new();
-                self.spawn_read_flight(local, *local_off, remote, *remote_off, *len, done);
+                let (completion, report) = Completion::new();
+                self.spawn_read_flight(local, *local_off, remote, *remote_off, *len, report);
                 completion
             })
             .collect()
@@ -130,8 +149,8 @@ impl Qp {
     ) -> Completion {
         let issue = self.local().nic().profile().issue_cpu;
         thread.busy(issue).await;
-        let (completion, done) = Completion::new();
-        self.spawn_write_flight(local, local_off, remote, remote_off, len, done);
+        let (completion, report) = Completion::new();
+        self.spawn_write_flight(local, local_off, remote, remote_off, len, report);
         completion
     }
 }
@@ -250,6 +269,32 @@ mod tests {
         });
         sim.run();
         assert_eq!(&remote.read_local(0, 8), b"async-wr");
+    }
+
+    #[test]
+    fn posted_read_to_crashed_peer_completes_with_error() {
+        let mut sim = Simulation::new(0);
+        let cluster = Cluster::new(&mut sim, ClusterProfile::paper_testbed(), 2);
+        let (cm, sm) = (cluster.machine(0), cluster.machine(1));
+        let local = cm.alloc_mr(64);
+        let remote = sm.alloc_mr(64);
+        remote.write_local(0, b"unreached");
+        let qp = cluster.qp(0, 1);
+        let t = cm.thread("c");
+        sm.faults().set_crashed(true);
+        let done = Rc::new(Cell::new(false));
+        let d = Rc::clone(&done);
+        let l = Rc::clone(&local);
+        sim.spawn(async move {
+            let c = qp.read_post(&t, &l, 0, &remote, 0, 8).await;
+            c.wait(&t).await;
+            assert_eq!(c.error(), Some(VerbError::RemoteDown));
+            // The NACKed flight never lands bytes locally.
+            assert_eq!(l.read_local(0, 8), vec![0; 8]);
+            d.set(true);
+        });
+        sim.run();
+        assert!(done.get());
     }
 
     #[test]

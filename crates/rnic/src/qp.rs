@@ -29,6 +29,7 @@
 //!
 //! The whole interval counts as busy time for `T`.
 
+use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 
 use rand::Rng;
@@ -68,6 +69,14 @@ impl Transport {
     }
 }
 
+/// Completion-reporting half of a posted flight: the signal fired at
+/// completion-consumption time plus the error cell a failed flight
+/// fills (the backing state of one `Completion` handle).
+pub(crate) struct FlightReport {
+    pub(crate) done: rfp_simnet::Signal,
+    pub(crate) error: Rc<Cell<Option<VerbError>>>,
+}
+
 /// A queue pair from a local machine to a remote machine.
 pub struct Qp {
     local: Rc<Machine>,
@@ -81,6 +90,11 @@ pub struct Qp {
     remote_epoch: u64,
     /// In-flight two-sided messages awaiting `recv`.
     rx: Channel<Vec<u8>>,
+    /// Connection-scoped scratch for synchronous READ snapshots, so the
+    /// fetch hot path recycles one allocation instead of a fresh `Vec`
+    /// per op. Taken/replaced around each use; a concurrent taker just
+    /// sees an empty vec and allocates its own.
+    read_scratch: RefCell<Vec<u8>>,
 }
 
 impl Qp {
@@ -102,6 +116,7 @@ impl Qp {
             local_epoch,
             remote_epoch,
             rx: Channel::new(),
+            read_scratch: RefCell::new(Vec::new()),
         })
     }
 
@@ -209,12 +224,7 @@ impl Qp {
     /// flip corrupts one sampled bit. Draws nothing while both faults
     /// are disarmed, so healthy runs are bit-identical with or without
     /// the fault layer.
-    fn corrupt_in_flight(
-        &self,
-        remote: &MemRegion,
-        remote_off: usize,
-        mut snapshot: Vec<u8>,
-    ) -> Vec<u8> {
+    fn corrupt_in_flight(&self, remote: &MemRegion, remote_off: usize, snapshot: &mut [u8]) {
         let faults = self.remote.faults();
         let torn = faults.torn_dma();
         if torn > 0.0
@@ -249,7 +259,6 @@ impl Qp {
                 .with_rng(|rng| (rng.gen_range(0..snapshot.len()), rng.gen_range(0..8u32)));
             snapshot[byte] ^= 1 << bit;
         }
-        snapshot
     }
 
     fn check_one_sided(
@@ -344,10 +353,14 @@ impl Qp {
         }
         remote_nic.serve_inbound(len).await;
         // Data is sampled at the instant the serving NIC processes the op.
-        let snapshot = remote.read_local(remote_off, len);
-        let snapshot = self.corrupt_in_flight(remote, remote_off, snapshot);
+        let mut snapshot = self.read_scratch.take();
+        snapshot.clear();
+        snapshot.resize(len, 0);
+        remote.read_local_into(remote_off, &mut snapshot);
+        self.corrupt_in_flight(remote, remote_off, &mut snapshot);
         h.sleep(self.prop() + prof.read_turnaround).await;
         local.write_local(local_off, &snapshot);
+        *self.read_scratch.borrow_mut() = snapshot;
         thread.note_busy(h.now() - t0);
         Ok(())
     }
@@ -553,6 +566,12 @@ impl Qp {
     /// completion-consumption time. Posted flights do not hold the
     /// issuing-thread contention guard — the thread is not spinning on
     /// this op.
+    ///
+    /// Fault handling matches [`Qp::try_read`]: a crashed/re-keyed
+    /// endpoint surfaces through `error` after the NACK round trip, and
+    /// in-flight corruption applies to the sampled snapshot. All gates
+    /// draw nothing while the fault layer is disarmed, so healthy runs
+    /// are bit-identical to the pre-fault flights.
     pub(crate) fn spawn_read_flight(
         self: &Rc<Self>,
         local: &Rc<MemRegion>,
@@ -560,8 +579,9 @@ impl Qp {
         remote: &Rc<MemRegion>,
         remote_off: usize,
         len: usize,
-        done: rfp_simnet::Signal,
+        report: FlightReport,
     ) {
+        let FlightReport { done, error } = report;
         let h = self.local.handle().clone();
         let local_nic = Rc::clone(self.local.nic());
         let remote_nic = Rc::clone(self.remote.nic());
@@ -569,12 +589,27 @@ impl Qp {
         let prop = self.prop();
         let local = Rc::clone(local);
         let remote = Rc::clone(remote);
+        let qp = Rc::clone(self);
         let h2 = h.clone();
         h.spawn(async move {
+            if let Some(e) = qp.error_state() {
+                error.set(Some(e));
+                done.fire();
+                return;
+            }
             local_nic.serve_outbound(len).await;
+            qp.rc_burst_retransmit().await;
             h2.sleep(prop).await;
+            if let Err(e) = qp.remote_live() {
+                // NACK: the initiator learns after one more wire leg.
+                h2.sleep(prop).await;
+                error.set(Some(e));
+                done.fire();
+                return;
+            }
             remote_nic.serve_inbound(len).await;
-            let snapshot = remote.read_local(remote_off, len);
+            let mut snapshot = remote.read_local(remote_off, len);
+            qp.corrupt_in_flight(&remote, remote_off, &mut snapshot);
             h2.sleep(prop + prof.read_turnaround).await;
             local.write_local(local_off, &snapshot);
             done.fire();
@@ -583,6 +618,11 @@ impl Qp {
 
     /// Launches the NIC/wire portion of a posted WRITE; fires `done` at
     /// ACK time (RC) or once the op left the NIC (UC).
+    ///
+    /// RC flights report a crashed/re-keyed peer through `error` after
+    /// the NACK round trip, like [`Qp::try_write`]; UC flights to a
+    /// crashed peer are counted dropped at the sender. All gates draw
+    /// nothing while the fault layer is disarmed.
     pub(crate) fn spawn_write_flight(
         self: &Rc<Self>,
         local: &Rc<MemRegion>,
@@ -590,8 +630,9 @@ impl Qp {
         remote: &Rc<MemRegion>,
         remote_off: usize,
         len: usize,
-        done: rfp_simnet::Signal,
+        report: FlightReport,
     ) {
+        let FlightReport { done, error } = report;
         assert!(
             self.transport.supports_write(),
             "one-sided WRITE requires RC or UC (got {:?})",
@@ -605,8 +646,14 @@ impl Qp {
         let lost = !reliable && self.lost_in_transit();
         let local = Rc::clone(local);
         let remote = Rc::clone(remote);
+        let qp = Rc::clone(self);
         let h2 = h.clone();
         h.spawn(async move {
+            if let Some(e) = qp.error_state() {
+                error.set(Some(e));
+                done.fire();
+                return;
+            }
             let payload = local.read_local(local_off, len);
             local_nic.serve_outbound(len).await;
             if !reliable {
@@ -615,8 +662,21 @@ impl Qp {
                 if lost {
                     return;
                 }
+            } else {
+                qp.rc_burst_retransmit().await;
             }
             h2.sleep(prop).await;
+            if reliable {
+                if let Err(e) = qp.remote_live() {
+                    h2.sleep(prop).await;
+                    error.set(Some(e));
+                    done.fire();
+                    return;
+                }
+            } else if qp.remote.faults().is_crashed() {
+                local_nic.note_drop();
+                return;
+            }
             remote_nic.serve_inbound(len).await;
             remote.apply_remote_write(remote_off, &payload);
             if reliable {
@@ -738,6 +798,38 @@ mod tests {
         });
         sim.run();
         assert_eq!(&local.read_local(0, 10), b"hello rdma");
+    }
+
+    #[test]
+    fn scratch_reuse_never_leaks_bytes_across_reads() {
+        // The sync READ snapshots through one recycled scratch buffer
+        // per QP; back-to-back reads of shrinking/growing lengths and
+        // different sources must each surface exactly their own bytes
+        // (a stale tail from the previous, longer snapshot would show
+        // up here).
+        let (mut sim, cluster) = two_machines();
+        let client = cluster.machine(0);
+        let server = cluster.machine(1);
+        let local = client.alloc_mr(256);
+        let remote = server.alloc_mr(256);
+        let long: Vec<u8> = (0..64u8).map(|i| i.wrapping_mul(3)).collect();
+        remote.write_local(0, &long);
+        remote.write_local(128, b"short");
+        let qp = cluster.qp(0, 1);
+        let t = client.thread("c");
+        let (l, r) = (Rc::clone(&local), Rc::clone(&remote));
+        sim.spawn(async move {
+            qp.read(&t, &l, 0, &r, 0, 64).await;
+            qp.read(&t, &l, 64, &r, 128, 5).await;
+            // Grow again after the shrink: the recycled scratch must be
+            // re-zeroed/refilled, not resurface the first read's bytes.
+            r.write_local(0, &vec![0xAB; 64]);
+            qp.read(&t, &l, 128, &r, 0, 64).await;
+        });
+        sim.run();
+        assert_eq!(local.read_local(0, 64), long);
+        assert_eq!(&local.read_local(64, 5), b"short");
+        assert_eq!(local.read_local(128, 64), vec![0xAB; 64]);
     }
 
     #[test]

@@ -8,6 +8,7 @@ cargo test -q
 cargo clippy -- -D warnings
 cargo clippy -p rfp-chaos -- -D warnings
 cargo clippy -p rfp-core -p rfp-kvstore -p rfp-bench -p rfp-rnic -- -D warnings
+cargo clippy -p rfp-paradigms -p rfp-workload -- -D warnings
 cargo fmt --check
 
 # Chaos smoke: every fault scenario under a fixed seed must hold the
@@ -32,3 +33,19 @@ cmp /tmp/overload_a.csv /tmp/overload_b.csv
 cargo run -q --release -p rfp-bench --bin integrity 42 > /tmp/integrity_a.csv
 cargo run -q --release -p rfp-bench --bin integrity 42 > /tmp/integrity_b.csv
 cmp /tmp/integrity_a.csv /tmp/integrity_b.csv
+
+# Pipeline smoke: the binary asserts the window-scaling bars (>= 2x
+# single-client 32 B throughput at W >= 8, monotone doorbell-batched
+# issue-cost decay, adaptive idle backoff free at saturation); here we
+# additionally pin run-to-run determinism under a fixed seed and that
+# the exported registry keeps the committed BENCH_pipeline.json shape
+# (same metric names; values may move with the model).
+cargo run -q --release -p rfp-bench --bin pipeline 42 > /tmp/pipeline_a.csv
+mv BENCH_pipeline.json /tmp/pipeline_a.json
+cargo run -q --release -p rfp-bench --bin pipeline 42 > /tmp/pipeline_b.csv
+cmp /tmp/pipeline_a.csv /tmp/pipeline_b.csv
+cmp /tmp/pipeline_a.json BENCH_pipeline.json
+if git cat-file -e HEAD:BENCH_pipeline.json 2>/dev/null; then
+  diff <(grep -o '"[^"]*":' /tmp/pipeline_a.json | sort) \
+       <(git show HEAD:BENCH_pipeline.json | grep -o '"[^"]*":' | sort)
+fi
