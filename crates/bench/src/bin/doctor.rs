@@ -1,0 +1,257 @@
+//! Doctor: fleet diagnosis on the chaos rig.
+//!
+//! Runs one scenario per injected fault class (plus a clean baseline)
+//! through the always-on observability plane — flight recorder, rolling
+//! health windows, anomaly detectors — and asserts the detection
+//! matrix: every fault class surfaces as exactly its signature anomaly
+//! (plus a small allowed set of incidental ones), and the clean
+//! baseline raises nothing at all. Each signature anomaly's
+//! dump-on-anomaly bundle must contain the originating `chaos.*` cause
+//! chain. Fully deterministic per seed: running twice with the same
+//! seed prints the same bytes.
+//!
+//! ```text
+//! cargo run --release -p rfp-bench --bin doctor [seed]
+//! ```
+
+use rfp_bench::telemetry::{bench_registry, emit_bench_json};
+use rfp_chaos::{spawn_chaos_kv, ChaosConfig, FaultPlan};
+use rfp_core::{IntegrityConfig, OverloadConfig};
+use rfp_simnet::{
+    AnomalyConfig, AnomalyDetector, AnomalyKind, DumpBundle, SimSpan, SimTime, Simulation,
+};
+
+/// Faults strike after this much warm-up…
+const FAULT_AT: SimTime = SimTime::from_nanos(2_000_000);
+/// …and last this long.
+const FAULT_SPAN: SimSpan = SimSpan::millis(1);
+/// Server downtime of the crash scenario.
+const DOWNTIME: SimSpan = SimSpan::micros(300);
+
+/// One row of the detection matrix.
+struct Scenario {
+    name: &'static str,
+    plan: Option<FaultPlan>,
+    /// Arm credit-based admission + deadline shedding (overload row).
+    overload: bool,
+    /// The anomaly class this fault must surface as, and the root
+    /// flight-recorder event its dump bundle must chain back to.
+    signature: Option<(AnomalyKind, &'static str)>,
+    /// Incidental classes the fault may legitimately also raise.
+    allowed: &'static [AnomalyKind],
+}
+
+fn scenarios(seed: u64) -> Vec<Scenario> {
+    use AnomalyKind::*;
+    vec![
+        Scenario {
+            name: "clean",
+            plan: None,
+            overload: false,
+            signature: None,
+            allowed: &[],
+        },
+        // A straggling server core leaves deposited requests sitting
+        // unserved: the client's fetch polls come back empty over and
+        // over — the retry spike is the *distinctive* symptom (latency
+        // rises too, but that is the shared symptom of every slowdown).
+        Scenario {
+            name: "straggler",
+            plan: Some(FaultPlan::new(seed).straggler(FAULT_AT, FAULT_SPAN, 0, 16.0)),
+            overload: false,
+            signature: Some((RetrySpike, "chaos.straggler")),
+            allowed: &[LatencyRegression],
+        },
+        // A loss burst on RC never surfaces as errors or retries — the
+        // transport retransmits under the covers — so the only client-
+        // visible symptom is the latency regression those geometric
+        // retransmit rounds produce.
+        Scenario {
+            name: "loss_burst",
+            plan: Some(FaultPlan::new(seed).loss_burst(FAULT_AT, FAULT_SPAN, 0, 0.7)),
+            overload: false,
+            signature: Some((LatencyRegression, "chaos.loss_burst")),
+            allowed: &[RetrySpike],
+        },
+        Scenario {
+            name: "bit_flip",
+            plan: Some(FaultPlan::new(seed).bit_flip(FAULT_AT, FAULT_SPAN, 0, 0.05)),
+            overload: false,
+            signature: Some((CorruptionBurst, "chaos.bit_flip")),
+            allowed: &[LatencyRegression, RetrySpike],
+        },
+        Scenario {
+            name: "overload",
+            plan: Some(FaultPlan::new(seed).straggler(FAULT_AT, FAULT_SPAN, 0, 64.0)),
+            overload: true,
+            signature: Some((OverloadShedding, "chaos.straggler")),
+            allowed: &[LatencyRegression, RetrySpike, CreditStarvation],
+        },
+        Scenario {
+            name: "warm_crash",
+            plan: Some(FaultPlan::new(seed).crash(FAULT_AT, DOWNTIME, 0, true)),
+            overload: false,
+            signature: Some((ConnectionDrop, "chaos.crash")),
+            allowed: &[LatencyRegression, RetrySpike],
+        },
+    ]
+}
+
+fn main() {
+    let seed = std::env::args()
+        .nth(1)
+        .map(|s| s.parse::<u64>().expect("seed must be a u64"))
+        .unwrap_or(42);
+
+    println!("# doctor: fault-class detection matrix on the chaos rig");
+    println!(
+        "# seed={seed} fault_at=2ms fault_span={}ms",
+        FAULT_SPAN.as_nanos() / 1_000_000
+    );
+    println!("scenario,completed,calls_win,p99_us,retry_rate,expected,detected,bundle_bytes");
+
+    let bench = bench_registry();
+    for scenario in scenarios(seed) {
+        let mut sim = Simulation::new(seed);
+        let mut cfg = ChaosConfig {
+            seed,
+            // Integrity on everywhere so corrupt fetches are detected
+            // and refetched rather than surfaced (the bit-flip row
+            // would otherwise panic in the response decoder).
+            integrity: IntegrityConfig {
+                enabled: true,
+                ..IntegrityConfig::default()
+            },
+            ..ChaosConfig::default()
+        };
+        if scenario.overload {
+            cfg.overload = OverloadConfig {
+                enabled: true,
+                deadline: SimSpan::micros(25),
+                ..OverloadConfig::default()
+            };
+        }
+        let rig = spawn_chaos_kv(&mut sim, &cfg, scenario.plan.as_ref());
+
+        // Phase 1 — warm-up: establish each connection's baseline.
+        sim.run_for(FAULT_AT.since(SimTime::ZERO));
+        let detector = AnomalyDetector::new(AnomalyConfig::default());
+        detector.set_baseline(&rig.health.report(sim.handle().now()));
+
+        // Phase 2 — the fault window; scan while its effects are still
+        // inside the rolling health window.
+        sim.run_for(FAULT_SPAN);
+        let scan_now = sim.handle().now();
+        let report = rig.health.report(scan_now);
+        let anomalies = detector.scan(&report);
+
+        // Detection matrix assertions.
+        let mut detected: Vec<AnomalyKind> = anomalies.iter().map(|a| a.kind).collect();
+        detected.sort();
+        detected.dedup();
+        match scenario.signature {
+            None => assert!(
+                anomalies.is_empty(),
+                "clean baseline raised anomalies: {anomalies:?}"
+            ),
+            Some((expected, root_kind)) => {
+                assert!(
+                    detected.contains(&expected),
+                    "{}: expected {} anomaly, detected {:?} (report: {:?})",
+                    scenario.name,
+                    expected.as_str(),
+                    detected,
+                    report.conns
+                );
+                for kind in &detected {
+                    assert!(
+                        *kind == expected || scenario.allowed.contains(kind),
+                        "{}: unexpected {} anomaly (allowed: {:?})",
+                        scenario.name,
+                        kind.as_str(),
+                        scenario.allowed
+                    );
+                }
+                // The injected fault's root event must be in the ring.
+                assert!(
+                    rig.recorder.kind_count(root_kind) >= 1,
+                    "{}: no {} root event: {:?}",
+                    scenario.name,
+                    root_kind,
+                    rig.recorder.kind_counts()
+                );
+            }
+        }
+
+        // Dump-on-anomaly: the bundle of the first signature anomaly
+        // must carry the originating cause chain.
+        let mut bundle_bytes = 0usize;
+        if let Some((expected, root_kind)) = scenario.signature {
+            let anomaly = anomalies
+                .iter()
+                .find(|a| a.kind == expected)
+                .expect("signature anomaly present (asserted above)");
+            let snap = rig.registry.snapshot();
+            let bundle = DumpBundle {
+                anomaly,
+                recorder: Some(&rig.recorder),
+                metrics: Some(&snap),
+                spans: Some(&rig.spans),
+                window: (FAULT_AT, scan_now),
+            };
+            let mut dump = Vec::new();
+            bundle.write(&mut dump).expect("write bundle to vec");
+            let text = String::from_utf8(dump).expect("bundle is utf8");
+            assert!(
+                text.contains(root_kind),
+                "{}: dump bundle lost the {} cause chain",
+                scenario.name,
+                root_kind
+            );
+            bundle_bytes = text.len();
+        }
+
+        // Phase 3 — run out the tail so `completed` reflects a healed
+        // rig (the fault window is over; the fleet must keep serving).
+        sim.run_for(SimSpan::millis(3));
+
+        let win = report.conns.first();
+        println!(
+            "{},{},{},{},{:.3},{},{},{}",
+            scenario.name,
+            rig.state.completed.get(),
+            win.map(|c| c.calls).unwrap_or(0),
+            win.map(|c| c.p99_ns / 1_000).unwrap_or(0),
+            win.map(|c| c.retry_rate).unwrap_or(0.0),
+            scenario
+                .signature
+                .map(|(k, _)| k.as_str())
+                .unwrap_or("none"),
+            if detected.is_empty() {
+                "none".to_string()
+            } else {
+                detected
+                    .iter()
+                    .map(|k| k.as_str())
+                    .collect::<Vec<_>>()
+                    .join("+")
+            },
+            bundle_bytes,
+        );
+
+        // Stable-shape export: every (scenario, kind) cell of the
+        // matrix gets a counter, zero or not.
+        for kind in AnomalyKind::all() {
+            let count = anomalies.iter().filter(|a| a.kind == kind).count() as u64;
+            bench
+                .counter(&format!("bench.doctor.{}.{}", scenario.name, kind.as_str()))
+                .add(count);
+        }
+        bench
+            .counter(&format!("bench.doctor.{}.completed", scenario.name))
+            .add(rig.state.completed.get());
+    }
+
+    let path = emit_bench_json("doctor").expect("write bench json");
+    eprintln!("# bench registry exported to {}", path.display());
+}

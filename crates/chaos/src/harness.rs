@@ -36,7 +36,8 @@ use rfp_kvstore::systems::apply_to_partition;
 use rfp_kvstore::{partition_of, KvRequest, KvResponse, Partition};
 use rfp_rnic::{Cluster, ClusterProfile};
 use rfp_simnet::{
-    derive_seed, MetricsRegistry, SimSpan, SimTime, Simulation, SpanRecorder, TraceLog,
+    derive_seed, FlightRecorder, HealthHub, MetricsRegistry, SimSpan, SimTime, Simulation,
+    SpanRecorder, TraceLog,
 };
 
 use crate::inject::{install, InjectorSinks, Restart};
@@ -171,6 +172,14 @@ pub struct ChaosKv {
     pub trace: TraceLog,
     /// Request-lifecycle spans of the RFP connections.
     pub spans: SpanRecorder,
+    /// Always-on flight recorder: `chaos.*` fault roots, `nic.*` wire
+    /// events, and the clients' `recovery.*` / `overload.*` /
+    /// `integrity.*` reaction chains.
+    pub recorder: FlightRecorder,
+    /// Rolling per-connection health (one [`ConnHealth`]
+    /// (rfp_simnet::ConnHealth) per client connection, keyed
+    /// `client * server_threads + server_thread`).
+    pub health: HealthHub,
     /// Shared outcome counters.
     pub state: Rc<ChaosState>,
 }
@@ -190,10 +199,13 @@ impl ChaosKv {
 /// The RFP tuning the rig runs with: remote fetch only (the recovery
 /// path does not interact with the hybrid switch), wired to the rig's
 /// shared trace and registry.
+#[allow(clippy::too_many_arguments)]
 fn rig_rfp_cfg(
     registry: &MetricsRegistry,
     spans: &SpanRecorder,
     trace: &TraceLog,
+    recorder: &FlightRecorder,
+    health: &HealthHub,
     overload: &OverloadConfig,
     integrity: &IntegrityConfig,
     idx: usize,
@@ -213,6 +225,9 @@ fn rig_rfp_cfg(
             prefix: format!("rfp.client.{idx}"),
             track: idx as u32,
         }),
+        recorder: Some(recorder.clone()),
+        health: Some(health.clone()),
+        conn_id: idx as u32,
         ..RfpConfig::default()
     }
 }
@@ -238,6 +253,9 @@ pub fn spawn_chaos_kv(
     cluster.attach_metrics(&registry);
     let trace = TraceLog::new(64 * 1024);
     let spans = SpanRecorder::new(1024);
+    let recorder = FlightRecorder::new(64 * 1024);
+    let health = HealthHub::default();
+    cluster.attach_recorder(&recorder);
 
     let partition_cap =
         (cfg.client_machines * cfg.keys_per_client * 2 / cfg.server_threads).max(64);
@@ -289,6 +307,8 @@ pub fn spawn_chaos_kv(
                     &registry,
                     &spans,
                     &trace,
+                    &recorder,
+                    &health,
                     &cfg.overload,
                     &cfg.integrity,
                     c * cfg.server_threads + s,
@@ -410,6 +430,7 @@ pub fn spawn_chaos_kv(
                         hook_state.on_server_restart(restart);
                     }
                 })),
+                recorder: Some(recorder.clone()),
             },
         );
     }
@@ -419,6 +440,8 @@ pub fn spawn_chaos_kv(
         registry,
         trace,
         spans,
+        recorder,
+        health,
         state,
     }
 }

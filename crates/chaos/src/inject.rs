@@ -20,7 +20,7 @@
 use std::rc::Rc;
 
 use rfp_rnic::Cluster;
-use rfp_simnet::{MetricsRegistry, SimTime, Simulation, TraceLog};
+use rfp_simnet::{FlightRecorder, MetricsRegistry, Severity, SimTime, Simulation, TraceLog};
 
 use crate::plan::{FaultKind, FaultPlan};
 
@@ -52,6 +52,9 @@ pub struct InjectorSinks {
     pub trace: Option<TraceLog>,
     /// Runs at each restart instant, before the machine is unmarked.
     pub on_restart: Option<RestartHook>,
+    /// Receives one `chaos.*` root event per injected fault window —
+    /// the cause-chain anchor a dump-on-anomaly bundle points back to.
+    pub recorder: Option<FlightRecorder>,
 }
 
 impl std::fmt::Debug for InjectorSinks {
@@ -60,6 +63,7 @@ impl std::fmt::Debug for InjectorSinks {
             .field("registry", &self.registry.is_some())
             .field("trace", &self.trace.is_some())
             .field("on_restart", &self.on_restart.is_some())
+            .field("recorder", &self.recorder.is_some())
             .finish()
     }
 }
@@ -74,6 +78,12 @@ impl InjectorSinks {
     fn note(&self, at: SimTime, message: String) {
         if let Some(trace) = &self.trace {
             trace.record(at, "chaos.fault", message);
+        }
+    }
+
+    fn flight(&self, at: SimTime, kind: &'static str, detail: String) {
+        if let Some(rec) = &self.recorder {
+            rec.record(at, None, 0, Severity::Warn, kind, detail);
         }
     }
 }
@@ -129,6 +139,11 @@ pub fn install(sim: &mut Simulation, cluster: &Cluster, plan: &FaultPlan, sinks:
                     let m = target.expect("loss burst has a target");
                     m.faults().set_extra_loss(loss);
                     sinks.count("fault.loss_bursts");
+                    sinks.flight(
+                        at,
+                        "chaos.loss_burst",
+                        format!("machine {machine}: loss burst {loss:.3}"),
+                    );
                     sinks.note(at, format!("machine {machine}: loss burst {loss:.3}"));
                     handle.sleep(event.duration).await;
                     m.faults().set_extra_loss(0.0);
@@ -137,6 +152,11 @@ pub fn install(sim: &mut Simulation, cluster: &Cluster, plan: &FaultPlan, sinks:
                 FaultKind::LinkDegrade { factor } => {
                     fabric.set_link_factor(factor);
                     sinks.count("fault.link_degrades");
+                    sinks.flight(
+                        at,
+                        "chaos.link_degrade",
+                        format!("fabric: link degraded {factor:.2}x"),
+                    );
                     sinks.note(at, format!("fabric: link degraded {factor:.2}x"));
                     handle.sleep(event.duration).await;
                     fabric.set_link_factor(1.0);
@@ -146,6 +166,11 @@ pub fn install(sim: &mut Simulation, cluster: &Cluster, plan: &FaultPlan, sinks:
                     let m = target.expect("straggler has a target");
                     m.faults().set_cpu_factor(factor);
                     sinks.count("fault.stragglers");
+                    sinks.flight(
+                        at,
+                        "chaos.straggler",
+                        format!("machine {machine}: straggling {factor:.2}x"),
+                    );
                     sinks.note(at, format!("machine {machine}: straggling {factor:.2}x"));
                     handle.sleep(event.duration).await;
                     m.faults().set_cpu_factor(1.0);
@@ -155,6 +180,11 @@ pub fn install(sim: &mut Simulation, cluster: &Cluster, plan: &FaultPlan, sinks:
                     let m = target.expect("torn dma has a target");
                     m.faults().set_torn_dma(p);
                     sinks.count("fault.torn_dma");
+                    sinks.flight(
+                        at,
+                        "chaos.torn_dma",
+                        format!("machine {machine}: torn-DMA window p={p:.3}"),
+                    );
                     sinks.note(at, format!("machine {machine}: torn-DMA window p={p:.3}"));
                     handle.sleep(event.duration).await;
                     m.faults().set_torn_dma(0.0);
@@ -164,6 +194,11 @@ pub fn install(sim: &mut Simulation, cluster: &Cluster, plan: &FaultPlan, sinks:
                     let m = target.expect("bit flip has a target");
                     m.faults().set_bitflip(p);
                     sinks.count("fault.bit_flips");
+                    sinks.flight(
+                        at,
+                        "chaos.bit_flip",
+                        format!("machine {machine}: bit-flip window p={p:.3}"),
+                    );
                     sinks.note(at, format!("machine {machine}: bit-flip window p={p:.3}"));
                     handle.sleep(event.duration).await;
                     m.faults().set_bitflip(0.0);
@@ -173,6 +208,11 @@ pub fn install(sim: &mut Simulation, cluster: &Cluster, plan: &FaultPlan, sinks:
                     let m = target.expect("qp error has a target");
                     m.faults().bump_qp_epoch();
                     sinks.count("fault.qp_errors");
+                    sinks.flight(
+                        at,
+                        "chaos.qp_error",
+                        format!("machine {machine}: QPs transitioned to error"),
+                    );
                     sinks.note(at, format!("machine {machine}: QPs transitioned to error"));
                 }
                 FaultKind::Crash { machine, warm } => {
@@ -185,6 +225,14 @@ pub fn install(sim: &mut Simulation, cluster: &Cluster, plan: &FaultPlan, sinks:
                     });
                     sinks.note(
                         at,
+                        format!(
+                            "machine {machine}: crashed ({})",
+                            if warm { "warm" } else { "cold" }
+                        ),
+                    );
+                    sinks.flight(
+                        at,
+                        "chaos.crash",
                         format!(
                             "machine {machine}: crashed ({})",
                             if warm { "warm" } else { "cold" }

@@ -9,8 +9,8 @@ use rand::{Rng, SeedableRng};
 
 use rfp_rnic::{Qp, ThreadCtx};
 use rfp_simnet::{
-    derive_seed, retry_with_deadline, timeout, Counter, Gauge, Histogram, RequestTrace,
-    RetryPolicy, SimSpan, SimTime,
+    derive_seed, retry_with_deadline, timeout, ConnHealth, Counter, Gauge, Histogram, RequestTrace,
+    RetryPolicy, Severity, SimSpan, SimTime,
 };
 
 use crate::conn::{Mode, RfpTelemetry, Shared, MODE_REMOTE_FETCH, MODE_SERVER_REPLY};
@@ -313,6 +313,13 @@ pub struct RfpClient {
     credits: Cell<u16>,
     stats: ClientStats,
     instruments: Option<Instruments>,
+    /// This connection's rolling health window, when the config carries
+    /// a [`HealthHub`](rfp_simnet::HealthHub).
+    health: Option<Rc<ConnHealth>>,
+    /// Id of the most recent flight-recorder event of the *current*
+    /// call — the cause link of the next one, so a call's events chain
+    /// (deadline → resubmit → reconnect). Reset at call entry.
+    last_flight: Cell<Option<u64>>,
 }
 
 impl RfpClient {
@@ -327,6 +334,11 @@ impl RfpClient {
             .map(|t| Instruments::new(t, initial_mode));
         let credits = Cell::new(shared.cfg.overload.credit_max);
         let window = shared.cfg.window;
+        let health = shared
+            .cfg
+            .health
+            .as_ref()
+            .map(|h| h.conn(shared.cfg.conn_id));
         RfpClient {
             shared,
             qp: RefCell::new(qp),
@@ -345,6 +357,28 @@ impl RfpClient {
             credits,
             stats: ClientStats::default(),
             instruments,
+            health,
+            last_flight: Cell::new(None),
+        }
+    }
+
+    /// Appends a flight-recorder event tagged with this connection and
+    /// `seq`, chained onto the current call's previous event, and
+    /// remembers it as the next link's cause. Pure bookkeeping: no
+    /// simulated time, no wire bytes — a `None` recorder run is
+    /// event-identical to one with recording on.
+    fn flight(&self, thread: &ThreadCtx, severity: Severity, kind: &'static str, detail: String) {
+        if let Some(rec) = &self.shared.cfg.recorder {
+            let id = rec.record_caused(
+                thread.now(),
+                Some(self.shared.cfg.conn_id),
+                self.seq.get() as u64,
+                severity,
+                kind,
+                detail,
+                self.last_flight.get(),
+            );
+            self.last_flight.set(Some(id));
         }
     }
 
@@ -527,16 +561,25 @@ impl RfpClient {
     /// drivers so their per-call telemetry is identical.
     fn record_completion(&self, thread: &ThreadCtx, slot: usize, out: &CallResult) {
         self.stats.record(&out.info);
+        // Every attempt but a successful final fetch was a retry.
+        let successes = match out.info.completed_in {
+            Mode::RemoteFetch => 1,
+            Mode::ServerReply => 0,
+        };
+        let retries = out.info.attempts.saturating_sub(successes) as u64;
+        if let Some(h) = &self.health {
+            h.record_call(
+                thread.now(),
+                out.info.latency,
+                retries,
+                out.data.len(),
+                out.info.server_time_us,
+            );
+        }
         if let Some(ins) = &self.instruments {
             ins.calls.incr();
             ins.latency.record(out.info.latency);
-            // Every attempt but a successful final fetch was a retry.
-            let successes = match out.info.completed_in {
-                Mode::RemoteFetch => 1,
-                Mode::ServerReply => 0,
-            };
-            ins.retries
-                .add(out.info.attempts.saturating_sub(successes) as u64);
+            ins.retries.add(retries);
             if out.info.extra_read {
                 ins.extra_reads.incr();
             }
@@ -647,6 +690,9 @@ impl RfpClient {
                     needs_send: true,
                 });
                 next_req += 1;
+            }
+            if let Some(h) = &self.health {
+                h.set_inflight(thread.now(), flights.len() as u32);
             }
             // Submit: deposit staged requests. A single deposit uses the
             // synchronous WRITE (identical to `send`); two or more are
@@ -792,6 +838,22 @@ impl RfpClient {
                         if self.shared.cfg.enable_mode_switch {
                             self.consec_over.set(self.consec_over.get() + 1);
                         }
+                        if let Some(rec) = &self.shared.cfg.recorder {
+                            rec.record(
+                                thread.now(),
+                                Some(self.shared.cfg.conn_id),
+                                fl.seq as u64,
+                                Severity::Warn,
+                                "pipeline.slot_stall",
+                                format!(
+                                    "slot {} overran R={r} after {} fetches",
+                                    fl.slot, fl.attempts
+                                ),
+                            );
+                        }
+                        if let Some(h) = &self.health {
+                            h.record_stall(thread.now());
+                        }
                     }
                     kept.push(fl);
                     continue;
@@ -907,6 +969,7 @@ impl RfpClient {
             "request exceeds buffer capacity"
         );
         let t0 = thread.now();
+        self.last_flight.set(None);
         let first_seq = self.peek_next_seq();
         // Jitter stream: deterministic per (config seed, call seq), and
         // constructed without touching the simulation's shared RNG.
@@ -960,6 +1023,15 @@ impl RfpClient {
             // Only executed calls feed the throughput/latency stats;
             // rejections are accounted by the overload counters.
             self.stats.record(&info);
+            if let Some(h) = &self.health {
+                h.record_call(
+                    thread.now(),
+                    info.latency,
+                    info.attempts.saturating_sub(1) as u64,
+                    data.len(),
+                    info.server_time_us,
+                );
+            }
             if let Some(ins) = &self.instruments {
                 ins.calls.incr();
                 ins.latency.record(info.latency);
@@ -1159,6 +1231,15 @@ impl RfpClient {
                 ),
             );
         }
+        self.flight(
+            thread,
+            Severity::Error,
+            counter,
+            format!("{fault:?} fetch discarded — refetching"),
+        );
+        if let Some(h) = &self.health {
+            h.record_corrupt(thread.now());
+        }
     }
 
     /// Verifies one fully fetched response image in the landing zone
@@ -1219,7 +1300,7 @@ impl RfpClient {
     /// Bumps an `overload.*` counter and trace entry. Lazy like the
     /// recovery counters: a run that never hits the overload machinery
     /// materialises no instrument.
-    fn note_overload(&self, thread: &ThreadCtx, counter: &str, what: &str) {
+    fn note_overload(&self, thread: &ThreadCtx, counter: &'static str, what: &str) {
         if let Some(ins) = &self.instruments {
             ins.telemetry.registry.counter(counter).incr();
         }
@@ -1229,6 +1310,15 @@ impl RfpClient {
                 "rfp.overload",
                 format!("seq {}: {what}", self.seq.get()),
             );
+        }
+        self.flight(thread, Severity::Warn, counter, what.to_string());
+        if let Some(h) = &self.health {
+            match counter {
+                "overload.credit_waits" => h.record_credit_wait(thread.now()),
+                "overload.busy_seen" => h.record_busy(thread.now()),
+                "overload.sheds_seen" | "overload.local_sheds" => h.record_shed(thread.now()),
+                _ => {}
+            }
         }
     }
 
@@ -1455,6 +1545,7 @@ impl RfpClient {
         assert!(req.len() <= max, "request exceeds buffer capacity");
         let t0 = thread.now();
         self.sent_at.set(t0);
+        self.last_flight.set(None);
         // Wire stamp (overload only) and the client-side clamp bounding
         // retry backoffs and per-attempt fetch deadlines: the tighter of
         // the overload deadline and the recovery call deadline.
@@ -1498,6 +1589,15 @@ impl RfpClient {
                 out.info.latency = thread.now() - t0;
                 out.info.attempts = fetches.get();
                 self.stats.record(&out.info);
+                if let Some(h) = &self.health {
+                    h.record_call(
+                        thread.now(),
+                        out.info.latency,
+                        out.info.attempts.saturating_sub(1) as u64,
+                        out.data.len(),
+                        out.info.server_time_us,
+                    );
+                }
                 if let Some(ins) = &self.instruments {
                     ins.calls.incr();
                     ins.latency.record(out.info.latency);
@@ -1704,11 +1804,17 @@ impl RfpClient {
         thread.busy(rec.reconnect_cpu).await;
         *self.qp.borrow_mut() = fresh;
         self.note_recovery(thread, "recovery.reconnects", "QP re-established");
+        if let Some(h) = &self.health {
+            h.record_reconnect(thread.now());
+        }
     }
 
     /// Records a verb error completion against the recovery instruments.
     fn verb_failure(&self, thread: &ThreadCtx, e: rfp_rnic::VerbError) -> FailureCause {
         self.note_recovery(thread, "recovery.verb_errors", "verb completed with error");
+        if let Some(h) = &self.health {
+            h.record_verb_error(thread.now());
+        }
         FailureCause::Verb(e)
     }
 
@@ -1716,7 +1822,7 @@ impl RfpClient {
     /// created lazily at the first event, so a run without faults never
     /// materialises them — keeping fault-free metric output byte-equal
     /// to a build without recovery wired in.
-    fn note_recovery(&self, thread: &ThreadCtx, counter: &str, what: &str) {
+    fn note_recovery(&self, thread: &ThreadCtx, counter: &'static str, what: &str) {
         if let Some(ins) = &self.instruments {
             ins.telemetry.registry.counter(counter).incr();
         }
@@ -1727,6 +1833,12 @@ impl RfpClient {
                 format!("seq {}: {what}", self.seq.get()),
             );
         }
+        let severity = if counter == "recovery.failed_calls" {
+            Severity::Error
+        } else {
+            Severity::Warn
+        };
+        self.flight(thread, severity, counter, what.to_string());
     }
 
     async fn switch_mode(&self, thread: &ThreadCtx, to: Mode) {
@@ -1744,6 +1856,12 @@ impl RfpClient {
         if let Some(trace) = &self.shared.cfg.trace {
             trace.record(thread.now(), "rfp.mode", format!("switched to {to:?}"));
         }
+        self.flight(
+            thread,
+            Severity::Info,
+            "rfp.mode_switch",
+            format!("switched to {to:?}"),
+        );
         if let Some(ins) = &self.instruments {
             ins.mode.set(mode_level(to));
             match to {

@@ -120,6 +120,18 @@ pub struct RfpConfig {
     /// generation, trailing canary; see [`crate::IntegrityConfig`]).
     /// Off by default with the same disabled-knobs-inert guarantee.
     pub integrity: IntegrityConfig,
+    /// Optional flight recorder: both endpoints append cause-chain
+    /// events (retry→reconnect, shed verdicts, torn fetches, slot
+    /// stalls) tagged with `conn_id` and the call seq. Recording is
+    /// synchronous bookkeeping — no simulated time or wire bytes — so
+    /// `None` and `Some` runs are event-identical.
+    pub recorder: Option<rfp_simnet::FlightRecorder>,
+    /// Optional rolling-window health plane; the client books every
+    /// completed call plus retry/shed/corrupt/credit/stall signals into
+    /// `health.conn(conn_id)`. Same zero-timing-impact guarantee.
+    pub health: Option<rfp_simnet::HealthHub>,
+    /// Connection id tagged onto recorder events and health windows.
+    pub conn_id: u32,
 }
 
 impl Default for RfpConfig {
@@ -141,6 +153,9 @@ impl Default for RfpConfig {
             telemetry: None,
             overload: OverloadConfig::default(),
             integrity: IntegrityConfig::default(),
+            recorder: None,
+            health: None,
+            conn_id: 0,
         }
     }
 }
@@ -481,14 +496,27 @@ impl RfpServerConn {
         if let Some(t) = &self.shared.cfg.telemetry {
             t.registry.counter(counter).incr();
         }
+        let seq = self.slots[self.cur_slot.get()].cur_seq.get();
         if let Some(trace) = &self.shared.cfg.trace {
             trace.record(
                 thread.now(),
                 "rfp.overload",
-                format!(
-                    "seq {}: rejected {status:?}",
-                    self.slots[self.cur_slot.get()].cur_seq.get()
-                ),
+                format!("seq {seq}: rejected {status:?}"),
+            );
+        }
+        if let Some(rec) = &self.shared.cfg.recorder {
+            let kind = match status {
+                RespStatus::Busy => "overload.reject_busy",
+                RespStatus::Shed => "overload.reject_shed",
+                RespStatus::Ok => unreachable!(),
+            };
+            rec.record(
+                thread.now(),
+                Some(self.shared.cfg.conn_id),
+                seq as u64,
+                rfp_simnet::Severity::Warn,
+                kind,
+                format!("server rejected seq {seq} with {status:?}"),
             );
         }
     }

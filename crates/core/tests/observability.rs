@@ -1,0 +1,206 @@
+//! The observability plane's overhead pin.
+//!
+//! Contract under test: the flight recorder and health plane are pure
+//! *observers*. Attaching them to the headline pipelined workload (32 B
+//! payloads, W = 16) must leave every pre-existing surface — payloads,
+//! per-call diagnostics (latencies included, i.e. the simulated event
+//! schedule itself), registry instruments, NIC counters — byte-identical
+//! to a run with observability off. In simulated time the enabled cost
+//! is exactly zero, which trivially satisfies the ≤2% budget on the
+//! headline bar.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use rfp_core::{connect, serve_loop, CallResult, RfpConfig, RfpTelemetry};
+use rfp_rnic::{Cluster, ClusterProfile};
+use rfp_simnet::{
+    AnomalyConfig, AnomalyDetector, AnomalyKind, FlightRecorder, HealthHub, MetricsRegistry,
+    SimSpan, Simulation, SpanRecorder,
+};
+
+/// Everything a run exposes that predates the observability plane.
+struct Legacy {
+    datas: Vec<Vec<u8>>,
+    infos: Vec<String>,
+    registry_json: String,
+    spans: String,
+    nic: String,
+    end: rfp_simnet::SimTime,
+}
+
+/// Runs the headline bar — batches of 32 B echo calls through one W=16
+/// pipelined connection — with observability off (`obs = None`) or on,
+/// and captures every legacy surface.
+fn run_headline(seed: u64, obs: Option<(&FlightRecorder, &HealthHub)>) -> Legacy {
+    const BATCHES: usize = 6;
+    let mut sim = Simulation::new(seed);
+    let cluster = Cluster::new(&mut sim, ClusterProfile::paper_testbed(), 2);
+    let (cm, sm) = (cluster.machine(0), cluster.machine(1));
+    let registry = MetricsRegistry::new();
+    let spans = SpanRecorder::new(1024);
+    let cfg = RfpConfig {
+        window: 16,
+        telemetry: Some(RfpTelemetry {
+            registry: registry.clone(),
+            spans: spans.clone(),
+            prefix: "rfp.c0".to_string(),
+            track: 0,
+        }),
+        recorder: obs.map(|(r, _)| r.clone()),
+        health: obs.map(|(_, h)| h.clone()),
+        ..RfpConfig::default()
+    };
+    if let Some((recorder, _)) = obs {
+        cluster.attach_recorder(recorder);
+    }
+    let (client, conn) = connect(&cm, &sm, cluster.qp(0, 1), cluster.qp(1, 0), cfg);
+    let client = Rc::new(client);
+    let st = sm.thread("server");
+    sim.spawn(serve_loop(
+        st,
+        vec![Rc::new(conn)],
+        |req: &[u8]| (req.to_vec(), SimSpan::ZERO),
+        SimSpan::nanos(100),
+    ));
+    let ct = cm.thread("client");
+    let reqs: Vec<Vec<u8>> = (0..16u8).map(|i| vec![i ^ 0x5A; 32]).collect();
+    let out: Rc<RefCell<Vec<CallResult>>> = Rc::new(RefCell::new(Vec::new()));
+    let (o, c) = (Rc::clone(&out), Rc::clone(&client));
+    sim.spawn(async move {
+        for _ in 0..BATCHES {
+            let outs = c.call_pipelined(&ct, &reqs).await;
+            o.borrow_mut().extend(outs);
+        }
+    });
+    for _ in 0..400 {
+        if out.borrow().len() == BATCHES * 16 {
+            break;
+        }
+        sim.run_for(SimSpan::micros(50));
+    }
+    let results = out.borrow();
+    assert_eq!(results.len(), BATCHES * 16, "driver did not finish in time");
+    let mut registry_json = Vec::new();
+    registry
+        .snapshot()
+        .write_json(&mut registry_json)
+        .expect("registry json");
+    Legacy {
+        datas: results.iter().map(|r| r.data.clone()).collect(),
+        infos: results.iter().map(|r| format!("{:?}", r.info)).collect(),
+        registry_json: String::from_utf8(registry_json).expect("utf8 json"),
+        spans: format!("{:?}", spans.snapshot()),
+        nic: format!(
+            "{:?} {:?}",
+            cluster.machine(0).nic().counters(),
+            cluster.machine(1).nic().counters()
+        ),
+        end: sim.handle().now(),
+    }
+}
+
+/// Observability on vs off: every legacy surface is byte-identical, so
+/// enabling the plane costs nothing in simulated time — and the enabled
+/// run actually produced health data (the plane is on, not inert).
+#[test]
+fn enabled_observability_is_invisible_on_the_headline_bar() {
+    for seed in [3u64, 17, 99] {
+        let off = run_headline(seed, None);
+        let recorder = FlightRecorder::new(4096);
+        let health = HealthHub::default();
+        let on = run_headline(seed, Some((&recorder, &health)));
+        assert_eq!(off.datas, on.datas, "payloads diverged (seed {seed})");
+        assert_eq!(off.infos, on.infos, "call info diverged (seed {seed})");
+        assert_eq!(
+            off.registry_json, on.registry_json,
+            "instruments diverged (seed {seed})"
+        );
+        assert_eq!(off.spans, on.spans, "spans diverged (seed {seed})");
+        assert_eq!(off.nic, on.nic, "NIC counters diverged (seed {seed})");
+        // The plane really was live: calls landed in the health window.
+        let calls: u64 = health.report(on.end).conns.iter().map(|c| c.calls).sum();
+        assert!(calls > 0, "health hub saw no calls despite being attached");
+        // And a clean run records no flight events at all — the ring
+        // only ever holds causal chains, never steady-state chatter.
+        assert_eq!(
+            recorder.len(),
+            0,
+            "clean headline run polluted the flight ring: {:?}",
+            recorder.snapshot()
+        );
+    }
+}
+
+/// A deliberately stalled pipeline (slow server, tiny retry budget)
+/// surfaces as `pipeline.slot_stall` flight events, a non-zero stall
+/// count in the health window, and a `StuckSlot` anomaly — with no other
+/// anomaly classes firing.
+#[test]
+fn stalled_pipeline_slot_raises_stuck_slot_anomaly() {
+    let mut sim = Simulation::new(11);
+    let cluster = Cluster::new(&mut sim, ClusterProfile::paper_testbed(), 2);
+    let (cm, sm) = (cluster.machine(0), cluster.machine(1));
+    let recorder = FlightRecorder::new(4096);
+    let health = HealthHub::default();
+    cluster.attach_recorder(&recorder);
+    let cfg = RfpConfig {
+        window: 4,
+        retry_threshold: 2,
+        enable_mode_switch: false,
+        recorder: Some(recorder.clone()),
+        health: Some(health.clone()),
+        ..RfpConfig::default()
+    };
+    let (client, conn) = connect(&cm, &sm, cluster.qp(0, 1), cluster.qp(1, 0), cfg);
+    let client = Rc::new(client);
+    let st = sm.thread("server");
+    sim.spawn(serve_loop(
+        st,
+        vec![Rc::new(conn)],
+        // Slow enough that fetch polls blow through R = 2 every call.
+        |req: &[u8]| (req.to_vec(), SimSpan::micros(30)),
+        SimSpan::nanos(100),
+    ));
+    let ct = cm.thread("client");
+    let reqs: Vec<Vec<u8>> = (0..8u8).map(|i| vec![i; 32]).collect();
+    let done = Rc::new(RefCell::new(false));
+    let (d, c) = (Rc::clone(&done), Rc::clone(&client));
+    sim.spawn(async move {
+        let _ = c.call_pipelined(&ct, &reqs).await;
+        *d.borrow_mut() = true;
+    });
+    // Observe right as the batch lands, while the stalls are still
+    // inside the rolling health window.
+    for _ in 0..400 {
+        if *done.borrow() {
+            break;
+        }
+        sim.run_for(SimSpan::micros(20));
+    }
+    assert!(*done.borrow(), "stalled batch did not finish in time");
+
+    assert!(
+        recorder.kind_count("pipeline.slot_stall") > 0,
+        "no slot-stall flight events: {:?}",
+        recorder.kind_counts()
+    );
+    let now = sim.handle().now();
+    let report = health.report(now);
+    let conn0 = report.conn(0).expect("connection 0 reported");
+    assert!(conn0.stalls > 0, "health window missed the stalls");
+
+    let detector = AnomalyDetector::new(AnomalyConfig::default());
+    let anomalies = detector.scan(&report);
+    assert!(
+        anomalies.iter().any(|a| a.kind == AnomalyKind::StuckSlot),
+        "StuckSlot not flagged: {anomalies:?}"
+    );
+    for a in &anomalies {
+        assert_eq!(
+            a.kind,
+            AnomalyKind::StuckSlot,
+            "unexpected extra anomaly class: {a}"
+        );
+    }
+}

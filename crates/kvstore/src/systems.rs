@@ -263,16 +263,27 @@ const SPAN_CAPACITY: usize = 4096;
 
 /// One registry + span ring per system: NIC engines and the `kv.*`
 /// stats are registered up front; RFP connections add their own
-/// `rfp.client.<n>.*` instruments lazily.
-fn system_telemetry(cluster: &Cluster, stats: &KvStats) -> (MetricsRegistry, SpanRecorder) {
+/// `rfp.client.<n>.*` instruments lazily. When the base RFP config
+/// carries a flight recorder, the cluster NICs report wire-level events
+/// into it as well.
+fn system_telemetry(
+    cluster: &Cluster,
+    stats: &KvStats,
+    rfp: &RfpConfig,
+) -> (MetricsRegistry, SpanRecorder) {
     let registry = MetricsRegistry::new();
     cluster.attach_metrics(&registry);
     stats.register_into(&registry);
+    if let Some(recorder) = &rfp.recorder {
+        cluster.attach_recorder(recorder);
+    }
     (registry, SpanRecorder::new(SPAN_CAPACITY))
 }
 
 /// `base` specialised for client `idx`: instruments land under
-/// `rfp.client.<idx>.*` and spans render on Chrome-trace row `idx`.
+/// `rfp.client.<idx>.*`, spans render on Chrome-trace row `idx`, and —
+/// when a [`HealthHub`](rfp_simnet::HealthHub) is configured — health
+/// samples land in the hub's connection `idx`.
 fn client_rfp_cfg(
     base: &RfpConfig,
     registry: &MetricsRegistry,
@@ -286,6 +297,7 @@ fn client_rfp_cfg(
             prefix: format!("rfp.client.{idx}"),
             track: idx as u32,
         }),
+        conn_id: idx as u32,
         ..base.clone()
     }
 }
@@ -451,7 +463,7 @@ fn spawn_routed_kv(sim: &mut Simulation, cfg: &SystemConfig, server_reply: bool)
     let cluster = Cluster::new(sim, cfg.profile.clone(), 1 + cfg.client_machines);
     let server_m = cluster.machine(0);
     let stats = Rc::new(KvStats::default());
-    let (registry, spans) = system_telemetry(&cluster, &stats);
+    let (registry, spans) = system_telemetry(&cluster, &stats, &cfg.rfp);
     let partitions = build_partitions(cfg);
     let rfp_cfg = cfg.sized_rfp();
     // Overload control only guards the remote-fetch transport; the
@@ -649,7 +661,7 @@ pub fn spawn_memcached(sim: &mut Simulation, cfg: &SystemConfig) -> KvSystem {
     let cluster = Cluster::new(sim, cfg.profile.clone(), 1 + cfg.client_machines);
     let server_m = cluster.machine(0);
     let stats = Rc::new(KvStats::default());
-    let (registry, spans) = system_telemetry(&cluster, &stats);
+    let (registry, spans) = system_telemetry(&cluster, &stats, &cfg.rfp);
     let rfp_cfg = cfg.sized_rfp();
 
     let store = McdStore::new(
@@ -772,7 +784,7 @@ pub fn spawn_pilaf(sim: &mut Simulation, cfg: &SystemConfig) -> KvSystem {
     let cluster = Cluster::new(sim, cfg.profile.clone(), 1 + cfg.client_machines);
     let server_m = cluster.machine(0);
     let stats = Rc::new(KvStats::default());
-    let (registry, spans) = system_telemetry(&cluster, &stats);
+    let (registry, spans) = system_telemetry(&cluster, &stats, &cfg.rfp);
     let rfp_cfg = cfg.sized_rfp();
 
     // 75% fill: buckets = keys / 0.75.
@@ -924,7 +936,7 @@ pub fn spawn_herd(sim: &mut Simulation, cfg: &SystemConfig) -> KvSystem {
     let cluster = Cluster::new(sim, cfg.profile.clone(), 1 + cfg.client_machines);
     let server_m = cluster.machine(0);
     let stats = Rc::new(KvStats::default());
-    let (registry, spans) = system_telemetry(&cluster, &stats);
+    let (registry, spans) = system_telemetry(&cluster, &stats, &cfg.rfp);
     let partitions = build_partitions(cfg);
     let herd_cfg = HerdConfig {
         req_capacity: (rfp_core::REQ_HDR + 7 + cfg.spec.key_len + cfg.spec.values.max())
@@ -1033,7 +1045,7 @@ pub fn spawn_jakiro_shared(sim: &mut Simulation, cfg: &SystemConfig) -> KvSystem
     let cluster = Cluster::new(sim, cfg.profile.clone(), 1 + cfg.client_machines);
     let server_m = cluster.machine(0);
     let stats = Rc::new(KvStats::default());
-    let (registry, spans) = system_telemetry(&cluster, &stats);
+    let (registry, spans) = system_telemetry(&cluster, &stats, &cfg.rfp);
     let rfp_cfg = cfg.sized_rfp();
 
     // One shared partition, one global lock.
@@ -1158,7 +1170,7 @@ pub fn spawn_farm(sim: &mut Simulation, cfg: &SystemConfig) -> KvSystem {
     let cluster = Cluster::new(sim, cfg.profile.clone(), 1 + cfg.client_machines);
     let server_m = cluster.machine(0);
     let stats = Rc::new(KvStats::default());
-    let (registry, spans) = system_telemetry(&cluster, &stats);
+    let (registry, spans) = system_telemetry(&cluster, &stats, &cfg.rfp);
     let rfp_cfg = cfg.sized_rfp();
 
     let cell_size = (6 + cfg.spec.key_len + cfg.spec.values.max() + 8)

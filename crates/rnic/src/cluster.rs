@@ -83,6 +83,15 @@ impl Cluster {
         }
     }
 
+    /// Attaches `recorder` to every machine's NIC: wire-level loss and
+    /// retransmit events land in the shared flight recorder, tagged
+    /// with the machine index.
+    pub fn attach_recorder(&self, recorder: &rfp_simnet::FlightRecorder) {
+        for (i, m) in self.machines.iter().enumerate() {
+            m.nic().attach_recorder(recorder, i as u32);
+        }
+    }
+
     /// Creates an RC queue pair from machine `from` to machine `to`.
     ///
     /// # Panics

@@ -3,7 +3,9 @@
 use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 
-use rfp_simnet::{Counter, FifoServer, Gauge, MetricsRegistry, SimHandle, SimSpan};
+use rfp_simnet::{
+    Counter, FifoServer, FlightRecorder, Gauge, MetricsRegistry, Severity, SimHandle, SimSpan,
+};
 
 use crate::profile::NicProfile;
 
@@ -49,6 +51,9 @@ pub struct Nic {
     outbound_bytes: Rc<Counter>,
     dropped: Rc<Counter>,
     gauges: RefCell<Option<NicGauges>>,
+    /// Flight recorder receiving wire-level loss/retransmit events,
+    /// tagged with this NIC's machine index.
+    recorder: RefCell<Option<(FlightRecorder, u32)>>,
 }
 
 impl Nic {
@@ -65,6 +70,7 @@ impl Nic {
             outbound_bytes: Rc::new(Counter::new()),
             dropped: Rc::new(Counter::new()),
             gauges: RefCell::new(None),
+            recorder: RefCell::new(None),
         }
     }
 
@@ -190,10 +196,42 @@ impl Nic {
         sleep
     }
 
+    /// Attaches a flight recorder; wire-level loss and retransmit
+    /// events are appended to it, tagged with `machine` (and no
+    /// connection — the NIC does not know which connection a packet
+    /// belonged to; correlation happens through the time window).
+    pub fn attach_recorder(&self, recorder: &FlightRecorder, machine: u32) {
+        *self.recorder.borrow_mut() = Some((recorder.clone(), machine));
+    }
+
+    fn record_wire(&self, kind: &'static str, severity: Severity, detail: &str) {
+        if let Some((rec, machine)) = self.recorder.borrow().as_ref() {
+            rec.record(
+                self.handle.now(),
+                None,
+                0,
+                severity,
+                kind,
+                format!("machine {machine}: {detail}"),
+            );
+        }
+    }
+
     /// Records one unreliable packet that left this NIC but never
     /// arrived.
     pub(crate) fn note_drop(&self) {
         self.dropped.incr();
+        self.record_wire("nic.drop", Severity::Warn, "packet lost in transit");
+    }
+
+    /// Records one RC retransmission round trip paid during a loss
+    /// burst (reliable transport: the op still completes).
+    pub(crate) fn note_rc_retransmit(&self) {
+        self.record_wire(
+            "nic.rc_retransmit",
+            Severity::Info,
+            "RC retransmit round trip during loss burst",
+        );
     }
 
     /// Snapshot of the operation counters.

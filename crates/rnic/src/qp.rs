@@ -208,12 +208,23 @@ impl Qp {
     }
 
     /// During a loss burst, reliable (RC) traffic does not drop but pays
-    /// occasional hardware retransmissions; model each as one extra
-    /// timeout-and-resend round trip. Draws nothing outside bursts, so
-    /// healthy runs are bit-identical with or without the fault layer.
+    /// hardware retransmissions; model each as one extra timeout-and-
+    /// resend round trip. Retransmitted packets ride the same lossy
+    /// link, so rounds repeat geometrically (capped — real RNICs raise a
+    /// retry-exceeded error rather than retransmitting forever). Draws
+    /// nothing outside bursts, so healthy runs are bit-identical with or
+    /// without the fault layer.
     async fn rc_burst_retransmit(&self) {
+        const MAX_ROUNDS: u32 = 8;
         let burst = self.burst_loss();
-        if burst > 0.0 && self.local.handle().with_rng(|rng| rng.gen::<f64>()) < burst {
+        if burst <= 0.0 {
+            return;
+        }
+        for _ in 0..MAX_ROUNDS {
+            if self.local.handle().with_rng(|rng| rng.gen::<f64>()) >= burst {
+                break;
+            }
+            self.local.nic().note_rc_retransmit();
             self.local.handle().sleep(self.prop() * 3).await;
         }
     }

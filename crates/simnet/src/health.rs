@@ -1,0 +1,990 @@
+//! The rolling health plane: per-connection sliding-window statistics,
+//! deterministic anomaly detection, and dump-on-anomaly bundles.
+//!
+//! A [`HealthHub`] hands out one [`ConnHealth`] per connection. Each
+//! keeps a sliding window of fixed-width epochs (aligned to the virtual
+//! clock, so rotation is deterministic); every epoch holds a
+//! log-bucketed latency sketch plus retry/shed/corrupt/credit/stall
+//! counters and an in-flight watermark. Recording is O(1) bookkeeping
+//! with no simulated-CPU charge and no scheduled events, so the plane
+//! can stay on under a W=16 pipelined load without perturbing timing.
+//!
+//! [`HealthHub::report`] merges the retained epochs into a
+//! [`HealthReport`] (p50/p99/p999, rates, recent result sizes — the
+//! shape an online tuner consumes). An [`AnomalyDetector`] compares a
+//! report against a captured baseline window with fixed thresholds and
+//! emits [`Anomaly`]s; [`DumpBundle`] renders the triggering window's
+//! flight-recorder events, metrics snapshot and Chrome trace for
+//! post-mortem replay.
+
+use std::cell::RefCell;
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt;
+use std::io::{self, Write};
+use std::rc::Rc;
+
+use crate::metrics::MetricsSnapshot;
+use crate::recorder::FlightRecorder;
+use crate::span::SpanRecorder;
+use crate::time::{SimSpan, SimTime};
+
+/// Power-of-two log-bucketed latency sketch: bucket `b` counts samples
+/// with `floor(log2(ns)) == b`. Quantiles come back as the matching
+/// bucket's upper bound — coarse (≤ 2x) but O(1) to record and O(64)
+/// to query, which is what keeps the plane always-on.
+#[derive(Clone)]
+struct LatencySketch {
+    buckets: [u64; 64],
+    count: u64,
+    sum_ns: u64,
+    max_ns: u64,
+}
+
+impl LatencySketch {
+    fn new() -> Self {
+        LatencySketch {
+            buckets: [0; 64],
+            count: 0,
+            sum_ns: 0,
+            max_ns: 0,
+        }
+    }
+
+    fn record(&mut self, ns: u64) {
+        let idx = if ns <= 1 {
+            0
+        } else {
+            63 - ns.leading_zeros() as usize
+        };
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum_ns = self.sum_ns.saturating_add(ns);
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    fn merge(&mut self, other: &LatencySketch) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum_ns = self.sum_ns.saturating_add(other.sum_ns);
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+
+    /// Nearest-rank quantile (`q` in 0..=1) as the bucket upper bound;
+    /// 0 when empty.
+    fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (idx, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                // Upper bound of bucket idx: 2^(idx+1) - 1, clamped to
+                // the observed maximum so outliers don't inflate it.
+                let bound = if idx >= 63 {
+                    u64::MAX
+                } else {
+                    (1u64 << (idx + 1)) - 1
+                };
+                return bound.min(self.max_ns);
+            }
+        }
+        self.max_ns
+    }
+
+    fn mean(&self) -> u64 {
+        self.sum_ns.checked_div(self.count).unwrap_or(0)
+    }
+}
+
+/// One fixed-width slice of a connection's history.
+#[derive(Clone)]
+struct Epoch {
+    start: SimTime,
+    latency: LatencySketch,
+    calls: u64,
+    retries: u64,
+    sheds: u64,
+    busys: u64,
+    corrupts: u64,
+    credit_waits: u64,
+    stalls: u64,
+    reconnects: u64,
+    verb_errors: u64,
+    result_bytes: u64,
+    process_us: u64,
+    inflight_peak: u32,
+}
+
+impl Epoch {
+    fn new(start: SimTime) -> Self {
+        Epoch {
+            start,
+            latency: LatencySketch::new(),
+            calls: 0,
+            retries: 0,
+            sheds: 0,
+            busys: 0,
+            corrupts: 0,
+            credit_waits: 0,
+            stalls: 0,
+            reconnects: 0,
+            verb_errors: 0,
+            result_bytes: 0,
+            process_us: 0,
+            inflight_peak: 0,
+        }
+    }
+}
+
+/// Sizing of the sliding window.
+#[derive(Clone, Debug)]
+pub struct HealthConfig {
+    /// Width of one epoch (window slices rotate on this boundary,
+    /// aligned to the virtual clock).
+    pub epoch: SimSpan,
+    /// Epochs retained — the window covers `epoch * epochs`.
+    pub epochs: usize,
+    /// Recent result sizes kept for tuner consumption.
+    pub size_samples: usize,
+}
+
+impl Default for HealthConfig {
+    fn default() -> Self {
+        HealthConfig {
+            epoch: SimSpan::micros(200),
+            epochs: 8,
+            size_samples: 64,
+        }
+    }
+}
+
+struct ConnInner {
+    epochs: VecDeque<Epoch>,
+    inflight: u32,
+    recent_sizes: VecDeque<usize>,
+}
+
+/// Rolling-window health state of one connection.
+pub struct ConnHealth {
+    conn: u32,
+    cfg: HealthConfig,
+    inner: RefCell<ConnInner>,
+}
+
+impl ConnHealth {
+    fn new(conn: u32, cfg: HealthConfig) -> Self {
+        ConnHealth {
+            conn,
+            cfg,
+            inner: RefCell::new(ConnInner {
+                epochs: VecDeque::new(),
+                inflight: 0,
+                recent_sizes: VecDeque::new(),
+            }),
+        }
+    }
+
+    /// The connection this state belongs to.
+    pub fn conn(&self) -> u32 {
+        self.conn
+    }
+
+    /// Epoch start containing `now`, aligned to the epoch width.
+    fn aligned(&self, now: SimTime) -> SimTime {
+        let w = self.cfg.epoch.as_nanos().max(1);
+        SimTime::from_nanos(now.as_nanos() / w * w)
+    }
+
+    /// Rotates the window so the back epoch contains `now`, then hands
+    /// it to `f`.
+    fn with_current<R>(&self, now: SimTime, f: impl FnOnce(&mut Epoch) -> R) -> R {
+        let mut inner = self.inner.borrow_mut();
+        let target = self.aligned(now);
+        let stale = inner
+            .epochs
+            .back()
+            .is_some_and(|e| e.start < target)
+            .then(|| inner.epochs.back().map(|e| e.start))
+            .flatten();
+        if inner.epochs.is_empty() {
+            inner.epochs.push_back(Epoch::new(target));
+        } else if let Some(back_start) = stale {
+            // Advance one epoch at a time so short gaps keep their empty
+            // slices (rates stay honest); a long gap restarts the window.
+            let w = self.cfg.epoch.as_nanos().max(1);
+            let steps = (target.as_nanos() - back_start.as_nanos()) / w;
+            if steps as usize > self.cfg.epochs {
+                inner.epochs.clear();
+                inner.epochs.push_back(Epoch::new(target));
+            } else {
+                for s in 1..=steps {
+                    inner.epochs.push_back(Epoch::new(SimTime::from_nanos(
+                        back_start.as_nanos() + s * w,
+                    )));
+                    if inner.epochs.len() > self.cfg.epochs {
+                        inner.epochs.pop_front();
+                    }
+                }
+            }
+        }
+        f(inner.epochs.back_mut().expect("window is never empty"))
+    }
+
+    /// Books one completed call.
+    pub fn record_call(
+        &self,
+        now: SimTime,
+        latency: SimSpan,
+        retries: u64,
+        result_bytes: usize,
+        server_time_us: u16,
+    ) {
+        self.with_current(now, |e| {
+            e.calls += 1;
+            e.retries += retries;
+            e.latency.record(latency.as_nanos());
+            e.result_bytes += result_bytes as u64;
+            e.process_us += server_time_us as u64;
+        });
+        let mut inner = self.inner.borrow_mut();
+        if inner.recent_sizes.len() == self.cfg.size_samples {
+            inner.recent_sizes.pop_front();
+        }
+        inner.recent_sizes.push_back(result_bytes);
+    }
+
+    /// Books one `Shed` verdict (server or locally synthesised).
+    pub fn record_shed(&self, now: SimTime) {
+        self.with_current(now, |e| e.sheds += 1);
+    }
+
+    /// Books one `Busy` verdict.
+    pub fn record_busy(&self, now: SimTime) {
+        self.with_current(now, |e| e.busys += 1);
+    }
+
+    /// Books one fetch discarded by integrity verification.
+    pub fn record_corrupt(&self, now: SimTime) {
+        self.with_current(now, |e| e.corrupts += 1);
+    }
+
+    /// Books one pause on a zero-credit gate.
+    pub fn record_credit_wait(&self, now: SimTime) {
+        self.with_current(now, |e| e.credit_waits += 1);
+    }
+
+    /// Books one pipeline slot overrunning its retry budget.
+    pub fn record_stall(&self, now: SimTime) {
+        self.with_current(now, |e| e.stalls += 1);
+    }
+
+    /// Books one QP re-establishment.
+    pub fn record_reconnect(&self, now: SimTime) {
+        self.with_current(now, |e| e.reconnects += 1);
+    }
+
+    /// Books one verb completing with an error.
+    pub fn record_verb_error(&self, now: SimTime) {
+        self.with_current(now, |e| e.verb_errors += 1);
+    }
+
+    /// Updates the in-flight level; the window keeps per-epoch peaks.
+    pub fn set_inflight(&self, now: SimTime, inflight: u32) {
+        self.with_current(now, |e| e.inflight_peak = e.inflight_peak.max(inflight));
+        self.inner.borrow_mut().inflight = inflight;
+    }
+
+    /// Merges the retained window into one report.
+    pub fn report(&self, now: SimTime) -> ConnHealthReport {
+        // Rotate first so the report always describes the window ending
+        // at `now`.
+        self.with_current(now, |_| {});
+        let inner = self.inner.borrow();
+        let mut latency = LatencySketch::new();
+        let mut merged = Epoch::new(inner.epochs.front().expect("rotated").start);
+        for e in &inner.epochs {
+            latency.merge(&e.latency);
+            merged.calls += e.calls;
+            merged.retries += e.retries;
+            merged.sheds += e.sheds;
+            merged.busys += e.busys;
+            merged.corrupts += e.corrupts;
+            merged.credit_waits += e.credit_waits;
+            merged.stalls += e.stalls;
+            merged.reconnects += e.reconnects;
+            merged.verb_errors += e.verb_errors;
+            merged.result_bytes += e.result_bytes;
+            merged.process_us += e.process_us;
+            merged.inflight_peak = merged.inflight_peak.max(e.inflight_peak);
+        }
+        let per_call = |n: u64| {
+            if merged.calls == 0 {
+                0.0
+            } else {
+                n as f64 / merged.calls as f64
+            }
+        };
+        ConnHealthReport {
+            conn: self.conn,
+            window_start: merged.start,
+            window_end: now,
+            calls: merged.calls,
+            p50_ns: latency.quantile(0.50),
+            p99_ns: latency.quantile(0.99),
+            p999_ns: latency.quantile(0.999),
+            mean_ns: latency.mean(),
+            max_ns: latency.max_ns,
+            retry_rate: per_call(merged.retries),
+            shed_rate: per_call(merged.sheds + merged.busys),
+            corrupt_rate: per_call(merged.corrupts),
+            sheds: merged.sheds,
+            busys: merged.busys,
+            corrupts: merged.corrupts,
+            credit_waits: merged.credit_waits,
+            stalls: merged.stalls,
+            reconnects: merged.reconnects,
+            verb_errors: merged.verb_errors,
+            inflight_peak: merged.inflight_peak,
+            mean_result_bytes: per_call(merged.result_bytes),
+            mean_process_ns: per_call(merged.process_us) * 1_000.0,
+            result_sizes: inner.recent_sizes.iter().copied().collect(),
+        }
+    }
+}
+
+/// The merged sliding window of one connection, ready for a tuner or a
+/// detector.
+#[derive(Clone, Debug)]
+pub struct ConnHealthReport {
+    /// The connection described.
+    pub conn: u32,
+    /// Start of the oldest retained epoch.
+    pub window_start: SimTime,
+    /// The instant the report was taken.
+    pub window_end: SimTime,
+    /// Calls completed inside the window.
+    pub calls: u64,
+    /// Latency quantiles (log-bucket upper bounds, ≤ 2x coarse).
+    pub p50_ns: u64,
+    /// 99th percentile latency.
+    pub p99_ns: u64,
+    /// 99.9th percentile latency.
+    pub p999_ns: u64,
+    /// Mean latency (exact, from the sketch's running sum).
+    pub mean_ns: u64,
+    /// Largest latency observed in the window.
+    pub max_ns: u64,
+    /// Failed fetch attempts per call.
+    pub retry_rate: f64,
+    /// `Shed` + `Busy` verdicts per call.
+    pub shed_rate: f64,
+    /// Integrity-discarded fetches per call.
+    pub corrupt_rate: f64,
+    /// `Shed` verdicts in the window.
+    pub sheds: u64,
+    /// `Busy` verdicts in the window.
+    pub busys: u64,
+    /// Integrity-discarded fetches in the window.
+    pub corrupts: u64,
+    /// Zero-credit pauses in the window.
+    pub credit_waits: u64,
+    /// Pipeline slot stalls in the window.
+    pub stalls: u64,
+    /// QP re-establishments in the window.
+    pub reconnects: u64,
+    /// Verbs completing with an error in the window.
+    pub verb_errors: u64,
+    /// Peak in-flight calls in the window.
+    pub inflight_peak: u32,
+    /// Mean result payload bytes per call.
+    pub mean_result_bytes: f64,
+    /// Mean server-reported process time, ns (the tuner's `P`).
+    pub mean_process_ns: f64,
+    /// Recent result sizes (the tuner's `M` samples), oldest first.
+    pub result_sizes: Vec<usize>,
+}
+
+/// Fleet view: every connection's report, in connection order.
+#[derive(Clone, Debug)]
+pub struct HealthReport {
+    /// The instant the report was taken.
+    pub at: SimTime,
+    /// Per-connection reports, sorted by connection id.
+    pub conns: Vec<ConnHealthReport>,
+}
+
+impl HealthReport {
+    /// The report of connection `conn`, if present.
+    pub fn conn(&self, conn: u32) -> Option<&ConnHealthReport> {
+        self.conns.iter().find(|c| c.conn == conn)
+    }
+}
+
+/// A shareable hub handing out per-connection health state.
+///
+/// Clones share the connection map (like
+/// [`MetricsRegistry`](crate::MetricsRegistry)).
+#[derive(Clone)]
+pub struct HealthHub {
+    cfg: HealthConfig,
+    conns: Rc<RefCell<BTreeMap<u32, Rc<ConnHealth>>>>,
+}
+
+impl fmt::Debug for HealthHub {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("HealthHub")
+            .field("conns", &self.conns.borrow().len())
+            .field("epoch", &self.cfg.epoch)
+            .field("epochs", &self.cfg.epochs)
+            .finish()
+    }
+}
+
+impl Default for HealthHub {
+    fn default() -> Self {
+        HealthHub::new(HealthConfig::default())
+    }
+}
+
+impl HealthHub {
+    /// Creates an empty hub.
+    pub fn new(cfg: HealthConfig) -> Self {
+        HealthHub {
+            cfg,
+            conns: Rc::new(RefCell::new(BTreeMap::new())),
+        }
+    }
+
+    /// The health state of connection `conn`, created on first use.
+    pub fn conn(&self, conn: u32) -> Rc<ConnHealth> {
+        Rc::clone(
+            self.conns
+                .borrow_mut()
+                .entry(conn)
+                .or_insert_with(|| Rc::new(ConnHealth::new(conn, self.cfg.clone()))),
+        )
+    }
+
+    /// Connections registered so far, sorted.
+    pub fn conn_ids(&self) -> Vec<u32> {
+        self.conns.borrow().keys().copied().collect()
+    }
+
+    /// Merges every connection's window into one fleet report.
+    pub fn report(&self, now: SimTime) -> HealthReport {
+        HealthReport {
+            at: now,
+            conns: self
+                .conns
+                .borrow()
+                .values()
+                .map(|c| c.report(now))
+                .collect(),
+        }
+    }
+}
+
+/// What an anomaly detector can flag.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum AnomalyKind {
+    /// Window p99 regressed past the baseline by the configured factor.
+    LatencyRegression,
+    /// Retry rate spiked past the baseline by the configured factor.
+    RetrySpike,
+    /// Integrity verification discarded fetches.
+    CorruptionBurst,
+    /// The server shed or busy-rejected calls.
+    OverloadShedding,
+    /// The credit gate paused submissions.
+    CreditStarvation,
+    /// A pipeline slot overran its retry budget.
+    StuckSlot,
+    /// Verb errors or QP re-establishments — the connection dropped.
+    ConnectionDrop,
+}
+
+impl AnomalyKind {
+    /// Stable snake_case name (metric keys, CSV columns).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            AnomalyKind::LatencyRegression => "latency_regression",
+            AnomalyKind::RetrySpike => "retry_spike",
+            AnomalyKind::CorruptionBurst => "corruption_burst",
+            AnomalyKind::OverloadShedding => "overload_shedding",
+            AnomalyKind::CreditStarvation => "credit_starvation",
+            AnomalyKind::StuckSlot => "stuck_slot",
+            AnomalyKind::ConnectionDrop => "connection_drop",
+        }
+    }
+
+    /// Every kind, in declaration order.
+    pub fn all() -> [AnomalyKind; 7] {
+        [
+            AnomalyKind::LatencyRegression,
+            AnomalyKind::RetrySpike,
+            AnomalyKind::CorruptionBurst,
+            AnomalyKind::OverloadShedding,
+            AnomalyKind::CreditStarvation,
+            AnomalyKind::StuckSlot,
+            AnomalyKind::ConnectionDrop,
+        ]
+    }
+}
+
+impl fmt::Display for AnomalyKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One detected anomaly.
+#[derive(Clone, Debug)]
+pub struct Anomaly {
+    /// When the triggering report was taken.
+    pub at: SimTime,
+    /// The connection it fired on.
+    pub conn: u32,
+    /// What fired.
+    pub kind: AnomalyKind,
+    /// Human-readable evidence.
+    pub detail: String,
+}
+
+impl fmt::Display for Anomaly {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}] conn {} {}: {}",
+            self.at, self.conn, self.kind, self.detail
+        )
+    }
+}
+
+/// Fixed detection thresholds. All comparisons are deterministic pure
+/// functions of the two reports, so the same run always yields the same
+/// anomaly list.
+#[derive(Clone, Debug)]
+pub struct AnomalyConfig {
+    /// Baseline calls required before latency/retry comparisons engage.
+    pub min_calls: u64,
+    /// Window calls required before latency/retry comparisons engage.
+    pub min_window_calls: u64,
+    /// p99 must exceed `baseline_p99 * latency_factor` …
+    pub latency_factor: f64,
+    /// … and `baseline_p99 + latency_slack_ns` (absolute guard against
+    /// flagging noise around tiny baselines).
+    pub latency_slack_ns: u64,
+    /// Retry rate must exceed `baseline * retry_factor + retry_margin`.
+    pub retry_factor: f64,
+    /// Absolute retry-rate slack (extra retries per call).
+    pub retry_margin: f64,
+    /// Integrity-discarded fetches in a window that constitute a burst.
+    pub corrupt_min: u64,
+    /// Shed/busy verdicts in a window that constitute shedding.
+    pub shed_min: u64,
+    /// Credit-gate pauses in a window that constitute starvation.
+    pub credit_wait_min: u64,
+    /// Slot stalls in a window that constitute a stuck slot.
+    pub stall_min: u64,
+    /// Verb errors + reconnects in a window that constitute a drop.
+    pub drop_min: u64,
+}
+
+impl Default for AnomalyConfig {
+    fn default() -> Self {
+        AnomalyConfig {
+            min_calls: 16,
+            min_window_calls: 4,
+            latency_factor: 3.0,
+            latency_slack_ns: 2_000,
+            retry_factor: 3.0,
+            retry_margin: 1.0,
+            corrupt_min: 1,
+            shed_min: 1,
+            credit_wait_min: 1,
+            stall_min: 1,
+            drop_min: 1,
+        }
+    }
+}
+
+#[derive(Clone, Copy)]
+struct Baseline {
+    calls: u64,
+    p99_ns: u64,
+    retry_rate: f64,
+}
+
+/// Compares health reports against a captured baseline window.
+pub struct AnomalyDetector {
+    cfg: AnomalyConfig,
+    baselines: RefCell<BTreeMap<u32, Baseline>>,
+}
+
+impl AnomalyDetector {
+    /// Creates a detector with `cfg` thresholds and no baseline.
+    pub fn new(cfg: AnomalyConfig) -> Self {
+        AnomalyDetector {
+            cfg,
+            baselines: RefCell::new(BTreeMap::new()),
+        }
+    }
+
+    /// Captures `report` as the healthy baseline (replacing any prior
+    /// capture per connection).
+    pub fn set_baseline(&self, report: &HealthReport) {
+        let mut baselines = self.baselines.borrow_mut();
+        for c in &report.conns {
+            baselines.insert(
+                c.conn,
+                Baseline {
+                    calls: c.calls,
+                    p99_ns: c.p99_ns,
+                    retry_rate: c.retry_rate,
+                },
+            );
+        }
+    }
+
+    /// Whether a baseline with enough calls exists for `conn`.
+    pub fn has_baseline(&self, conn: u32) -> bool {
+        self.baselines
+            .borrow()
+            .get(&conn)
+            .is_some_and(|b| b.calls >= self.cfg.min_calls)
+    }
+
+    /// Scans a report; returns the anomalies it trips, ordered by
+    /// connection then kind.
+    pub fn scan(&self, report: &HealthReport) -> Vec<Anomaly> {
+        let baselines = self.baselines.borrow();
+        let mut out = Vec::new();
+        for c in &report.conns {
+            let mut hit = |kind: AnomalyKind, detail: String| {
+                out.push(Anomaly {
+                    at: report.at,
+                    conn: c.conn,
+                    kind,
+                    detail,
+                });
+            };
+            if let Some(b) = baselines.get(&c.conn) {
+                if b.calls >= self.cfg.min_calls && c.calls >= self.cfg.min_window_calls {
+                    let threshold = (b.p99_ns as f64 * self.cfg.latency_factor) as u64;
+                    if c.p99_ns > threshold && c.p99_ns > b.p99_ns + self.cfg.latency_slack_ns {
+                        hit(
+                            AnomalyKind::LatencyRegression,
+                            format!("p99 {}ns vs baseline {}ns", c.p99_ns, b.p99_ns),
+                        );
+                    }
+                    let retry_threshold =
+                        b.retry_rate * self.cfg.retry_factor + self.cfg.retry_margin;
+                    if c.retry_rate > retry_threshold {
+                        hit(
+                            AnomalyKind::RetrySpike,
+                            format!(
+                                "retry rate {:.2}/call vs baseline {:.2}/call",
+                                c.retry_rate, b.retry_rate
+                            ),
+                        );
+                    }
+                }
+            }
+            if c.corrupts >= self.cfg.corrupt_min {
+                hit(
+                    AnomalyKind::CorruptionBurst,
+                    format!("{} fetches failed integrity verification", c.corrupts),
+                );
+            }
+            if c.sheds + c.busys >= self.cfg.shed_min {
+                hit(
+                    AnomalyKind::OverloadShedding,
+                    format!("{} shed + {} busy verdicts", c.sheds, c.busys),
+                );
+            }
+            if c.credit_waits >= self.cfg.credit_wait_min {
+                hit(
+                    AnomalyKind::CreditStarvation,
+                    format!("{} zero-credit pauses", c.credit_waits),
+                );
+            }
+            if c.stalls >= self.cfg.stall_min {
+                hit(
+                    AnomalyKind::StuckSlot,
+                    format!("{} slots overran the retry budget", c.stalls),
+                );
+            }
+            if c.verb_errors + c.reconnects >= self.cfg.drop_min {
+                hit(
+                    AnomalyKind::ConnectionDrop,
+                    format!("{} verb errors, {} reconnects", c.verb_errors, c.reconnects),
+                );
+            }
+        }
+        out
+    }
+}
+
+/// A dump-on-anomaly bundle: the anomaly, the triggering window's
+/// flight-recorder events, a metrics snapshot, and the window's Chrome
+/// trace — everything needed to replay the failure's causal history.
+pub struct DumpBundle<'a> {
+    /// What fired.
+    pub anomaly: &'a Anomaly,
+    /// Flight recorder to pull the window's cause chains from.
+    pub recorder: Option<&'a FlightRecorder>,
+    /// Point-in-time metrics.
+    pub metrics: Option<&'a MetricsSnapshot>,
+    /// Span recorder to render the window's Chrome trace from.
+    pub spans: Option<&'a SpanRecorder>,
+    /// The offending window.
+    pub window: (SimTime, SimTime),
+}
+
+impl DumpBundle<'_> {
+    /// Renders the bundle as sectioned text (deterministic byte-for-byte
+    /// for a given simulation state).
+    pub fn write(&self, w: &mut dyn Write) -> io::Result<()> {
+        let (from, to) = self.window;
+        writeln!(w, "== anomaly ==")?;
+        writeln!(w, "{}", self.anomaly)?;
+        writeln!(w, "window: {from} .. {to}")?;
+        if let Some(rec) = self.recorder {
+            writeln!(w, "== flight recorder ==")?;
+            for e in rec.events_in(from, to) {
+                // The window's events plus, for connection-scoped
+                // anomalies, the full chain behind each event.
+                writeln!(w, "{e}")?;
+                if let Some(cause) = e.cause {
+                    for link in rec.chain(cause) {
+                        writeln!(w, "  caused by: {link}")?;
+                    }
+                }
+            }
+        }
+        if let Some(snap) = self.metrics {
+            writeln!(w, "== metrics ==")?;
+            snap.write_json(w)?;
+        }
+        if let Some(spans) = self.spans {
+            writeln!(w, "== chrome trace ==")?;
+            spans.write_chrome_trace_window(w, from, to)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::Severity;
+
+    fn t(us: u64) -> SimTime {
+        SimTime::from_nanos(us * 1_000)
+    }
+
+    fn hub() -> HealthHub {
+        HealthHub::new(HealthConfig {
+            epoch: SimSpan::micros(100),
+            epochs: 4,
+            size_samples: 8,
+        })
+    }
+
+    #[test]
+    fn sketch_quantiles_bracket_samples() {
+        let mut s = LatencySketch::new();
+        for ns in [100u64, 200, 300, 400, 10_000] {
+            s.record(ns);
+        }
+        let p50 = s.quantile(0.5);
+        assert!((128..=512).contains(&p50), "p50 = {p50}");
+        assert_eq!(s.quantile(0.999), 10_000);
+        assert_eq!(s.mean(), 2_200);
+        assert_eq!(s.quantile(1.0), 10_000);
+        assert_eq!(LatencySketch::new().quantile(0.5), 0);
+    }
+
+    #[test]
+    fn window_rotates_and_drops_old_epochs() {
+        let h = hub().conn(0);
+        h.record_call(t(10), SimSpan::micros(1), 0, 32, 1);
+        // 4 epochs of 100µs: by t=600µs the first call left the window.
+        let early = h.report(t(50));
+        assert_eq!(early.calls, 1);
+        let late = h.report(t(650));
+        assert_eq!(late.calls, 0);
+    }
+
+    #[test]
+    fn long_gap_restarts_window() {
+        let h = hub().conn(0);
+        h.record_call(t(10), SimSpan::micros(1), 0, 32, 1);
+        h.record_call(t(100_000), SimSpan::micros(1), 0, 32, 1);
+        assert_eq!(h.report(t(100_010)).calls, 1);
+    }
+
+    #[test]
+    fn report_rates_and_sizes() {
+        let h = hub().conn(3);
+        for i in 0..10 {
+            h.record_call(t(i), SimSpan::micros(2), 1, 64, 5);
+        }
+        h.record_shed(t(11));
+        h.record_corrupt(t(12));
+        h.set_inflight(t(13), 7);
+        h.set_inflight(t(14), 2);
+        let r = h.report(t(20));
+        assert_eq!(r.conn, 3);
+        assert_eq!(r.calls, 10);
+        assert_eq!(r.retry_rate, 1.0);
+        assert_eq!(r.shed_rate, 0.1);
+        assert_eq!(r.corrupt_rate, 0.1);
+        assert_eq!(r.inflight_peak, 7);
+        assert_eq!(r.mean_result_bytes, 64.0);
+        assert_eq!(r.mean_process_ns, 5_000.0);
+        assert_eq!(r.result_sizes.len(), 8); // bounded at size_samples
+        assert!(r.p50_ns >= 1_000 && r.p50_ns <= 4_000, "p50 = {}", r.p50_ns);
+    }
+
+    #[test]
+    fn hub_reports_sorted_and_shared() {
+        let hub = hub();
+        let clone = hub.clone();
+        clone.conn(5).record_call(t(1), SimSpan::micros(1), 0, 8, 1);
+        hub.conn(2).record_call(t(1), SimSpan::micros(1), 0, 8, 1);
+        let report = hub.report(t(10));
+        let ids: Vec<u32> = report.conns.iter().map(|c| c.conn).collect();
+        assert_eq!(ids, [2, 5]);
+        assert!(report.conn(5).is_some());
+        assert!(report.conn(9).is_none());
+    }
+
+    fn baseline_and_window(
+        h: &HealthHub,
+        det: &AnomalyDetector,
+        degrade: impl Fn(&Rc<ConnHealth>, SimTime),
+    ) -> Vec<Anomaly> {
+        let c = h.conn(0);
+        for i in 0..32u64 {
+            c.record_call(t(i), SimSpan::micros(2), 0, 32, 1);
+        }
+        det.set_baseline(&h.report(t(40)));
+        // Move past the window so the baseline epochs rotate out.
+        for i in 0..8u64 {
+            degrade(&c, t(1_000 + i));
+        }
+        det.scan(&h.report(t(1_010)))
+    }
+
+    #[test]
+    fn latency_regression_detected() {
+        let h = hub();
+        let det = AnomalyDetector::new(AnomalyConfig::default());
+        let anomalies = baseline_and_window(&h, &det, |c, at| {
+            c.record_call(at, SimSpan::micros(50), 0, 32, 1);
+        });
+        assert!(
+            anomalies
+                .iter()
+                .any(|a| a.kind == AnomalyKind::LatencyRegression),
+            "{anomalies:?}"
+        );
+    }
+
+    #[test]
+    fn retry_spike_detected() {
+        let h = hub();
+        let det = AnomalyDetector::new(AnomalyConfig::default());
+        let anomalies = baseline_and_window(&h, &det, |c, at| {
+            c.record_call(at, SimSpan::micros(2), 10, 32, 1);
+        });
+        assert!(
+            anomalies.iter().any(|a| a.kind == AnomalyKind::RetrySpike),
+            "{anomalies:?}"
+        );
+        // Latency did not move, so no regression rides along.
+        assert!(
+            !anomalies
+                .iter()
+                .any(|a| a.kind == AnomalyKind::LatencyRegression),
+            "{anomalies:?}"
+        );
+    }
+
+    #[test]
+    fn clean_window_is_quiet() {
+        let h = hub();
+        let det = AnomalyDetector::new(AnomalyConfig::default());
+        let anomalies = baseline_and_window(&h, &det, |c, at| {
+            c.record_call(at, SimSpan::micros(2), 0, 32, 1);
+        });
+        assert!(anomalies.is_empty(), "{anomalies:?}");
+    }
+
+    #[test]
+    fn counter_anomalies_need_no_baseline() {
+        let h = hub();
+        let det = AnomalyDetector::new(AnomalyConfig::default());
+        let c = h.conn(1);
+        c.record_corrupt(t(5));
+        c.record_shed(t(5));
+        c.record_credit_wait(t(5));
+        c.record_stall(t(5));
+        c.record_verb_error(t(5));
+        let kinds: Vec<AnomalyKind> = det.scan(&h.report(t(10))).iter().map(|a| a.kind).collect();
+        assert_eq!(
+            kinds,
+            [
+                AnomalyKind::CorruptionBurst,
+                AnomalyKind::OverloadShedding,
+                AnomalyKind::CreditStarvation,
+                AnomalyKind::StuckSlot,
+                AnomalyKind::ConnectionDrop,
+            ]
+        );
+    }
+
+    #[test]
+    fn dump_bundle_renders_sections() {
+        let rec = FlightRecorder::new(16);
+        let root = rec.record(t(5), Some(0), 3, Severity::Warn, "chaos.straggler", "x8");
+        rec.record_caused(
+            t(6),
+            Some(0),
+            3,
+            Severity::Warn,
+            "recovery.resubmits",
+            "",
+            Some(root),
+        );
+        let anomaly = Anomaly {
+            at: t(10),
+            conn: 0,
+            kind: AnomalyKind::LatencyRegression,
+            detail: "p99 regressed".into(),
+        };
+        let snap = MetricsSnapshot::default();
+        let spans = SpanRecorder::new(4);
+        let bundle = DumpBundle {
+            anomaly: &anomaly,
+            recorder: Some(&rec),
+            metrics: Some(&snap),
+            spans: Some(&spans),
+            window: (t(0), t(10)),
+        };
+        let mut out = Vec::new();
+        bundle.write(&mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("== anomaly =="), "{text}");
+        assert!(text.contains("latency_regression"), "{text}");
+        assert!(text.contains("chaos.straggler"), "{text}");
+        assert!(text.contains("caused by"), "{text}");
+        assert!(text.contains("== metrics =="), "{text}");
+        assert!(text.contains("== chrome trace =="), "{text}");
+    }
+}

@@ -40,7 +40,9 @@ pub mod crc64;
 
 mod coord;
 mod executor;
+mod health;
 mod metrics;
+mod recorder;
 mod resource;
 mod retry;
 mod sampler;
@@ -54,7 +56,12 @@ mod trace;
 pub use coord::{Barrier, Semaphore, SemaphoreGuard, WaitGroup, WaitGroupToken};
 pub use crc64::{crc64, crc64_pair, Crc64};
 pub use executor::{yield_now, SimHandle, Simulation, Sleep};
-pub use metrics::{Gauge, MetricValue, MetricsRegistry, MetricsSnapshot};
+pub use health::{
+    Anomaly, AnomalyConfig, AnomalyDetector, AnomalyKind, ConnHealth, ConnHealthReport, DumpBundle,
+    HealthConfig, HealthHub, HealthReport,
+};
+pub use metrics::{prometheus_name, Gauge, MetricValue, MetricsRegistry, MetricsSnapshot};
+pub use recorder::{FlightEvent, FlightRecorder};
 pub use resource::{FifoServer, MultiServer};
 pub use retry::{retry, retry_with_deadline, RetryExhausted, RetryPolicy};
 pub use sampler::{SampleRow, TimeSeriesSampler};
@@ -63,7 +70,7 @@ pub use stats::{BusyClock, Counter, Histogram};
 pub use sync::{Channel, Recv, Signal, SimLock, SimLockGuard};
 pub use time::{SimSpan, SimTime};
 pub use timeout::{timeout, Timeout};
-pub use trace::{TraceEntry, TraceLog};
+pub use trace::{Severity, TraceEntry, TraceLog};
 
 /// Derives a per-component RNG seed from a master seed and a stream id.
 ///

@@ -132,6 +132,69 @@ impl MetricsSnapshot {
         Ok(())
     }
 
+    /// Writes the snapshot in the Prometheus text exposition format.
+    ///
+    /// Metric names are sanitized with [`prometheus_name`]; counters get
+    /// a `_total` suffix and a `# TYPE` line, gauges export their level,
+    /// and histograms are expanded to cumulative `_bucket{le="..."}`
+    /// lines synthesized from the stored percentiles (nearest-rank
+    /// cumulative counts), plus `_sum` and `_count`. Output is sorted by
+    /// metric name, so it is byte-deterministic.
+    pub fn write_prometheus(&self, w: &mut dyn Write) -> io::Result<()> {
+        for (name, value) in &self.values {
+            let n = prometheus_name(name);
+            match *value {
+                MetricValue::Counter(v) => {
+                    writeln!(w, "# TYPE {n}_total counter")?;
+                    writeln!(w, "{n}_total {v}")?;
+                }
+                MetricValue::Gauge(v) => {
+                    writeln!(w, "# TYPE {n} gauge")?;
+                    writeln!(w, "{n} {v}")?;
+                }
+                MetricValue::Histogram {
+                    count,
+                    mean_ns,
+                    p50_ns,
+                    p95_ns,
+                    p99_ns,
+                    max_ns,
+                } => {
+                    writeln!(w, "# TYPE {n} histogram")?;
+                    // Cumulative nearest-rank count at quantile q is
+                    // ceil(q * count); equal bounds collapse into one
+                    // bucket keeping the larger count, and counts are
+                    // forced nondecreasing.
+                    let rank = |q: f64| ((q * count as f64).ceil() as u64).min(count);
+                    let mut buckets: Vec<(u64, u64)> = vec![
+                        (p50_ns, rank(0.50)),
+                        (p95_ns, rank(0.95)),
+                        (p99_ns, rank(0.99)),
+                        (max_ns, count),
+                    ];
+                    buckets.sort();
+                    buckets.dedup_by(|b, a| {
+                        if a.0 == b.0 {
+                            a.1 = a.1.max(b.1);
+                            true
+                        } else {
+                            false
+                        }
+                    });
+                    let mut floor = 0u64;
+                    for (le, cum) in buckets {
+                        floor = floor.max(cum);
+                        writeln!(w, "{n}_bucket{{le=\"{le}\"}} {floor}")?;
+                    }
+                    writeln!(w, "{n}_bucket{{le=\"+Inf\"}} {count}")?;
+                    writeln!(w, "{n}_sum {}", mean_ns.saturating_mul(count))?;
+                    writeln!(w, "{n}_count {count}")?;
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Writes the snapshot as a JSON object keyed by metric name
     /// (counters and gauges as numbers, histograms as objects).
     pub fn write_json(&self, w: &mut dyn Write) -> io::Result<()> {
@@ -160,6 +223,30 @@ impl MetricsSnapshot {
         }
         writeln!(w, "}}")
     }
+}
+
+/// Maps a hierarchical metric name onto the Prometheus grammar
+/// (`[a-zA-Z_:][a-zA-Z0-9_:]*`): every other character becomes `_`, and
+/// a leading digit gets a `_` prefix. Stable: the same input always
+/// yields the same output.
+pub fn prometheus_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 1);
+    for (i, c) in name.chars().enumerate() {
+        match c {
+            'a'..='z' | 'A'..='Z' | '_' | ':' => out.push(c),
+            '0'..='9' => {
+                if i == 0 {
+                    out.push('_');
+                }
+                out.push(c);
+            }
+            _ => out.push('_'),
+        }
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
 }
 
 /// Renders `s` as a JSON string literal.
@@ -474,5 +561,73 @@ mod tests {
     #[test]
     fn json_string_escapes() {
         assert_eq!(json_string("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+    }
+
+    #[test]
+    fn prometheus_name_sanitizes_stably() {
+        assert_eq!(prometheus_name("nic.0.inbound.ops"), "nic_0_inbound_ops");
+        assert_eq!(prometheus_name("rfp.client-3.p99µs"), "rfp_client_3_p99_s");
+        assert_eq!(prometheus_name("0weird"), "_0weird");
+        assert_eq!(prometheus_name(""), "_");
+        assert_eq!(
+            prometheus_name("nic.0.inbound.ops"),
+            prometheus_name("nic.0.inbound.ops")
+        );
+    }
+
+    #[test]
+    fn prometheus_exposition_counters_and_gauges() {
+        let reg = MetricsRegistry::new();
+        reg.counter("a.ops").add(3);
+        reg.gauge("q.depth").set(-2);
+        let mut out = Vec::new();
+        reg.snapshot().write_prometheus(&mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(
+            text.contains("# TYPE a_ops_total counter\na_ops_total 3\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("# TYPE q_depth gauge\nq_depth -2\n"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn prometheus_exposition_histogram_buckets() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("lat");
+        for ns in [10u64, 20, 30, 40] {
+            h.record(SimSpan::nanos(ns));
+        }
+        let mut out = Vec::new();
+        reg.snapshot().write_prometheus(&mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("# TYPE lat histogram"), "{text}");
+        assert!(text.contains("lat_bucket{le=\"+Inf\"} 4"), "{text}");
+        assert!(text.contains("lat_count 4"), "{text}");
+        assert!(text.contains("lat_sum 100"), "{text}");
+        // Bucket counts must be cumulative and nondecreasing.
+        let counts: Vec<u64> = text
+            .lines()
+            .filter(|l| l.starts_with("lat_bucket"))
+            .map(|l| l.rsplit(' ').next().unwrap().parse().unwrap())
+            .collect();
+        assert!(counts.windows(2).all(|w| w[0] <= w[1]), "{counts:?}");
+        assert!(!counts.is_empty());
+    }
+
+    #[test]
+    fn prometheus_exposition_is_deterministic() {
+        let build = || {
+            let reg = MetricsRegistry::new();
+            reg.counter("b").add(1);
+            reg.counter("a").add(2);
+            reg.histogram("h").record(SimSpan::nanos(7));
+            let mut out = Vec::new();
+            reg.snapshot().write_prometheus(&mut out).unwrap();
+            out
+        };
+        assert_eq!(build(), build());
     }
 }

@@ -196,10 +196,34 @@ impl SpanRecorder {
     /// and `dur` in microseconds (fractions keep nanosecond precision),
     /// `tid` the trace's track, and the request id in `args`.
     pub fn write_chrome_trace(&self, w: &mut dyn Write) -> io::Result<()> {
+        self.write_chrome_filtered(w, |_| true)
+    }
+
+    /// Like [`write_chrome_trace`](SpanRecorder::write_chrome_trace),
+    /// but keeps only traces overlapping `[from, to]` — the shape a
+    /// dump-on-anomaly bundle wants: just the offending window.
+    pub fn write_chrome_trace_window(
+        &self,
+        w: &mut dyn Write,
+        from: SimTime,
+        to: SimTime,
+    ) -> io::Result<()> {
+        self.write_chrome_filtered(w, |tr| {
+            let start = tr.started_at();
+            let end = SimTime::from_nanos(start.as_nanos() + tr.end_to_end().as_nanos());
+            start <= to && end >= from
+        })
+    }
+
+    fn write_chrome_filtered(
+        &self,
+        w: &mut dyn Write,
+        keep: impl Fn(&RequestTrace) -> bool,
+    ) -> io::Result<()> {
         let inner = self.inner.borrow();
         writeln!(w, "[")?;
         let mut first = true;
-        for trace in &inner.spans {
+        for trace in inner.spans.iter().filter(|tr| keep(tr)) {
             for phase in trace.phases() {
                 if !first {
                     writeln!(w, ",")?;
@@ -314,6 +338,30 @@ mod tests {
         assert!(a.contains("\"req\": 7"), "{a}");
         // Four phases -> four events.
         assert_eq!(a.matches("\"ph\": \"X\"").count(), 4);
+    }
+
+    #[test]
+    fn windowed_chrome_trace_filters_by_overlap() {
+        let rec = SpanRecorder::new(8);
+        rec.record(sample_trace()); // spans 1_000..2_500 ns, id 7
+        let mut late = RequestTrace::begin(9, 0, t(10_000), "issue");
+        late.mark(t(11_000), "completed");
+        rec.record(late);
+        let render = |from, to| {
+            let mut out = Vec::new();
+            rec.write_chrome_trace_window(&mut out, t(from), t(to))
+                .unwrap();
+            String::from_utf8(out).unwrap()
+        };
+        // Window covering only the first trace.
+        let a = render(0, 5_000);
+        assert!(a.contains("\"req\": 7"), "{a}");
+        assert!(!a.contains("\"req\": 9"), "{a}");
+        // Overlap at the edge counts.
+        let b = render(2_500, 3_000);
+        assert!(b.contains("\"req\": 7"), "{b}");
+        // Disjoint window keeps nothing but stays valid JSON.
+        assert_eq!(render(5_000, 6_000), "[\n]\n");
     }
 
     #[test]

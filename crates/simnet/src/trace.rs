@@ -5,19 +5,52 @@
 //! (mode switches, retransmissions, evictions…); experiments and tests
 //! inspect or dump it afterwards. Recording is cheap and the buffer is
 //! bounded, so a log can stay attached across long runs.
+//!
+//! Events carry a [`Severity`]; the plain [`record`](TraceLog::record)
+//! defaults to [`Severity::Info`]. A log built with
+//! [`with_category_cap`](TraceLog::with_category_cap) additionally
+//! bounds each category's retention, so a high-rate debug category
+//! evicts its own oldest entries instead of flushing rare error events
+//! out of the ring.
 
 use std::cell::RefCell;
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
 use std::rc::Rc;
 
 use crate::time::SimTime;
+
+/// How loud a recorded event is.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// High-rate diagnostics.
+    Debug,
+    /// Ordinary milestones (the default).
+    Info,
+    /// Degradation worth surfacing.
+    Warn,
+    /// A fault or invariant violation.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Debug => "DEBUG",
+            Severity::Info => "INFO",
+            Severity::Warn => "WARN",
+            Severity::Error => "ERROR",
+        })
+    }
+}
 
 /// One recorded event.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct TraceEntry {
     /// When it happened.
     pub at: SimTime,
+    /// How loud it is.
+    pub severity: Severity,
     /// Component-chosen category (e.g. `"rfp.mode"`).
     pub category: &'static str,
     /// Free-form details.
@@ -26,7 +59,16 @@ pub struct TraceEntry {
 
 impl fmt::Display for TraceEntry {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "[{}] {}: {}", self.at, self.category, self.message)
+        // Info keeps the legacy rendering; other severities stand out.
+        if self.severity == Severity::Info {
+            write!(f, "[{}] {}: {}", self.at, self.category, self.message)
+        } else {
+            write!(
+                f,
+                "[{}] {} {}: {}",
+                self.at, self.severity, self.category, self.message
+            )
+        }
     }
 }
 
@@ -51,18 +93,48 @@ impl fmt::Debug for TraceLog {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let inner = self.inner.borrow();
         f.debug_struct("TraceLog")
-            .field("len", &inner.entries.len())
+            .field("len", &inner.len)
             .field("capacity", &inner.capacity)
             .field("recorded", &inner.recorded)
             .finish()
     }
 }
 
+/// A retained entry stamped with its global insertion order (categories
+/// keep separate queues; snapshots merge by stamp).
+struct Stamped {
+    order: u64,
+    entry: TraceEntry,
+}
+
 struct Inner {
-    entries: VecDeque<TraceEntry>,
+    /// Per-category queues, each ordered by insertion.
+    cats: BTreeMap<&'static str, VecDeque<Stamped>>,
+    /// Retained entries across all categories.
+    len: usize,
     capacity: usize,
+    /// Per-category retention bound, if any.
+    category_cap: Option<usize>,
+    next_order: u64,
     recorded: u64,
     dropped: u64,
+}
+
+impl Inner {
+    /// Evicts the globally oldest retained entry.
+    fn evict_oldest(&mut self) {
+        let oldest = self
+            .cats
+            .iter()
+            .filter_map(|(cat, q)| q.front().map(|s| (s.order, *cat)))
+            .min()
+            .map(|(_, cat)| cat);
+        if let Some(cat) = oldest {
+            self.cats.get_mut(cat).expect("category exists").pop_front();
+            self.len -= 1;
+            self.dropped += 1;
+        }
+    }
 }
 
 impl TraceLog {
@@ -75,32 +147,77 @@ impl TraceLog {
         assert!(capacity > 0, "trace capacity must be positive");
         TraceLog {
             inner: Rc::new(RefCell::new(Inner {
-                entries: VecDeque::with_capacity(capacity.min(4096)),
+                cats: BTreeMap::new(),
+                len: 0,
                 capacity,
+                category_cap: None,
+                next_order: 0,
                 recorded: 0,
                 dropped: 0,
             })),
         }
     }
 
-    /// Records an event at instant `at`.
+    /// Creates a log additionally bounding each category to its most
+    /// recent `category_cap` events: a flooding category evicts its own
+    /// oldest entries first, so rare events in quiet categories survive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` or `category_cap` is zero.
+    pub fn with_category_cap(capacity: usize, category_cap: usize) -> Self {
+        assert!(category_cap > 0, "category cap must be positive");
+        let log = TraceLog::new(capacity);
+        log.inner.borrow_mut().category_cap = Some(category_cap);
+        log
+    }
+
+    /// Records an [`Severity::Info`] event at instant `at`.
     pub fn record(&self, at: SimTime, category: &'static str, message: impl Into<String>) {
+        self.record_sev(at, Severity::Info, category, message);
+    }
+
+    /// Records an event with an explicit severity.
+    pub fn record_sev(
+        &self,
+        at: SimTime,
+        severity: Severity,
+        category: &'static str,
+        message: impl Into<String>,
+    ) {
         let mut inner = self.inner.borrow_mut();
-        if inner.entries.len() == inner.capacity {
-            inner.entries.pop_front();
-            inner.dropped += 1;
+        // Per-category bound first: a category at its cap recycles its
+        // own slot and never pressures the global ring.
+        if let Some(cap) = inner.category_cap {
+            if let Some(q) = inner.cats.get_mut(category) {
+                if q.len() == cap {
+                    q.pop_front();
+                    inner.len -= 1;
+                    inner.dropped += 1;
+                }
+            }
         }
-        inner.entries.push_back(TraceEntry {
-            at,
-            category,
-            message: message.into(),
-        });
+        if inner.len == inner.capacity {
+            inner.evict_oldest();
+        }
+        let order = inner.next_order;
+        inner.next_order += 1;
         inner.recorded += 1;
+        inner.len += 1;
+        inner.cats.entry(category).or_default().push_back(Stamped {
+            order,
+            entry: TraceEntry {
+                at,
+                severity,
+                category,
+                message: message.into(),
+            },
+        });
     }
 
     /// Number of events currently retained.
     pub fn len(&self) -> usize {
-        self.inner.borrow().entries.len()
+        self.inner.borrow().len
     }
 
     /// Whether nothing is retained.
@@ -113,30 +230,48 @@ impl TraceLog {
         self.inner.borrow().recorded
     }
 
-    /// Events evicted by the ring bound.
+    /// Events evicted by the ring (or per-category) bound.
     pub fn dropped(&self) -> u64 {
         self.inner.borrow().dropped
     }
 
-    /// A snapshot of the retained events, oldest first.
+    /// A snapshot of the retained events, oldest first (global
+    /// insertion order, merged across categories).
     pub fn snapshot(&self) -> Vec<TraceEntry> {
-        self.inner.borrow().entries.iter().cloned().collect()
+        let inner = self.inner.borrow();
+        let mut stamped: Vec<(u64, &TraceEntry)> = inner
+            .cats
+            .values()
+            .flatten()
+            .map(|s| (s.order, &s.entry))
+            .collect();
+        stamped.sort_by_key(|&(order, _)| order);
+        stamped.into_iter().map(|(_, e)| e.clone()).collect()
     }
 
     /// Retained events of one category, oldest first.
     pub fn category(&self, category: &str) -> Vec<TraceEntry> {
         self.inner
             .borrow()
-            .entries
-            .iter()
-            .filter(|e| e.category == category)
-            .cloned()
+            .cats
+            .get(category)
+            .map(|q| q.iter().map(|s| s.entry.clone()).collect())
+            .unwrap_or_default()
+    }
+
+    /// Retained events at or above `severity`, oldest first.
+    pub fn at_least(&self, severity: Severity) -> Vec<TraceEntry> {
+        self.snapshot()
+            .into_iter()
+            .filter(|e| e.severity >= severity)
             .collect()
     }
 
     /// Clears the log (keeps cumulative counters).
     pub fn clear(&self) {
-        self.inner.borrow_mut().entries.clear();
+        let mut inner = self.inner.borrow_mut();
+        inner.cats.clear();
+        inner.len = 0;
     }
 
     /// Zeroes the cumulative `recorded`/`dropped` counters without
@@ -150,7 +285,7 @@ impl TraceLog {
 
     /// Writes every retained event as one line each.
     pub fn dump(&self, w: &mut dyn std::io::Write) -> std::io::Result<()> {
-        for e in self.inner.borrow().entries.iter() {
+        for e in self.snapshot() {
             writeln!(w, "{e}")?;
         }
         Ok(())
@@ -187,6 +322,18 @@ mod tests {
         assert_eq!(snap[0].message, "e2");
         assert_eq!(log.recorded(), 5);
         assert_eq!(log.dropped(), 2);
+    }
+
+    #[test]
+    fn ring_bound_evicts_oldest_across_categories() {
+        let log = TraceLog::new(2);
+        log.record(t(1), "a", "a1");
+        log.record(t(2), "b", "b1");
+        log.record(t(3), "b", "b2");
+        let snap = log.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[0].message, "b1");
+        assert_eq!(snap[1].message, "b2");
     }
 
     #[test]
@@ -234,8 +381,63 @@ mod tests {
     }
 
     #[test]
+    fn severity_defaults_to_info_and_orders() {
+        let log = TraceLog::new(4);
+        log.record(t(1), "cat", "plain");
+        assert_eq!(log.snapshot()[0].severity, Severity::Info);
+        assert!(Severity::Debug < Severity::Info);
+        assert!(Severity::Warn < Severity::Error);
+    }
+
+    #[test]
+    fn at_least_filters_by_severity() {
+        let log = TraceLog::new(8);
+        log.record_sev(t(1), Severity::Debug, "hot", "noise");
+        log.record_sev(t(2), Severity::Error, "rare", "fault");
+        log.record(t(3), "mid", "info");
+        let loud = log.at_least(Severity::Warn);
+        assert_eq!(loud.len(), 1);
+        assert_eq!(loud[0].category, "rare");
+        assert_eq!(log.at_least(Severity::Debug).len(), 3);
+    }
+
+    #[test]
+    fn category_cap_protects_rare_events_from_floods() {
+        let log = TraceLog::with_category_cap(8, 4);
+        log.record_sev(t(0), Severity::Error, "rare", "the one that matters");
+        for i in 0..100u64 {
+            log.record_sev(t(1 + i), Severity::Debug, "hot", format!("noise {i}"));
+        }
+        // The flood recycled its own slots; the error survived.
+        assert_eq!(log.category("hot").len(), 4);
+        assert_eq!(log.category("rare").len(), 1);
+        assert_eq!(log.len(), 5);
+        assert_eq!(log.dropped(), 96);
+        // Merged snapshot stays in insertion order.
+        let snap = log.snapshot();
+        assert_eq!(snap[0].category, "rare");
+        assert_eq!(snap.last().unwrap().message, "noise 99");
+    }
+
+    #[test]
+    fn severity_renders_in_dump_for_non_info() {
+        let log = TraceLog::new(4);
+        log.record_sev(t(1), Severity::Warn, "cat", "degraded");
+        let mut out = Vec::new();
+        log.dump(&mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("WARN cat: degraded"), "{text}");
+    }
+
+    #[test]
     #[should_panic(expected = "capacity must be positive")]
     fn zero_capacity_rejected() {
         let _ = TraceLog::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "category cap must be positive")]
+    fn zero_category_cap_rejected() {
+        let _ = TraceLog::with_category_cap(8, 0);
     }
 }

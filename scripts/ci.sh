@@ -8,7 +8,7 @@ cargo test -q
 cargo clippy -- -D warnings
 cargo clippy -p rfp-chaos -- -D warnings
 cargo clippy -p rfp-core -p rfp-kvstore -p rfp-bench -p rfp-rnic -- -D warnings
-cargo clippy -p rfp-paradigms -p rfp-workload -- -D warnings
+cargo clippy -p rfp-paradigms -p rfp-workload -p rfp-simnet -- -D warnings
 cargo fmt --check
 
 # Chaos smoke: every fault scenario under a fixed seed must hold the
@@ -48,4 +48,20 @@ cmp /tmp/pipeline_a.json BENCH_pipeline.json
 if git cat-file -e HEAD:BENCH_pipeline.json 2>/dev/null; then
   diff <(grep -o '"[^"]*":' /tmp/pipeline_a.json | sort) \
        <(git show HEAD:BENCH_pipeline.json | grep -o '"[^"]*":' | sort)
+fi
+
+# Doctor smoke: the binary asserts the full fault-class detection
+# matrix (every injected class surfaces as its signature anomaly with
+# an intact cause chain, and the clean baseline raises nothing); here
+# we additionally pin run-to-run determinism under a fixed seed and
+# that the exported registry keeps the committed BENCH_doctor.json
+# shape (same matrix cells; counts may move with the model).
+cargo run -q --release -p rfp-bench --bin doctor 42 > /tmp/doctor_a.csv
+mv BENCH_doctor.json /tmp/doctor_a.json
+cargo run -q --release -p rfp-bench --bin doctor 42 > /tmp/doctor_b.csv
+cmp /tmp/doctor_a.csv /tmp/doctor_b.csv
+cmp /tmp/doctor_a.json BENCH_doctor.json
+if git cat-file -e HEAD:BENCH_doctor.json 2>/dev/null; then
+  diff <(grep -o '"[^"]*":' /tmp/doctor_a.json | sort) \
+       <(git show HEAD:BENCH_doctor.json | grep -o '"[^"]*":' | sort)
 fi
