@@ -15,7 +15,8 @@ use rfp_simnet::{
 
 use crate::conn::{Mode, RfpTelemetry, Shared, MODE_REMOTE_FETCH, MODE_SERVER_REPLY};
 use crate::header::{
-    ReqHeader, RespHeader, RespStatus, REQ_HDR, REQ_HDR_EXT, RESP_HDR, RESP_HDR_EXT, RESP_TRAILER,
+    ReqHeader, RespHeader, RespStatus, REQ_HDR, REQ_HDR_EXT, REQ_HDR_TENANT, RESP_HDR,
+    RESP_HDR_EXT, RESP_TRAILER,
 };
 use crate::integrity::{verify_response, IntegrityFault};
 use crate::overload::OverloadConfig;
@@ -320,6 +321,11 @@ pub struct RfpClient {
     /// call — the cause link of the next one, so a call's events chain
     /// (deadline → resubmit → reconnect). Reset at call entry.
     last_flight: Cell<Option<u64>>,
+    /// Tenant id stamped into every request header while set (the mux
+    /// layer re-stamps it on each lease handoff). `None` — the default
+    /// everywhere outside a mux — keeps requests byte-identical to the
+    /// untenanted layout.
+    tenant: Cell<Option<u32>>,
 }
 
 impl RfpClient {
@@ -359,6 +365,31 @@ impl RfpClient {
             instruments,
             health,
             last_flight: Cell::new(None),
+            tenant: Cell::new(None),
+        }
+    }
+
+    /// Stamps (or clears) the tenant id carried by every subsequent
+    /// request on this connection. A multiplexing layer sets it when a
+    /// lease moves the connection to a different logical client.
+    pub fn set_tenant(&self, tenant: Option<u32>) {
+        self.tenant.set(tenant);
+    }
+
+    /// Tenant id currently stamped into requests, if any.
+    pub fn tenant(&self) -> Option<u32> {
+        self.tenant.get()
+    }
+
+    /// Payload headroom of one ring slot for the next request, given
+    /// the tenant stamp and whether a deadline rides along.
+    fn req_headroom(&self, deadline: bool) -> usize {
+        if self.tenant.get().is_some() {
+            self.shared.cfg.req_capacity - REQ_HDR_TENANT
+        } else if deadline {
+            self.shared.cfg.max_req_payload_with_deadline()
+        } else {
+            self.shared.cfg.max_req_payload()
         }
     }
 
@@ -383,7 +414,7 @@ impl RfpClient {
     }
 
     /// The QP currently carrying this connection's verbs.
-    fn qp(&self) -> Rc<Qp> {
+    pub(crate) fn qp(&self) -> Rc<Qp> {
         Rc::clone(&self.qp.borrow())
     }
 
@@ -496,11 +527,7 @@ impl RfpClient {
         req: &[u8],
         deadline: Option<SimTime>,
     ) {
-        let max = if deadline.is_some() {
-            self.shared.cfg.max_req_payload_with_deadline()
-        } else {
-            self.shared.cfg.max_req_payload()
-        };
+        let max = self.req_headroom(deadline.is_some());
         assert!(req.len() <= max, "request exceeds buffer capacity");
         let (slot, seq) = self.alloc_next_seq();
         self.sent_at.set(thread.now());
@@ -517,9 +544,10 @@ impl RfpClient {
             size: req.len() as u32,
             seq,
             deadline,
+            tenant: self.tenant.get(),
         };
         let hdr_len = hdr.wire_len();
-        let mut hdr_bytes = [0u8; REQ_HDR_EXT];
+        let mut hdr_bytes = [0u8; REQ_HDR_TENANT];
         hdr.encode(&mut hdr_bytes[..hdr_len]);
         let base = self.shared.req_off(slot);
         self.shared
@@ -640,7 +668,7 @@ impl RfpClient {
         );
         let window = self.shared.cfg.window;
         let r = self.retry_threshold.get();
-        let max = self.shared.cfg.max_req_payload();
+        let max = self.req_headroom(false);
         for req in reqs {
             assert!(req.len() <= max, "request exceeds buffer capacity");
         }
@@ -669,9 +697,10 @@ impl RfpClient {
                     size: req.len() as u32,
                     seq,
                     deadline: None,
+                    tenant: self.tenant.get(),
                 };
                 let hdr_len = hdr.wire_len();
-                let mut hdr_bytes = [0u8; REQ_HDR_EXT];
+                let mut hdr_bytes = [0u8; REQ_HDR_TENANT];
                 hdr.encode(&mut hdr_bytes[..hdr_len]);
                 let base = self.shared.req_off(slot);
                 self.shared
@@ -965,7 +994,7 @@ impl RfpClient {
         let ov = &self.shared.cfg.overload;
         assert!(ov.enabled, "call_overload requires overload control");
         assert!(
-            req.len() <= self.shared.cfg.max_req_payload_with_deadline(),
+            req.len() <= self.req_headroom(true),
             "request exceeds buffer capacity"
         );
         let t0 = thread.now();
@@ -1537,11 +1566,7 @@ impl RfpClient {
         rec: &RecoveryConfig,
     ) -> Result<CallResult, RpcError> {
         let ov = &self.shared.cfg.overload;
-        let max = if ov.enabled {
-            self.shared.cfg.max_req_payload_with_deadline()
-        } else {
-            self.shared.cfg.max_req_payload()
-        };
+        let max = self.req_headroom(ov.enabled);
         assert!(req.len() <= max, "request exceeds buffer capacity");
         let t0 = thread.now();
         self.sent_at.set(t0);
@@ -1653,9 +1678,10 @@ impl RfpClient {
                 size: state.req.len() as u32,
                 seq,
                 deadline: state.stamp,
+                tenant: self.tenant.get(),
             };
             let hdr_len = hdr.wire_len();
-            let mut hdr_bytes = [0u8; REQ_HDR_EXT];
+            let mut hdr_bytes = [0u8; REQ_HDR_TENANT];
             hdr.encode(&mut hdr_bytes[..hdr_len]);
             let base = self.shared.req_off(slot);
             self.shared
@@ -1669,7 +1695,9 @@ impl RfpClient {
         let slot = self.shared.slot_of(seq);
         let req_base = self.shared.req_off(slot);
         let resp_base = self.shared.resp_off(slot);
-        let hdr_len = if state.stamp.is_some() {
+        let hdr_len = if self.tenant.get().is_some() {
+            REQ_HDR_TENANT
+        } else if state.stamp.is_some() {
             REQ_HDR_EXT
         } else {
             REQ_HDR

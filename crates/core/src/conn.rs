@@ -33,7 +33,7 @@ use rfp_simnet::{MetricsRegistry, RequestTrace, SimSpan, SimTime, SpanRecorder};
 
 use crate::header::{
     resp_canary, slot_of, ReqHeader, RespHeader, RespIntegrity, RespStatus, REQ_HDR, REQ_HDR_EXT,
-    RESP_HDR, RESP_HDR_EXT, RESP_TRAILER,
+    REQ_HDR_TENANT, RESP_HDR, RESP_HDR_EXT, RESP_TRAILER,
 };
 use crate::integrity::IntegrityConfig;
 use crate::overload::OverloadConfig;
@@ -327,10 +327,20 @@ pub fn connect(
     }
 
     let client = crate::client::RfpClient::new(Rc::clone(&shared), qp_c2s);
+    // Scan-cost counters are shared registry-wide (no per-conn prefix):
+    // the interesting number is the *aggregate* slots inspected per
+    // request served, which is what the fleet sweep's sub-linear-scan
+    // assertion reads. Resolved once here so the hot scan loop never
+    // does a name lookup.
+    let scan = shared.cfg.telemetry.as_ref().map(|t| ScanCounters {
+        slots: t.registry.counter("serve.scan.slots"),
+        conns: t.registry.counter("serve.scan.conns"),
+    });
     let server = RfpServerConn {
         slots: (0..window).map(|_| SlotState::default()).collect(),
         cur_slot: Cell::new(0),
         scan_from: Cell::new(0),
+        scan,
         shared,
         qp_reply: qp_s2c,
         advertise: Cell::new(0),
@@ -358,6 +368,9 @@ pub struct RfpServerConn {
     cur_slot: Cell<usize>,
     /// Round-robin scan cursor across the ring slots.
     scan_from: Cell<usize>,
+    /// Registry-wide scan-cost counters (`serve.scan.*`), resolved at
+    /// connect time when telemetry is attached.
+    scan: Option<ScanCounters>,
     /// Credit level stamped into outgoing response headers (overload
     /// control; stays 0 — the legacy zero fill — when the subsystem is
     /// off).
@@ -366,6 +379,16 @@ pub struct RfpServerConn {
     replied_out_of_band: Cell<u64>,
     rejected_busy: Cell<u64>,
     rejected_shed: Cell<u64>,
+}
+
+/// Cached handles to the shared `serve.scan.slots` / `serve.scan.conns`
+/// counters: slots inspected and connections visited by the server's
+/// request scan. Their ratio to requests served is the server-side scan
+/// cost per request — the quantity a multiplexing layer must keep flat
+/// as logical clients are added.
+struct ScanCounters {
+    slots: Rc<rfp_simnet::Counter>,
+    conns: Rc<rfp_simnet::Counter>,
 }
 
 /// Per-slot server-side request state.
@@ -380,6 +403,8 @@ struct SlotState {
     cur_seq: Cell<u32>,
     /// Deadline stamped into the slot's in-flight request, if any.
     cur_deadline: Cell<Option<SimTime>>,
+    /// Tenant stamped into the slot's in-flight request, if any.
+    cur_tenant: Cell<Option<u32>>,
     /// Buffer generation: bumped on every local post into this slot's
     /// response buffer (integrity layer; stays 0 and unstamped when it
     /// is off).
@@ -403,15 +428,24 @@ impl RfpServerConn {
     /// from a persistent cursor, stopping at the first pending slot.
     pub async fn try_recv(&self, thread: &ThreadCtx) -> Option<Vec<u8>> {
         let window = self.shared.cfg.window;
+        // The header-window read covers the largest extension that fits
+        // the slot: `decode` consumes 8, 16, or 24 bytes depending on
+        // the deadline/tenant bits (capacity ≥ 16 is a `connect`
+        // invariant; the tenant field needs 24 and its decode guard
+        // degrades gracefully on smaller slots).
+        let hdr_window = REQ_HDR_TENANT.min(self.shared.cfg.req_capacity);
+        if let Some(scan) = &self.scan {
+            scan.conns.incr();
+        }
         for _ in 0..window {
             let slot = self.scan_from.get();
             self.scan_from.set((slot + 1) % window);
             thread.busy(self.shared.cfg.check_cpu).await;
-            // Read the extended-header window: `decode` consumes 8 or 16
-            // bytes depending on the deadline bit (capacity ≥ 16 is a
-            // `connect` invariant).
+            if let Some(scan) = &self.scan {
+                scan.slots.incr();
+            }
             let base = self.shared.req_off(slot);
-            let hdr_bytes = self.shared.req.read_local(base, REQ_HDR_EXT);
+            let hdr_bytes = self.shared.req.read_local(base, hdr_window);
             let hdr = ReqHeader::decode(&hdr_bytes);
             let st = &self.slots[slot];
             if !hdr.valid || hdr.seq == st.last_seq.get() {
@@ -420,6 +454,7 @@ impl RfpServerConn {
             st.last_seq.set(hdr.seq);
             st.cur_seq.set(hdr.seq);
             st.cur_deadline.set(hdr.deadline);
+            st.cur_tenant.set(hdr.tenant);
             st.pickup.set(thread.now());
             self.cur_slot.set(slot);
             if let Some(span) = self.shared.span_mut(slot).as_mut() {
@@ -444,6 +479,12 @@ impl RfpServerConn {
     /// [`try_recv`](RfpServerConn::try_recv), if the client stamped one.
     pub fn current_deadline(&self) -> Option<SimTime> {
         self.slots[self.cur_slot.get()].cur_deadline.get()
+    }
+
+    /// Tenant stamped into the request last delivered by
+    /// [`try_recv`](RfpServerConn::try_recv), if the client stamped one.
+    pub fn current_tenant(&self) -> Option<u32> {
+        self.slots[self.cur_slot.get()].cur_tenant.get()
     }
 
     /// Sets the credit level stamped into subsequent response headers.
@@ -624,6 +665,7 @@ impl RfpServerConn {
             st.last_seq.set(recovered);
             st.cur_seq.set(recovered);
             st.cur_deadline.set(None);
+            st.cur_tenant.set(None);
             // A warm restart resumes the generation counter from the
             // buffer (the next post must not reuse the stamped
             // generation); a cold restart starts over from 0.

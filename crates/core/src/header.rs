@@ -24,6 +24,17 @@
 //!   16-bit admission-credit advertisement. Both encode as zero for the
 //!   default (`Ok`, 0 credits), which is exactly what the original
 //!   format zero-filled there.
+//! * **request tenant** — bit 29 of the request word marks a 24-byte
+//!   request header whose bytes 16..20 carry the 32-bit tenant id of
+//!   the logical client that issued the call (bytes 8..16 hold the
+//!   deadline when bit 30 is also set, zeros otherwise; 20..24 are
+//!   spare zeros). The multiplexing layer stamps it so a server
+//!   connection shared by many tenants can account admission and
+//!   credits per tenant (see `rfp-core`'s mux module). Claiming bit 29
+//!   caps the *request* payload size at [`MAX_REQ_PAYLOAD`] (2²⁹−1
+//!   bytes — far above any request buffer this repo configures);
+//!   responses keep the full 30-bit field. Without a tenant the bit is
+//!   clear and the header is the classic 8 (or 16) bytes.
 //! * **response integrity** — bit 30 of the response word marks an
 //!   extended 32-byte response header whose trailing 16 bytes carry a
 //!   CRC-64 of the payload and a 32-bit buffer-generation stamp
@@ -45,6 +56,10 @@ pub const REQ_HDR: usize = 8;
 /// Size of the extended request header (base + 8-byte deadline).
 pub const REQ_HDR_EXT: usize = 16;
 
+/// Size of the tenant-stamped request header (extended + 4-byte tenant
+/// id + 4 spare zero bytes).
+pub const REQ_HDR_TENANT: usize = 24;
+
 /// Size of the response header in bytes.
 pub const RESP_HDR: usize = 16;
 
@@ -56,13 +71,19 @@ pub const RESP_HDR_EXT: usize = 32;
 /// payload.
 pub const RESP_TRAILER: usize = 8;
 
-/// Maximum payload size encodable in the 30-bit size field.
+/// Maximum payload size encodable in the 30-bit response size field.
 pub const MAX_PAYLOAD: usize = (1 << 30) - 1;
+
+/// Maximum payload size encodable in the 29-bit request size field
+/// (bit 29 is the tenant flag).
+pub const MAX_REQ_PAYLOAD: usize = (1 << 29) - 1;
 
 const VALID_BIT: u32 = 1 << 31;
 const DEADLINE_BIT: u32 = 1 << 30;
+const TENANT_BIT: u32 = 1 << 29;
 const INTEGRITY_BIT: u32 = 1 << 30;
 const SIZE_MASK: u32 = (1 << 30) - 1;
+const REQ_SIZE_MASK: u32 = (1 << 29) - 1;
 
 /// Salt folded into the trailing canary so a zero-filled (fresh or
 /// cold-wiped) buffer never accidentally matches seq 0 / generation 0.
@@ -145,13 +166,20 @@ pub struct ReqHeader {
     /// Client-stamped absolute deadline, when the overload-control path
     /// stamped one. `None` encodes to the classic 8-byte header.
     pub deadline: Option<SimTime>,
+    /// Tenant id of the issuing logical client, when a multiplexing
+    /// layer stamped one. `None` keeps the classic (or deadline-only)
+    /// layout byte-identical.
+    pub tenant: Option<u32>,
 }
 
 impl ReqHeader {
-    /// Bytes this header occupies on the wire ([`REQ_HDR`] or
-    /// [`REQ_HDR_EXT`]); the payload starts at this offset.
+    /// Bytes this header occupies on the wire ([`REQ_HDR`],
+    /// [`REQ_HDR_EXT`], or [`REQ_HDR_TENANT`]); the payload starts at
+    /// this offset.
     pub fn wire_len(&self) -> usize {
-        if self.deadline.is_some() {
+        if self.tenant.is_some() {
+            REQ_HDR_TENANT
+        } else if self.deadline.is_some() {
             REQ_HDR_EXT
         } else {
             REQ_HDR
@@ -164,22 +192,34 @@ impl ReqHeader {
     /// # Panics
     ///
     /// Panics if `buf` is shorter than the wire length or `size` exceeds
-    /// [`MAX_PAYLOAD`].
+    /// [`MAX_REQ_PAYLOAD`].
     pub fn encode(&self, buf: &mut [u8]) {
-        assert!(self.size as usize <= MAX_PAYLOAD, "payload too large");
+        assert!(self.size as usize <= MAX_REQ_PAYLOAD, "payload too large");
         let mut word = self.size | if self.valid { VALID_BIT } else { 0 };
         if self.deadline.is_some() {
             word |= DEADLINE_BIT;
+        }
+        if self.tenant.is_some() {
+            word |= TENANT_BIT;
         }
         buf[0..4].copy_from_slice(&word.to_le_bytes());
         buf[4..8].copy_from_slice(&self.seq.to_le_bytes());
         if let Some(deadline) = self.deadline {
             buf[8..16].copy_from_slice(&deadline.as_nanos().to_le_bytes());
+        } else if self.tenant.is_some() {
+            // The tenant field rides *after* the deadline slot, which
+            // stays zero-filled when no deadline is stamped.
+            buf[8..16].fill(0);
+        }
+        if let Some(tenant) = self.tenant {
+            buf[16..20].copy_from_slice(&tenant.to_le_bytes());
+            buf[20..24].fill(0);
         }
     }
 
     /// Decodes from the first [`REQ_HDR`] bytes of `buf` (the first
-    /// [`REQ_HDR_EXT`] when the deadline bit is set).
+    /// [`REQ_HDR_EXT`] / [`REQ_HDR_TENANT`] when the deadline / tenant
+    /// bits are set).
     ///
     /// # Panics
     ///
@@ -193,11 +233,27 @@ impl ReqHeader {
         } else {
             None
         };
+        // Like the response integrity bit, the length guard keeps a
+        // corrupted flag on a short window from reading out of bounds:
+        // the header degrades to an untenanted decode instead.
+        let tenant = if word & TENANT_BIT != 0 && buf.len() >= REQ_HDR_TENANT {
+            Some(u32::from_le_bytes(
+                buf[16..20].try_into().expect("len checked"),
+            ))
+        } else {
+            None
+        };
+        let size_mask = if tenant.is_some() {
+            REQ_SIZE_MASK
+        } else {
+            SIZE_MASK
+        };
         ReqHeader {
             valid: word & VALID_BIT != 0,
-            size: word & SIZE_MASK,
+            size: word & size_mask,
             seq: u32::from_le_bytes(buf[4..8].try_into().expect("len checked")),
             deadline,
+            tenant,
         }
     }
 }
@@ -316,6 +372,7 @@ mod tests {
             size: 12345,
             seq: 0xDEAD_BEEF,
             deadline: None,
+            tenant: None,
         };
         let mut buf = [0u8; REQ_HDR];
         h.encode(&mut buf);
@@ -326,15 +383,16 @@ mod tests {
     fn req_header_invalid_bit() {
         let h = ReqHeader {
             valid: false,
-            size: MAX_PAYLOAD as u32,
+            size: MAX_REQ_PAYLOAD as u32,
             seq: 7,
             deadline: None,
+            tenant: None,
         };
         let mut buf = [0u8; REQ_HDR];
         h.encode(&mut buf);
         let d = ReqHeader::decode(&buf);
         assert!(!d.valid);
-        assert_eq!(d.size as usize, MAX_PAYLOAD);
+        assert_eq!(d.size as usize, MAX_REQ_PAYLOAD);
     }
 
     #[test]
@@ -344,6 +402,7 @@ mod tests {
             size: 64,
             seq: 9,
             deadline: Some(SimTime::from_nanos(123_456_789)),
+            tenant: None,
         };
         assert_eq!(h.wire_len(), REQ_HDR_EXT);
         let mut buf = [0u8; REQ_HDR_EXT];
@@ -361,6 +420,7 @@ mod tests {
             size: 300,
             seq: 0x0102_0304,
             deadline: None,
+            tenant: None,
         };
         assert_eq!(h.wire_len(), REQ_HDR);
         let mut buf = [0u8; REQ_HDR];
@@ -369,6 +429,80 @@ mod tests {
         legacy[0..4].copy_from_slice(&(300u32 | (1 << 31)).to_le_bytes());
         legacy[4..8].copy_from_slice(&0x0102_0304u32.to_le_bytes());
         assert_eq!(buf, legacy);
+    }
+
+    #[test]
+    fn req_header_tenant_round_trip() {
+        for deadline in [None, Some(SimTime::from_nanos(55_555))] {
+            let h = ReqHeader {
+                valid: true,
+                size: 128,
+                seq: 11,
+                deadline,
+                tenant: Some(0xABCD_0042),
+            };
+            assert_eq!(h.wire_len(), REQ_HDR_TENANT);
+            let mut buf = [0u8; REQ_HDR_TENANT];
+            h.encode(&mut buf);
+            assert_eq!(ReqHeader::decode(&buf), h);
+            // Spare tail bytes stay zero for forward compatibility.
+            assert_eq!(&buf[20..24], &[0, 0, 0, 0]);
+        }
+    }
+
+    #[test]
+    fn req_header_tenant_without_deadline_zero_fills_deadline_slot() {
+        let h = ReqHeader {
+            valid: true,
+            size: 1,
+            seq: 2,
+            deadline: None,
+            tenant: Some(7),
+        };
+        let mut buf = [0xFFu8; REQ_HDR_TENANT];
+        h.encode(&mut buf);
+        assert_eq!(&buf[8..16], &[0u8; 8]);
+        let d = ReqHeader::decode(&buf);
+        assert_eq!(d.deadline, None);
+        assert_eq!(d.tenant, Some(7));
+    }
+
+    #[test]
+    fn req_header_without_tenant_matches_legacy_layout() {
+        // The tenant bit must be clear and nothing written past the
+        // base (or deadline-extended) header — the byte-identical-
+        // when-off guarantee the mux's M=N pin test rides on.
+        let h = ReqHeader {
+            valid: true,
+            size: 300,
+            seq: 0x0102_0304,
+            deadline: None,
+            tenant: None,
+        };
+        let mut buf = [0u8; REQ_HDR];
+        h.encode(&mut buf);
+        let word = u32::from_le_bytes(buf[0..4].try_into().unwrap());
+        assert_eq!(word & (1 << 29), 0);
+        assert_eq!(h.wire_len(), REQ_HDR);
+    }
+
+    #[test]
+    fn req_header_tenant_decode_guards_short_window() {
+        // A tenant-flagged word read through a shorter window (corrupt
+        // flag on a legacy slot) must degrade to an untenanted decode
+        // rather than read out of bounds.
+        let h = ReqHeader {
+            valid: true,
+            size: 9,
+            seq: 3,
+            deadline: None,
+            tenant: Some(5),
+        };
+        let mut buf = [0u8; REQ_HDR_TENANT];
+        h.encode(&mut buf);
+        let d = ReqHeader::decode(&buf[..REQ_HDR_EXT]);
+        assert_eq!(d.tenant, None);
+        assert_eq!(d.seq, 3);
     }
 
     #[test]
@@ -542,6 +676,7 @@ mod tests {
             size: u32::MAX,
             seq: 0,
             deadline: None,
+            tenant: None,
         };
         h.encode(&mut [0u8; REQ_HDR]);
     }

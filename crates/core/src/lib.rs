@@ -70,6 +70,7 @@ mod client;
 mod conn;
 mod header;
 mod integrity;
+mod mux;
 mod overload;
 mod params;
 mod pool;
@@ -80,11 +81,12 @@ mod tuner;
 pub use client::{CallInfo, CallResult, ClientStats, RfpClient};
 pub use conn::{connect, Mode, RfpConfig, RfpServerConn, RfpTelemetry};
 pub use header::{
-    resp_canary, slot_of, ReqHeader, RespHeader, RespIntegrity, RespStatus, MAX_PAYLOAD, REQ_HDR,
-    REQ_HDR_EXT, RESP_HDR, RESP_HDR_EXT, RESP_TRAILER,
+    resp_canary, slot_of, ReqHeader, RespHeader, RespIntegrity, RespStatus, MAX_PAYLOAD,
+    MAX_REQ_PAYLOAD, REQ_HDR, REQ_HDR_EXT, REQ_HDR_TENANT, RESP_HDR, RESP_HDR_EXT, RESP_TRAILER,
 };
 pub use integrity::{verify_response, IntegrityConfig, IntegrityFault};
-pub use overload::{admit, credits_for, Admission, OverloadConfig};
+pub use mux::{serve_loop_tenant, shard_conns, LogicalClient, MuxConfig, RfpMux, TenantId};
+pub use overload::{admit, credits_for, Admission, OverloadConfig, TenantCredits};
 pub use params::{ParamSelector, Params, WorkloadSample};
 pub use pool::RfpPool;
 pub use recovery::{FailureCause, RecoveryConfig, RpcError};

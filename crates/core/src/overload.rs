@@ -24,6 +24,9 @@
 //! `false`; a disabled config changes no wire byte, schedules no event
 //! and creates no instrument, so existing runs are byte-identical.
 
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+
 use rfp_simnet::{RetryPolicy, SimSpan, SimTime};
 
 /// Tunables of the overload-control subsystem. Carried by
@@ -141,6 +144,87 @@ pub fn credits_for(cfg: &OverloadConfig, backlog: usize) -> u16 {
     (cfg.credit_max as f64 * (1.0 - over / span)).round() as u16
 }
 
+/// Per-tenant admission accounting for one scan of a shared (mux'd)
+/// connection group.
+///
+/// The single-tenant loop bounds *total* admissions per scan with
+/// [`admit`]; on a connection group shared by many tenants that one
+/// global bound lets a flooding tenant consume the whole budget and
+/// starve everyone else. `TenantCredits` keeps a separate admission
+/// domain per tenant: each tenant gets the full `queue_limit` for
+/// itself, so a hot tenant goes `Busy` once *its* share is spent while
+/// cold tenants keep being admitted. Untenanted requests (no stamp in
+/// the header) share one implicit domain, which reproduces the global
+/// behaviour exactly when no tenant ever stamps — the
+/// byte-identical-when-off rule, one layer up.
+///
+/// Credit advertisements are also per-domain: the level stamped into a
+/// response reflects the backlog *of the tenant that sent the request*,
+/// so a cold tenant keeps seeing `credit_max` while the hot tenant's
+/// own credits collapse to zero (its clients then pace themselves off
+/// the wire — the same mechanism, scoped).
+#[derive(Default)]
+pub struct TenantCredits {
+    /// Per-tenant counts for the current scan: requests seen (drives
+    /// credits) and requests admitted (drives the queue bound).
+    domains: RefCell<BTreeMap<Option<u32>, TenantScan>>,
+}
+
+#[derive(Default, Copy, Clone)]
+struct TenantScan {
+    seen: usize,
+    admitted: usize,
+}
+
+impl TenantCredits {
+    /// Creates an empty accounting table.
+    pub fn new() -> Self {
+        TenantCredits::default()
+    }
+
+    /// Resets all domains for a new scan (admission sweeps are
+    /// per-scan, like the single-tenant loop's `admitted` counter).
+    pub fn begin_scan(&self) {
+        self.domains.borrow_mut().clear();
+    }
+
+    /// Admission check for one pending request of `tenant`, charging
+    /// the verdict to that tenant's domain. The queue bound applies to
+    /// the tenant's own admissions this scan, not the group total.
+    pub fn admit(
+        &self,
+        cfg: &OverloadConfig,
+        now: SimTime,
+        deadline: Option<SimTime>,
+        tenant: Option<u32>,
+    ) -> Admission {
+        let mut domains = self.domains.borrow_mut();
+        let dom = domains.entry(tenant).or_default();
+        dom.seen += 1;
+        let verdict = admit(cfg, now, deadline, dom.admitted);
+        if verdict == Admission::Admit {
+            dom.admitted += 1;
+        }
+        verdict
+    }
+
+    /// Credits to advertise to `tenant`, from its own backlog this scan.
+    pub fn credits(&self, cfg: &OverloadConfig, tenant: Option<u32>) -> u16 {
+        let seen = self.domains.borrow().get(&tenant).map_or(0, |dom| dom.seen);
+        credits_for(cfg, seen)
+    }
+
+    /// Requests admitted across all domains this scan.
+    pub fn admitted_total(&self) -> usize {
+        self.domains.borrow().values().map(|d| d.admitted).sum()
+    }
+
+    /// Distinct tenant domains seen this scan.
+    pub fn domains_seen(&self) -> usize {
+        self.domains.borrow().len()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -222,6 +306,72 @@ mod tests {
             assert!(cur <= prev, "credits rose with backlog at {backlog}");
             prev = cur;
         }
+    }
+
+    #[test]
+    fn tenant_domains_are_independent() {
+        let c = cfg(); // queue_limit 4
+        let t = TenantCredits::new();
+        let now = SimTime::from_nanos(10);
+        // Hot tenant 1 floods: admitted up to its own share, then Busy.
+        for _ in 0..4 {
+            assert_eq!(t.admit(&c, now, None, Some(1)), Admission::Admit);
+        }
+        assert_eq!(t.admit(&c, now, None, Some(1)), Admission::Busy);
+        // Cold tenant 2 still gets its full share.
+        assert_eq!(t.admit(&c, now, None, Some(2)), Admission::Admit);
+        // So does the untenanted domain.
+        assert_eq!(t.admit(&c, now, None, None), Admission::Admit);
+        assert_eq!(t.admitted_total(), 6);
+        assert_eq!(t.domains_seen(), 3);
+    }
+
+    #[test]
+    fn tenant_credits_reflect_own_backlog_only() {
+        let c = cfg(); // low water 2, high water 10, max 8
+        let t = TenantCredits::new();
+        let now = SimTime::from_nanos(10);
+        for _ in 0..10 {
+            let _ = t.admit(&c, now, None, Some(1));
+        }
+        let _ = t.admit(&c, now, None, Some(2));
+        assert_eq!(t.credits(&c, Some(1)), 0, "hot tenant throttled");
+        assert_eq!(
+            t.credits(&c, Some(2)),
+            c.credit_max,
+            "cold tenant untouched"
+        );
+        assert_eq!(
+            t.credits(&c, Some(3)),
+            c.credit_max,
+            "unseen tenant untouched"
+        );
+    }
+
+    #[test]
+    fn tenant_sweep_resets_per_scan() {
+        let c = cfg();
+        let t = TenantCredits::new();
+        let now = SimTime::from_nanos(10);
+        for _ in 0..5 {
+            let _ = t.admit(&c, now, None, Some(1));
+        }
+        t.begin_scan();
+        assert_eq!(t.admit(&c, now, None, Some(1)), Admission::Admit);
+        assert_eq!(t.admitted_total(), 1);
+    }
+
+    #[test]
+    fn tenant_shed_still_wins_over_queue_state() {
+        let c = cfg();
+        let t = TenantCredits::new();
+        let now = SimTime::from_nanos(1_000);
+        let past = Some(SimTime::from_nanos(999));
+        assert_eq!(t.admit(&c, now, past, Some(1)), Admission::Shed);
+        // A shed charges the backlog (the request was pending) but not
+        // the admission count.
+        assert_eq!(t.admitted_total(), 0);
+        assert!(t.credits(&c, Some(1)) <= c.credit_max);
     }
 
     #[test]

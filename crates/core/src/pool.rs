@@ -295,6 +295,50 @@ mod tests {
     }
 
     #[test]
+    fn pool_acquire_wait_p99_bounded_at_4x_oversubscription() {
+        // 16 tasks over 4 connections (4× oversubscription), all
+        // arriving together. With strict FIFO handoff every caller
+        // waits at most 3 "waves" of calls ahead of it; the old
+        // re-race admission let a late arriver overtake queued waiters,
+        // which unbounded the tail. Each call is ~13-25µs end-to-end
+        // (10µs server time riding the hybrid switch), so three waves
+        // stay well under 100µs.
+        let mut sim = Simulation::new(17);
+        let (pool, cm) = pooled_rig(&mut sim, RfpConfig::default(), 4);
+        let registry = MetricsRegistry::new();
+        pool.attach_telemetry(&registry, "pool");
+        let wait_hist = registry.histogram("pool.acquire_wait");
+
+        for i in 0..16u32 {
+            let p = Rc::clone(&pool);
+            let t = cm.thread(format!("task{i}"));
+            sim.spawn(async move {
+                let _ = p.call(&t, &i.to_le_bytes()).await;
+            });
+        }
+        sim.run_for(SimSpan::millis(5));
+
+        assert_eq!(pool.total_calls(), 16);
+        assert_eq!(wait_hist.len(), 16);
+        let p99 = wait_hist.percentile(99.0).expect("16 samples");
+        assert!(
+            p99 < SimSpan::micros(100),
+            "FIFO handoff should bound the acquire tail: p99 = {}ns",
+            p99.as_nanos()
+        );
+        // The tail is the last wave, not an unlucky starved waiter: the
+        // worst wait stays within 2× the median wait plus one wave.
+        let p50 = wait_hist.percentile(50.0).expect("16 samples");
+        let max = wait_hist.max().expect("16 samples");
+        assert!(
+            max <= p50 + p50 + SimSpan::micros(30),
+            "starved waiter: max {}ns vs p50 {}ns",
+            max.as_nanos(),
+            p50.as_nanos()
+        );
+    }
+
+    #[test]
     fn pool_telemetry_records_waits_and_depth() {
         let mut sim = Simulation::new(13);
         let (pool, cm) = pooled_rig(&mut sim, RfpConfig::default(), 2);

@@ -84,7 +84,7 @@ impl IdlePolicy {
 
     /// The nap to take after one more consecutive empty scan, given the
     /// previous nap (zero at first).
-    fn next_nap(&self, prev: SimSpan) -> SimSpan {
+    pub(crate) fn next_nap(&self, prev: SimSpan) -> SimSpan {
         if self.max_nap.is_zero() {
             return SimSpan::ZERO;
         }

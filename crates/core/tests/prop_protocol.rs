@@ -10,8 +10,8 @@ use proptest::prelude::*;
 
 use rfp_core::{
     connect, resp_canary, serve_loop, ParamSelector, ReqHeader, RespHeader, RespIntegrity,
-    RespStatus, RfpConfig, WorkloadSample, MAX_PAYLOAD, REQ_HDR, REQ_HDR_EXT, RESP_HDR,
-    RESP_HDR_EXT,
+    RespStatus, RfpConfig, WorkloadSample, MAX_PAYLOAD, MAX_REQ_PAYLOAD, REQ_HDR, REQ_HDR_EXT,
+    REQ_HDR_TENANT, RESP_HDR, RESP_HDR_EXT,
 };
 use rfp_rnic::{Cluster, ClusterProfile, LinkProfile, NicProfile};
 use rfp_simnet::{SimSpan, SimTime, Simulation};
@@ -25,13 +25,21 @@ proptest! {
     #[test]
     fn req_header_round_trips(
         valid in any::<bool>(),
-        size in 0u32..=MAX_PAYLOAD as u32,
+        size in 0u32..=MAX_REQ_PAYLOAD as u32,
         seq in any::<u32>(),
         deadline_ns in prop::option::of(any::<u64>()),
+        tenant in prop::option::of(any::<u32>()),
     ) {
-        let h = ReqHeader { valid, size, seq, deadline: deadline_ns.map(SimTime::from_nanos) };
-        prop_assert_eq!(h.wire_len(), if deadline_ns.is_some() { REQ_HDR_EXT } else { REQ_HDR });
-        let mut buf = [0u8; REQ_HDR_EXT];
+        let h = ReqHeader { valid, size, seq, deadline: deadline_ns.map(SimTime::from_nanos), tenant };
+        let expect_len = if tenant.is_some() {
+            REQ_HDR_TENANT
+        } else if deadline_ns.is_some() {
+            REQ_HDR_EXT
+        } else {
+            REQ_HDR
+        };
+        prop_assert_eq!(h.wire_len(), expect_len);
+        let mut buf = [0u8; REQ_HDR_TENANT];
         h.encode(&mut buf[..h.wire_len()]);
         prop_assert_eq!(ReqHeader::decode(&buf), h);
     }

@@ -36,6 +36,6 @@ pub use mcd::{McdCosts, McdStore, McdThreadView};
 pub use proto::{KvRequest, KvResponse, ProtoError};
 pub use sharded::{spawn_sharded_jakiro, ShardedSystem};
 pub use systems::{
-    spawn_farm, spawn_herd, spawn_jakiro, spawn_jakiro_shared, spawn_memcached, spawn_pilaf,
-    spawn_server_reply_kv, KvStats, KvSystem, SystemConfig,
+    spawn_farm, spawn_fleet_kv, spawn_herd, spawn_jakiro, spawn_jakiro_shared, spawn_memcached,
+    spawn_pilaf, spawn_server_reply_kv, FleetConfig, FleetKv, KvStats, KvSystem, SystemConfig,
 };

@@ -18,11 +18,14 @@
 use std::rc::Rc;
 
 use rfp_core::{
-    connect, serve_loop, RespStatus, RfpClient, RfpConfig, RfpServerConn, RfpTelemetry, RESP_HDR,
+    connect, serve_loop, serve_loop_tenant, shard_conns, MuxConfig, RespStatus, RfpClient,
+    RfpConfig, RfpMux, RfpServerConn, RfpTelemetry, TenantId, RESP_HDR,
 };
 use rfp_paradigms::{sr_connect, BypassClient};
 use rfp_rnic::{Cluster, ClusterProfile, Machine, ThreadCtx};
-use rfp_simnet::{Counter, Histogram, MetricsRegistry, SimSpan, Simulation, SpanRecorder};
+use rfp_simnet::{
+    Counter, HealthHub, Histogram, MetricsRegistry, SimSpan, Simulation, SpanRecorder,
+};
 use rfp_workload::{Op, WorkloadSpec};
 
 use crate::bucket::Partition;
@@ -1301,5 +1304,283 @@ pub fn spawn_farm(sim: &mut Simulation, cfg: &SystemConfig) -> KvSystem {
         client_threads,
         rfp_clients,
         server_conns: Vec::new(),
+    }
+}
+
+/// Shape of a multiplexed client fleet (see [`spawn_fleet_kv`]).
+#[derive(Clone)]
+pub struct FleetConfig {
+    /// Logical clients across the whole fleet. Cheap by design — this
+    /// is the axis the fleet bench sweeps to 10⁵.
+    pub logical_clients: usize,
+    /// Physical RFP connections (slot rings); the real server cost.
+    pub physical_conns: usize,
+    /// Server poller groups; each owns a disjoint connection shard.
+    pub poller_groups: usize,
+    /// Tenants; logical clients are spread across them round-robin.
+    pub tenants: u32,
+    /// Concurrently-active driver tasks cycling through the logical
+    /// clients (the fleet's duty cycle: `drivers ≪ logical_clients`
+    /// models mostly-idle clients).
+    pub drivers: usize,
+    /// When set, this tenant gets [`hot_drivers`](FleetConfig::hot_drivers)
+    /// extra flooding drivers — the isolation scenario.
+    pub hot_tenant: Option<u32>,
+    /// Extra drivers dedicated to the hot tenant.
+    pub hot_drivers: usize,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            logical_clients: 100,
+            physical_conns: 16,
+            poller_groups: 4,
+            tenants: 4,
+            drivers: 16,
+            hot_tenant: None,
+            hot_drivers: 0,
+        }
+    }
+}
+
+/// A running multiplexed fleet: N logical clients over M physical
+/// connections over ≤ 2 QP pairs per client machine, served by sharded
+/// tenant-aware poller groups.
+pub struct FleetKv {
+    /// The simulated cluster (machine 0 is the server).
+    pub cluster: Cluster,
+    /// Shared measurements (goodput, latency, rejections).
+    pub stats: Rc<KvStats>,
+    /// Unified instrument registry (`nic.*`, `kv.*`, `rfp.client.*`,
+    /// `serve.scan.*`).
+    pub registry: MetricsRegistry,
+    /// Finished request-lifecycle spans.
+    pub spans: SpanRecorder,
+    /// The server machine.
+    pub server_machine: Rc<Machine>,
+    /// One mux per client machine.
+    pub muxes: Vec<Rc<RfpMux>>,
+    /// Per-tenant health windows (hub connection id = tenant id).
+    pub tenant_health: HealthHub,
+    /// Completed-Ok calls per tenant (index = tenant id).
+    pub tenant_goodput: Rc<Vec<Counter>>,
+    /// Every server-side connection (pre-sharding).
+    pub server_conns: Vec<Rc<RfpServerConn>>,
+    /// All driver threads (for utilisation readings).
+    pub client_threads: Vec<Rc<ThreadCtx>>,
+}
+
+impl FleetKv {
+    /// Discards warm-up measurements (stats, NIC counters, registry,
+    /// spans, per-tenant goodput; mux lease counters keep running).
+    pub fn reset_measurements(&self) {
+        self.stats.reset();
+        for i in 0..self.cluster.len() {
+            self.cluster.machine(i).nic().reset_counters();
+        }
+        for t in &self.client_threads {
+            t.reset_utilization();
+        }
+        for c in self.muxes.iter().flat_map(|m| m.clients()) {
+            c.stats().reset();
+        }
+        for g in self.tenant_goodput.iter() {
+            g.reset();
+        }
+        self.registry.reset();
+        self.spans.reset();
+    }
+
+    /// Per-tenant completed-Ok calls, in tenant order.
+    pub fn tenant_goodput(&self) -> Vec<u64> {
+        self.tenant_goodput.iter().map(Counter::get).collect()
+    }
+}
+
+/// Spawns a multiplexed KV fleet: `fleet.logical_clients` logical
+/// clients over `fleet.physical_conns` slot rings, one shared QP pair
+/// per client machine (QP virtualization), a single shared store
+/// partition, and `fleet.poller_groups` tenant-aware server loops
+/// ([`serve_loop_tenant`]) over disjoint connection shards.
+///
+/// Drivers run the overload-aware call path, so `cfg.rfp` must have
+/// overload control enabled.
+pub fn spawn_fleet_kv(sim: &mut Simulation, cfg: &SystemConfig, fleet: &FleetConfig) -> FleetKv {
+    assert!(
+        cfg.rfp.overload.enabled,
+        "fleet drivers use call_overload; enable cfg.rfp.overload"
+    );
+    assert!(fleet.tenants > 0 && fleet.drivers > 0 && fleet.physical_conns > 0);
+    let machines = cfg.client_machines.min(fleet.physical_conns);
+    let cluster = Cluster::new(sim, cfg.profile.clone(), 1 + machines);
+    let server_m = cluster.machine(0);
+    let stats = Rc::new(KvStats::default());
+    let (registry, spans) = system_telemetry(&cluster, &stats, &cfg.rfp);
+    stats.register_overload_into(&registry);
+    let rfp_cfg = cfg.rfp_sized();
+
+    // One shared partition: any poller group can serve any key (the
+    // mux may land a tenant on any connection). Synchronous borrows in
+    // a single-threaded sim — no lock needed.
+    let part = {
+        let buckets = (cfg.spec.key_count as usize * 2 / 8).max(64);
+        let part = Rc::new(RefCell::new(Partition::new(buckets)));
+        let mut gen = cfg.spec.generator(cfg.seed);
+        for (key, value) in gen.preload(cfg.spec.key_count) {
+            part.borrow_mut().put(&key, &value);
+        }
+        part
+    };
+
+    // One QP pair per client machine, shared by every connection on it:
+    // the whole fleet rides `2 * machines` QP endpoints per side.
+    let qp_pairs: Vec<(Rc<rfp_rnic::Qp>, Rc<rfp_rnic::Qp>)> = (0..machines)
+        .map(|m| (cluster.qp(1 + m, 0), cluster.qp(0, 1 + m)))
+        .collect();
+
+    // Physical connections, round-robin across client machines.
+    let mut per_machine_clients: Vec<Vec<Rc<RfpClient>>> =
+        (0..machines).map(|_| Vec::new()).collect();
+    let mut server_conns = Vec::with_capacity(fleet.physical_conns);
+    for k in 0..fleet.physical_conns {
+        let m = k % machines;
+        let client_m = cluster.machine(1 + m);
+        let mut ccfg = client_rfp_cfg(&rfp_cfg, &registry, &spans, k);
+        ccfg.overload.seed = rfp_simnet::derive_seed(rfp_cfg.overload.seed, k as u64);
+        let (cl, sc) = connect(
+            &client_m,
+            &server_m,
+            Rc::clone(&qp_pairs[m].0),
+            Rc::clone(&qp_pairs[m].1),
+            ccfg,
+        );
+        per_machine_clients[m].push(Rc::new(cl));
+        server_conns.push(Rc::new(sc));
+    }
+
+    // One mux per client machine, all feeding one per-tenant hub.
+    let tenant_health = HealthHub::default();
+    let muxes: Vec<Rc<RfpMux>> = per_machine_clients
+        .into_iter()
+        .map(|clients| {
+            RfpMux::new(
+                clients,
+                MuxConfig {
+                    tenant_health: Some(tenant_health.clone()),
+                    ..MuxConfig::default()
+                },
+            )
+        })
+        .collect();
+
+    let tenant_goodput: Rc<Vec<Counter>> =
+        Rc::new((0..fleet.tenants).map(|_| Counter::new()).collect());
+
+    // Drivers: `fleet.drivers` baseline tasks cycling disjoint slices
+    // of the logical fleet, plus `fleet.hot_drivers` flooding tasks
+    // pinned to the hot tenant.
+    let mut client_threads = Vec::new();
+    let total_drivers = fleet.drivers
+        + if fleet.hot_tenant.is_some() {
+            fleet.hot_drivers
+        } else {
+            0
+        };
+    for d in 0..total_drivers {
+        let hot = d >= fleet.drivers;
+        let tenant = if hot {
+            fleet.hot_tenant.expect("hot drivers imply a hot tenant")
+        } else {
+            d as u32 % fleet.tenants
+        };
+        let m = d % machines;
+        let mux = Rc::clone(&muxes[m]);
+        // A baseline driver owns every logical client ≡ d (mod drivers);
+        // a hot driver hammers through one dedicated logical client.
+        let logicals: Vec<_> = if hot {
+            vec![mux.logical_client(TenantId(tenant))]
+        } else {
+            (0..fleet.logical_clients)
+                .filter(|l| l % fleet.drivers == d)
+                .map(|_| mux.logical_client(TenantId(tenant)))
+                .collect()
+        };
+        if logicals.is_empty() {
+            continue;
+        }
+        let thread = cluster.machine(1 + m).thread(format!("drv{d}"));
+        client_threads.push(Rc::clone(&thread));
+        let spec = cfg.spec.clone();
+        let seed = rfp_simnet::derive_seed(cfg.seed, 0xF1EE_7000 + d as u64);
+        let st = Rc::clone(&stats);
+        let goodput = Rc::clone(&tenant_goodput);
+        let think = cfg.think_time;
+        let h = sim.handle();
+        sim.spawn(async move {
+            use rand::{Rng, SeedableRng};
+            let mut gen = spec.generator(seed);
+            let mut pause_rng =
+                rand::rngs::StdRng::seed_from_u64(rfp_simnet::derive_seed(seed, 0x0074_6869));
+            let mut next = 0usize;
+            loop {
+                if !hot && !think.is_zero() {
+                    let u: f64 = pause_rng.gen_range(1e-9..1.0);
+                    h.sleep(SimSpan::from_nanos_f64(think.as_nanos() as f64 * -u.ln()))
+                        .await;
+                }
+                // Cycle the slice so every logical client stays live.
+                let lc = &logicals[next % logicals.len()];
+                next += 1;
+                let op = gen.next_op();
+                let req = match &op {
+                    Op::Get { key } => KvRequest::Get { key }.encode(),
+                    Op::Put { key, value } => KvRequest::Put { key, value }.encode(),
+                };
+                let t0 = h.now();
+                let out = lc.call_overload(&thread, &req).await;
+                match out.info.status {
+                    RespStatus::Ok => {
+                        let resp = KvResponse::decode(&out.data).expect("server response");
+                        record_outcome(&st, &op, &resp, h.now() - t0);
+                        goodput[tenant as usize].incr();
+                    }
+                    RespStatus::Busy => st.rejected_busy.incr(),
+                    _ => st.rejected_shed.incr(),
+                }
+            }
+        });
+    }
+
+    // Sharded tenant-aware poller groups, one server thread each.
+    for (g, group) in shard_conns(&server_conns, fleet.poller_groups)
+        .into_iter()
+        .enumerate()
+    {
+        let thread = server_m.thread(format!("pg{g}"));
+        let handler = kv_handler(
+            Rc::clone(&part),
+            cfg.extra_process,
+            OutlierGen::new(cfg, 0xF1EE + g as u64),
+        );
+        sim.spawn(serve_loop_tenant(
+            thread,
+            group,
+            handler,
+            SimSpan::nanos(100),
+        ));
+    }
+
+    FleetKv {
+        cluster,
+        stats,
+        registry,
+        spans,
+        server_machine: server_m,
+        muxes,
+        tenant_health,
+        tenant_goodput,
+        server_conns,
+        client_threads,
     }
 }

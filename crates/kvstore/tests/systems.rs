@@ -396,3 +396,54 @@ fn erew_load_imbalance_under_skew_is_bounded() {
     // And the imbalance does not cost throughput: the NIC is still the
     // bottleneck (cross-checked by jakiro peak tests above).
 }
+
+#[test]
+fn fleet_mux_serves_many_logicals_over_few_conns() {
+    use rfp_core::{OverloadConfig, RfpConfig};
+    use rfp_kvstore::{spawn_fleet_kv, FleetConfig};
+
+    let cfg = SystemConfig {
+        rfp: RfpConfig {
+            overload: OverloadConfig {
+                enabled: true,
+                ..OverloadConfig::default()
+            },
+            ..SystemConfig::default().rfp
+        },
+        ..small_cfg()
+    };
+    let fleet = FleetConfig {
+        logical_clients: 400,
+        physical_conns: 12,
+        poller_groups: 3,
+        tenants: 4,
+        drivers: 24,
+        ..FleetConfig::default()
+    };
+    let mut sim = Simulation::new(cfg.seed);
+    let sys = spawn_fleet_kv(&mut sim, &cfg, &fleet);
+    sim.run_for(SimSpan::millis(2));
+    sys.reset_measurements();
+    sim.run_for(SimSpan::millis(8));
+
+    let done = sys.stats.completed.get();
+    assert!(done > 1_000, "fleet must make progress: {done}");
+    // 400 logical clients rode 12 physical conns over one QP pair per
+    // client machine.
+    let logical: u32 = sys.muxes.iter().map(|m| m.logical_count()).sum();
+    assert_eq!(logical, 400);
+    assert!(sys.server_machine.qp_endpoints() <= 2 * sys.muxes.len() as u64);
+    // Per-tenant accounting adds up and every tenant progressed.
+    let per_tenant = sys.tenant_goodput();
+    assert_eq!(per_tenant.iter().sum::<u64>(), done);
+    for (t, &g) in per_tenant.iter().enumerate() {
+        assert!(g > 0, "tenant {t} starved: {per_tenant:?}");
+    }
+    // Scan accounting flowed from the tenant-aware poller groups.
+    let snap = sys.registry.snapshot();
+    let scans = snap.scalar("serve.scan.conns").unwrap_or(0.0);
+    assert!(scans > 0.0, "poller groups must book scan work");
+    // Per-tenant health rolled up in the hub.
+    let report = sys.tenant_health.report(sim.now());
+    assert_eq!(report.conns.len(), 4, "one health window per tenant");
+}

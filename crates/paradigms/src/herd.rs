@@ -177,6 +177,7 @@ impl HerdClient {
             size: req.len() as u32,
             seq,
             deadline: None,
+            tenant: None,
         };
         let mut hdr_bytes = [0u8; REQ_HDR];
         hdr.encode(&mut hdr_bytes);
@@ -251,6 +252,7 @@ impl HerdServerConn {
                 size: 0,
                 seq: hdr.seq,
                 deadline: None,
+                tenant: None,
             }
             .encode(&mut cleared);
             self.req.write_local(0, &cleared);
@@ -268,6 +270,7 @@ impl HerdServerConn {
                 size: 0,
                 seq: hdr.seq,
                 deadline: None,
+                tenant: None,
             }
             .encode(&mut cleared);
             self.req.write_local(0, &cleared);

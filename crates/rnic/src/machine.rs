@@ -25,6 +25,13 @@ pub struct Machine {
     nic: Rc<Nic>,
     handle: SimHandle,
     next_mr: Cell<u64>,
+    /// Cumulative bytes of registered (pinned) memory — the server-side
+    /// footprint the fleet bench asserts stays flat as logical clients
+    /// grow.
+    registered_bytes: Cell<u64>,
+    /// Queue pairs with an endpoint on this machine — each is real NIC
+    /// cache plus host memory on the hardware this models.
+    qp_endpoints: Cell<u64>,
     faults: MachineFaults,
     /// Every region registered on this machine, for cold-restart wipes.
     regions: RefCell<Vec<Weak<MemRegion>>>,
@@ -37,6 +44,8 @@ impl Machine {
             nic: Rc::new(Nic::new(handle.clone(), profile)),
             handle,
             next_mr: Cell::new(0),
+            registered_bytes: Cell::new(0),
+            qp_endpoints: Cell::new(0),
             faults: MachineFaults::default(),
             regions: RefCell::new(Vec::new()),
         })
@@ -70,8 +79,31 @@ impl Machine {
         // Encode the owner in the rkey for debuggability.
         let id = MrId(((self.id.0 as u64) << 32) | seq);
         let mr = MemRegion::new(id, self.id, len);
+        self.registered_bytes
+            .set(self.registered_bytes.get() + len as u64);
         self.regions.borrow_mut().push(Rc::downgrade(&mr));
         mr
+    }
+
+    /// Cumulative bytes ever registered on this machine (pinned-memory
+    /// footprint; regions are never unpinned in this model).
+    pub fn registered_bytes(&self) -> u64 {
+        self.registered_bytes.get()
+    }
+
+    /// Memory regions ever registered on this machine.
+    pub fn mr_count(&self) -> u64 {
+        self.next_mr.get()
+    }
+
+    /// Queue pairs with an endpoint on this machine.
+    pub fn qp_endpoints(&self) -> u64 {
+        self.qp_endpoints.get()
+    }
+
+    /// Books one QP endpoint (called at QP creation for both sides).
+    pub(crate) fn note_qp_endpoint(&self) {
+        self.qp_endpoints.set(self.qp_endpoints.get() + 1);
     }
 
     /// Zero-fills every live memory region registered on this machine —
@@ -199,6 +231,25 @@ mod tests {
         assert_ne!(a.id(), c.id());
         assert_eq!(a.owner(), m0.id());
         assert_eq!(c.owner(), m1.id());
+    }
+
+    #[test]
+    fn machines_account_registered_memory_and_qps() {
+        let mut sim = Simulation::new(0);
+        let cluster = Cluster::new(&mut sim, ClusterProfile::paper_testbed(), 2);
+        let m0 = cluster.machine(0);
+        let m1 = cluster.machine(1);
+        let _a = m0.alloc_mr(100);
+        let _b = m0.alloc_mr(28);
+        assert_eq!(m0.registered_bytes(), 128);
+        assert_eq!(m0.mr_count(), 2);
+        assert_eq!(m1.registered_bytes(), 0);
+        let _qp = cluster.qp(0, 1);
+        assert_eq!(m0.qp_endpoints(), 1);
+        assert_eq!(m1.qp_endpoints(), 1);
+        let _qp2 = cluster.qp(1, 0);
+        assert_eq!(m0.qp_endpoints(), 2);
+        assert_eq!(m1.qp_endpoints(), 2);
     }
 
     #[test]

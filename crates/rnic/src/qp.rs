@@ -107,6 +107,8 @@ impl Qp {
     ) -> Rc<Self> {
         let local_epoch = local.faults().qp_epoch();
         let remote_epoch = remote.faults().qp_epoch();
+        local.note_qp_endpoint();
+        remote.note_qp_endpoint();
         Rc::new(Qp {
             local,
             remote,
@@ -834,7 +836,7 @@ mod tests {
             qp.read(&t, &l, 64, &r, 128, 5).await;
             // Grow again after the shrink: the recycled scratch must be
             // re-zeroed/refilled, not resurface the first read's bytes.
-            r.write_local(0, &vec![0xAB; 64]);
+            r.write_local(0, &[0xAB; 64]);
             qp.read(&t, &l, 128, &r, 0, 64).await;
         });
         sim.run();

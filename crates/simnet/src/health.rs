@@ -422,6 +422,73 @@ impl HealthReport {
     pub fn conn(&self, conn: u32) -> Option<&ConnHealthReport> {
         self.conns.iter().find(|c| c.conn == conn)
     }
+
+    /// Merges per-connection windows into per-group aggregates, where
+    /// `group_of` maps a connection id to its group (a tenant, a poller
+    /// group, a rack — any u32 keying). Returned sorted by group id.
+    pub fn rollup(&self, group_of: impl Fn(u32) -> u32) -> Vec<HealthRollup> {
+        let mut groups: BTreeMap<u32, HealthRollup> = BTreeMap::new();
+        for c in &self.conns {
+            let agg = groups
+                .entry(group_of(c.conn))
+                .or_insert_with(|| HealthRollup {
+                    group: group_of(c.conn),
+                    ..HealthRollup::default()
+                });
+            agg.conns += 1;
+            agg.calls += c.calls;
+            agg.sheds += c.sheds;
+            agg.busys += c.busys;
+            agg.corrupts += c.corrupts;
+            agg.reconnects += c.reconnects;
+            agg.verb_errors += c.verb_errors;
+            agg.worst_p99_ns = agg.worst_p99_ns.max(c.p99_ns);
+            agg.max_ns = agg.max_ns.max(c.max_ns);
+            agg.mean_weight += c.mean_ns as f64 * c.calls as f64;
+        }
+        groups
+            .into_values()
+            .map(|mut g| {
+                if g.calls > 0 {
+                    g.mean_ns = (g.mean_weight / g.calls as f64) as u64;
+                    g.reject_rate = (g.sheds + g.busys) as f64 / g.calls as f64;
+                }
+                g
+            })
+            .collect()
+    }
+}
+
+/// Aggregate of several connections' windows — one tenant's fleet, one
+/// poller group, etc. (see [`HealthReport::rollup`]).
+#[derive(Clone, Debug, Default)]
+pub struct HealthRollup {
+    /// The group key.
+    pub group: u32,
+    /// Connections merged into this group.
+    pub conns: usize,
+    /// Calls completed inside the window, summed.
+    pub calls: u64,
+    /// `Shed` verdicts, summed.
+    pub sheds: u64,
+    /// `Busy` verdicts, summed.
+    pub busys: u64,
+    /// Integrity-discarded fetches, summed.
+    pub corrupts: u64,
+    /// QP re-establishments, summed.
+    pub reconnects: u64,
+    /// Verb errors, summed.
+    pub verb_errors: u64,
+    /// Worst member p99 (a group is as healthy as its sickest member).
+    pub worst_p99_ns: u64,
+    /// Largest latency observed across the group.
+    pub max_ns: u64,
+    /// Call-weighted mean latency.
+    pub mean_ns: u64,
+    /// `(sheds + busys) / calls` over the group.
+    pub reject_rate: f64,
+    /// Intermediate Σ(mean·calls) for the weighted mean.
+    mean_weight: f64,
 }
 
 /// A shareable hub handing out per-connection health state.
@@ -862,6 +929,30 @@ mod tests {
         assert_eq!(ids, [2, 5]);
         assert!(report.conn(5).is_some());
         assert!(report.conn(9).is_none());
+    }
+
+    #[test]
+    fn rollup_groups_and_weights() {
+        let hub = hub();
+        // Conns 0,2 → group 0; conn 1 → group 1.
+        hub.conn(0).record_call(t(1), SimSpan::micros(1), 0, 8, 1);
+        hub.conn(0).record_call(t(1), SimSpan::micros(1), 0, 8, 1);
+        hub.conn(2).record_call(t(1), SimSpan::micros(4), 0, 8, 1);
+        hub.conn(2).record_shed(t(1));
+        hub.conn(1).record_call(t(1), SimSpan::micros(9), 0, 8, 1);
+        let report = hub.report(t(5));
+        let groups = report.rollup(|conn| conn % 2);
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0].group, 0);
+        assert_eq!(groups[0].conns, 2);
+        assert_eq!(groups[0].calls, 3);
+        assert_eq!(groups[0].sheds, 1);
+        // Call-weighted mean: (2·1µs + 1·4µs)/3 = 2µs.
+        assert_eq!(groups[0].mean_ns, 2_000);
+        assert!(groups[0].worst_p99_ns >= 4_000);
+        assert!((groups[0].reject_rate - 1.0 / 3.0).abs() < 1e-9);
+        assert_eq!(groups[1].group, 1);
+        assert_eq!(groups[1].calls, 1);
     }
 
     fn baseline_and_window(

@@ -65,3 +65,20 @@ if git cat-file -e HEAD:BENCH_doctor.json 2>/dev/null; then
   diff <(grep -o '"[^"]*":' /tmp/doctor_a.json | sort) \
        <(git show HEAD:BENCH_doctor.json | grep -o '"[^"]*":' | sort)
 fi
+
+# Fleet smoke: the binary asserts the fleet-scaling claims (flat server
+# memory/QP footprint and flat scan cost per request across 10^2..10^5
+# logical clients, a flat goodput plateau, lease churn actually firing,
+# and >= 80% cold-tenant goodput retention under a hot tenant); here we
+# additionally pin run-to-run determinism under a fixed seed and that
+# the exported registry keeps the committed BENCH_fleet.json shape
+# (same metric names; values may move with the model).
+cargo run -q --release -p rfp-bench --bin fleet 42 > /tmp/fleet_a.csv
+mv BENCH_fleet.json /tmp/fleet_a.json
+cargo run -q --release -p rfp-bench --bin fleet 42 > /tmp/fleet_b.csv
+cmp /tmp/fleet_a.csv /tmp/fleet_b.csv
+cmp /tmp/fleet_a.json BENCH_fleet.json
+if git cat-file -e HEAD:BENCH_fleet.json 2>/dev/null; then
+  diff <(grep -o '"[^"]*":' /tmp/fleet_a.json | sort) \
+       <(git show HEAD:BENCH_fleet.json | grep -o '"[^"]*":' | sort)
+fi
