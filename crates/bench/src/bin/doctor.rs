@@ -15,7 +15,7 @@
 //! ```
 
 use rfp_bench::telemetry::{bench_registry, emit_bench_json};
-use rfp_chaos::{spawn_chaos_kv, ChaosConfig, FaultPlan};
+use rfp_chaos::{spawn_chaos_kv, spawn_failover_kv, ChaosConfig, FailoverChaosConfig, FaultPlan};
 use rfp_core::{IntegrityConfig, OverloadConfig};
 use rfp_simnet::{
     AnomalyConfig, AnomalyDetector, AnomalyKind, DumpBundle, SimSpan, SimTime, Simulation,
@@ -249,6 +249,124 @@ fn main() {
         }
         bench
             .counter(&format!("bench.doctor.{}.completed", scenario.name))
+            .add(rig.state.completed.get());
+    }
+
+    // ---- failover rows: the replicated primary/backup rig ----
+    //
+    // Same phases as above, but on the failover rig: a clean run (zero
+    // false positives — nothing may look like a failover when nobody
+    // failed over) and a primary crash whose signature anomaly is
+    // `failover`, with a dump bundle that chains the clients'
+    // `recovery.failover` reaction back to the `chaos.crash` root.
+    for (name, faulted) in [("failover_clean", false), ("failover", true)] {
+        let mut sim = Simulation::new(seed);
+        let cfg = FailoverChaosConfig {
+            seed,
+            // Enough budget that the clients are still mid-workload
+            // through warm-up, fault window, and tail.
+            ops_per_client: 4_000,
+            ..FailoverChaosConfig::default()
+        };
+        let plan =
+            faulted.then(|| FaultPlan::new(seed).crash(FAULT_AT, SimSpan::millis(100), 0, true));
+        let promote_at = faulted.then(|| FAULT_AT + SimSpan::micros(60));
+        let rig = spawn_failover_kv(&mut sim, &cfg, plan.as_ref(), promote_at);
+
+        sim.run_for(FAULT_AT.since(SimTime::ZERO));
+        let detector = AnomalyDetector::new(AnomalyConfig::default());
+        detector.set_baseline(&rig.health.report(sim.handle().now()));
+        sim.run_for(FAULT_SPAN);
+        let scan_now = sim.handle().now();
+        let report = rig.health.report(scan_now);
+        let anomalies = detector.scan(&report);
+
+        let mut detected: Vec<AnomalyKind> = anomalies.iter().map(|a| a.kind).collect();
+        detected.sort();
+        detected.dedup();
+        let mut bundle_bytes = 0usize;
+        if faulted {
+            use AnomalyKind::*;
+            assert!(
+                detected.contains(&Failover),
+                "failover: expected failover anomaly, detected {detected:?} (report: {:?})",
+                report.conns
+            );
+            for kind in &detected {
+                assert!(
+                    matches!(
+                        kind,
+                        Failover | ConnectionDrop | LatencyRegression | RetrySpike
+                    ),
+                    "failover: unexpected {} anomaly",
+                    kind.as_str()
+                );
+            }
+            assert!(
+                rig.recorder.kind_count("chaos.crash") >= 1,
+                "failover: no chaos.crash root event: {:?}",
+                rig.recorder.kind_counts()
+            );
+            let anomaly = anomalies
+                .iter()
+                .find(|a| a.kind == Failover)
+                .expect("failover anomaly present (asserted above)");
+            let snap = rig.registry.snapshot();
+            let bundle = DumpBundle {
+                anomaly,
+                recorder: Some(&rig.recorder),
+                metrics: Some(&snap),
+                spans: Some(&rig.spans),
+                window: (FAULT_AT, scan_now),
+            };
+            let mut dump = Vec::new();
+            bundle.write(&mut dump).expect("write bundle to vec");
+            let text = String::from_utf8(dump).expect("bundle is utf8");
+            for needle in ["chaos.crash", "recovery.failover"] {
+                assert!(
+                    text.contains(needle),
+                    "failover: dump bundle lost the {needle} cause chain"
+                );
+            }
+            bundle_bytes = text.len();
+        } else {
+            assert!(
+                anomalies.is_empty(),
+                "clean failover rig raised anomalies: {anomalies:?}"
+            );
+        }
+
+        sim.run_for(SimSpan::millis(3));
+
+        let win = report.conns.first();
+        println!(
+            "{},{},{},{},{:.3},{},{},{}",
+            name,
+            rig.state.completed.get(),
+            win.map(|c| c.calls).unwrap_or(0),
+            win.map(|c| c.p99_ns / 1_000).unwrap_or(0),
+            win.map(|c| c.retry_rate).unwrap_or(0.0),
+            if faulted { "failover" } else { "none" },
+            if detected.is_empty() {
+                "none".to_string()
+            } else {
+                detected
+                    .iter()
+                    .map(|k| k.as_str())
+                    .collect::<Vec<_>>()
+                    .join("+")
+            },
+            bundle_bytes,
+        );
+
+        for kind in AnomalyKind::all() {
+            let count = anomalies.iter().filter(|a| a.kind == kind).count() as u64;
+            bench
+                .counter(&format!("bench.doctor.{}.{}", name, kind.as_str()))
+                .add(count);
+        }
+        bench
+            .counter(&format!("bench.doctor.{name}.completed"))
             .add(rig.state.completed.get());
     }
 

@@ -1,0 +1,527 @@
+//! A replicated key-value rig built for failover experiments.
+//!
+//! [`spawn_failover_kv`] assembles the primary/backup pair from
+//! `rfp-kvstore`'s [`replica`](rfp_kvstore::replica) module — machine 0
+//! is the primary, machine 1 the standby backup fed by the primary's
+//! replication log, machines `2..` run clients — and routes every
+//! client call through an [`rfp_core::ReplicaClient`], so a dead or
+//! fenced primary re-homes the client onto the backup automatically.
+//!
+//! The rig records three layers of evidence per run:
+//!
+//! * **online invariant counters** — a GET that observes a version
+//!   older than an already-acknowledged PUT of the same key books
+//!   `lost_acked`; one that runs *backwards* relative to a version some
+//!   earlier-completed read already observed books `stale_reads`
+//!   (the deposed-primary signature). Both compare against snapshots
+//!   taken at call *start*, so a read racing a concurrent write is
+//!   never a false positive;
+//! * **a full operation history** — every call becomes a
+//!   [`HistEntry`]; calls that exhausted their budget stay *pending*
+//!   (they may or may not have taken effect), exactly what
+//!   [`rfp_workload::check_history`] is built to adjudicate;
+//! * **failover timing** — the span from the first fault instant to
+//!   each client's next completed call, in the `failover.time`
+//!   histogram.
+//!
+//! Every PUT value is `client << 32 | version` with a per-client
+//! monotone version, so write values are globally unique (the checker's
+//! convention) and each key has exactly one writer while *reads* roam
+//! the whole keyspace — cross-client reads are what make the surviving
+//! histories worth checking.
+//!
+//! Promotion is the experiment's failure detector: the caller schedules
+//! it (`promote_at`) only for scenarios where the primary really is
+//! dead. Partition scenarios deliberately leave the backup unpromoted —
+//! clients bounce off the standby and come back once the link heals;
+//! that costs availability, never consistency.
+
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use rfp_core::{
+    connect, FailoverConfig, IntegrityConfig, OverloadConfig, ReplicaClient, RfpClient, RfpConfig,
+    RfpServerConn,
+};
+use rfp_kvstore::replica::{
+    backup_serve_loop, primary_serve_loop, BackupRole, PrimaryRole, ReplicationConfig,
+};
+use rfp_kvstore::{KvRequest, KvResponse, Partition};
+use rfp_rnic::{Cluster, ClusterProfile};
+use rfp_simnet::{
+    derive_seed, FlightRecorder, HealthHub, MetricsRegistry, SimSpan, SimTime, Simulation,
+    SpanRecorder, TraceLog,
+};
+use rfp_workload::{HistEntry, RegOp};
+
+use crate::harness::rig_rfp_cfg;
+use crate::inject::{install, InjectorSinks, Restart};
+use crate::plan::FaultPlan;
+
+/// The epoch a promoted backup fences at (the rig promotes at most
+/// once per run).
+pub const PROMOTED_EPOCH: u16 = 1;
+
+/// Sizing and tuning of the failover rig.
+#[derive(Clone, Debug)]
+pub struct FailoverChaosConfig {
+    /// Client machines (one client thread each), on machines `2..`.
+    pub clients: usize,
+    /// Keys *written* per client (reads roam every client's keys).
+    pub keys_per_client: usize,
+    /// Operations each client issues before stopping. Bounded so the
+    /// per-key histories stay inside the checker's search capacity.
+    pub ops_per_client: usize,
+    /// Fraction of operations that are PUTs.
+    pub put_ratio: f64,
+    /// Primary-side replication tuning (the default turns it on; a
+    /// replication-off rig is the tax baseline, not a failover study).
+    pub replication: ReplicationConfig,
+    /// Client-side failover policy (retry budget per replica, maximum
+    /// re-homings per call).
+    pub failover: FailoverConfig,
+    /// Cluster timing profile.
+    pub profile: ClusterProfile,
+    /// Master seed for workloads and recovery jitter.
+    pub seed: u64,
+}
+
+impl Default for FailoverChaosConfig {
+    fn default() -> Self {
+        FailoverChaosConfig {
+            clients: 3,
+            keys_per_client: 4,
+            ops_per_client: 60,
+            put_ratio: 0.5,
+            replication: ReplicationConfig {
+                enabled: true,
+                ..ReplicationConfig::default()
+            },
+            // A short per-replica retry budget: the router should stop
+            // flogging a dead primary and re-home within a bounded
+            // handful of attempts, not ride out the full single-server
+            // recovery schedule first.
+            failover: FailoverConfig {
+                recovery: rfp_core::RecoveryConfig {
+                    retry: rfp_simnet::RetryPolicy::exponential(
+                        4,
+                        SimSpan::micros(10),
+                        SimSpan::micros(200),
+                        0.2,
+                    ),
+                    ..rfp_core::RecoveryConfig::default()
+                },
+                max_failovers: 4,
+            },
+            profile: ClusterProfile::paper_testbed(),
+            seed: 11,
+        }
+    }
+}
+
+/// Shared outcome state, updated online by every client loop.
+pub struct FailoverState {
+    /// Completed calls (all kinds).
+    pub completed: Cell<u64>,
+    /// Acknowledged PUTs.
+    pub acked_puts: Cell<u64>,
+    /// Calls that exhausted the router's whole failover budget.
+    pub failed_calls: Cell<u64>,
+    /// Acked-write losses: a GET observed `NotFound` or an older
+    /// version for a key whose newer PUT was acked before the GET began.
+    pub lost_acked: Cell<u64>,
+    /// Stale reads: a GET observed a version older than one some
+    /// earlier-*completed* read had already seen at the GET's start.
+    pub stale_reads: Cell<u64>,
+    /// GETs answered `NotFound`.
+    pub not_found: Cell<u64>,
+    /// Clients that finished their op budget.
+    pub done_clients: Cell<usize>,
+    /// When the backup was promoted, if it was.
+    pub promoted_at: Cell<Option<SimTime>>,
+    /// key id → value of the last acked PUT (single writer per key and
+    /// per-client-monotone versions make the max the latest).
+    acked: RefCell<HashMap<u64, u64>>,
+    /// key id → newest value any completed read has observed.
+    observed: RefCell<HashMap<u64, u64>>,
+    /// Full operation history, in completion/abandonment order.
+    history: RefCell<Vec<HistEntry>>,
+    /// Per-client crash instant awaiting the first completed call.
+    recovering: Vec<Cell<Option<SimTime>>>,
+}
+
+impl FailoverState {
+    /// The recorded history (for [`rfp_workload::check_history`]).
+    pub fn history(&self) -> Vec<HistEntry> {
+        self.history.borrow().clone()
+    }
+
+    /// Largest number of operations landed on any single key.
+    pub fn max_ops_per_key(&self) -> usize {
+        let mut per_key: HashMap<u64, usize> = HashMap::new();
+        for e in self.history.borrow().iter() {
+            *per_key.entry(e.key).or_default() += 1;
+        }
+        per_key.values().copied().max().unwrap_or(0)
+    }
+}
+
+/// A running failover rig.
+pub struct FailoverKv {
+    /// The simulated cluster (0 = primary, 1 = backup, `2..` clients).
+    pub cluster: Cluster,
+    /// Unified instruments (`rfp.client.*`, `fault.*`, `recovery.*`,
+    /// `failover.time`).
+    pub registry: MetricsRegistry,
+    /// Shared trace.
+    pub trace: TraceLog,
+    /// Request-lifecycle spans.
+    pub spans: SpanRecorder,
+    /// Flight recorder: `chaos.*` fault roots and the clients'
+    /// `recovery.*` reaction chains (`recovery.failover` among them).
+    pub recorder: FlightRecorder,
+    /// Rolling per-connection health (keyed `client * 2 + replica`).
+    pub health: HealthHub,
+    /// Shared outcome state.
+    pub state: Rc<FailoverState>,
+    /// One router per client, in machine order.
+    pub routers: Vec<Rc<ReplicaClient>>,
+    /// Primary-side replication bookkeeping.
+    pub primary_role: Rc<PrimaryRole>,
+    /// Backup-side replication bookkeeping.
+    pub backup_role: Rc<BackupRole>,
+    /// The primary's store.
+    pub primary_part: Rc<RefCell<Partition>>,
+    /// The backup's store.
+    pub backup_part: Rc<RefCell<Partition>>,
+}
+
+impl FailoverKv {
+    /// Total replica re-homings across all clients.
+    pub fn total_failovers(&self) -> u64 {
+        self.routers.iter().map(|r| r.failovers()).sum()
+    }
+
+    /// Maximum observed client failover time, if any fault was timed.
+    pub fn max_failover_time(&self) -> Option<SimSpan> {
+        if !self.registry.names().iter().any(|n| n == "failover.time") {
+            return None;
+        }
+        self.registry.histogram("failover.time").max()
+    }
+}
+
+/// Spawns the rig; pass a [`FaultPlan`] to install its injector and
+/// `promote_at` to schedule the failure detector's promotion of the
+/// backup (crash scenarios only — a partitioned primary is not dead).
+pub fn spawn_failover_kv(
+    sim: &mut Simulation,
+    cfg: &FailoverChaosConfig,
+    plan: Option<&FaultPlan>,
+    promote_at: Option<SimTime>,
+) -> FailoverKv {
+    assert!(cfg.clients > 0, "rig needs at least one client");
+    assert!(cfg.keys_per_client > 0, "rig needs at least one key");
+    let cluster = Cluster::new(sim, cfg.profile.clone(), 2 + cfg.clients);
+    let (primary_m, backup_m) = (cluster.machine(0), cluster.machine(1));
+    let registry = MetricsRegistry::new();
+    cluster.attach_metrics(&registry);
+    let trace = TraceLog::new(64 * 1024);
+    let spans = SpanRecorder::new(1024);
+    let recorder = FlightRecorder::new(64 * 1024);
+    let health = HealthHub::default();
+    cluster.attach_recorder(&recorder);
+
+    let partition_cap = (cfg.clients * cfg.keys_per_client * 2).max(64);
+    let primary_part = Rc::new(RefCell::new(Partition::new(partition_cap)));
+    let backup_part = Rc::new(RefCell::new(Partition::new(partition_cap)));
+    let primary_role = Rc::new(PrimaryRole::default());
+    let backup_role = Rc::new(BackupRole::default());
+
+    let state = Rc::new(FailoverState {
+        completed: Cell::new(0),
+        acked_puts: Cell::new(0),
+        failed_calls: Cell::new(0),
+        lost_acked: Cell::new(0),
+        stale_reads: Cell::new(0),
+        not_found: Cell::new(0),
+        done_clients: Cell::new(0),
+        promoted_at: Cell::new(None),
+        acked: RefCell::new(HashMap::new()),
+        observed: RefCell::new(HashMap::new()),
+        history: RefCell::new(Vec::new()),
+        recovering: (0..cfg.clients).map(|_| Cell::new(None)).collect(),
+    });
+
+    // The dedicated replication link, primary -> backup. Plain RFP: the
+    // log channel is deliberately outside the client-facing epoch fence
+    // (see the `replica` module docs).
+    let (ship, repl_conn) = connect(
+        &primary_m,
+        &backup_m,
+        cluster.qp(0, 1),
+        cluster.qp(1, 0),
+        RfpConfig {
+            enable_mode_switch: false,
+            ..RfpConfig::default()
+        },
+    );
+    ship.set_reconnect(cluster.qp_factory(0, 1));
+
+    let mut primary_conns: Vec<Rc<RfpServerConn>> = Vec::new();
+    let mut backup_conns: Vec<Rc<RfpServerConn>> = Vec::new();
+    let mut routers: Vec<Rc<ReplicaClient>> = Vec::new();
+    let overload = OverloadConfig::default();
+    let integrity = IntegrityConfig::default();
+
+    for c in 0..cfg.clients {
+        let client_m = cluster.machine(2 + c);
+        let thread = client_m.thread(format!("failover-c{c}"));
+        let mut replicas: Vec<Rc<RfpClient>> = Vec::new();
+        for (replica, server_m) in [(0usize, &primary_m), (1usize, &backup_m)] {
+            let (cl, sc) = connect(
+                &client_m,
+                server_m,
+                cluster.qp(2 + c, replica),
+                cluster.qp(replica, 2 + c),
+                rig_rfp_cfg(
+                    &registry,
+                    &spans,
+                    &trace,
+                    &recorder,
+                    &health,
+                    &overload,
+                    &integrity,
+                    c * 2 + replica,
+                ),
+            );
+            cl.set_reconnect(cluster.qp_factory(2 + c, replica));
+            let sc = Rc::new(sc);
+            if replica == 0 {
+                primary_conns.push(sc);
+            } else {
+                backup_conns.push(sc);
+            }
+            replicas.push(Rc::new(cl));
+        }
+        let router = Rc::new(ReplicaClient::new(
+            replicas,
+            FailoverConfig {
+                recovery: rfp_core::RecoveryConfig {
+                    seed: derive_seed(cfg.seed, 0xFA11 + c as u64),
+                    ..cfg.failover.recovery.clone()
+                },
+                ..cfg.failover.clone()
+            },
+        ));
+        routers.push(Rc::clone(&router));
+
+        let st = Rc::clone(&state);
+        let reg = registry.clone();
+        let mut rng = StdRng::seed_from_u64(derive_seed(cfg.seed, 1 + c as u64));
+        let keys = cfg.keys_per_client;
+        let total_keys = cfg.clients * cfg.keys_per_client;
+        let ops = cfg.ops_per_client;
+        let put_ratio = cfg.put_ratio;
+        sim.spawn(async move {
+            let mut version = 0u64;
+            for _ in 0..ops {
+                let is_put = rng.gen::<f64>() < put_ratio;
+                // Writers own a disjoint key range; readers roam.
+                let key_id = if is_put {
+                    (c * keys + rng.gen_range(0..keys)) as u64
+                } else {
+                    rng.gen_range(0..total_keys) as u64
+                };
+                let key = format!("k{key_id}").into_bytes();
+                let (req, value) = if is_put {
+                    version += 1;
+                    let value = ((c as u64) << 32) | version;
+                    (
+                        KvRequest::Put {
+                            key: &key,
+                            value: &value.to_le_bytes(),
+                        }
+                        .encode(),
+                        Some(value),
+                    )
+                } else {
+                    (KvRequest::Get { key: &key }.encode(), None)
+                };
+                // Invariant baselines snapshotted at call start: only
+                // what was already settled *before* this op began can
+                // convict the response.
+                let acked_floor = st.acked.borrow().get(&key_id).copied();
+                let observed_floor = st.observed.borrow().get(&key_id).copied();
+                let start = thread.now().as_nanos();
+                match router.call(&thread, &req).await {
+                    Ok(out) => {
+                        let end = thread.now().as_nanos();
+                        st.completed.set(st.completed.get() + 1);
+                        if let Some(crashed_at) = st.recovering[c].take() {
+                            reg.histogram("failover.time")
+                                .record(thread.now().since(crashed_at));
+                        }
+                        let resp = KvResponse::decode(&out.data).expect("server response");
+                        let op = match (value, resp) {
+                            (Some(v), KvResponse::Stored) => {
+                                st.acked_puts.set(st.acked_puts.get() + 1);
+                                st.acked.borrow_mut().insert(key_id, v);
+                                RegOp::Write(v)
+                            }
+                            (None, KvResponse::Found(bytes)) => {
+                                let raw: [u8; 8] =
+                                    bytes.as_slice().try_into().expect("8-byte value");
+                                let v = u64::from_le_bytes(raw);
+                                if acked_floor.is_some_and(|floor| v < floor) {
+                                    st.lost_acked.set(st.lost_acked.get() + 1);
+                                }
+                                if observed_floor.is_some_and(|floor| v < floor) {
+                                    st.stale_reads.set(st.stale_reads.get() + 1);
+                                }
+                                let mut obs = st.observed.borrow_mut();
+                                let slot = obs.entry(key_id).or_insert(v);
+                                *slot = (*slot).max(v);
+                                RegOp::Read(Some(v))
+                            }
+                            (None, KvResponse::NotFound) => {
+                                st.not_found.set(st.not_found.get() + 1);
+                                if acked_floor.is_some() {
+                                    st.lost_acked.set(st.lost_acked.get() + 1);
+                                }
+                                RegOp::Read(None)
+                            }
+                            (_, other) => panic!("unexpected response {other:?}"),
+                        };
+                        st.history.borrow_mut().push(HistEntry {
+                            key: key_id,
+                            client: c as u32,
+                            start,
+                            end: Some(end),
+                            op,
+                        });
+                    }
+                    Err(_) => {
+                        st.failed_calls.set(st.failed_calls.get() + 1);
+                        // A write that exhausted its budget may still
+                        // have taken effect: record it pending. A
+                        // failed read observed nothing — drop it.
+                        if let Some(v) = value {
+                            st.history.borrow_mut().push(HistEntry {
+                                key: key_id,
+                                client: c as u32,
+                                start,
+                                end: None,
+                                op: RegOp::Write(v),
+                            });
+                        }
+                    }
+                }
+            }
+            st.done_clients.set(st.done_clients.get() + 1);
+        });
+    }
+
+    // The primary and its standby.
+    sim.spawn(primary_serve_loop(
+        primary_m.thread("failover-primary"),
+        primary_conns.clone(),
+        Rc::clone(&primary_part),
+        Rc::new(ship),
+        cfg.replication.clone(),
+        Rc::clone(&primary_role),
+        SimSpan::nanos(100),
+    ));
+    sim.spawn(backup_serve_loop(
+        backup_m.thread("failover-backup"),
+        Rc::new(repl_conn),
+        backup_conns.clone(),
+        Rc::clone(&backup_part),
+        Rc::clone(&backup_role),
+        SimSpan::nanos(100),
+    ));
+
+    // The failure detector: promote the backup into the next epoch at a
+    // fixed (deterministic) instant after the crash.
+    if let Some(at) = promote_at {
+        let handle = cluster.handle().clone();
+        let role = Rc::clone(&backup_role);
+        let conns = backup_conns;
+        let st = Rc::clone(&state);
+        let tr = trace.clone();
+        sim.spawn(async move {
+            let now = handle.now();
+            if at > now {
+                handle.sleep(at.since(now)).await;
+            }
+            role.promote(&conns, PROMOTED_EPOCH);
+            st.promoted_at.set(Some(handle.now()));
+            tr.record(
+                handle.now(),
+                "chaos.fault",
+                format!("backup promoted to epoch {PROMOTED_EPOCH}"),
+            );
+        });
+    }
+
+    // Mark every client as "recovering" at the first fault instant so
+    // the failover.time histogram measures fault -> first completed
+    // call. Injector goes in last, as in the chaos harness.
+    if let Some(plan) = plan {
+        if let Some(first_at) = plan.events().iter().map(|e| e.at).min() {
+            let handle = cluster.handle().clone();
+            let st = Rc::clone(&state);
+            sim.spawn(async move {
+                let now = handle.now();
+                if first_at > now {
+                    handle.sleep(first_at.since(now)).await;
+                }
+                let at = handle.now();
+                for cell in &st.recovering {
+                    cell.set(Some(at));
+                }
+            });
+        }
+        let hook_conns = primary_conns;
+        install(
+            sim,
+            &cluster,
+            plan,
+            InjectorSinks {
+                registry: Some(registry.clone()),
+                trace: Some(trace.clone()),
+                on_restart: Some(Rc::new(move |restart: &Restart| {
+                    // A restarted ex-primary rebuilds its connection
+                    // process state — but it is *deposed*: it comes
+                    // back at its old epoch and the fence keeps it
+                    // from serving promoted-era clients.
+                    if restart.machine == 0 {
+                        for conn in &hook_conns {
+                            conn.recover_after_restart();
+                        }
+                    }
+                })),
+                recorder: Some(recorder.clone()),
+            },
+        );
+    }
+
+    FailoverKv {
+        cluster,
+        registry,
+        trace,
+        spans,
+        recorder,
+        health,
+        state,
+        routers,
+        primary_role,
+        backup_role,
+        primary_part,
+        backup_part,
+    }
+}

@@ -200,7 +200,7 @@ impl ChaosKv {
 /// path does not interact with the hybrid switch), wired to the rig's
 /// shared trace and registry.
 #[allow(clippy::too_many_arguments)]
-fn rig_rfp_cfg(
+pub(crate) fn rig_rfp_cfg(
     registry: &MetricsRegistry,
     spans: &SpanRecorder,
     trace: &TraceLog,

@@ -113,6 +113,14 @@ pub fn install(sim: &mut Simulation, cluster: &Cluster, plan: &FaultPlan, sinks:
                 cluster.len()
             );
         }
+        if let FaultKind::Partition { from, to } = &event.kind {
+            assert!(
+                *from < cluster.len() && *to < cluster.len(),
+                "partition {from} -> {to} exceeds the {}-machine cluster",
+                cluster.len()
+            );
+            assert_ne!(from, to, "a machine cannot be partitioned from itself");
+        }
     }
 
     for event in plan.events().iter().cloned() {
@@ -125,6 +133,7 @@ pub fn install(sim: &mut Simulation, cluster: &Cluster, plan: &FaultPlan, sinks:
             | FaultKind::Crash { machine, .. }
             | FaultKind::TornDma { machine, .. }
             | FaultKind::BitFlip { machine, .. } => Some(cluster.machine(*machine)),
+            FaultKind::Partition { from, .. } => Some(cluster.machine(*from)),
             FaultKind::LinkDegrade { .. } => None,
         };
         let sinks = sinks.clone();
@@ -203,6 +212,20 @@ pub fn install(sim: &mut Simulation, cluster: &Cluster, plan: &FaultPlan, sinks:
                     handle.sleep(event.duration).await;
                     m.faults().set_bitflip(0.0);
                     sinks.note(handle.now(), format!("machine {machine}: bit-flip over"));
+                }
+                FaultKind::Partition { from, to } => {
+                    let m = target.expect("partition has a source");
+                    m.faults().block_to(to);
+                    sinks.count("fault.partition");
+                    sinks.flight(
+                        at,
+                        "chaos.partition",
+                        format!("partition: {from} -> {to} cut (one direction)"),
+                    );
+                    sinks.note(at, format!("partition: {from} -> {to} cut"));
+                    handle.sleep(event.duration).await;
+                    m.faults().unblock_to(to);
+                    sinks.note(handle.now(), format!("partition: {from} -> {to} healed"));
                 }
                 FaultKind::QpError { machine } => {
                     let m = target.expect("qp error has a target");

@@ -16,10 +16,14 @@
 //! stale data after a cold wipe) — see `cargo run -p rfp-bench --bin
 //! chaos` for the scenario sweep.
 
+mod failover;
 mod harness;
 mod inject;
 mod plan;
 
+pub use failover::{
+    spawn_failover_kv, FailoverChaosConfig, FailoverKv, FailoverState, PROMOTED_EPOCH,
+};
 pub use harness::{spawn_chaos_kv, ChaosConfig, ChaosKv, ChaosState};
 pub use inject::{install, InjectorSinks, Restart, RestartHook};
 pub use plan::{FaultEvent, FaultKind, FaultPlan};

@@ -71,6 +71,18 @@ pub enum FaultKind {
         /// Per-READ flip probability in `[0, 1]`.
         p: f64,
     },
+    /// Asymmetric network partition for the event's duration: traffic
+    /// `from → to` is dropped while the reverse direction keeps
+    /// flowing (a one-way link failure / bad switch rule). An op whose
+    /// request leg is cut errors with no remote side effect; an op
+    /// whose completion leg is cut may land its payload remotely and
+    /// still error locally. Schedule both directions for a full cut.
+    Partition {
+        /// Machine whose outbound traffic is dropped.
+        from: usize,
+        /// Destination it can no longer reach.
+        to: usize,
+    },
 }
 
 /// One scheduled fault.
@@ -161,6 +173,12 @@ impl FaultPlan {
         self.push(at, duration, FaultKind::BitFlip { machine, p })
     }
 
+    /// Schedules an asymmetric partition dropping `from → to` traffic
+    /// for `duration` (call twice, swapped, for a symmetric cut).
+    pub fn partition(self, at: SimTime, duration: SimSpan, from: usize, to: usize) -> Self {
+        self.push(at, duration, FaultKind::Partition { from, to })
+    }
+
     /// Draws a mixed plan of `events` faults over `(start, horizon)`
     /// against machines `0..machines`, deterministically from the seed.
     /// Crashes always target machine 0 (the conventional server).
@@ -215,8 +233,9 @@ mod tests {
             .qp_error(SimTime::from_nanos(20), 0)
             .crash(SimTime::from_nanos(30), SimSpan::micros(5), 0, true)
             .torn_dma(SimTime::from_nanos(40), SimSpan::micros(2), 0, 0.3)
-            .bit_flip(SimTime::from_nanos(50), SimSpan::micros(2), 0, 0.1);
-        assert_eq!(plan.len(), 5);
+            .bit_flip(SimTime::from_nanos(50), SimSpan::micros(2), 0, 0.1)
+            .partition(SimTime::from_nanos(60), SimSpan::micros(3), 1, 0);
+        assert_eq!(plan.len(), 6);
         assert_eq!(plan.events()[1].duration, SimSpan::ZERO);
         assert!(matches!(
             plan.events()[2].kind,
@@ -229,6 +248,10 @@ mod tests {
         assert!(matches!(
             plan.events()[4].kind,
             FaultKind::BitFlip { machine: 0, .. }
+        ));
+        assert!(matches!(
+            plan.events()[5].kind,
+            FaultKind::Partition { from: 1, to: 0 }
         ));
     }
 

@@ -62,7 +62,8 @@ proptest! {
             .link_degrade(at, SimSpan::micros(50), 4.0)
             .straggler(at, SimSpan::micros(50), 0, 3.0)
             .qp_error(at, 0)
-            .crash(at, SimSpan::micros(100), 0, false);
+            .crash(at, SimSpan::micros(100), 0, false)
+            .partition(at, SimSpan::micros(50), 1, 0);
         let bare = run_fingerprint(seed, window, None);
         let armed = run_fingerprint(seed, window, Some(&plan));
         prop_assert_eq!(&bare.0, &armed.0, "metrics CSV diverged");

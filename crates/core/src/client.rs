@@ -326,6 +326,13 @@ pub struct RfpClient {
     /// everywhere outside a mux — keeps requests byte-identical to the
     /// untenanted layout.
     tenant: Cell<Option<u32>>,
+    /// Highest replication epoch this client has observed. Stamped into
+    /// every request header and compared against every response: a
+    /// response from an older epoch (a deposed ex-primary) is ignored
+    /// like a non-matching poll, and a response carrying a newer epoch
+    /// moves the client forward. 0 — the default outside replicated
+    /// deployments — keeps the wire bytes legacy-identical.
+    epoch: Cell<u16>,
 }
 
 impl RfpClient {
@@ -366,6 +373,48 @@ impl RfpClient {
             health,
             last_flight: Cell::new(None),
             tenant: Cell::new(None),
+            epoch: Cell::new(0),
+        }
+    }
+
+    /// Sets the replication epoch stamped into subsequent requests
+    /// (failover layers seed it; the client also adopts newer epochs
+    /// from responses on its own).
+    pub fn set_epoch(&self, epoch: u16) {
+        self.epoch.set(epoch);
+    }
+
+    /// Highest replication epoch observed so far (0 when replication
+    /// is off).
+    pub fn known_epoch(&self) -> u16 {
+        self.epoch.get()
+    }
+
+    /// Whether `hdr` answers `seq` in the current (or a newer) epoch.
+    ///
+    /// A valid match carrying a **newer** epoch is accepted and adopted
+    /// — that is how a client learns of a completed failover (including
+    /// from a `Fenced` verdict). A match carrying an **older** epoch is
+    /// a deposed ex-primary still answering into the landing zone; it
+    /// is treated exactly like a non-matching poll, so the call keeps
+    /// fetching and the recovery layer eventually fails over instead of
+    /// surfacing a stale read.
+    fn accept_resp(&self, hdr: &RespHeader, seq: u32) -> bool {
+        hdr.valid && hdr.seq == seq && hdr.epoch >= self.epoch.get()
+    }
+
+    /// Books an accepted (seq-matching, integrity-verified) response's
+    /// header fields: the advertised credit level, and — on an explicit
+    /// `Fenced` verdict only — any newer replication epoch it carries.
+    /// Restricting adoption to fences keeps corruption from poisoning
+    /// the epoch: the payload CRC does not cover the header's epoch
+    /// bytes, but a single bit flip cannot turn status 0 (`Ok`) into 3
+    /// (`Fenced`), so a flipped epoch on an ordinary response is simply
+    /// ignored.
+    fn note_accepted(&self, hdr: &RespHeader) {
+        self.credits.set(hdr.credits);
+        if hdr.status == RespStatus::Fenced && hdr.epoch > self.epoch.get() {
+            self.epoch.set(hdr.epoch);
         }
     }
 
@@ -545,6 +594,7 @@ impl RfpClient {
             seq,
             deadline,
             tenant: self.tenant.get(),
+            epoch: self.epoch.get(),
         };
         let hdr_len = hdr.wire_len();
         let mut hdr_bytes = [0u8; REQ_HDR_TENANT];
@@ -698,6 +748,7 @@ impl RfpClient {
                     seq,
                     deadline: None,
                     tenant: self.tenant.get(),
+                    epoch: self.epoch.get(),
                 };
                 let hdr_len = hdr.wire_len();
                 let mut hdr_bytes = [0u8; REQ_HDR_TENANT];
@@ -859,7 +910,7 @@ impl RfpClient {
                 }
                 thread.busy(self.shared.cfg.check_cpu).await;
                 let hdr = self.resp_hdr_at(fl.slot);
-                if !(hdr.valid && hdr.seq == fl.seq) {
+                if !self.accept_resp(&hdr, fl.seq) {
                     // Missed poll: replicate the sequential overrun
                     // bookkeeping (never switching modes mid-batch).
                     if fl.attempts > r && !fl.counted_over {
@@ -929,7 +980,7 @@ impl RfpClient {
                 if !fl.counted_over {
                     self.consec_over.set(0);
                 }
-                self.credits.set(hdr.credits);
+                self.note_accepted(&hdr);
                 let out = CallResult {
                     data: self
                         .shared
@@ -1178,7 +1229,7 @@ impl RfpClient {
             }
             thread.busy(self.shared.cfg.check_cpu).await;
             let hdr = self.resp_hdr_at(slot);
-            if !(hdr.valid && hdr.seq == seq) {
+            if !self.accept_resp(&hdr, seq) {
                 continue;
             }
             let total = self.resp_total_len(&hdr);
@@ -1212,7 +1263,7 @@ impl RfpClient {
                 integrity_retries.set(integrity_retries.get() + 1);
                 continue;
             }
-            self.credits.set(hdr.credits);
+            self.note_accepted(&hdr);
             match hdr.status {
                 RespStatus::Ok => {
                     return Ok((
@@ -1229,6 +1280,14 @@ impl RfpClient {
                 RespStatus::Shed => {
                     self.note_overload(thread, "overload.sheds_seen", "server shed the request");
                     return Err(RespStatus::Shed);
+                }
+                RespStatus::Fenced => {
+                    self.note_overload(
+                        thread,
+                        "recovery.fenced_seen",
+                        "server fenced a stale-epoch request",
+                    );
+                    return Err(RespStatus::Fenced);
                 }
             }
         }
@@ -1382,7 +1441,7 @@ impl RfpClient {
             }
             thread.busy(self.shared.cfg.check_cpu).await;
             let hdr = self.resp_hdr_at(slot);
-            if hdr.valid && hdr.seq == seq {
+            if self.accept_resp(&hdr, seq) {
                 let total = self.resp_total_len(&hdr);
                 if !self.resp_len_plausible(total) {
                     self.note_integrity_failure(thread, IntegrityFault::Torn);
@@ -1420,7 +1479,7 @@ impl RfpClient {
                 if !counted_over {
                     self.consec_over.set(0);
                 }
-                self.credits.set(hdr.credits);
+                self.note_accepted(&hdr);
                 return CallResult {
                     data: self
                         .shared
@@ -1471,7 +1530,7 @@ impl RfpClient {
             // reads) the whole image, so verification needs no second
             // READ; a corrupt image falls through to the wait/fallback
             // below, which refreshes the landing zone.
-            if hdr.valid && hdr.seq == seq && self.verify_fetched(thread, slot, &hdr).is_ok() {
+            if self.accept_resp(&hdr, seq) && self.verify_fetched(thread, slot, &hdr).is_ok() {
                 self.span_mark(thread, slot, "reply_received");
                 let size = hdr.size as usize;
                 let data = self
@@ -1487,7 +1546,7 @@ impl RfpClient {
                 {
                     self.switch_mode(thread, Mode::RemoteFetch).await;
                 }
-                self.credits.set(hdr.credits);
+                self.note_accepted(&hdr);
                 return CallResult {
                     data,
                     info: CallInfo {
@@ -1501,7 +1560,7 @@ impl RfpClient {
                     },
                 };
             }
-            if hdr.valid && hdr.seq == seq {
+            if self.accept_resp(&hdr, seq) {
                 // Matching but corrupt (verify_fetched noted it above).
                 integrity_retries += 1;
             }
@@ -1679,6 +1738,7 @@ impl RfpClient {
                 seq,
                 deadline: state.stamp,
                 tenant: self.tenant.get(),
+                epoch: self.epoch.get(),
             };
             let hdr_len = hdr.wire_len();
             let mut hdr_bytes = [0u8; REQ_HDR_TENANT];
@@ -1695,7 +1755,11 @@ impl RfpClient {
         let slot = self.shared.slot_of(seq);
         let req_base = self.shared.req_off(slot);
         let resp_base = self.shared.resp_off(slot);
-        let hdr_len = if self.tenant.get().is_some() {
+        // Must mirror `ReqHeader::wire_len` for the header deposited in
+        // this slot — a nonzero epoch forces the 24-byte layout even
+        // without a tenant (an epoch adopted mid-call always re-deposits:
+        // `Fenced` sets the refresh flag).
+        let hdr_len = if self.tenant.get().is_some() || self.epoch.get() != 0 {
             REQ_HDR_TENANT
         } else if state.stamp.is_some() {
             REQ_HDR_EXT
@@ -1743,7 +1807,7 @@ impl RfpClient {
             thread.busy(self.shared.cfg.check_cpu).await;
             let hdr = self.resp_hdr_at(slot);
             let mut corrupt = false;
-            if hdr.valid && hdr.seq == seq {
+            if self.accept_resp(&hdr, seq) {
                 let total = self.resp_total_len(&hdr);
                 if !self.resp_len_plausible(total) {
                     self.note_integrity_failure(thread, IntegrityFault::Torn);
@@ -1769,10 +1833,11 @@ impl RfpClient {
                         extra_read = true;
                     }
                     if self.verify_fetched(thread, slot, &hdr).is_ok() {
-                        self.credits.set(hdr.credits);
+                        self.note_accepted(&hdr);
                         if hdr.status != RespStatus::Ok {
                             let counter = match hdr.status {
                                 RespStatus::Busy => "overload.busy_seen",
+                                RespStatus::Fenced => "recovery.fenced_seen",
                                 _ => "overload.sheds_seen",
                             };
                             self.note_overload(thread, counter, "server rejected the request");
@@ -1867,6 +1932,24 @@ impl RfpClient {
             Severity::Warn
         };
         self.flight(thread, severity, counter, what.to_string());
+    }
+
+    /// Books the replica router abandoning this connection: the
+    /// `recovery.failovers` counter, a `recovery.failover` link chained
+    /// onto the failed call's flight-recorder cause chain, and the
+    /// health plane's failover signal. Lazy like the rest of the
+    /// recovery telemetry: a run that never fails over creates nothing.
+    pub(crate) fn note_failover(&self, thread: &ThreadCtx, detail: String) {
+        if let Some(ins) = &self.instruments {
+            ins.telemetry.registry.counter("recovery.failovers").incr();
+        }
+        if let Some(trace) = &self.shared.cfg.trace {
+            trace.record(thread.now(), "rfp.recovery", detail.clone());
+        }
+        if let Some(h) = &self.health {
+            h.record_failover(thread.now());
+        }
+        self.flight(thread, Severity::Warn, "recovery.failover", detail);
     }
 
     async fn switch_mode(&self, thread: &ThreadCtx, to: Mode) {

@@ -344,10 +344,12 @@ pub fn connect(
         shared,
         qp_reply: qp_s2c,
         advertise: Cell::new(0),
+        epoch: Cell::new(0),
         served: Cell::new(0),
         replied_out_of_band: Cell::new(0),
         rejected_busy: Cell::new(0),
         rejected_shed: Cell::new(0),
+        rejected_fenced: Cell::new(0),
     };
     (client, server)
 }
@@ -375,10 +377,16 @@ pub struct RfpServerConn {
     /// control; stays 0 — the legacy zero fill — when the subsystem is
     /// off).
     advertise: Cell<u16>,
+    /// Replication epoch this server currently serves in (stamped into
+    /// every response header). 0 — the default outside replicated
+    /// deployments — keeps responses byte-identical to the legacy
+    /// layout and disables the request fence.
+    epoch: Cell<u16>,
     served: Cell<u64>,
     replied_out_of_band: Cell<u64>,
     rejected_busy: Cell<u64>,
     rejected_shed: Cell<u64>,
+    rejected_fenced: Cell<u64>,
 }
 
 /// Cached handles to the shared `serve.scan.slots` / `serve.scan.conns`
@@ -457,6 +465,17 @@ impl RfpServerConn {
             st.cur_tenant.set(hdr.tenant);
             st.pickup.set(thread.now());
             self.cur_slot.set(slot);
+            if hdr.epoch != self.epoch.get() {
+                // Epoch fence: the request was stamped in a different
+                // replication epoch than this server serves in — either
+                // a stale client that has not learned of a failover, or
+                // a client that moved on while *we* are the deposed
+                // ex-primary. Never deliver it to the application (so no
+                // split-brain write is ever acked); answer `Fenced`
+                // carrying our epoch so a lagging client can catch up.
+                self.reject(thread, RespStatus::Fenced).await;
+                continue;
+            }
             if let Some(span) = self.shared.span_mut(slot).as_mut() {
                 span.mark_unordered(thread.now(), "server_dequeued");
             }
@@ -529,6 +548,7 @@ impl RfpServerConn {
         let (cell, counter) = match status {
             RespStatus::Busy => (&self.rejected_busy, "overload.busy_rejections"),
             RespStatus::Shed => (&self.rejected_shed, "overload.sheds"),
+            RespStatus::Fenced => (&self.rejected_fenced, "replica.fenced"),
             RespStatus::Ok => unreachable!(),
         };
         cell.set(cell.get() + 1);
@@ -549,6 +569,7 @@ impl RfpServerConn {
             let kind = match status {
                 RespStatus::Busy => "overload.reject_busy",
                 RespStatus::Shed => "overload.reject_shed",
+                RespStatus::Fenced => "replica.fence",
                 RespStatus::Ok => unreachable!(),
             };
             rec.record(
@@ -598,6 +619,7 @@ impl RfpServerConn {
             status,
             credits: self.advertise.get(),
             integrity,
+            epoch: self.epoch.get(),
         };
         let wire_hdr = hdr.wire_len();
         let mut hdr_bytes = [0u8; RESP_HDR_EXT];
@@ -621,6 +643,7 @@ impl RfpServerConn {
                     RespStatus::Ok => "response_posted",
                     RespStatus::Busy => "rejected_busy",
                     RespStatus::Shed => "rejected_shed",
+                    RespStatus::Fenced => "rejected_fenced",
                 },
             );
         }
@@ -641,6 +664,24 @@ impl RfpServerConn {
                 )
                 .await;
         }
+    }
+
+    /// Moves this connection into replication `epoch`: subsequent
+    /// responses are stamped with it, and requests stamped in any other
+    /// epoch are fenced instead of delivered. A promoted backup bumps
+    /// it; a replication layer seeds it at deployment.
+    pub fn set_epoch(&self, epoch: u16) {
+        self.epoch.set(epoch);
+    }
+
+    /// Replication epoch this connection currently serves in.
+    pub fn epoch(&self) -> u16 {
+        self.epoch.get()
+    }
+
+    /// Requests fenced for carrying a mismatched replication epoch.
+    pub fn rejected_fenced(&self) -> u64 {
+        self.rejected_fenced.get()
     }
 
     /// Rebuilds this connection's process state after a server restart.

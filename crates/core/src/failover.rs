@@ -1,0 +1,154 @@
+//! Replica-aware call routing: failover across a static replica list.
+//!
+//! A replicated service exposes the same RPC endpoint on every replica;
+//! the client keeps one established [`RfpClient`] connection per
+//! replica and routes calls to the **active** one. When a call exhausts
+//! its recovery budget with a fault-shaped failure (verb error, expired
+//! deadline, corrupt fetches, or an epoch fence it could not heal), the
+//! router advances to the next replica in the list and resubmits there.
+//!
+//! Two rules keep failover safe:
+//!
+//! * **overload is not failure** — a `Busy`/`Shed` verdict means the
+//!   replica is alive and pushing back; failing over would stampede the
+//!   backup with the very load the primary just refused, so the
+//!   rejection is surfaced to the caller instead;
+//! * **epochs only rise** — the router carries the highest replication
+//!   epoch any replica has taught it ([`RfpClient::known_epoch`]) into
+//!   every connection it activates, so a deposed primary (still serving
+//!   the old epoch) can produce nothing the router will accept: its
+//!   responses are stamped below the known epoch and ignored, the call
+//!   times out, and the router moves on.
+//!
+//! Resubmitting a write on a different replica can execute it twice
+//! (the first replica may have applied it before dying without acking).
+//! The router does not hide that: like the recovery loop's replays, it
+//! relies on the application making its writes idempotent — the
+//! key-value rigs do so by writing each version's full value, so a
+//! double-applied PUT is indistinguishable from a single one.
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+use rfp_rnic::ThreadCtx;
+
+use crate::client::{CallResult, RfpClient};
+use crate::header::RespStatus;
+use crate::recovery::{FailureCause, RecoveryConfig, RpcError};
+
+/// Tunables of the replica router.
+#[derive(Clone, Debug)]
+pub struct FailoverConfig {
+    /// Recovery policy (per-attempt deadline, backoff, reconnect)
+    /// applied on whichever replica is active.
+    pub recovery: RecoveryConfig,
+    /// Replica switches one logical call may make before giving up and
+    /// surfacing the last error. A full tour of `n` replicas needs
+    /// `n - 1`; the default allows a second tour so a replica that
+    /// heals mid-call is retried.
+    pub max_failovers: u32,
+}
+
+impl Default for FailoverConfig {
+    fn default() -> Self {
+        FailoverConfig {
+            recovery: RecoveryConfig::default(),
+            max_failovers: 4,
+        }
+    }
+}
+
+/// Routes fault-tolerant calls across a static list of replicas.
+///
+/// Replica 0 is the deployment's designated primary; the router starts
+/// there and only moves on observed failure, so a healthy run is
+/// event-identical to calling the primary's [`RfpClient`] directly.
+pub struct ReplicaClient {
+    replicas: Vec<Rc<RfpClient>>,
+    active: Cell<usize>,
+    failovers: Cell<u64>,
+    cfg: FailoverConfig,
+}
+
+impl ReplicaClient {
+    /// Builds a router over `replicas` (in preference order; index 0 is
+    /// the designated primary).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty replica list.
+    pub fn new(replicas: Vec<Rc<RfpClient>>, cfg: FailoverConfig) -> Self {
+        assert!(!replicas.is_empty(), "router needs at least one replica");
+        ReplicaClient {
+            replicas,
+            active: Cell::new(0),
+            failovers: Cell::new(0),
+            cfg,
+        }
+    }
+
+    /// Index of the replica currently serving this router's calls.
+    pub fn active(&self) -> usize {
+        self.active.get()
+    }
+
+    /// Replica switches made over this router's lifetime.
+    pub fn failovers(&self) -> u64 {
+        self.failovers.get()
+    }
+
+    /// Highest replication epoch any replica has taught this router.
+    pub fn known_epoch(&self) -> u16 {
+        self.replicas
+            .iter()
+            .map(|c| c.known_epoch())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The active replica's connection.
+    pub fn client(&self) -> &Rc<RfpClient> {
+        &self.replicas[self.active.get()]
+    }
+
+    /// One replicated RPC: calls the active replica under the recovery
+    /// policy, rotating to the next replica after each fault-shaped
+    /// failure (up to [`FailoverConfig::max_failovers`] switches).
+    pub async fn call(&self, thread: &ThreadCtx, req: &[u8]) -> Result<CallResult, RpcError> {
+        // Seed the active connection with the fleet-wide epoch before
+        // every call: a replica learns of a promotion it slept through
+        // the moment the router returns to it.
+        let epoch = self.known_epoch();
+        let mut switches = 0u32;
+        loop {
+            let idx = self.active.get();
+            let client = &self.replicas[idx];
+            if client.known_epoch() < epoch {
+                client.set_epoch(epoch);
+            }
+            match client
+                .call_with_recovery(thread, req, &self.cfg.recovery)
+                .await
+            {
+                Ok(out) => return Ok(out),
+                Err(err) => {
+                    let overloaded = matches!(
+                        err.last,
+                        FailureCause::Rejected(RespStatus::Busy | RespStatus::Shed)
+                    );
+                    if overloaded || switches >= self.cfg.max_failovers {
+                        return Err(err);
+                    }
+                    switches += 1;
+                    let next = (idx + 1) % self.replicas.len();
+                    self.failovers.set(self.failovers.get() + 1);
+                    client.note_failover(
+                        thread,
+                        format!("replica {idx} -> {next} after {:?}", err.last),
+                    );
+                    self.active.set(next);
+                }
+            }
+        }
+    }
+}

@@ -45,6 +45,18 @@
 //!   across the two-segment fetch — is detectable from the fetched
 //!   bytes alone. Without the bit the header is the classic 16 bytes
 //!   and no trailer exists.
+//! * **epoch** — the replication/failover fencing stamp. Responses
+//!   carry it flaglessly in spare bytes 13..15: epoch 0 (the
+//!   pre-replication world) encodes as the zeros those bytes always
+//!   held. Requests carry it under bit 28 of the request word in bytes
+//!   20..22 of the 24-byte layout (the tenant layout's spare tail);
+//!   epoch 0 never sets the bit, so unreplicated connections stay
+//!   byte-identical. Claiming bit 28 caps an epoch-stamped *request*
+//!   payload at [`MAX_REQ_PAYLOAD_EPOCH`] (2²⁸−1 bytes — still far
+//!   above any configured request buffer). A failed-over backup serves
+//!   at a higher epoch; the server fences lower-epoch writes
+//!   ([`RespStatus::Fenced`]) and clients discard lower-epoch
+//!   responses, so no split-brain write is ever acked.
 //!
 //! All fields are little-endian.
 
@@ -78,12 +90,18 @@ pub const MAX_PAYLOAD: usize = (1 << 30) - 1;
 /// (bit 29 is the tenant flag).
 pub const MAX_REQ_PAYLOAD: usize = (1 << 29) - 1;
 
+/// Maximum payload size of an epoch-stamped request (bit 28 is the
+/// epoch flag).
+pub const MAX_REQ_PAYLOAD_EPOCH: usize = (1 << 28) - 1;
+
 const VALID_BIT: u32 = 1 << 31;
 const DEADLINE_BIT: u32 = 1 << 30;
 const TENANT_BIT: u32 = 1 << 29;
+const EPOCH_BIT: u32 = 1 << 28;
 const INTEGRITY_BIT: u32 = 1 << 30;
 const SIZE_MASK: u32 = (1 << 30) - 1;
 const REQ_SIZE_MASK: u32 = (1 << 29) - 1;
+const REQ_SIZE_MASK_EPOCH: u32 = (1 << 28) - 1;
 
 /// Salt folded into the trailing canary so a zero-filled (fresh or
 /// cold-wiped) buffer never accidentally matches seq 0 / generation 0.
@@ -116,10 +134,11 @@ pub fn slot_of(seq: u32, window: usize) -> usize {
 
 /// Server verdict carried in a response header.
 ///
-/// `Busy` and `Shed` are the overload-control rejections: the request
-/// was *not* executed (the server either had no queue room or saw the
-/// stamped deadline already expired), so the client may safely resubmit
-/// it under a fresh sequence number. Both verdicts carry an empty
+/// `Busy`, `Shed` and `Fenced` are rejections: the request was *not*
+/// executed (the server either had no queue room, saw the stamped
+/// deadline already expired, or fenced a stale-epoch writer), so the
+/// client may safely resubmit it under a fresh sequence number — after
+/// failing over, for `Fenced`. All rejection verdicts carry an empty
 /// payload — the whole point is that a rejection costs the client one
 /// in-bound READ, not `R` of them.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -131,6 +150,10 @@ pub enum RespStatus {
     /// Deadline shed: the request's stamped deadline had already passed
     /// when the server picked it up.
     Shed,
+    /// Epoch fence: the request was stamped with an epoch older than
+    /// the connection's — the sender is a client of a deposed primary
+    /// and must fail over before any of its writes are executed.
+    Fenced,
 }
 
 impl RespStatus {
@@ -140,6 +163,7 @@ impl RespStatus {
             RespStatus::Ok => 0,
             RespStatus::Busy => 1,
             RespStatus::Shed => 2,
+            RespStatus::Fenced => 3,
         }
     }
 
@@ -149,6 +173,7 @@ impl RespStatus {
         match b {
             1 => RespStatus::Busy,
             2 => RespStatus::Shed,
+            3 => RespStatus::Fenced,
             _ => RespStatus::Ok,
         }
     }
@@ -170,6 +195,10 @@ pub struct ReqHeader {
     /// layer stamped one. `None` keeps the classic (or deadline-only)
     /// layout byte-identical.
     pub tenant: Option<u32>,
+    /// Replication epoch the issuing client believes is current. 0 (the
+    /// pre-replication world) never sets the epoch bit, keeping
+    /// unreplicated connections byte-identical to the legacy layout.
+    pub epoch: u16,
 }
 
 impl ReqHeader {
@@ -177,7 +206,7 @@ impl ReqHeader {
     /// [`REQ_HDR_EXT`], or [`REQ_HDR_TENANT`]); the payload starts at
     /// this offset.
     pub fn wire_len(&self) -> usize {
-        if self.tenant.is_some() {
+        if self.tenant.is_some() || self.epoch != 0 {
             REQ_HDR_TENANT
         } else if self.deadline.is_some() {
             REQ_HDR_EXT
@@ -192,9 +221,16 @@ impl ReqHeader {
     /// # Panics
     ///
     /// Panics if `buf` is shorter than the wire length or `size` exceeds
-    /// [`MAX_REQ_PAYLOAD`].
+    /// [`MAX_REQ_PAYLOAD`] ([`MAX_REQ_PAYLOAD_EPOCH`] when epoch-
+    /// stamped).
     pub fn encode(&self, buf: &mut [u8]) {
         assert!(self.size as usize <= MAX_REQ_PAYLOAD, "payload too large");
+        if self.epoch != 0 {
+            assert!(
+                self.size as usize <= MAX_REQ_PAYLOAD_EPOCH,
+                "payload too large"
+            );
+        }
         let mut word = self.size | if self.valid { VALID_BIT } else { 0 };
         if self.deadline.is_some() {
             word |= DEADLINE_BIT;
@@ -202,24 +238,29 @@ impl ReqHeader {
         if self.tenant.is_some() {
             word |= TENANT_BIT;
         }
+        if self.epoch != 0 {
+            word |= EPOCH_BIT;
+        }
         buf[0..4].copy_from_slice(&word.to_le_bytes());
         buf[4..8].copy_from_slice(&self.seq.to_le_bytes());
+        let extended = self.tenant.is_some() || self.epoch != 0;
         if let Some(deadline) = self.deadline {
             buf[8..16].copy_from_slice(&deadline.as_nanos().to_le_bytes());
-        } else if self.tenant.is_some() {
-            // The tenant field rides *after* the deadline slot, which
-            // stays zero-filled when no deadline is stamped.
+        } else if extended {
+            // The tenant/epoch fields ride *after* the deadline slot,
+            // which stays zero-filled when no deadline is stamped.
             buf[8..16].fill(0);
         }
-        if let Some(tenant) = self.tenant {
-            buf[16..20].copy_from_slice(&tenant.to_le_bytes());
-            buf[20..24].fill(0);
+        if extended {
+            buf[16..20].copy_from_slice(&self.tenant.unwrap_or(0).to_le_bytes());
+            buf[20..22].copy_from_slice(&self.epoch.to_le_bytes());
+            buf[22..24].fill(0);
         }
     }
 
     /// Decodes from the first [`REQ_HDR`] bytes of `buf` (the first
-    /// [`REQ_HDR_EXT`] / [`REQ_HDR_TENANT`] when the deadline / tenant
-    /// bits are set).
+    /// [`REQ_HDR_EXT`] / [`REQ_HDR_TENANT`] when the deadline /
+    /// tenant / epoch bits are set).
     ///
     /// # Panics
     ///
@@ -233,9 +274,9 @@ impl ReqHeader {
         } else {
             None
         };
-        // Like the response integrity bit, the length guard keeps a
+        // Like the response integrity bit, the length guards keep a
         // corrupted flag on a short window from reading out of bounds:
-        // the header degrades to an untenanted decode instead.
+        // the header degrades to an untenanted/unstamped decode instead.
         let tenant = if word & TENANT_BIT != 0 && buf.len() >= REQ_HDR_TENANT {
             Some(u32::from_le_bytes(
                 buf[16..20].try_into().expect("len checked"),
@@ -243,7 +284,17 @@ impl ReqHeader {
         } else {
             None
         };
-        let size_mask = if tenant.is_some() {
+        let epoch_stamped = word & EPOCH_BIT != 0 && buf.len() >= REQ_HDR_TENANT;
+        let epoch = if epoch_stamped {
+            u16::from_le_bytes(buf[20..22].try_into().expect("len checked"))
+        } else {
+            0
+        };
+        // Mask choice follows the *guarded* decodes: a flag bit that
+        // degraded on a short window is size payload, not an extension.
+        let size_mask = if epoch_stamped {
+            REQ_SIZE_MASK_EPOCH
+        } else if tenant.is_some() {
             REQ_SIZE_MASK
         } else {
             SIZE_MASK
@@ -254,6 +305,7 @@ impl ReqHeader {
             seq: u32::from_le_bytes(buf[4..8].try_into().expect("len checked")),
             deadline,
             tenant,
+            epoch,
         }
     }
 }
@@ -290,6 +342,10 @@ pub struct RespHeader {
     /// Payload CRC + buffer generation, when the integrity layer
     /// stamped them. `None` encodes to the classic 16-byte header.
     pub integrity: Option<RespIntegrity>,
+    /// Replication epoch of the answering server. Rides flaglessly in
+    /// spare bytes 13..15, so epoch 0 (the pre-replication world) stays
+    /// byte-identical to the legacy zero padding.
+    pub epoch: u16,
 }
 
 impl RespHeader {
@@ -321,7 +377,8 @@ impl RespHeader {
         buf[8..10].copy_from_slice(&self.time_us.to_le_bytes());
         buf[10] = self.status.to_u8();
         buf[11..13].copy_from_slice(&self.credits.to_le_bytes());
-        buf[13..16].fill(0);
+        buf[13..15].copy_from_slice(&self.epoch.to_le_bytes());
+        buf[15] = 0;
         if let Some(integrity) = self.integrity {
             buf[16..24].copy_from_slice(&integrity.crc.to_le_bytes());
             buf[24..28].copy_from_slice(&integrity.generation.to_le_bytes());
@@ -357,6 +414,7 @@ impl RespHeader {
             status: RespStatus::from_u8(buf[10]),
             credits: u16::from_le_bytes(buf[11..13].try_into().expect("len checked")),
             integrity,
+            epoch: u16::from_le_bytes(buf[13..15].try_into().expect("len checked")),
         }
     }
 }
@@ -373,6 +431,7 @@ mod tests {
             seq: 0xDEAD_BEEF,
             deadline: None,
             tenant: None,
+            epoch: 0,
         };
         let mut buf = [0u8; REQ_HDR];
         h.encode(&mut buf);
@@ -387,6 +446,7 @@ mod tests {
             seq: 7,
             deadline: None,
             tenant: None,
+            epoch: 0,
         };
         let mut buf = [0u8; REQ_HDR];
         h.encode(&mut buf);
@@ -403,6 +463,7 @@ mod tests {
             seq: 9,
             deadline: Some(SimTime::from_nanos(123_456_789)),
             tenant: None,
+            epoch: 0,
         };
         assert_eq!(h.wire_len(), REQ_HDR_EXT);
         let mut buf = [0u8; REQ_HDR_EXT];
@@ -421,6 +482,7 @@ mod tests {
             seq: 0x0102_0304,
             deadline: None,
             tenant: None,
+            epoch: 0,
         };
         assert_eq!(h.wire_len(), REQ_HDR);
         let mut buf = [0u8; REQ_HDR];
@@ -440,14 +502,101 @@ mod tests {
                 seq: 11,
                 deadline,
                 tenant: Some(0xABCD_0042),
+                epoch: 0,
             };
             assert_eq!(h.wire_len(), REQ_HDR_TENANT);
             let mut buf = [0u8; REQ_HDR_TENANT];
             h.encode(&mut buf);
             assert_eq!(ReqHeader::decode(&buf), h);
-            // Spare tail bytes stay zero for forward compatibility.
+            // Epoch slot (20..22, unstamped) and spare tail bytes stay
+            // zero for forward compatibility.
             assert_eq!(&buf[20..24], &[0, 0, 0, 0]);
         }
+    }
+
+    #[test]
+    fn req_header_epoch_round_trip() {
+        for (deadline, tenant) in [
+            (None, None),
+            (Some(SimTime::from_nanos(77_000)), None),
+            (None, Some(0xAA55_0001)),
+            (Some(SimTime::from_nanos(1)), Some(3)),
+        ] {
+            let h = ReqHeader {
+                valid: true,
+                size: 64,
+                seq: 21,
+                deadline,
+                tenant,
+                epoch: 0x0B0C,
+            };
+            assert_eq!(h.wire_len(), REQ_HDR_TENANT);
+            let mut buf = [0xFFu8; REQ_HDR_TENANT];
+            h.encode(&mut buf);
+            assert_eq!(ReqHeader::decode(&buf), h);
+            assert_eq!(&buf[20..22], &0x0B0Cu16.to_le_bytes());
+            assert_eq!(&buf[22..24], &[0, 0]);
+        }
+    }
+
+    #[test]
+    fn req_header_epoch_zero_matches_legacy_layout() {
+        // Epoch 0 must neither set the epoch bit nor widen the header —
+        // the byte-identical-when-off guarantee the replication-off
+        // proptest pins end to end.
+        let h = ReqHeader {
+            valid: true,
+            size: 300,
+            seq: 0x0102_0304,
+            deadline: None,
+            tenant: None,
+            epoch: 0,
+        };
+        assert_eq!(h.wire_len(), REQ_HDR);
+        let mut buf = [0u8; REQ_HDR];
+        h.encode(&mut buf);
+        let word = u32::from_le_bytes(buf[0..4].try_into().unwrap());
+        assert_eq!(word & EPOCH_BIT, 0);
+    }
+
+    #[test]
+    fn req_header_epoch_decode_guards_short_window() {
+        // An epoch-flagged word read through a shorter window degrades
+        // to an unstamped decode rather than reading out of bounds.
+        let h = ReqHeader {
+            valid: true,
+            size: 9,
+            seq: 3,
+            deadline: None,
+            tenant: None,
+            epoch: 4,
+        };
+        let mut buf = [0u8; REQ_HDR_TENANT];
+        h.encode(&mut buf);
+        let d = ReqHeader::decode(&buf[..REQ_HDR_EXT]);
+        assert_eq!(d.epoch, 0);
+        assert_eq!(d.seq, 3);
+    }
+
+    #[test]
+    fn resp_header_epoch_round_trip_in_spare_bytes() {
+        let h = RespHeader {
+            valid: true,
+            size: 5,
+            seq: 19,
+            time_us: 4,
+            status: RespStatus::Fenced,
+            credits: 1,
+            integrity: None,
+            epoch: 0x1234,
+        };
+        // Epoch rides in spare bytes: same wire length as legacy.
+        assert_eq!(h.wire_len(), RESP_HDR);
+        let mut buf = [0u8; RESP_HDR];
+        h.encode(&mut buf);
+        assert_eq!(&buf[13..15], &0x1234u16.to_le_bytes());
+        assert_eq!(buf[15], 0);
+        assert_eq!(RespHeader::decode(&buf), h);
     }
 
     #[test]
@@ -458,6 +607,7 @@ mod tests {
             seq: 2,
             deadline: None,
             tenant: Some(7),
+            epoch: 0,
         };
         let mut buf = [0xFFu8; REQ_HDR_TENANT];
         h.encode(&mut buf);
@@ -478,6 +628,7 @@ mod tests {
             seq: 0x0102_0304,
             deadline: None,
             tenant: None,
+            epoch: 0,
         };
         let mut buf = [0u8; REQ_HDR];
         h.encode(&mut buf);
@@ -497,6 +648,7 @@ mod tests {
             seq: 3,
             deadline: None,
             tenant: Some(5),
+            epoch: 0,
         };
         let mut buf = [0u8; REQ_HDR_TENANT];
         h.encode(&mut buf);
@@ -515,6 +667,7 @@ mod tests {
             status: RespStatus::Ok,
             credits: 0,
             integrity: None,
+            epoch: 0,
         };
         let mut buf = [0u8; RESP_HDR];
         h.encode(&mut buf);
@@ -523,7 +676,12 @@ mod tests {
 
     #[test]
     fn resp_header_status_and_credits_round_trip() {
-        for status in [RespStatus::Ok, RespStatus::Busy, RespStatus::Shed] {
+        for status in [
+            RespStatus::Ok,
+            RespStatus::Busy,
+            RespStatus::Shed,
+            RespStatus::Fenced,
+        ] {
             let h = RespHeader {
                 valid: true,
                 size: 0,
@@ -532,6 +690,7 @@ mod tests {
                 status,
                 credits: 0xBEEF,
                 integrity: None,
+                epoch: 0,
             };
             let mut buf = [0u8; RESP_HDR];
             h.encode(&mut buf);
@@ -553,6 +712,7 @@ mod tests {
             status: RespStatus::Ok,
             credits: 0,
             integrity: None,
+            epoch: 0,
         };
         let mut buf = [0xFFu8; RESP_HDR];
         h.encode(&mut buf);
@@ -576,6 +736,7 @@ mod tests {
                 crc: 0x0123_4567_89AB_CDEF,
                 generation: 0xDEAD_0042,
             }),
+            epoch: 0,
         };
         assert_eq!(h.wire_len(), RESP_HDR_EXT);
         let mut buf = [0u8; RESP_HDR_EXT];
@@ -595,6 +756,7 @@ mod tests {
             status: RespStatus::Ok,
             credits: 0,
             integrity: None,
+            epoch: 0,
         };
         assert_eq!(h.wire_len(), RESP_HDR);
         // The integrity bit must be clear: decoding sees a legacy header.
@@ -625,6 +787,7 @@ mod tests {
         assert_eq!(RespStatus::from_u8(0), RespStatus::Ok);
         assert_eq!(RespStatus::from_u8(1), RespStatus::Busy);
         assert_eq!(RespStatus::from_u8(2), RespStatus::Shed);
+        assert_eq!(RespStatus::from_u8(3), RespStatus::Fenced);
         assert_eq!(RespStatus::from_u8(200), RespStatus::Ok);
     }
 
@@ -677,6 +840,7 @@ mod tests {
             seq: 0,
             deadline: None,
             tenant: None,
+            epoch: 0,
         };
         h.encode(&mut [0u8; REQ_HDR]);
     }

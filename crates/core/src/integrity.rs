@@ -112,6 +112,7 @@ mod tests {
                 crc: crc64(payload),
                 generation,
             }),
+            epoch: 0,
         };
         let trailer = resp_canary(seq, generation).to_le_bytes().to_vec();
         (hdr, trailer)

@@ -68,6 +68,7 @@ pub mod api;
 
 mod client;
 mod conn;
+mod failover;
 mod header;
 mod integrity;
 mod mux;
@@ -80,9 +81,11 @@ mod tuner;
 
 pub use client::{CallInfo, CallResult, ClientStats, RfpClient};
 pub use conn::{connect, Mode, RfpConfig, RfpServerConn, RfpTelemetry};
+pub use failover::{FailoverConfig, ReplicaClient};
 pub use header::{
     resp_canary, slot_of, ReqHeader, RespHeader, RespIntegrity, RespStatus, MAX_PAYLOAD,
-    MAX_REQ_PAYLOAD, REQ_HDR, REQ_HDR_EXT, REQ_HDR_TENANT, RESP_HDR, RESP_HDR_EXT, RESP_TRAILER,
+    MAX_REQ_PAYLOAD, MAX_REQ_PAYLOAD_EPOCH, REQ_HDR, REQ_HDR_EXT, REQ_HDR_TENANT, RESP_HDR,
+    RESP_HDR_EXT, RESP_TRAILER,
 };
 pub use integrity::{verify_response, IntegrityConfig, IntegrityFault};
 pub use mux::{serve_loop_tenant, shard_conns, LogicalClient, MuxConfig, RfpMux, TenantId};

@@ -499,7 +499,9 @@ impl LogicalClient {
                 out.info.server_time_us,
             ),
             RespStatus::Busy => h.record_busy(thread.now()),
-            RespStatus::Shed => h.record_shed(thread.now()),
+            // A fenced call is a routing casualty, not tenant pressure;
+            // shed accounting is the closest rejection bucket.
+            RespStatus::Shed | RespStatus::Fenced => h.record_shed(thread.now()),
         }
     }
 }

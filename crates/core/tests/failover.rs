@@ -1,0 +1,143 @@
+//! Replica-router failover: epoch-fenced switchover between two
+//! live server endpoints.
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+use rfp_core::{
+    connect, serve_loop, FailoverConfig, RecoveryConfig, ReplicaClient, RfpConfig, RfpServerConn,
+};
+use rfp_rnic::{Cluster, ClusterProfile, ThreadCtx};
+use rfp_simnet::{RetryPolicy, SimSpan, Simulation};
+
+/// One client machine plus two server machines, both echoing; the
+/// router prefers machine 1 (replica 0) and falls back to machine 2.
+struct Rig {
+    sim: Simulation,
+    cluster: Cluster,
+    router: Rc<ReplicaClient>,
+    client_thread: Rc<ThreadCtx>,
+    server_conns: Vec<Rc<RfpServerConn>>,
+}
+
+fn rig() -> Rig {
+    let mut sim = Simulation::new(23);
+    let cluster = Cluster::new(&mut sim, ClusterProfile::paper_testbed(), 3);
+    let client_m = cluster.machine(0);
+    let mut replicas = Vec::new();
+    let mut server_conns = Vec::new();
+    for s in 1..3usize {
+        let server_m = cluster.machine(s);
+        let (cl, sc) = connect(
+            &client_m,
+            &server_m,
+            cluster.qp(0, s),
+            cluster.qp(s, 0),
+            RfpConfig {
+                enable_mode_switch: false,
+                ..RfpConfig::default()
+            },
+        );
+        cl.set_reconnect(cluster.qp_factory(0, s));
+        let sc = Rc::new(sc);
+        let st = server_m.thread(format!("server-{s}"));
+        sim.spawn(serve_loop(
+            st,
+            vec![Rc::clone(&sc)],
+            |req: &[u8]| (req.to_vec(), SimSpan::nanos(200)),
+            SimSpan::nanos(100),
+        ));
+        server_conns.push(sc);
+        replicas.push(Rc::new(cl));
+    }
+    let router = Rc::new(ReplicaClient::new(
+        replicas,
+        FailoverConfig {
+            recovery: RecoveryConfig {
+                // Short budget so a dead replica is abandoned quickly.
+                retry: RetryPolicy::exponential(3, SimSpan::micros(5), SimSpan::micros(50), 0.2),
+                ..RecoveryConfig::default()
+            },
+            max_failovers: 4,
+        },
+    ));
+    Rig {
+        client_thread: client_m.thread("client"),
+        sim,
+        cluster,
+        router,
+        server_conns,
+    }
+}
+
+#[test]
+fn healthy_run_sticks_to_the_primary() {
+    let mut r = rig();
+    let router = Rc::clone(&r.router);
+    let t = Rc::clone(&r.client_thread);
+    let done = Rc::new(Cell::new(0u32));
+    let d = Rc::clone(&done);
+    r.sim.spawn(async move {
+        for i in 0..20u32 {
+            let out = router.call(&t, &i.to_le_bytes()).await.expect("healthy");
+            assert_eq!(out.data, i.to_le_bytes());
+            d.set(d.get() + 1);
+        }
+    });
+    r.sim.run_for(SimSpan::millis(5));
+    assert_eq!(done.get(), 20);
+    assert_eq!(r.router.active(), 0);
+    assert_eq!(r.router.failovers(), 0);
+}
+
+#[test]
+fn primary_crash_fails_over_to_the_backup() {
+    let mut r = rig();
+    let router = Rc::clone(&r.router);
+    let t = Rc::clone(&r.client_thread);
+    // Promote the backup before the crash, as a failure detector would:
+    // its responses then carry epoch 1.
+    r.server_conns[1].set_epoch(1);
+    r.cluster.machine(1).faults().set_crashed(true);
+    let done = Rc::new(Cell::new(0u32));
+    let d = Rc::clone(&done);
+    r.sim.spawn(async move {
+        for i in 0..10u32 {
+            let out = router.call(&t, &i.to_le_bytes()).await.expect("failover");
+            assert_eq!(out.data, i.to_le_bytes());
+            d.set(d.get() + 1);
+        }
+    });
+    r.sim.run_for(SimSpan::millis(20));
+    assert_eq!(done.get(), 10);
+    assert_eq!(r.router.active(), 1);
+    assert!(r.router.failovers() >= 1);
+    // The router adopted the promoted replica's epoch...
+    assert_eq!(r.router.known_epoch(), 1);
+    // ...so if the deposed primary came back at epoch 0, nothing it
+    // answers would pass the router's acceptance check.
+}
+
+#[test]
+fn epoch_fence_self_heals_without_failover() {
+    let mut r = rig();
+    let router = Rc::clone(&r.router);
+    let t = Rc::clone(&r.client_thread);
+    // The active replica moves to epoch 3 (say, after a failover chain
+    // elsewhere); the router's first epoch-0 call is fenced, adopts the
+    // server's epoch from the `Fenced` verdict, and resubmits — all
+    // inside one recovery loop, with no replica switch.
+    r.server_conns[0].set_epoch(3);
+    let done = Rc::new(Cell::new(false));
+    let d = Rc::clone(&done);
+    r.sim.spawn(async move {
+        let out = router.call(&t, b"fence-me").await.expect("heals");
+        assert_eq!(out.data, b"fence-me");
+        d.set(true);
+    });
+    r.sim.run_for(SimSpan::millis(5));
+    assert!(done.get());
+    assert_eq!(r.router.failovers(), 0);
+    assert_eq!(r.router.known_epoch(), 3);
+    assert!(r.server_conns[0].rejected_fenced() >= 1);
+}

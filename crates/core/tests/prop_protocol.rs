@@ -10,15 +10,15 @@ use proptest::prelude::*;
 
 use rfp_core::{
     connect, resp_canary, serve_loop, ParamSelector, ReqHeader, RespHeader, RespIntegrity,
-    RespStatus, RfpConfig, WorkloadSample, MAX_PAYLOAD, MAX_REQ_PAYLOAD, REQ_HDR, REQ_HDR_EXT,
-    REQ_HDR_TENANT, RESP_HDR, RESP_HDR_EXT,
+    RespStatus, RfpConfig, WorkloadSample, MAX_PAYLOAD, MAX_REQ_PAYLOAD, MAX_REQ_PAYLOAD_EPOCH,
+    REQ_HDR, REQ_HDR_EXT, REQ_HDR_TENANT, RESP_HDR, RESP_HDR_EXT,
 };
 use rfp_rnic::{Cluster, ClusterProfile, LinkProfile, NicProfile};
 use rfp_simnet::{SimSpan, SimTime, Simulation};
 
-/// Uniform draw over the three wire statuses.
+/// Uniform draw over the four wire statuses.
 fn any_status() -> impl Strategy<Value = RespStatus> {
-    (0u8..3).prop_map(RespStatus::from_u8)
+    (0u8..4).prop_map(RespStatus::from_u8)
 }
 
 proptest! {
@@ -29,9 +29,12 @@ proptest! {
         seq in any::<u32>(),
         deadline_ns in prop::option::of(any::<u64>()),
         tenant in prop::option::of(any::<u32>()),
+        epoch in any::<u16>(),
     ) {
-        let h = ReqHeader { valid, size, seq, deadline: deadline_ns.map(SimTime::from_nanos), tenant };
-        let expect_len = if tenant.is_some() {
+        // An epoch stamp narrows the size field by one flag bit.
+        let size = if epoch != 0 { size.min(MAX_REQ_PAYLOAD_EPOCH as u32) } else { size };
+        let h = ReqHeader { valid, size, seq, deadline: deadline_ns.map(SimTime::from_nanos), tenant, epoch };
+        let expect_len = if tenant.is_some() || epoch != 0 {
             REQ_HDR_TENANT
         } else if deadline_ns.is_some() {
             REQ_HDR_EXT
@@ -54,8 +57,9 @@ proptest! {
         time_us in any::<u16>(),
         status in any_status(),
         credits in any::<u16>(),
+        epoch in any::<u16>(),
     ) {
-        let h = RespHeader { valid, size, seq, time_us, status, credits, integrity: None };
+        let h = RespHeader { valid, size, seq, time_us, status, credits, integrity: None, epoch };
         let mut buf = [0u8; RESP_HDR];
         h.encode(&mut buf);
         prop_assert_eq!(RespHeader::decode(&buf), h);
@@ -73,10 +77,12 @@ proptest! {
         credits in any::<u16>(),
         crc in any::<u64>(),
         generation in any::<u32>(),
+        epoch in any::<u16>(),
     ) {
         let h = RespHeader {
             valid, size, seq, time_us, status, credits,
             integrity: Some(RespIntegrity { crc, generation }),
+            epoch,
         };
         prop_assert_eq!(h.wire_len(), RESP_HDR_EXT);
         let mut buf = [0u8; RESP_HDR_EXT];
@@ -98,7 +104,7 @@ proptest! {
     ) {
         let h = RespHeader {
             valid: true, size, seq, time_us,
-            status: RespStatus::Ok, credits: 0, integrity: None,
+            status: RespStatus::Ok, credits: 0, integrity: None, epoch: 0,
         };
         let mut buf = [0xAAu8; RESP_HDR];
         h.encode(&mut buf);
@@ -122,7 +128,7 @@ proptest! {
         status in any_status(),
         credits in any::<u16>(),
     ) {
-        let h = RespHeader { valid, size, seq, time_us, status, credits, integrity: None };
+        let h = RespHeader { valid, size, seq, time_us, status, credits, integrity: None, epoch: 0 };
         prop_assert_eq!(h.wire_len(), RESP_HDR);
         let mut buf = [0x5Au8; RESP_HDR];
         h.encode(&mut buf);

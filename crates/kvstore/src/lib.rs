@@ -20,6 +20,7 @@ pub mod hopscotch;
 pub mod lru;
 pub mod mcd;
 pub mod proto;
+pub mod replica;
 pub mod sharded;
 pub mod systems;
 
@@ -34,6 +35,9 @@ pub use hopscotch::{farm_get, FarmGet, FarmStore, FarmView, HopscotchError, NEIG
 pub use lru::LruCache;
 pub use mcd::{McdCosts, McdStore, McdThreadView};
 pub use proto::{KvRequest, KvResponse, ProtoError};
+pub use replica::{
+    backup_serve_loop, primary_serve_loop, AckPolicy, BackupRole, PrimaryRole, ReplicationConfig,
+};
 pub use sharded::{spawn_sharded_jakiro, ShardedSystem};
 pub use systems::{
     spawn_farm, spawn_fleet_kv, spawn_herd, spawn_jakiro, spawn_jakiro_shared, spawn_memcached,

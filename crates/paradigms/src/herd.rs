@@ -178,6 +178,7 @@ impl HerdClient {
             seq,
             deadline: None,
             tenant: None,
+            epoch: 0,
         };
         let mut hdr_bytes = [0u8; REQ_HDR];
         hdr.encode(&mut hdr_bytes);
@@ -253,6 +254,7 @@ impl HerdServerConn {
                 seq: hdr.seq,
                 deadline: None,
                 tenant: None,
+                epoch: 0,
             }
             .encode(&mut cleared);
             self.req.write_local(0, &cleared);
@@ -271,6 +273,7 @@ impl HerdServerConn {
                 seq: hdr.seq,
                 deadline: None,
                 tenant: None,
+                epoch: 0,
             }
             .encode(&mut cleared);
             self.req.write_local(0, &cleared);

@@ -25,6 +25,13 @@
 //!   on the machine's cores.
 //! * **link degradation** — [`FabricFaults::set_link_factor`] scales
 //!   wire propagation cluster-wide.
+//! * **asymmetric partition** — [`MachineFaults::block_to`] drops all
+//!   traffic this machine sends *toward* one destination while the
+//!   reverse direction keeps flowing, the way a bad switch rule or a
+//!   one-way link failure partitions a real fabric. An op whose request
+//!   leg is cut fails like a dead peer (after the retry-exhausted round
+//!   trip, no remote side effect); an op whose *completion* leg is cut
+//!   may land its payload remotely and still fail locally.
 
 use std::cell::Cell;
 use std::fmt;
@@ -66,6 +73,9 @@ pub struct MachineFaults {
     qp_epoch: Cell<u64>,
     torn_dma: Cell<f64>,
     bitflip: Cell<f64>,
+    /// Bitmask of destination machines this machine cannot reach
+    /// (bit `d` set = traffic toward machine `d` is dropped).
+    blocked_out: Cell<u64>,
 }
 
 impl Default for MachineFaults {
@@ -77,6 +87,7 @@ impl Default for MachineFaults {
             qp_epoch: Cell::new(0),
             torn_dma: Cell::new(0.0),
             bitflip: Cell::new(0.0),
+            blocked_out: Cell::new(0),
         }
     }
 }
@@ -148,6 +159,27 @@ impl MachineFaults {
     pub fn set_bitflip(&self, p: f64) {
         self.bitflip.set(p.clamp(0.0, 1.0));
     }
+
+    /// Whether traffic from this machine toward machine `dst` is
+    /// currently dropped by an asymmetric partition.
+    pub fn blocks_to(&self, dst: usize) -> bool {
+        debug_assert!(dst < 64, "partition mask holds 64 machines");
+        self.blocked_out.get() & (1u64 << dst) != 0
+    }
+
+    /// Cuts the directed link from this machine toward `dst` (the
+    /// reverse direction is governed by `dst`'s own mask).
+    pub fn block_to(&self, dst: usize) {
+        assert!(dst < 64, "partition mask holds 64 machines");
+        self.blocked_out.set(self.blocked_out.get() | (1u64 << dst));
+    }
+
+    /// Heals the directed link from this machine toward `dst`.
+    pub fn unblock_to(&self, dst: usize) {
+        assert!(dst < 64, "partition mask holds 64 machines");
+        self.blocked_out
+            .set(self.blocked_out.get() & !(1u64 << dst));
+    }
 }
 
 /// Cluster-wide fabric fault state shared by every QP.
@@ -189,7 +221,21 @@ mod tests {
         assert_eq!(m.qp_epoch(), 0);
         assert_eq!(m.torn_dma(), 0.0);
         assert_eq!(m.bitflip(), 0.0);
+        assert!(!m.blocks_to(0));
         assert_eq!(FabricFaults::default().link_factor(), 1.0);
+    }
+
+    #[test]
+    fn partition_mask_is_directional_and_reversible() {
+        let m = MachineFaults::default();
+        m.block_to(3);
+        assert!(m.blocks_to(3));
+        assert!(!m.blocks_to(0), "other destinations unaffected");
+        m.block_to(0);
+        assert!(m.blocks_to(0) && m.blocks_to(3));
+        m.unblock_to(3);
+        assert!(!m.blocks_to(3));
+        assert!(m.blocks_to(0), "unblock only heals one link");
     }
 
     #[test]

@@ -162,8 +162,14 @@ impl Qp {
     }
 
     /// Wire-arrival fault gate: the op reached the remote NIC; is the
-    /// peer still there and is this QP still valid on it?
+    /// peer still there and is this QP still valid on it? A partition
+    /// cutting the request leg means nothing ever arrived — the
+    /// initiator sees the same retry-exhausted error, with no remote
+    /// side effect.
     fn remote_live(&self) -> Result<(), VerbError> {
+        if self.forward_cut() {
+            return Err(VerbError::QpError);
+        }
         if self.remote.faults().is_crashed() {
             return Err(VerbError::RemoteDown);
         }
@@ -171,6 +177,20 @@ impl Qp {
             return Err(VerbError::QpError);
         }
         Ok(())
+    }
+
+    /// Whether an asymmetric partition cuts the request leg (issuer →
+    /// peer). One `Cell` load; draws nothing.
+    fn forward_cut(&self) -> bool {
+        self.local.faults().blocks_to(self.remote.id().0)
+    }
+
+    /// Whether an asymmetric partition cuts the completion leg (peer →
+    /// issuer). Remote side effects may already have landed by the time
+    /// this gate fires — that asymmetry is the point: a WRITE whose ACK
+    /// is cut still delivered its payload.
+    fn reverse_cut(&self) -> bool {
+        self.remote.faults().blocks_to(self.local.id().0)
     }
 
     /// One-way propagation delay, inflated by any fabric degradation.
@@ -372,6 +392,13 @@ impl Qp {
         remote.read_local_into(remote_off, &mut snapshot);
         self.corrupt_in_flight(remote, remote_off, &mut snapshot);
         h.sleep(self.prop() + prof.read_turnaround).await;
+        if self.reverse_cut() {
+            // The returning data never reaches the initiator: the READ
+            // errors out without touching local memory.
+            *self.read_scratch.borrow_mut() = snapshot;
+            thread.note_busy(h.now() - t0);
+            return Err(VerbError::QpError);
+        }
         local.write_local(local_off, &snapshot);
         *self.read_scratch.borrow_mut() = snapshot;
         thread.note_busy(h.now() - t0);
@@ -444,19 +471,28 @@ impl Qp {
                 remote_nic.serve_inbound(len).await;
                 remote.apply_remote_write(remote_off, &payload);
                 h.sleep(self.prop()).await;
+                if self.reverse_cut() {
+                    // The ACK leg is cut: the payload landed, but the
+                    // initiator only sees a retry-exhausted error.
+                    thread.note_busy(h.now() - t0);
+                    return Err(VerbError::QpError);
+                }
             }
             Transport::Uc => {
                 // Fire-and-forget: complete as soon as the op left the
                 // NIC; deliver (or lose) the packet asynchronously.
                 if !self.lost_in_transit() {
                     let prop = self.prop();
+                    let local_m = Rc::clone(&self.local);
                     let remote_m = Rc::clone(&self.remote);
                     let remote = Rc::clone(remote);
                     let local_nic2 = Rc::clone(&local_nic);
                     let h2 = h.clone();
                     h.spawn(async move {
                         h2.sleep(prop).await;
-                        if remote_m.faults().is_crashed() {
+                        if remote_m.faults().is_crashed()
+                            || local_m.faults().blocks_to(remote_m.id().0)
+                        {
                             local_nic2.note_drop();
                             return;
                         }
@@ -525,6 +561,11 @@ impl Qp {
                 remote_nic.serve_twosided_rx(len).await;
                 self.rx.send(payload);
                 h.sleep(self.prop()).await;
+                if self.reverse_cut() {
+                    // The message was delivered; only the ACK is lost.
+                    thread.note_busy(h.now() - t0);
+                    return Err(VerbError::QpError);
+                }
             }
             Transport::Uc | Transport::Ud => {
                 let datagram = self.transport == Transport::Ud;
@@ -539,7 +580,7 @@ impl Qp {
                     let h2 = h.clone();
                     h.spawn(async move {
                         h2.sleep(prop).await;
-                        if qp.remote.faults().is_crashed() {
+                        if qp.remote.faults().is_crashed() || qp.forward_cut() {
                             qp.local.nic().note_drop();
                             return;
                         }
@@ -624,6 +665,11 @@ impl Qp {
             let mut snapshot = remote.read_local(remote_off, len);
             qp.corrupt_in_flight(&remote, remote_off, &mut snapshot);
             h2.sleep(prop + prof.read_turnaround).await;
+            if qp.reverse_cut() {
+                error.set(Some(VerbError::QpError));
+                done.fire();
+                return;
+            }
             local.write_local(local_off, &snapshot);
             done.fire();
         });
@@ -686,7 +732,7 @@ impl Qp {
                     done.fire();
                     return;
                 }
-            } else if qp.remote.faults().is_crashed() {
+            } else if qp.remote.faults().is_crashed() || qp.forward_cut() {
                 local_nic.note_drop();
                 return;
             }
@@ -694,6 +740,9 @@ impl Qp {
             remote.apply_remote_write(remote_off, &payload);
             if reliable {
                 h2.sleep(prop).await;
+                if qp.reverse_cut() {
+                    error.set(Some(VerbError::QpError));
+                }
                 done.fire();
             }
         });
@@ -742,7 +791,7 @@ impl Qp {
                 return;
             }
             qp.local.handle().sleep(prop).await;
-            if qp.remote.faults().is_crashed() {
+            if qp.remote.faults().is_crashed() || qp.forward_cut() {
                 qp.local.nic().note_drop();
                 return;
             }
@@ -1255,6 +1304,102 @@ mod transport_tests {
         });
         sim.run();
         assert!(ok.get());
+    }
+
+    #[test]
+    fn forward_partition_errors_ops_without_remote_side_effects() {
+        let mut sim = Simulation::new(0);
+        let cluster = Cluster::new(&mut sim, ClusterProfile::paper_testbed(), 2);
+        let client = cluster.machine(0);
+        let server = cluster.machine(1);
+        let local = client.alloc_mr(64);
+        let remote = server.alloc_mr(64);
+        local.write_local(0, b"blocked");
+        let qp = cluster.qp(0, 1);
+        // Cut the request leg only: 0 → 1 drops, 1 → 0 keeps flowing.
+        client.faults().block_to(1);
+        let t = client.thread("c");
+        let ok = Rc::new(Cell::new(false));
+        let flag = Rc::clone(&ok);
+        let r = Rc::clone(&remote);
+        sim.spawn(async move {
+            assert_eq!(
+                qp.try_write(&t, &local, 0, &r, 0, 7).await,
+                Err(VerbError::QpError)
+            );
+            assert_eq!(
+                qp.try_read(&t, &local, 0, &r, 0, 7).await,
+                Err(VerbError::QpError)
+            );
+            flag.set(true);
+        });
+        sim.run();
+        assert!(ok.get());
+        // Nothing reached the peer.
+        assert_eq!(remote.read_local(0, 7), vec![0; 7]);
+    }
+
+    #[test]
+    fn reverse_partition_lands_write_payload_but_errors_completion() {
+        let mut sim = Simulation::new(0);
+        let cluster = Cluster::new(&mut sim, ClusterProfile::paper_testbed(), 2);
+        let client = cluster.machine(0);
+        let server = cluster.machine(1);
+        let local = client.alloc_mr(64);
+        let remote = server.alloc_mr(64);
+        local.write_local(0, b"one-way");
+        let qp = cluster.qp(0, 1);
+        // Cut the ACK leg only: the request still arrives.
+        server.faults().block_to(0);
+        let t = client.thread("c");
+        let ok = Rc::new(Cell::new(false));
+        let flag = Rc::clone(&ok);
+        let r = Rc::clone(&remote);
+        let l = Rc::clone(&local);
+        sim.spawn(async move {
+            assert_eq!(
+                qp.try_write(&t, &l, 0, &r, 0, 7).await,
+                Err(VerbError::QpError)
+            );
+            // A READ's returning data is also cut: local memory stays
+            // untouched.
+            assert_eq!(
+                qp.try_read(&t, &l, 32, &r, 0, 7).await,
+                Err(VerbError::QpError)
+            );
+            flag.set(true);
+        });
+        sim.run();
+        assert!(ok.get());
+        // The WRITE's payload landed despite the failed completion —
+        // the asymmetry a split-brain fence must survive.
+        assert_eq!(&remote.read_local(0, 7), b"one-way");
+        assert_eq!(local.read_local(32, 7), vec![0; 7]);
+    }
+
+    #[test]
+    fn healed_partition_restores_service() {
+        let mut sim = Simulation::new(0);
+        let cluster = Cluster::new(&mut sim, ClusterProfile::paper_testbed(), 2);
+        let client = cluster.machine(0);
+        let server = cluster.machine(1);
+        let local = client.alloc_mr(64);
+        let remote = server.alloc_mr(64);
+        local.write_local(0, b"after");
+        let qp = cluster.qp(0, 1);
+        client.faults().block_to(1);
+        client.faults().unblock_to(1);
+        let t = client.thread("c");
+        let ok = Rc::new(Cell::new(false));
+        let flag = Rc::clone(&ok);
+        let r = Rc::clone(&remote);
+        sim.spawn(async move {
+            assert_eq!(qp.try_write(&t, &local, 0, &r, 0, 5).await, Ok(()));
+            flag.set(true);
+        });
+        sim.run();
+        assert!(ok.get());
+        assert_eq!(&remote.read_local(0, 5), b"after");
     }
 
     #[test]

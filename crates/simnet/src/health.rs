@@ -114,6 +114,7 @@ struct Epoch {
     stalls: u64,
     reconnects: u64,
     verb_errors: u64,
+    failovers: u64,
     result_bytes: u64,
     process_us: u64,
     inflight_peak: u32,
@@ -133,6 +134,7 @@ impl Epoch {
             stalls: 0,
             reconnects: 0,
             verb_errors: 0,
+            failovers: 0,
             result_bytes: 0,
             process_us: 0,
             inflight_peak: 0,
@@ -292,6 +294,11 @@ impl ConnHealth {
         self.with_current(now, |e| e.verb_errors += 1);
     }
 
+    /// Books one failover to another replica.
+    pub fn record_failover(&self, now: SimTime) {
+        self.with_current(now, |e| e.failovers += 1);
+    }
+
     /// Updates the in-flight level; the window keeps per-epoch peaks.
     pub fn set_inflight(&self, now: SimTime, inflight: u32) {
         self.with_current(now, |e| e.inflight_peak = e.inflight_peak.max(inflight));
@@ -317,6 +324,7 @@ impl ConnHealth {
             merged.stalls += e.stalls;
             merged.reconnects += e.reconnects;
             merged.verb_errors += e.verb_errors;
+            merged.failovers += e.failovers;
             merged.result_bytes += e.result_bytes;
             merged.process_us += e.process_us;
             merged.inflight_peak = merged.inflight_peak.max(e.inflight_peak);
@@ -348,6 +356,7 @@ impl ConnHealth {
             stalls: merged.stalls,
             reconnects: merged.reconnects,
             verb_errors: merged.verb_errors,
+            failovers: merged.failovers,
             inflight_peak: merged.inflight_peak,
             mean_result_bytes: per_call(merged.result_bytes),
             mean_process_ns: per_call(merged.process_us) * 1_000.0,
@@ -398,6 +407,8 @@ pub struct ConnHealthReport {
     pub reconnects: u64,
     /// Verbs completing with an error in the window.
     pub verb_errors: u64,
+    /// Failovers to another replica in the window.
+    pub failovers: u64,
     /// Peak in-flight calls in the window.
     pub inflight_peak: u32,
     /// Mean result payload bytes per call.
@@ -572,6 +583,8 @@ pub enum AnomalyKind {
     StuckSlot,
     /// Verb errors or QP re-establishments — the connection dropped.
     ConnectionDrop,
+    /// The client abandoned a replica and re-homed onto another one.
+    Failover,
 }
 
 impl AnomalyKind {
@@ -585,11 +598,12 @@ impl AnomalyKind {
             AnomalyKind::CreditStarvation => "credit_starvation",
             AnomalyKind::StuckSlot => "stuck_slot",
             AnomalyKind::ConnectionDrop => "connection_drop",
+            AnomalyKind::Failover => "failover",
         }
     }
 
     /// Every kind, in declaration order.
-    pub fn all() -> [AnomalyKind; 7] {
+    pub fn all() -> [AnomalyKind; 8] {
         [
             AnomalyKind::LatencyRegression,
             AnomalyKind::RetrySpike,
@@ -598,6 +612,7 @@ impl AnomalyKind {
             AnomalyKind::CreditStarvation,
             AnomalyKind::StuckSlot,
             AnomalyKind::ConnectionDrop,
+            AnomalyKind::Failover,
         ]
     }
 }
@@ -659,6 +674,8 @@ pub struct AnomalyConfig {
     pub stall_min: u64,
     /// Verb errors + reconnects in a window that constitute a drop.
     pub drop_min: u64,
+    /// Replica failovers in a window that constitute an anomaly.
+    pub failover_min: u64,
 }
 
 impl Default for AnomalyConfig {
@@ -675,6 +692,7 @@ impl Default for AnomalyConfig {
             credit_wait_min: 1,
             stall_min: 1,
             drop_min: 1,
+            failover_min: 1,
         }
     }
 }
@@ -789,6 +807,12 @@ impl AnomalyDetector {
                 hit(
                     AnomalyKind::ConnectionDrop,
                     format!("{} verb errors, {} reconnects", c.verb_errors, c.reconnects),
+                );
+            }
+            if c.failovers >= self.cfg.failover_min {
+                hit(
+                    AnomalyKind::Failover,
+                    format!("{} replica failovers", c.failovers),
                 );
             }
         }

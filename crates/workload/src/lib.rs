@@ -11,8 +11,10 @@
 //! * [`OpMix`] — GET percentage,
 //! * [`Generator`] — a seeded stream of [`Op`]s.
 
+pub mod linear;
 mod zipf;
 
+pub use linear::{check_history, HistEntry, LinError, RegOp};
 pub use zipf::Zipf;
 
 use rand::rngs::StdRng;

@@ -1,0 +1,295 @@
+//! A WGL-style linearizability checker for key-value histories.
+//!
+//! The chaos rigs record every client operation as an interval
+//! (invocation time, response time) plus its observed outcome; this
+//! module decides, per key, whether some sequential order of those
+//! operations (a) respects real time — an operation that completed
+//! before another began must be ordered first — and (b) is legal for a
+//! register: every read observes the latest preceding write. That is
+//! the Wing & Gong / Lowe search: depth-first over the set of
+//! "linearize next" candidates, memoized on (linearized-set, register
+//! value) so equivalent interleavings are explored once.
+//!
+//! Conventions tailored to the rigs:
+//!
+//! * **unique write values** — every write carries a globally unique
+//!   `u64` (the rigs use `client << 32 | version`), so a read pins
+//!   exactly which write it observed; two acknowledged writes of the
+//!   same value indicate a duplicated ack and are rejected outright;
+//! * **pending operations** — an operation whose response never
+//!   arrived (client crashed mid-call, call exhausted its budget) *may*
+//!   have taken effect. A pending write may be linearized at any point
+//!   after its invocation, or never; a pending read constrains nothing
+//!   and should simply not be recorded.
+//!
+//! Histories are capped at 128 operations per key (the search mask is a
+//! `u128`); the rigs size their runs under that.
+
+use std::collections::{BTreeMap, HashSet};
+
+/// One operation on a single register (one key).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum RegOp {
+    /// Store `value` (unique across the whole history).
+    Write(u64),
+    /// Observe the register: `Some(value)` or `None` for not-found.
+    Read(Option<u64>),
+}
+
+/// One recorded operation interval.
+#[derive(Copy, Clone, Debug)]
+pub struct HistEntry {
+    /// The key this operation touched.
+    pub key: u64,
+    /// Issuing client (diagnostics only; the checker does not use it).
+    pub client: u32,
+    /// Invocation instant (any monotonic unit, e.g. sim nanoseconds).
+    pub start: u64,
+    /// Response instant; `None` for a pending operation that never
+    /// returned (it may or may not have taken effect).
+    pub end: Option<u64>,
+    /// What the operation did / observed.
+    pub op: RegOp,
+}
+
+/// Why a history failed the check.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LinError {
+    /// Two acknowledged writes carried the same value — a duplicated
+    /// ack, which the unique-value convention rules out.
+    DuplicateWriteValue {
+        /// The offending key.
+        key: u64,
+        /// The doubly-acknowledged value.
+        value: u64,
+    },
+    /// More than 128 operations on one key (search mask overflow).
+    HistoryTooLong {
+        /// The offending key.
+        key: u64,
+        /// Operations recorded on it.
+        len: usize,
+    },
+    /// No legal sequential order exists for this key's operations.
+    NotLinearizable {
+        /// The offending key.
+        key: u64,
+    },
+}
+
+impl std::fmt::Display for LinError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LinError::DuplicateWriteValue { key, value } => {
+                write!(f, "key {key}: write value {value:#x} acknowledged twice")
+            }
+            LinError::HistoryTooLong { key, len } => {
+                write!(f, "key {key}: {len} ops exceed the 128-op search cap")
+            }
+            LinError::NotLinearizable { key } => {
+                write!(f, "key {key}: no linearization exists")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LinError {}
+
+/// Checks a whole multi-key history: groups by key and runs the
+/// register search on each. Returns the first failing key (lowest key
+/// id first — deterministic).
+pub fn check_history(entries: &[HistEntry]) -> Result<(), LinError> {
+    let mut by_key: BTreeMap<u64, Vec<&HistEntry>> = BTreeMap::new();
+    for e in entries {
+        by_key.entry(e.key).or_default().push(e);
+    }
+    for (key, ops) in by_key {
+        check_register(key, &ops)?;
+    }
+    Ok(())
+}
+
+/// One key's search. `ops` need not be sorted.
+fn check_register(key: u64, ops: &[&HistEntry]) -> Result<(), LinError> {
+    if ops.len() > 128 {
+        return Err(LinError::HistoryTooLong {
+            key,
+            len: ops.len(),
+        });
+    }
+    // Duplicate-ack screen: acked writes must carry distinct values.
+    let mut seen = HashSet::new();
+    for e in ops {
+        if let (RegOp::Write(v), Some(_)) = (e.op, e.end) {
+            if !seen.insert(v) {
+                return Err(LinError::DuplicateWriteValue { key, value: v });
+            }
+        }
+    }
+
+    let ends: Vec<u64> = ops.iter().map(|e| e.end.unwrap_or(u64::MAX)).collect();
+    let required: u128 = ops
+        .iter()
+        .enumerate()
+        .filter(|(_, e)| e.end.is_some())
+        .fold(0u128, |m, (i, _)| m | (1u128 << i));
+
+    // Iterative DFS: (mask of linearized ops, register value). `None`
+    // register value = initial / not-found.
+    let mut visited: HashSet<(u128, Option<u64>)> = HashSet::new();
+    let mut stack: Vec<(u128, Option<u64>)> = vec![(0, None)];
+    while let Some((mask, value)) = stack.pop() {
+        if mask & required == required {
+            return Ok(());
+        }
+        if !visited.insert((mask, value)) {
+            continue;
+        }
+        // The next linearized op must be *minimal*: no other
+        // un-linearized op may have completed before it was invoked.
+        let mut frontier = u64::MAX;
+        for (i, end) in ends.iter().enumerate() {
+            if mask & (1u128 << i) == 0 {
+                frontier = frontier.min(*end);
+            }
+        }
+        for (i, op) in ops.iter().enumerate() {
+            if mask & (1u128 << i) != 0 || op.start > frontier {
+                continue;
+            }
+            match op.op {
+                RegOp::Write(v) => stack.push((mask | (1u128 << i), Some(v))),
+                RegOp::Read(obs) => {
+                    if obs == value {
+                        stack.push((mask | (1u128 << i), value));
+                    }
+                }
+            }
+        }
+    }
+    Err(LinError::NotLinearizable { key })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w(key: u64, client: u32, start: u64, end: u64, v: u64) -> HistEntry {
+        HistEntry {
+            key,
+            client,
+            start,
+            end: Some(end),
+            op: RegOp::Write(v),
+        }
+    }
+
+    fn r(key: u64, client: u32, start: u64, end: u64, obs: Option<u64>) -> HistEntry {
+        HistEntry {
+            key,
+            client,
+            start,
+            end: Some(end),
+            op: RegOp::Read(obs),
+        }
+    }
+
+    #[test]
+    fn sequential_single_writer_is_linearizable() {
+        let h = [
+            w(1, 0, 0, 10, 100),
+            r(1, 0, 20, 30, Some(100)),
+            w(1, 0, 40, 50, 101),
+            r(1, 0, 60, 70, Some(101)),
+        ];
+        assert_eq!(check_history(&h), Ok(()));
+    }
+
+    #[test]
+    fn concurrent_read_may_see_either_side_of_a_write() {
+        // The read overlaps the write: both the old and the new value
+        // are legal observations.
+        let old = [
+            w(1, 0, 0, 10, 100),
+            w(1, 0, 20, 40, 101),
+            r(1, 1, 25, 35, Some(100)),
+        ];
+        let new = [
+            w(1, 0, 0, 10, 100),
+            w(1, 0, 20, 40, 101),
+            r(1, 1, 25, 35, Some(101)),
+        ];
+        assert_eq!(check_history(&old), Ok(()));
+        assert_eq!(check_history(&new), Ok(()));
+    }
+
+    #[test]
+    fn lost_update_is_rejected() {
+        // The write was acknowledged, yet a strictly later read finds
+        // nothing — the acked update vanished.
+        let h = [w(1, 0, 0, 10, 100), r(1, 1, 20, 30, None)];
+        assert_eq!(check_history(&h), Err(LinError::NotLinearizable { key: 1 }));
+    }
+
+    #[test]
+    fn stale_read_is_rejected() {
+        // Both writes completed before the read began; observing the
+        // overwritten value is a stale read.
+        let h = [
+            w(1, 0, 0, 10, 100),
+            w(1, 0, 20, 30, 101),
+            r(1, 1, 40, 50, Some(100)),
+        ];
+        assert_eq!(check_history(&h), Err(LinError::NotLinearizable { key: 1 }));
+    }
+
+    #[test]
+    fn duplicate_ack_is_rejected() {
+        // A failover resubmission that got acked twice under the same
+        // unique value.
+        let h = [w(1, 0, 0, 10, 100), w(1, 0, 20, 30, 100)];
+        assert_eq!(
+            check_history(&h),
+            Err(LinError::DuplicateWriteValue { key: 1, value: 100 })
+        );
+    }
+
+    #[test]
+    fn pending_write_may_apply_or_not() {
+        let pending = HistEntry {
+            key: 1,
+            client: 0,
+            start: 20,
+            end: None,
+            op: RegOp::Write(101),
+        };
+        // Applied: a later read observes it.
+        let applied = [w(1, 0, 0, 10, 100), pending, r(1, 1, 40, 50, Some(101))];
+        assert_eq!(check_history(&applied), Ok(()));
+        // Dropped: a later read still sees the old value.
+        let dropped = [w(1, 0, 0, 10, 100), pending, r(1, 1, 40, 50, Some(100))];
+        assert_eq!(check_history(&dropped), Ok(()));
+        // But once observed, it cannot un-happen.
+        let flip_flop = [
+            w(1, 0, 0, 10, 100),
+            pending,
+            r(1, 1, 40, 50, Some(101)),
+            r(1, 1, 60, 70, Some(100)),
+        ];
+        assert_eq!(
+            check_history(&flip_flop),
+            Err(LinError::NotLinearizable { key: 1 })
+        );
+    }
+
+    #[test]
+    fn keys_are_checked_independently() {
+        let h = [
+            w(1, 0, 0, 10, 100),
+            r(1, 1, 20, 30, Some(100)),
+            w(2, 0, 0, 10, 200),
+            r(2, 1, 20, 30, None), // key 2's acked write vanished
+        ];
+        assert_eq!(check_history(&h), Err(LinError::NotLinearizable { key: 2 }));
+    }
+}

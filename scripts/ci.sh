@@ -82,3 +82,21 @@ if git cat-file -e HEAD:BENCH_fleet.json 2>/dev/null; then
   diff <(grep -o '"[^"]*":' /tmp/fleet_a.json | sort) \
        <(git show HEAD:BENCH_fleet.json | grep -o '"[^"]*":' | sort)
 fi
+
+# Failover smoke: the binary asserts the replication/failover claims
+# (sync mode loses no acked write, reads never run backwards, every
+# surviving history passes the linearizability checker, failover time
+# stays inside budget, and the sync replication tax on the 32 B
+# GET-heavy bar stays under 5%); here we additionally pin run-to-run
+# determinism under a fixed seed and that the exported registry keeps
+# the committed BENCH_failover.json shape (same metric names; values
+# may move with the model).
+cargo run -q --release -p rfp-bench --bin failover 42 > /tmp/failover_a.csv
+mv BENCH_failover.json /tmp/failover_a.json
+cargo run -q --release -p rfp-bench --bin failover 42 > /tmp/failover_b.csv
+cmp /tmp/failover_a.csv /tmp/failover_b.csv
+cmp /tmp/failover_a.json BENCH_failover.json
+if git cat-file -e HEAD:BENCH_failover.json 2>/dev/null; then
+  diff <(grep -o '"[^"]*":' /tmp/failover_a.json | sort) \
+       <(git show HEAD:BENCH_failover.json | grep -o '"[^"]*":' | sort)
+fi
