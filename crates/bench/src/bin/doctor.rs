@@ -60,7 +60,9 @@ fn scenarios(seed: u64) -> Vec<Scenario> {
             plan: Some(FaultPlan::new(seed).straggler(FAULT_AT, FAULT_SPAN, 0, 16.0)),
             overload: false,
             signature: Some((RetrySpike, "chaos.straggler")),
-            allowed: &[LatencyRegression],
+            // A straggler is degraded-but-alive, so the rootless
+            // regression it causes legitimately co-fires as gray.
+            allowed: &[LatencyRegression, GrayFailure],
         },
         // A loss burst on RC never surfaces as errors or retries — the
         // transport retransmits under the covers — so the only client-
@@ -71,7 +73,28 @@ fn scenarios(seed: u64) -> Vec<Scenario> {
             plan: Some(FaultPlan::new(seed).loss_burst(FAULT_AT, FAULT_SPAN, 0, 0.7)),
             overload: false,
             signature: Some((LatencyRegression, "chaos.loss_burst")),
-            allowed: &[RetrySpike],
+            // RC retransmission leaves no hard-failure root, so the
+            // regression also carries the gray-failure signature.
+            allowed: &[RetrySpike, GrayFailure],
+        },
+        // A fail-slow serve loop: every call still completes, nothing
+        // errors, sheds, or reconnects — the distinctive symptom is the
+        // *rootless* regression the gray-failure detector exists for.
+        Scenario {
+            name: "gray_slow_server",
+            plan: Some(FaultPlan::new(seed).slow_server(FAULT_AT, FAULT_SPAN, 0, 16.0)),
+            overload: false,
+            signature: Some((GrayFailure, "chaos.slow_server")),
+            allowed: &[LatencyRegression, RetrySpike],
+        },
+        // A fail-slow link: the wire itself lags while the RC transport
+        // stays error-free — gray again, rooted at `chaos.slow_link`.
+        Scenario {
+            name: "gray_slow_link",
+            plan: Some(FaultPlan::new(seed).slow_link(FAULT_AT, FAULT_SPAN, 0, 20_000)),
+            overload: false,
+            signature: Some((GrayFailure, "chaos.slow_link")),
+            allowed: &[LatencyRegression, RetrySpike],
         },
         Scenario {
             name: "bit_flip",

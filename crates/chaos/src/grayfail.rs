@@ -1,40 +1,37 @@
-//! A replicated key-value rig built for failover experiments.
+//! A replicated key-value rig built for **gray-failure** experiments.
 //!
-//! [`spawn_failover_kv`] assembles the primary/backup pair from
-//! `rfp-kvstore`'s [`replica`](rfp_kvstore::replica) module — machine 0
-//! is the primary, machine 1 the standby backup fed by the primary's
-//! replication log, machines `2..` run clients — and routes every
-//! client call through an [`rfp_core::ReplicaClient`], so a dead or
-//! fenced primary re-homes the client onto the backup automatically.
+//! [`spawn_grayfail_kv`] assembles the same primary/backup pair as the
+//! failover rig — machine 0 the primary, machine 1 a standby backup
+//! fed by the replication log, machines `2..` clients — but aims it at
+//! fail-*slow* faults instead of fail-stop ones: slow links, flaky
+//! sub-recovery-threshold links, CPU-throttled serve loops. Nothing in
+//! those scenarios ever crashes, errors, or sheds, so the crash
+//! failover path never fires; what the rig measures is whether the
+//! gray-failure subsystem (scored routing, hedged reads, retry
+//! budgets — [`rfp_core::GrayConfig`]) keeps the **read tail** bounded
+//! while the fault is live.
 //!
-//! The rig records three layers of evidence per run:
+//! Differences from the failover rig, all deliberate:
 //!
-//! * **online invariant counters** — a GET that observes a version
-//!   older than an already-acknowledged PUT of the same key books
-//!   `lost_acked`; one that runs *backwards* relative to a version some
-//!   earlier-completed read already observed books `stale_reads`
-//!   (the deposed-primary signature). Both compare against snapshots
-//!   taken at call *start*, so a read racing a concurrent write is
-//!   never a false positive;
-//! * **a full operation history** — every call becomes a
-//!   [`HistEntry`]; calls that exhausted their budget stay *pending*
-//!   (they may or may not have taken effect), exactly what
-//!   [`rfp_workload::check_history`] is built to adjudicate;
-//! * **failover timing** — the span from the first fault instant to
-//!   each client's next completed call, in the `failover.time`
-//!   histogram.
-//!
-//! Every PUT value is `client << 32 | version` with a per-client
-//! monotone version, so write values are globally unique (the checker's
-//! convention) and each key has exactly one writer while *reads* roam
-//! the whole keyspace — cross-client reads are what make the surviving
-//! histories worth checking.
-//!
-//! Promotion is the experiment's failure detector: the caller schedules
-//! it (`promote_at`) only for scenarios where the primary really is
-//! dead. Partition scenarios deliberately leave the backup unpromoted —
-//! clients bounce off the standby and come back once the link heals;
-//! that costs availability, never consistency.
+//! * **standby reads** — the backup serves GETs from its replicated
+//!   partition while unpromoted and refuses mutations with `Busy`
+//!   without executing them, so routed/hedged reads have somewhere
+//!   safe to land ([`BackupRole::standby_reads`]);
+//! * **single-writer, single-reader keys** — each client reads only
+//!   its *own* keys. A cross-client read served by the standby could
+//!   legitimately observe a write another client saw early on the
+//!   primary before the log batch shipped (a real read-uncommitted
+//!   anomaly of standby reads, not a bug to hunt here); own-key reads
+//!   are immune because `Sync` ack applies a write at the backup
+//!   before its issuer sees the ack;
+//! * **phase-tagged read latencies** — every GET's `(start, latency)`
+//!   lands in a vector so the bench can compute the read p99 over the
+//!   mitigation-steady measurement phase, excluding warmup and the
+//!   detection transient;
+//! * **duplicate-apply ledger** — the primary counts mutations it
+//!   actually applied and the standby counts mutations it refused;
+//!   together with the checker history these prove hedging never
+//!   double-applies a write.
 
 use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
@@ -62,27 +59,28 @@ use crate::harness::rig_rfp_cfg;
 use crate::inject::{install, InjectorSinks, Restart};
 use crate::plan::FaultPlan;
 
-/// The epoch a promoted backup fences at (the rig promotes at most
-/// once per run).
-pub const PROMOTED_EPOCH: u16 = 1;
-
-/// Sizing and tuning of the failover rig.
+/// Sizing and tuning of the gray-failure rig.
 #[derive(Clone, Debug)]
-pub struct FailoverChaosConfig {
+pub struct GrayChaosConfig {
     /// Client machines (one client thread each), on machines `2..`.
     pub clients: usize,
-    /// Keys *written* per client (reads roam every client's keys).
+    /// Keys per client; each client both writes and reads only its own.
     pub keys_per_client: usize,
-    /// Operations each client issues before stopping. Bounded so the
-    /// per-key histories stay inside the checker's search capacity.
+    /// Operations each client issues before stopping.
     pub ops_per_client: usize,
-    /// Fraction of operations that are PUTs.
+    /// Fraction of operations that are PUTs (always routed `call`,
+    /// never hedged — mutations anchor on the primary).
     pub put_ratio: f64,
-    /// Primary-side replication tuning (the default turns it on; a
-    /// replication-off rig is the tax baseline, not a failover study).
+    /// Whether GETs go through [`ReplicaClient::call_hedged`] (the
+    /// gray-routed read path) or plain [`ReplicaClient::call`]. The
+    /// sweep's baseline cell turns this off together with the gray
+    /// config so the run is byte-identical to the pre-gray router.
+    pub hedged_reads: bool,
+    /// Primary-side replication tuning (`Sync` ack on — standby reads
+    /// lean on acked ⇒ applied-at-backup).
     pub replication: ReplicationConfig,
-    /// Client-side failover policy (retry budget per replica, maximum
-    /// re-homings per call).
+    /// Client-side router policy; `failover.gray` is the subsystem
+    /// under test.
     pub failover: FailoverConfig,
     /// Cluster timing profile.
     pub profile: ClusterProfile,
@@ -90,25 +88,22 @@ pub struct FailoverChaosConfig {
     pub seed: u64,
 }
 
-impl Default for FailoverChaosConfig {
+impl Default for GrayChaosConfig {
     fn default() -> Self {
-        FailoverChaosConfig {
+        GrayChaosConfig {
             clients: 3,
             keys_per_client: 4,
-            ops_per_client: 60,
-            put_ratio: 0.5,
+            ops_per_client: 400,
+            put_ratio: 0.3,
+            hedged_reads: true,
             replication: ReplicationConfig {
                 enabled: true,
                 ..ReplicationConfig::default()
             },
-            // A short per-replica retry budget: the router should stop
-            // flogging a dead primary and re-home within a bounded
-            // handful of attempts, not ride out the full single-server
-            // recovery schedule first.
             failover: FailoverConfig {
                 recovery: rfp_core::RecoveryConfig {
                     retry: rfp_simnet::RetryPolicy::exponential(
-                        4,
+                        6,
                         SimSpan::micros(10),
                         SimSpan::micros(200),
                         0.2,
@@ -118,46 +113,66 @@ impl Default for FailoverChaosConfig {
                 ..FailoverConfig::default()
             },
             profile: ClusterProfile::paper_testbed(),
-            seed: 11,
+            seed: 23,
         }
     }
 }
 
 /// Shared outcome state, updated online by every client loop.
-pub struct FailoverState {
+pub struct GrayState {
     /// Completed calls (all kinds).
     pub completed: Cell<u64>,
     /// Acknowledged PUTs.
     pub acked_puts: Cell<u64>,
-    /// Calls that exhausted the router's whole failover budget.
+    /// PUT calls issued (acked or not) — the duplicate-apply ceiling.
+    pub issued_puts: Cell<u64>,
+    /// Calls that exhausted the router's whole budget.
     pub failed_calls: Cell<u64>,
-    /// Acked-write losses: a GET observed `NotFound` or an older
-    /// version for a key whose newer PUT was acked before the GET began.
+    /// Acked-write losses (see the failover rig; must stay 0 here).
     pub lost_acked: Cell<u64>,
-    /// Stale reads: a GET observed a version older than one some
-    /// earlier-*completed* read had already seen at the GET's start.
+    /// Reads that ran backwards vs. an earlier-completed read.
     pub stale_reads: Cell<u64>,
     /// GETs answered `NotFound`.
     pub not_found: Cell<u64>,
     /// Clients that finished their op budget.
     pub done_clients: Cell<usize>,
-    /// When the backup was promoted, if it was.
-    pub promoted_at: Cell<Option<SimTime>>,
-    /// key id → value of the last acked PUT (single writer per key and
-    /// per-client-monotone versions make the max the latest).
+    /// key id → value of the last acked PUT.
     acked: RefCell<HashMap<u64, u64>>,
-    /// key id → newest value any completed read has observed.
+    /// key id → newest value any completed read observed.
     observed: RefCell<HashMap<u64, u64>>,
     /// Full operation history, in completion/abandonment order.
     history: RefCell<Vec<HistEntry>>,
-    /// Per-client crash instant awaiting the first completed call.
-    recovering: Vec<Cell<Option<SimTime>>>,
+    /// Every completed GET as `(start_ns, latency_ns)`.
+    read_lats: RefCell<Vec<(u64, u64)>>,
 }
 
-impl FailoverState {
+impl GrayState {
     /// The recorded history (for [`rfp_workload::check_history`]).
     pub fn history(&self) -> Vec<HistEntry> {
         self.history.borrow().clone()
+    }
+
+    /// Read latencies of GETs that *started* at or after `from` —
+    /// the measurement-phase slice.
+    pub fn read_lats_since(&self, from: SimTime) -> Vec<u64> {
+        let floor = from.as_nanos();
+        self.read_lats
+            .borrow()
+            .iter()
+            .filter(|(start, _)| *start >= floor)
+            .map(|(_, lat)| *lat)
+            .collect()
+    }
+
+    /// p99 read latency (ns) over GETs started at or after `from`;
+    /// `None` with fewer than 10 samples.
+    pub fn read_p99_since(&self, from: SimTime) -> Option<u64> {
+        let mut lats = self.read_lats_since(from);
+        if lats.len() < 10 {
+            return None;
+        }
+        lats.sort_unstable();
+        Some(lats[(lats.len() * 99) / 100 - 1])
     }
 
     /// Largest number of operations landed on any single key.
@@ -170,29 +185,30 @@ impl FailoverState {
     }
 }
 
-/// A running failover rig.
-pub struct FailoverKv {
+/// A running gray-failure rig.
+pub struct GrayKv {
     /// The simulated cluster (0 = primary, 1 = backup, `2..` clients).
     pub cluster: Cluster,
     /// Unified instruments (`rfp.client.*`, `fault.*`, `recovery.*`,
-    /// `failover.time`).
+    /// `routing.*`).
     pub registry: MetricsRegistry,
     /// Shared trace.
     pub trace: TraceLog,
     /// Request-lifecycle spans.
     pub spans: SpanRecorder,
-    /// Flight recorder: `chaos.*` fault roots and the clients'
-    /// `recovery.*` reaction chains (`recovery.failover` among them).
+    /// Flight recorder: `chaos.slow_link` / `chaos.flaky_link` /
+    /// `chaos.slow_server` fault roots and the router's
+    /// `routing.demote` / `recovery.hedge.*` reaction chains.
     pub recorder: FlightRecorder,
     /// Rolling per-connection health (keyed `client * 2 + replica`).
     pub health: HealthHub,
     /// Shared outcome state.
-    pub state: Rc<FailoverState>,
+    pub state: Rc<GrayState>,
     /// One router per client, in machine order.
     pub routers: Vec<Rc<ReplicaClient>>,
-    /// Primary-side replication bookkeeping.
+    /// Primary-side replication bookkeeping (and the apply ledger).
     pub primary_role: Rc<PrimaryRole>,
-    /// Backup-side replication bookkeeping.
+    /// Backup-side replication bookkeeping (and the refusal ledger).
     pub backup_role: Rc<BackupRole>,
     /// The primary's store.
     pub primary_part: Rc<RefCell<Partition>>,
@@ -200,30 +216,44 @@ pub struct FailoverKv {
     pub backup_part: Rc<RefCell<Partition>>,
 }
 
-impl FailoverKv {
+impl GrayKv {
     /// Total replica re-homings across all clients.
     pub fn total_failovers(&self) -> u64 {
         self.routers.iter().map(|r| r.failovers()).sum()
     }
 
-    /// Maximum observed client failover time, if any fault was timed.
-    pub fn max_failover_time(&self) -> Option<SimSpan> {
-        if !self.registry.names().iter().any(|n| n == "failover.time") {
-            return None;
+    /// `(issued, won, wasted)` hedge legs across all routers.
+    pub fn total_hedges(&self) -> (u64, u64, u64) {
+        let mut t = (0, 0, 0);
+        for r in &self.routers {
+            let (i, w, x) = r.hedges();
+            t.0 += i;
+            t.1 += w;
+            t.2 += x;
         }
-        self.registry.histogram("failover.time").max()
+        t
+    }
+
+    /// Retry-budget tokens consumed and grants denied, summed.
+    pub fn budget_totals(&self) -> (u64, u64) {
+        let mut t = (0, 0);
+        for r in &self.routers {
+            t.0 += r.budget().consumed();
+            t.1 += r.budget().denied();
+        }
+        t
     }
 }
 
-/// Spawns the rig; pass a [`FaultPlan`] to install its injector and
-/// `promote_at` to schedule the failure detector's promotion of the
-/// backup (crash scenarios only — a partitioned primary is not dead).
-pub fn spawn_failover_kv(
+/// Spawns the rig; pass a [`FaultPlan`] carrying `slow_link` /
+/// `flaky_link` / `slow_server` windows to install its injector. The
+/// backup is never promoted — gray faults are exactly the ones a crash
+/// detector cannot see.
+pub fn spawn_grayfail_kv(
     sim: &mut Simulation,
-    cfg: &FailoverChaosConfig,
+    cfg: &GrayChaosConfig,
     plan: Option<&FaultPlan>,
-    promote_at: Option<SimTime>,
-) -> FailoverKv {
+) -> GrayKv {
     assert!(cfg.clients > 0, "rig needs at least one client");
     assert!(cfg.keys_per_client > 0, "rig needs at least one key");
     let cluster = Cluster::new(sim, cfg.profile.clone(), 2 + cfg.clients);
@@ -241,25 +271,26 @@ pub fn spawn_failover_kv(
     let backup_part = Rc::new(RefCell::new(Partition::new(partition_cap)));
     let primary_role = Rc::new(PrimaryRole::default());
     let backup_role = Rc::new(BackupRole::default());
+    // Standby reads power scored routing and hedging; they stay off in
+    // the baseline cell so the disabled run is byte-identical to the
+    // pre-gray rig.
+    backup_role.standby_reads.set(cfg.failover.gray.enabled);
 
-    let state = Rc::new(FailoverState {
+    let state = Rc::new(GrayState {
         completed: Cell::new(0),
         acked_puts: Cell::new(0),
+        issued_puts: Cell::new(0),
         failed_calls: Cell::new(0),
         lost_acked: Cell::new(0),
         stale_reads: Cell::new(0),
         not_found: Cell::new(0),
         done_clients: Cell::new(0),
-        promoted_at: Cell::new(None),
         acked: RefCell::new(HashMap::new()),
         observed: RefCell::new(HashMap::new()),
         history: RefCell::new(Vec::new()),
-        recovering: (0..cfg.clients).map(|_| Cell::new(None)).collect(),
+        read_lats: RefCell::new(Vec::new()),
     });
 
-    // The dedicated replication link, primary -> backup. Plain RFP: the
-    // log channel is deliberately outside the client-facing epoch fence
-    // (see the `replica` module docs).
     let (ship, repl_conn) = connect(
         &primary_m,
         &backup_m,
@@ -271,6 +302,7 @@ pub fn spawn_failover_kv(
         },
     );
     ship.set_reconnect(cluster.qp_factory(0, 1));
+    let repl_conn = Rc::new(repl_conn);
 
     let mut primary_conns: Vec<Rc<RfpServerConn>> = Vec::new();
     let mut backup_conns: Vec<Rc<RfpServerConn>> = Vec::new();
@@ -280,7 +312,7 @@ pub fn spawn_failover_kv(
 
     for c in 0..cfg.clients {
         let client_m = cluster.machine(2 + c);
-        let thread = client_m.thread(format!("failover-c{c}"));
+        let thread = client_m.thread(format!("gray-c{c}"));
         let mut replicas: Vec<Rc<RfpClient>> = Vec::new();
         for (replica, server_m) in [(0usize, &primary_m), (1usize, &backup_m)] {
             let (cl, sc) = connect(
@@ -312,8 +344,12 @@ pub fn spawn_failover_kv(
             replicas,
             FailoverConfig {
                 recovery: rfp_core::RecoveryConfig {
-                    seed: derive_seed(cfg.seed, 0xFA11 + c as u64),
+                    seed: derive_seed(cfg.seed, 0x64AF + c as u64),
                     ..cfg.failover.recovery.clone()
+                },
+                gray: rfp_core::GrayConfig {
+                    seed: derive_seed(cfg.failover.gray.seed, c as u64),
+                    ..cfg.failover.gray.clone()
                 },
                 ..cfg.failover.clone()
             },
@@ -321,22 +357,19 @@ pub fn spawn_failover_kv(
         routers.push(Rc::clone(&router));
 
         let st = Rc::clone(&state);
-        let reg = registry.clone();
         let mut rng = StdRng::seed_from_u64(derive_seed(cfg.seed, 1 + c as u64));
         let keys = cfg.keys_per_client;
-        let total_keys = cfg.clients * cfg.keys_per_client;
         let ops = cfg.ops_per_client;
         let put_ratio = cfg.put_ratio;
+        let hedged = cfg.hedged_reads;
         sim.spawn(async move {
             let mut version = 0u64;
             for _ in 0..ops {
                 let is_put = rng.gen::<f64>() < put_ratio;
-                // Writers own a disjoint key range; readers roam.
-                let key_id = if is_put {
-                    (c * keys + rng.gen_range(0..keys)) as u64
-                } else {
-                    rng.gen_range(0..total_keys) as u64
-                };
+                // Writers AND readers stay inside the client's own
+                // range: standby reads make cross-client reads
+                // legitimately non-linearizable (see module docs).
+                let key_id = (c * keys + rng.gen_range(0..keys)) as u64;
                 let key = format!("k{key_id}").into_bytes();
                 let (req, value) = if is_put {
                     version += 1;
@@ -352,20 +385,21 @@ pub fn spawn_failover_kv(
                 } else {
                     (KvRequest::Get { key: &key }.encode(), None)
                 };
-                // Invariant baselines snapshotted at call start: only
-                // what was already settled *before* this op began can
-                // convict the response.
                 let acked_floor = st.acked.borrow().get(&key_id).copied();
                 let observed_floor = st.observed.borrow().get(&key_id).copied();
                 let start = thread.now().as_nanos();
-                match router.call(&thread, &req).await {
+                if is_put {
+                    st.issued_puts.set(st.issued_puts.get() + 1);
+                }
+                let outcome = if is_put || !hedged {
+                    router.call(&thread, &req).await
+                } else {
+                    router.call_hedged(&thread, &req).await
+                };
+                match outcome {
                     Ok(out) => {
                         let end = thread.now().as_nanos();
                         st.completed.set(st.completed.get() + 1);
-                        if let Some(crashed_at) = st.recovering[c].take() {
-                            reg.histogram("failover.time")
-                                .record(thread.now().since(crashed_at));
-                        }
                         let resp = KvResponse::decode(&out.data).expect("server response");
                         let op = match (value, resp) {
                             (Some(v), KvResponse::Stored) => {
@@ -386,6 +420,7 @@ pub fn spawn_failover_kv(
                                 let mut obs = st.observed.borrow_mut();
                                 let slot = obs.entry(key_id).or_insert(v);
                                 *slot = (*slot).max(v);
+                                st.read_lats.borrow_mut().push((start, end - start));
                                 RegOp::Read(Some(v))
                             }
                             (None, KvResponse::NotFound) => {
@@ -393,6 +428,7 @@ pub fn spawn_failover_kv(
                                 if acked_floor.is_some() {
                                     st.lost_acked.set(st.lost_acked.get() + 1);
                                 }
+                                st.read_lats.borrow_mut().push((start, end - start));
                                 RegOp::Read(None)
                             }
                             (_, other) => panic!("unexpected response {other:?}"),
@@ -407,9 +443,6 @@ pub fn spawn_failover_kv(
                     }
                     Err(_) => {
                         st.failed_calls.set(st.failed_calls.get() + 1);
-                        // A write that exhausted its budget may still
-                        // have taken effect: record it pending. A
-                        // failed read observed nothing — drop it.
                         if let Some(v) = value {
                             st.history.borrow_mut().push(HistEntry {
                                 key: key_id,
@@ -426,9 +459,8 @@ pub fn spawn_failover_kv(
         });
     }
 
-    // The primary and its standby.
     sim.spawn(primary_serve_loop(
-        primary_m.thread("failover-primary"),
+        primary_m.thread("gray-primary"),
         primary_conns.clone(),
         Rc::clone(&primary_part),
         Rc::new(ship),
@@ -437,56 +469,18 @@ pub fn spawn_failover_kv(
         SimSpan::nanos(100),
     ));
     sim.spawn(backup_serve_loop(
-        backup_m.thread("failover-backup"),
-        Rc::new(repl_conn),
+        backup_m.thread("gray-backup"),
+        Rc::clone(&repl_conn),
         backup_conns.clone(),
         Rc::clone(&backup_part),
         Rc::clone(&backup_role),
         SimSpan::nanos(100),
     ));
 
-    // The failure detector: promote the backup into the next epoch at a
-    // fixed (deterministic) instant after the crash.
-    if let Some(at) = promote_at {
-        let handle = cluster.handle().clone();
-        let role = Rc::clone(&backup_role);
-        let conns = backup_conns;
-        let st = Rc::clone(&state);
-        let tr = trace.clone();
-        sim.spawn(async move {
-            let now = handle.now();
-            if at > now {
-                handle.sleep(at.since(now)).await;
-            }
-            role.promote(&conns, PROMOTED_EPOCH);
-            st.promoted_at.set(Some(handle.now()));
-            tr.record(
-                handle.now(),
-                "chaos.fault",
-                format!("backup promoted to epoch {PROMOTED_EPOCH}"),
-            );
-        });
-    }
-
-    // Mark every client as "recovering" at the first fault instant so
-    // the failover.time histogram measures fault -> first completed
-    // call. Injector goes in last, as in the chaos harness.
     if let Some(plan) = plan {
-        if let Some(first_at) = plan.events().iter().map(|e| e.at).min() {
-            let handle = cluster.handle().clone();
-            let st = Rc::clone(&state);
-            sim.spawn(async move {
-                let now = handle.now();
-                if first_at > now {
-                    handle.sleep(first_at.since(now)).await;
-                }
-                let at = handle.now();
-                for cell in &st.recovering {
-                    cell.set(Some(at));
-                }
-            });
-        }
-        let hook_conns = primary_conns;
+        let hook_primary = primary_conns.clone();
+        let hook_backup = backup_conns;
+        let hook_repl = Rc::clone(&repl_conn);
         install(
             sim,
             &cluster,
@@ -494,23 +488,30 @@ pub fn spawn_failover_kv(
             InjectorSinks {
                 registry: Some(registry.clone()),
                 trace: Some(trace.clone()),
-                on_restart: Some(Rc::new(move |restart: &Restart| {
-                    // A restarted ex-primary rebuilds its connection
-                    // process state — but it is *deposed*: it comes
-                    // back at its old epoch and the fence keeps it
-                    // from serving promoted-era clients.
-                    if restart.machine == 0 {
-                        for conn in &hook_conns {
+                // A restarted replica rebuilds its server-side
+                // connection state before serving resumed clients;
+                // the backup additionally recovers the replication
+                // stream's receive conn.
+                on_restart: Some(Rc::new(move |restart: &Restart| match restart.machine {
+                    0 => {
+                        for conn in &hook_primary {
                             conn.recover_after_restart();
                         }
                     }
+                    1 => {
+                        for conn in &hook_backup {
+                            conn.recover_after_restart();
+                        }
+                        hook_repl.recover_after_restart();
+                    }
+                    _ => {}
                 })),
                 recorder: Some(recorder.clone()),
             },
         );
     }
 
-    FailoverKv {
+    GrayKv {
         cluster,
         registry,
         trace,

@@ -105,7 +105,10 @@ pub fn install(sim: &mut Simulation, cluster: &Cluster, plan: &FaultPlan, sinks:
         | FaultKind::QpError { machine }
         | FaultKind::Crash { machine, .. }
         | FaultKind::TornDma { machine, .. }
-        | FaultKind::BitFlip { machine, .. } = &event.kind
+        | FaultKind::BitFlip { machine, .. }
+        | FaultKind::SlowLink { machine, .. }
+        | FaultKind::FlakyLink { machine, .. }
+        | FaultKind::SlowServer { machine, .. } = &event.kind
         {
             assert!(
                 *machine < cluster.len(),
@@ -132,7 +135,10 @@ pub fn install(sim: &mut Simulation, cluster: &Cluster, plan: &FaultPlan, sinks:
             | FaultKind::QpError { machine }
             | FaultKind::Crash { machine, .. }
             | FaultKind::TornDma { machine, .. }
-            | FaultKind::BitFlip { machine, .. } => Some(cluster.machine(*machine)),
+            | FaultKind::BitFlip { machine, .. }
+            | FaultKind::SlowLink { machine, .. }
+            | FaultKind::FlakyLink { machine, .. }
+            | FaultKind::SlowServer { machine, .. } => Some(cluster.machine(*machine)),
             FaultKind::Partition { from, .. } => Some(cluster.machine(*from)),
             FaultKind::LinkDegrade { .. } => None,
         };
@@ -212,6 +218,51 @@ pub fn install(sim: &mut Simulation, cluster: &Cluster, plan: &FaultPlan, sinks:
                     handle.sleep(event.duration).await;
                     m.faults().set_bitflip(0.0);
                     sinks.note(handle.now(), format!("machine {machine}: bit-flip over"));
+                }
+                FaultKind::SlowLink { machine, lag_ns } => {
+                    let m = target.expect("slow link has a target");
+                    m.faults().set_wire_lag(lag_ns);
+                    sinks.count("fault.slow_links");
+                    sinks.flight(
+                        at,
+                        "chaos.slow_link",
+                        format!("machine {machine}: slow link +{lag_ns}ns/leg"),
+                    );
+                    sinks.note(at, format!("machine {machine}: slow link +{lag_ns}ns/leg"));
+                    handle.sleep(event.duration).await;
+                    m.faults().set_wire_lag(0);
+                    sinks.note(handle.now(), format!("machine {machine}: slow link over"));
+                }
+                FaultKind::FlakyLink { machine, loss } => {
+                    let m = target.expect("flaky link has a target");
+                    m.faults().set_extra_loss(loss);
+                    sinks.count("fault.flaky_links");
+                    sinks.flight(
+                        at,
+                        "chaos.flaky_link",
+                        format!("machine {machine}: flaky link loss {loss:.3}"),
+                    );
+                    sinks.note(at, format!("machine {machine}: flaky link loss {loss:.3}"));
+                    handle.sleep(event.duration).await;
+                    m.faults().set_extra_loss(0.0);
+                    sinks.note(handle.now(), format!("machine {machine}: flaky link over"));
+                }
+                FaultKind::SlowServer { machine, factor } => {
+                    let m = target.expect("slow server has a target");
+                    m.faults().set_cpu_factor(factor);
+                    sinks.count("fault.slow_servers");
+                    sinks.flight(
+                        at,
+                        "chaos.slow_server",
+                        format!("machine {machine}: serve loop slowed {factor:.2}x"),
+                    );
+                    sinks.note(
+                        at,
+                        format!("machine {machine}: serve loop slowed {factor:.2}x"),
+                    );
+                    handle.sleep(event.duration).await;
+                    m.faults().set_cpu_factor(1.0);
+                    sinks.note(handle.now(), format!("machine {machine}: slow server over"));
                 }
                 FaultKind::Partition { from, to } => {
                     let m = target.expect("partition has a source");

@@ -17,6 +17,7 @@
 //! chaos` for the scenario sweep.
 
 mod failover;
+mod grayfail;
 mod harness;
 mod inject;
 mod plan;
@@ -24,6 +25,7 @@ mod plan;
 pub use failover::{
     spawn_failover_kv, FailoverChaosConfig, FailoverKv, FailoverState, PROMOTED_EPOCH,
 };
+pub use grayfail::{spawn_grayfail_kv, GrayChaosConfig, GrayKv, GrayState};
 pub use harness::{spawn_chaos_kv, ChaosConfig, ChaosKv, ChaosState};
 pub use inject::{install, InjectorSinks, Restart, RestartHook};
 pub use plan::{FaultEvent, FaultKind, FaultPlan};

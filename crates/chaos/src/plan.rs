@@ -71,6 +71,40 @@ pub enum FaultKind {
         /// Per-READ flip probability in `[0, 1]`.
         p: f64,
     },
+    /// Fail-slow link on one machine: every wire leg touching it pays a
+    /// jittered extra latency around `lag_ns` for the duration, with no
+    /// error completion ever raised — the canonical gray failure a
+    /// liveness-based failover cannot see.
+    SlowLink {
+        /// Target machine index.
+        machine: usize,
+        /// Mean added one-way latency in nanoseconds.
+        lag_ns: u64,
+    },
+    /// Fail-slow lossy link on one machine: a *sub-recovery-threshold*
+    /// loss rate (RC traffic pays retransmission delays, unreliable
+    /// traffic drops) that degrades the tail without tripping any
+    /// deadline-based failover. Mechanically a loss window like
+    /// [`FaultKind::LossBurst`], but injected and accounted as its own
+    /// gray class.
+    FlakyLink {
+        /// Target machine index.
+        machine: usize,
+        /// Additional loss probability in `[0, 1]` (keep it under the
+        /// recovery threshold for a true gray failure).
+        loss: f64,
+    },
+    /// Fail-slow server on one machine: serve-loop processing cost is
+    /// multiplied for the duration (a core stuck at its lowest P-state,
+    /// a runaway co-tenant). Mechanically a CPU-factor window like
+    /// [`FaultKind::Straggler`], but injected and accounted as its own
+    /// gray class.
+    SlowServer {
+        /// Target machine index.
+        machine: usize,
+        /// Serve-loop processing-cost multiplier (`> 1` slows).
+        factor: f64,
+    },
     /// Asymmetric network partition for the event's duration: traffic
     /// `from → to` is dropped while the reverse direction keeps
     /// flowing (a one-way link failure / bad switch rule). An op whose
@@ -173,6 +207,21 @@ impl FaultPlan {
         self.push(at, duration, FaultKind::BitFlip { machine, p })
     }
 
+    /// Schedules a fail-slow link window on `machine`.
+    pub fn slow_link(self, at: SimTime, duration: SimSpan, machine: usize, lag_ns: u64) -> Self {
+        self.push(at, duration, FaultKind::SlowLink { machine, lag_ns })
+    }
+
+    /// Schedules a fail-slow flaky-link window on `machine`.
+    pub fn flaky_link(self, at: SimTime, duration: SimSpan, machine: usize, loss: f64) -> Self {
+        self.push(at, duration, FaultKind::FlakyLink { machine, loss })
+    }
+
+    /// Schedules a fail-slow server window on `machine`.
+    pub fn slow_server(self, at: SimTime, duration: SimSpan, machine: usize, factor: f64) -> Self {
+        self.push(at, duration, FaultKind::SlowServer { machine, factor })
+    }
+
     /// Schedules an asymmetric partition dropping `from → to` traffic
     /// for `duration` (call twice, swapped, for a symmetric cut).
     pub fn partition(self, at: SimTime, duration: SimSpan, from: usize, to: usize) -> Self {
@@ -234,8 +283,11 @@ mod tests {
             .crash(SimTime::from_nanos(30), SimSpan::micros(5), 0, true)
             .torn_dma(SimTime::from_nanos(40), SimSpan::micros(2), 0, 0.3)
             .bit_flip(SimTime::from_nanos(50), SimSpan::micros(2), 0, 0.1)
-            .partition(SimTime::from_nanos(60), SimSpan::micros(3), 1, 0);
-        assert_eq!(plan.len(), 6);
+            .partition(SimTime::from_nanos(60), SimSpan::micros(3), 1, 0)
+            .slow_link(SimTime::from_nanos(70), SimSpan::micros(4), 0, 25_000)
+            .flaky_link(SimTime::from_nanos(80), SimSpan::micros(4), 1, 0.1)
+            .slow_server(SimTime::from_nanos(90), SimSpan::micros(4), 0, 20.0);
+        assert_eq!(plan.len(), 9);
         assert_eq!(plan.events()[1].duration, SimSpan::ZERO);
         assert!(matches!(
             plan.events()[2].kind,
@@ -252,6 +304,21 @@ mod tests {
         assert!(matches!(
             plan.events()[5].kind,
             FaultKind::Partition { from: 1, to: 0 }
+        ));
+        assert!(matches!(
+            plan.events()[6].kind,
+            FaultKind::SlowLink {
+                machine: 0,
+                lag_ns: 25_000
+            }
+        ));
+        assert!(matches!(
+            plan.events()[7].kind,
+            FaultKind::FlakyLink { machine: 1, .. }
+        ));
+        assert!(matches!(
+            plan.events()[8].kind,
+            FaultKind::SlowServer { machine: 0, .. }
         ));
     }
 

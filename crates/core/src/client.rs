@@ -105,6 +105,25 @@ pub struct CallInfo {
     pub integrity_retries: u32,
 }
 
+/// One in-flight hedge leg: a request deposited by
+/// [`RfpClient::hedge_deposit`] and polled by
+/// [`RfpClient::hedge_poll`]. The replica router holds one ticket per
+/// leg of a hedged call and races them; a ticket abandoned mid-flight
+/// is harmless — the next call on its connection allocates a fresh
+/// sequence number, so a late response to the abandoned seq fails the
+/// acceptance check and is never surfaced.
+pub(crate) struct HedgeTicket {
+    slot: usize,
+    seq: u32,
+    /// Fetch READs issued against this leg so far.
+    pub(crate) fetches: u32,
+    /// When this leg's deposit was issued. The router books the
+    /// winning leg's health with the latency since *its own* deposit —
+    /// attributing time the racing loop spent blocked on the other
+    /// (possibly gray) leg would poison the healthy replica's score.
+    pub(crate) deposited_at: SimTime,
+}
+
 /// Aggregated client statistics.
 #[derive(Default)]
 pub struct ClientStats {
@@ -1699,6 +1718,187 @@ impl RfpClient {
         }
     }
 
+    /// Deposits one hedge leg: stages `req` under a fresh sequence
+    /// number and WRITEs it to the server, without entering the fetch
+    /// loop. The replica router races legs on different replicas and
+    /// polls each with [`hedge_poll`](RfpClient::hedge_poll). Uses the
+    /// same staging, header layout, and overload stamp as
+    /// [`call_with_recovery`](RfpClient::call_with_recovery)'s first
+    /// attempt, so the server cannot tell a hedge leg from an ordinary
+    /// call.
+    pub(crate) async fn hedge_deposit(
+        &self,
+        thread: &ThreadCtx,
+        req: &[u8],
+    ) -> Result<HedgeTicket, FailureCause> {
+        let ov = &self.shared.cfg.overload;
+        let max = self.req_headroom(ov.enabled);
+        assert!(req.len() <= max, "request exceeds buffer capacity");
+        self.sent_at.set(thread.now());
+        self.last_flight.set(None);
+        let stamp = if ov.enabled {
+            Some(thread.now() + ov.deadline)
+        } else {
+            None
+        };
+        let (slot, seq) = self.alloc_next_seq();
+        let hdr = ReqHeader {
+            valid: true,
+            size: req.len() as u32,
+            seq,
+            deadline: stamp,
+            tenant: self.tenant.get(),
+            epoch: self.epoch.get(),
+        };
+        let hdr_len = hdr.wire_len();
+        let mut hdr_bytes = [0u8; REQ_HDR_TENANT];
+        hdr.encode(&mut hdr_bytes[..hdr_len]);
+        let base = self.shared.req_off(slot);
+        self.shared
+            .client_req
+            .write_local(base, &hdr_bytes[..hdr_len]);
+        self.shared.client_req.write_local(base + hdr_len, req);
+        self.qp()
+            .try_write(
+                thread,
+                &self.shared.client_req,
+                base,
+                &self.shared.req,
+                base,
+                hdr_len + req.len(),
+            )
+            .await
+            .map_err(|e| self.verb_failure(thread, e))?;
+        Ok(HedgeTicket {
+            slot,
+            seq,
+            fetches: 0,
+            deposited_at: self.sent_at.get(),
+        })
+    }
+
+    /// One fetch round of a hedge leg: a single READ of the landing
+    /// zone, returning `Ok(Some(_))` when the response landed and
+    /// verified, `Ok(None)` when the slot still holds nothing for this
+    /// leg (poll again later), and `Err(_)` when the leg is dead — a
+    /// verb error, a server rejection, or unrecoverable corruption.
+    /// Mirrors one iteration of `attempt_call`'s fetch loop, minus the
+    /// retry machinery: the router, not this leg, decides what happens
+    /// next.
+    pub(crate) async fn hedge_poll(
+        &self,
+        thread: &ThreadCtx,
+        ticket: &mut HedgeTicket,
+    ) -> Result<Option<CallResult>, FailureCause> {
+        let slot = ticket.slot;
+        let resp_base = self.shared.resp_off(slot);
+        let f = self.fetch_size.get();
+        let qp = self.qp();
+        qp.try_read(
+            thread,
+            &self.shared.client_resp,
+            resp_base,
+            &self.shared.resp,
+            resp_base,
+            f,
+        )
+        .await
+        .map_err(|e| self.verb_failure(thread, e))?;
+        ticket.fetches += 1;
+        if let Some(ins) = &self.instruments {
+            ins.fetch_bytes.add(f as u64);
+        }
+        thread.busy(self.shared.cfg.check_cpu).await;
+        let hdr = self.resp_hdr_at(slot);
+        if !self.accept_resp(&hdr, ticket.seq) {
+            return Ok(None);
+        }
+        let total = self.resp_total_len(&hdr);
+        if !self.resp_len_plausible(total) {
+            self.note_integrity_failure(thread, IntegrityFault::Torn);
+            return Ok(None);
+        }
+        let size = hdr.size as usize;
+        let mut extra_read = false;
+        if total > f {
+            let rest = total - f;
+            qp.try_read(
+                thread,
+                &self.shared.client_resp,
+                resp_base + f,
+                &self.shared.resp,
+                resp_base + f,
+                rest,
+            )
+            .await
+            .map_err(|e| self.verb_failure(thread, e))?;
+            if let Some(ins) = &self.instruments {
+                ins.fetch_bytes.add(rest as u64);
+            }
+            extra_read = true;
+        }
+        if self.verify_fetched(thread, slot, &hdr).is_err() {
+            return Ok(None);
+        }
+        self.note_accepted(&hdr);
+        if hdr.status != RespStatus::Ok {
+            let counter = match hdr.status {
+                RespStatus::Busy => "overload.busy_seen",
+                RespStatus::Fenced => "recovery.fenced_seen",
+                _ => "overload.sheds_seen",
+            };
+            self.note_overload(thread, counter, "server rejected the hedge leg");
+            return Err(FailureCause::Rejected(hdr.status));
+        }
+        Ok(Some(CallResult {
+            data: self
+                .shared
+                .client_resp
+                .read_local(resp_base + hdr.wire_len(), size),
+            info: CallInfo {
+                attempts: ticket.fetches,
+                extra_read,
+                completed_in: Mode::RemoteFetch,
+                latency: SimSpan::ZERO, // patched by the router
+                server_time_us: hdr.time_us,
+                status: hdr.status,
+                integrity_retries: 0,
+            },
+        }))
+    }
+
+    /// Books a call the replica router completed through the hedge
+    /// primitives against this connection's stats, health window, and
+    /// instruments — the same accounting
+    /// [`call_with_recovery`](RfpClient::call_with_recovery) performs
+    /// on its success path. `out.info.latency` and `out.info.attempts`
+    /// must already carry the values to attribute to *this* connection
+    /// (a hedged race books each leg with its own latency and fetch
+    /// count, not the end-to-end race figures).
+    pub(crate) fn book_routed_call(&self, thread: &ThreadCtx, out: &CallResult) {
+        self.stats.record(&out.info);
+        if let Some(h) = &self.health {
+            h.record_call(
+                thread.now(),
+                out.info.latency,
+                out.info.attempts.saturating_sub(1) as u64,
+                out.data.len(),
+                out.info.server_time_us,
+            );
+        }
+        if let Some(ins) = &self.instruments {
+            ins.calls.incr();
+            ins.latency.record(out.info.latency);
+            ins.retries.add(out.info.attempts.saturating_sub(1) as u64);
+        }
+    }
+
+    /// This connection's rolling health window, when the config wired
+    /// one in. The replica router's scorer reads it.
+    pub(crate) fn conn_health(&self) -> Option<&Rc<ConnHealth>> {
+        self.health.as_ref()
+    }
+
     /// One recovery attempt: (re)submit the request, then fetch until
     /// the per-attempt deadline.
     ///
@@ -1915,7 +2115,7 @@ impl RfpClient {
     /// created lazily at the first event, so a run without faults never
     /// materialises them — keeping fault-free metric output byte-equal
     /// to a build without recovery wired in.
-    fn note_recovery(&self, thread: &ThreadCtx, counter: &'static str, what: &str) {
+    pub(crate) fn note_recovery(&self, thread: &ThreadCtx, counter: &'static str, what: &str) {
         if let Some(ins) = &self.instruments {
             ins.telemetry.registry.counter(counter).incr();
         }

@@ -1,4 +1,7 @@
-//! Replica-aware call routing: failover across a static replica list.
+//! Replica-aware call routing: failover across a static replica list,
+//! plus the gray-failure mitigations of DESIGN.md §16 (health-scored
+//! routing, hedged reads, retry budgets) — all dormant until
+//! [`GrayConfig::enabled`] is set.
 //!
 //! A replicated service exposes the same RPC endpoint on every replica;
 //! the client keeps one established [`RfpClient`] connection per
@@ -26,15 +29,56 @@
 //! relies on the application making its writes idempotent — the
 //! key-value rigs do so by writing each version's full value, so a
 //! double-applied PUT is indistinguishable from a single one.
+//!
+//! # Gray failures
+//!
+//! Crash failover never fires against a replica that is merely *slow*:
+//! every call eventually completes, so nothing errors. With
+//! [`GrayConfig::enabled`], the router adds three mitigations on top of
+//! the crash path:
+//!
+//! * **scored routing** ([`ReplicaScorer`]) — each routed read folds
+//!   the replicas' rolling health windows into scores; a replica
+//!   falling below [`GrayConfig::demote_below`] is demoted (with a
+//!   `routing.demote` flight-recorder entry carrying the triggering
+//!   window's evidence) and reads divert to the best-scoring peer,
+//!   save a probe every [`GrayConfig::probe_every`]-th call and a
+//!   score-proportional trickle. A demotion never strands the router:
+//!   with every candidate gray, traffic stays put.
+//! * **hedged reads** ([`ReplicaClient::call_hedged`]) — a read still
+//!   unanswered after the healthy-baseline p99 × a factor races a
+//!   second leg on another replica; first valid response wins. Hedges
+//!   ride the same-seq dedup and epoch fencing of the recovery layer,
+//!   so an abandoned leg can neither double-apply nor surface stale
+//!   bytes (its late response fails the seq acceptance check).
+//! * **retry budget** ([`RetryBudget`]) — retries, hedge legs, and
+//!   failover switches draw from one per-router token bucket refilled
+//!   by successes; a dry bucket degrades to fail-fast (first attempts
+//!   are never gated), bounding retry-storm amplification.
+//!
+//! Mutations always anchor on the active replica — standbys refuse
+//! them — so scored routing and hedging apply to the read path
+//! (`call_hedged`); `call` keeps the crash-failover contract.
 
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 
-use rfp_rnic::ThreadCtx;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-use crate::client::{CallResult, RfpClient};
+use rfp_rnic::ThreadCtx;
+use rfp_simnet::SimSpan;
+
+use crate::client::{CallResult, HedgeTicket, RfpClient};
+use crate::gray::{GrayConfig, ReplicaScorer, RetryBudget};
 use crate::header::RespStatus;
 use crate::recovery::{FailureCause, RecoveryConfig, RpcError};
+
+/// Share of traffic a demoted replica keeps per unit of score — the
+/// probabilistic de-preference trickle. Small enough that a demoted
+/// replica cannot re-poison the routed tail (worst case 0.5% of reads
+/// at a score just under the default threshold).
+const DEPREF_KEEP_PER_SCORE: f64 = 0.01;
 
 /// Tunables of the replica router.
 #[derive(Clone, Debug)]
@@ -47,6 +91,9 @@ pub struct FailoverConfig {
     /// `n - 1`; the default allows a second tour so a replica that
     /// heals mid-call is retried.
     pub max_failovers: u32,
+    /// Gray-failure mitigations (disabled by default; the router is
+    /// then byte-identical to one without the subsystem).
+    pub gray: GrayConfig,
 }
 
 impl Default for FailoverConfig {
@@ -54,6 +101,7 @@ impl Default for FailoverConfig {
         FailoverConfig {
             recovery: RecoveryConfig::default(),
             max_failovers: 4,
+            gray: GrayConfig::default(),
         }
     }
 }
@@ -68,6 +116,26 @@ pub struct ReplicaClient {
     active: Cell<usize>,
     failovers: Cell<u64>,
     cfg: FailoverConfig,
+    /// Per-replica health scores against frozen healthy baselines.
+    scorer: ReplicaScorer,
+    /// Retry/hedge/failover token bucket.
+    budget: RetryBudget,
+    /// Sticky demotion flags (cleared when a probe scores healthy).
+    demoted: Vec<Cell<bool>>,
+    /// Routed-read counter driving the probe cadence.
+    route_clock: Cell<u64>,
+    /// De-preference draw stream — private, never the simulation RNG,
+    /// and touched only while a demotion is in force.
+    depref_rng: RefCell<StdRng>,
+    /// Consecutive failed calls. Scales the next call's backoff base
+    /// (gray mode only) and — the failover-reset fix — is cleared by
+    /// **any** success, including the first one completed on a freshly
+    /// failed-over replica, so a healed deployment does not keep
+    /// paying escalated backoffs.
+    fail_streak: Cell<u32>,
+    hedges_issued: Cell<u64>,
+    hedges_won: Cell<u64>,
+    hedges_wasted: Cell<u64>,
 }
 
 impl ReplicaClient {
@@ -79,11 +147,24 @@ impl ReplicaClient {
     /// Panics on an empty replica list.
     pub fn new(replicas: Vec<Rc<RfpClient>>, cfg: FailoverConfig) -> Self {
         assert!(!replicas.is_empty(), "router needs at least one replica");
+        let scorer = ReplicaScorer::new(cfg.gray.scorer.clone(), replicas.len());
+        let budget = RetryBudget::new(cfg.gray.budget.clone());
+        let demoted = replicas.iter().map(|_| Cell::new(false)).collect();
+        let depref_rng = RefCell::new(StdRng::seed_from_u64(cfg.gray.seed));
         ReplicaClient {
             replicas,
             active: Cell::new(0),
             failovers: Cell::new(0),
             cfg,
+            scorer,
+            budget,
+            demoted,
+            route_clock: Cell::new(0),
+            depref_rng,
+            fail_streak: Cell::new(0),
+            hedges_issued: Cell::new(0),
+            hedges_won: Cell::new(0),
+            hedges_wasted: Cell::new(0),
         }
     }
 
@@ -111,25 +192,123 @@ impl ReplicaClient {
         &self.replicas[self.active.get()]
     }
 
+    /// The router's retry/hedge token bucket.
+    pub fn budget(&self) -> &RetryBudget {
+        &self.budget
+    }
+
+    /// The router's replica health scorer.
+    pub fn scorer(&self) -> &ReplicaScorer {
+        &self.scorer
+    }
+
+    /// Whether replica `i` is currently demoted by scored routing.
+    pub fn is_demoted(&self, i: usize) -> bool {
+        self.demoted[i].get()
+    }
+
+    /// `(issued, won, wasted)` hedge-leg counts over the router's
+    /// lifetime. `issued = won + wasted` once no hedge is in flight
+    /// and none were abandoned to a fallback.
+    pub fn hedges(&self) -> (u64, u64, u64) {
+        (
+            self.hedges_issued.get(),
+            self.hedges_won.get(),
+            self.hedges_wasted.get(),
+        )
+    }
+
+    /// Consecutive failed calls (escalated-backoff state; 0 after any
+    /// success).
+    pub fn fail_streak(&self) -> u32 {
+        self.fail_streak.get()
+    }
+
+    /// One call attempt on replica `idx` under the (budget-capped,
+    /// streak-scaled) recovery policy, with the budget and streak
+    /// bookkeeping on both outcomes. With gray mode off this is
+    /// exactly the pre-gray router body: epoch seed + one
+    /// `call_with_recovery` under the configured policy.
+    async fn attempt_on(
+        &self,
+        thread: &ThreadCtx,
+        req: &[u8],
+        idx: usize,
+    ) -> Result<CallResult, RpcError> {
+        let client = &self.replicas[idx];
+        // Seed the connection with the fleet-wide epoch before every
+        // attempt: a replica learns of a promotion it slept through the
+        // moment the router returns to it.
+        let epoch = self.known_epoch();
+        if client.known_epoch() < epoch {
+            client.set_epoch(epoch);
+        }
+        if !self.cfg.gray.enabled {
+            return client
+                .call_with_recovery(thread, req, &self.cfg.recovery)
+                .await;
+        }
+        // Budget-capped retries: the call reserves its retry allowance
+        // up front; the first attempt is never gated.
+        let want = self.cfg.recovery.retry.max_attempts.saturating_sub(1);
+        let budget_on = self.cfg.gray.budget.enabled;
+        let granted = if budget_on {
+            self.budget.reserve(want)
+        } else {
+            want
+        };
+        let mut rec = self.cfg.recovery.clone();
+        rec.retry.max_attempts = granted + 1;
+        let streak = self.fail_streak.get();
+        if streak > 0 {
+            // Escalate the backoff base while failures persist across
+            // calls (2x per consecutive failure, saturating at the
+            // policy cap after three).
+            let shift = streak.min(3);
+            let scaled = rec.retry.base.as_nanos().saturating_mul(1 << shift);
+            rec.retry.base = SimSpan::nanos(scaled.min(rec.retry.cap.as_nanos()));
+        }
+        if budget_on && granted < want {
+            client.note_recovery(
+                thread,
+                "recovery.budget_capped",
+                &format!("retry budget granted {granted}/{want} retries"),
+            );
+        }
+        match client.call_with_recovery(thread, req, &rec).await {
+            Ok(out) => {
+                if budget_on {
+                    // A successful call returns its whole reservation:
+                    // the budget charges only calls that exhaust
+                    // recovery — the storm contributors.
+                    self.budget.refund(granted);
+                    self.budget.on_success();
+                }
+                self.fail_streak.set(0);
+                Ok(out)
+            }
+            Err(err) => {
+                if budget_on {
+                    // `err.attempts` counts attempts performed; the
+                    // retries actually spent stay consumed.
+                    self.budget
+                        .refund(granted.saturating_sub(err.attempts.saturating_sub(1)));
+                }
+                self.fail_streak
+                    .set(self.fail_streak.get().saturating_add(1));
+                Err(err)
+            }
+        }
+    }
+
     /// One replicated RPC: calls the active replica under the recovery
     /// policy, rotating to the next replica after each fault-shaped
     /// failure (up to [`FailoverConfig::max_failovers`] switches).
     pub async fn call(&self, thread: &ThreadCtx, req: &[u8]) -> Result<CallResult, RpcError> {
-        // Seed the active connection with the fleet-wide epoch before
-        // every call: a replica learns of a promotion it slept through
-        // the moment the router returns to it.
-        let epoch = self.known_epoch();
         let mut switches = 0u32;
         loop {
             let idx = self.active.get();
-            let client = &self.replicas[idx];
-            if client.known_epoch() < epoch {
-                client.set_epoch(epoch);
-            }
-            match client
-                .call_with_recovery(thread, req, &self.cfg.recovery)
-                .await
-            {
+            match self.attempt_on(thread, req, idx).await {
                 Ok(out) => return Ok(out),
                 Err(err) => {
                     let overloaded = matches!(
@@ -139,10 +318,24 @@ impl ReplicaClient {
                     if overloaded || switches >= self.cfg.max_failovers {
                         return Err(err);
                     }
+                    // A failover switch resubmits elsewhere — it draws
+                    // a token like any other retry so a storm cannot
+                    // amplify through rotation.
+                    if self.cfg.gray.enabled
+                        && self.cfg.gray.budget.enabled
+                        && self.budget.reserve(1) == 0
+                    {
+                        self.replicas[idx].note_recovery(
+                            thread,
+                            "recovery.budget_denied",
+                            "retry budget dry; surfacing instead of failing over",
+                        );
+                        return Err(err);
+                    }
                     switches += 1;
                     let next = (idx + 1) % self.replicas.len();
                     self.failovers.set(self.failovers.get() + 1);
-                    client.note_failover(
+                    self.replicas[idx].note_failover(
                         thread,
                         format!("replica {idx} -> {next} after {:?}", err.last),
                     );
@@ -150,5 +343,331 @@ impl ReplicaClient {
                 }
             }
         }
+    }
+
+    /// Refreshes every replica's health score and demotion flag.
+    /// Pure bookkeeping — report folding and `Cell` flips, no wire
+    /// traffic — so routing decisions never perturb event timing.
+    fn refresh_scores(&self, thread: &ThreadCtx) -> Vec<Option<f64>> {
+        let now = thread.now();
+        (0..self.replicas.len())
+            .map(|i| {
+                let client = &self.replicas[i];
+                let health = client.conn_health()?;
+                let report = health.report(now);
+                let score = self.scorer.score(i, &report)?;
+                let was = self.demoted[i].get();
+                if score < self.cfg.gray.demote_below && !was {
+                    self.demoted[i].set(true);
+                    client.note_recovery(
+                        thread,
+                        "routing.demote",
+                        &format!(
+                            "replica {i} demoted: score {score:.2} \
+                             (window p99 {}ns vs baseline {}ns over {} calls, \
+                             retry rate {:.2}, {} credit waits)",
+                            report.p99_ns,
+                            self.scorer.baseline_p99(i).unwrap_or(0),
+                            report.calls,
+                            report.retry_rate,
+                            report.credit_waits
+                        ),
+                    );
+                } else if score >= self.cfg.gray.demote_below && was {
+                    self.demoted[i].set(false);
+                    client.note_recovery(
+                        thread,
+                        "routing.restore",
+                        &format!(
+                            "replica {i} restored: score {score:.2} (window p99 {}ns)",
+                            report.p99_ns
+                        ),
+                    );
+                }
+                Some(score)
+            })
+            .collect()
+    }
+
+    /// Picks `(target, hedge_target)` for one read. Without scored
+    /// routing this is `(active, next)`; with it, a demoted active
+    /// replica diverts reads to the best-scoring peer — except for a
+    /// recovery probe every [`GrayConfig::probe_every`]-th routed read
+    /// and a score-proportional trickle.
+    fn route_read(&self, thread: &ThreadCtx) -> (usize, usize) {
+        let pref = self.active.get();
+        let n = self.replicas.len();
+        let alt_default = (pref + 1) % n;
+        if !self.cfg.gray.enabled || !self.cfg.gray.scored_routing || n < 2 {
+            return (pref, alt_default);
+        }
+        let scores = self.refresh_scores(thread);
+        let mut alt = alt_default;
+        let mut alt_score = f64::NEG_INFINITY;
+        for (i, s) in scores.iter().enumerate() {
+            if i == pref {
+                continue;
+            }
+            // An unscored replica is assumed healthy: never strand the
+            // router for lack of evidence.
+            let s = s.unwrap_or(1.0);
+            if s > alt_score {
+                alt = i;
+                alt_score = s;
+            }
+        }
+        if !self.demoted[pref].get() {
+            return (pref, alt);
+        }
+        if self.demoted[alt].get() {
+            // Never demote below one live replica: with every candidate
+            // gray, traffic stays put.
+            return (pref, alt);
+        }
+        let tick = self.route_clock.get();
+        self.route_clock.set(tick + 1);
+        let g = &self.cfg.gray;
+        if g.probe_every > 0 && tick.is_multiple_of(g.probe_every as u64) {
+            self.replicas[pref].note_recovery(
+                thread,
+                "routing.probe",
+                &format!("probing demoted replica {pref} for recovery"),
+            );
+            return (pref, alt);
+        }
+        let keep = scores[pref].unwrap_or(0.0).max(0.0) * DEPREF_KEEP_PER_SCORE;
+        let draw: f64 = self.depref_rng.borrow_mut().gen();
+        if draw < keep {
+            (pref, alt)
+        } else {
+            (alt, pref)
+        }
+    }
+
+    /// Hedge delay for a read whose primary leg runs on replica `idx`:
+    /// the frozen healthy-baseline p99 × [`GrayConfig::hedge_p99_factor`]
+    /// (a request still unanswered past the latency 99% of healthy
+    /// calls beat is likely stuck behind a gray path), floored at
+    /// [`GrayConfig::hedge_floor`], which also covers the pre-baseline
+    /// cold start.
+    fn hedge_delay(&self, thread: &ThreadCtx, idx: usize) -> SimSpan {
+        let g = &self.cfg.gray;
+        let p99 = self.scorer.baseline_p99(idx).or_else(|| {
+            self.replicas[idx]
+                .conn_health()
+                .map(|h| h.report(thread.now()).p99_ns)
+                .filter(|&p| p > 0)
+        });
+        match p99 {
+            Some(ns) => g
+                .hedge_floor
+                .max(SimSpan::from_nanos_f64(ns as f64 * g.hedge_p99_factor)),
+            None => g.hedge_floor,
+        }
+    }
+
+    /// One replicated **read** under the gray-failure mitigations:
+    /// scored routing picks the leg, and with hedging enabled a second
+    /// leg races on the best-scoring peer after the health-derived
+    /// hedge delay; the first valid response wins.
+    ///
+    /// Safety of the race (the reason this is the *read* path):
+    ///
+    /// * both legs carry fresh per-connection sequence numbers; the
+    ///   losing leg is abandoned, and its late response fails the
+    ///   next call's seq acceptance check — stale bytes never surface;
+    /// * a hedged mutation cannot double-apply: the primary dedups
+    ///   same-seq resubmits and a standby refuses mutations outright
+    ///   (`Busy`) without executing them, while epoch fencing keeps a
+    ///   deposed primary's answers unacceptable;
+    /// * hedge legs draw from the retry budget, so hedging degrades to
+    ///   single-leg reads when the pool is dry.
+    ///
+    /// With the subsystem disabled this delegates to
+    /// [`call`](ReplicaClient::call) untouched.
+    pub async fn call_hedged(
+        &self,
+        thread: &ThreadCtx,
+        req: &[u8],
+    ) -> Result<CallResult, RpcError> {
+        let g = &self.cfg.gray;
+        if !g.enabled || self.replicas.len() < 2 {
+            return self.call(thread, req).await;
+        }
+        let (first, second) = self.route_read(thread);
+        // Hedging toward a replica scored *worse* than the serving leg
+        // cannot help: once routing has demoted the gray peer, the
+        // routed leg already is the healthy one, and a hedge deposit
+        // against the gray peer would serialize its inflated wire
+        // latency straight into this call. Degrade to a plain routed
+        // read until the peer recovers (probes, whose serving leg IS
+        // the demoted replica, still hedge toward the healthy peer).
+        let hedge_to_gray = self.demoted[second].get() && !self.demoted[first].get();
+        if !g.hedging || hedge_to_gray {
+            // Scored routing only: one leg on the routed replica; any
+            // failure falls back to the crash-failover path anchored
+            // on the active replica.
+            match self.attempt_on(thread, req, first).await {
+                Ok(out) => return Ok(out),
+                Err(err) => {
+                    let overloaded = matches!(
+                        err.last,
+                        FailureCause::Rejected(RespStatus::Busy | RespStatus::Shed)
+                    );
+                    if overloaded && first == self.active.get() {
+                        return Err(err);
+                    }
+                    self.replicas[first].note_recovery(
+                        thread,
+                        "routing.fallback",
+                        &format!("routed read on replica {first} failed ({:?})", err.last),
+                    );
+                    return self.call(thread, req).await;
+                }
+            }
+        }
+        let t0 = thread.now();
+        let epoch = self.known_epoch();
+        let a = &self.replicas[first];
+        if a.known_epoch() < epoch {
+            a.set_epoch(epoch);
+        }
+        let deadline = t0 + g.hedge_deadline;
+        let hedge_at = t0 + self.hedge_delay(thread, first);
+        let b_client = &self.replicas[second];
+        let mut last = FailureCause::Deadline;
+        let mut fetches = 0u32;
+        let mut leg_a: Option<HedgeTicket> = match a.hedge_deposit(thread, req).await {
+            Ok(t) => Some(t),
+            Err(c) => {
+                last = c;
+                None
+            }
+        };
+        let mut leg_b: Option<HedgeTicket> = None;
+        let mut b_dead = false;
+        let mut hedge_denied = false;
+        loop {
+            // Issue the hedge leg once its delay elapses (or at once if
+            // the primary leg died at deposit).
+            if leg_b.is_none()
+                && !b_dead
+                && !hedge_denied
+                && (thread.now() >= hedge_at || leg_a.is_none())
+            {
+                if self.budget.reserve(1) == 1 {
+                    if b_client.known_epoch() < epoch {
+                        b_client.set_epoch(epoch);
+                    }
+                    match b_client.hedge_deposit(thread, req).await {
+                        Ok(t) => {
+                            self.hedges_issued.set(self.hedges_issued.get() + 1);
+                            b_client.note_recovery(
+                                thread,
+                                "recovery.hedge.issued",
+                                &format!(
+                                    "hedging replica {first} -> {second} after {:?}",
+                                    thread.now() - t0
+                                ),
+                            );
+                            leg_b = Some(t);
+                        }
+                        Err(c) => {
+                            last = c;
+                            b_dead = true;
+                        }
+                    }
+                } else {
+                    b_client.note_recovery(
+                        thread,
+                        "recovery.hedge.denied",
+                        "retry budget dry; hedge leg not issued",
+                    );
+                    hedge_denied = true;
+                }
+            }
+            if let Some(mut t) = leg_a.take() {
+                match a.hedge_poll(thread, &mut t).await {
+                    Ok(Some(mut out)) => {
+                        fetches += t.fetches;
+                        // Book this leg's health with *its own* latency
+                        // and fetch count; charging it for time the
+                        // race spent blocked on the other (possibly
+                        // gray) leg would poison a healthy replica's
+                        // score. The caller still sees the end-to-end
+                        // race latency.
+                        out.info.latency = thread.now() - t.deposited_at;
+                        out.info.attempts = t.fetches;
+                        a.book_routed_call(thread, &out);
+                        out.info.latency = thread.now() - t0;
+                        out.info.attempts = fetches;
+                        if leg_b.is_some() {
+                            self.hedges_wasted.set(self.hedges_wasted.get() + 1);
+                            a.note_recovery(
+                                thread,
+                                "recovery.hedge.wasted",
+                                "primary leg won after the hedge was issued",
+                            );
+                        }
+                        self.budget.on_success();
+                        self.fail_streak.set(0);
+                        return Ok(out);
+                    }
+                    Ok(None) => leg_a = Some(t),
+                    Err(c) => {
+                        last = c;
+                        fetches += t.fetches;
+                    }
+                }
+            }
+            if let Some(mut t) = leg_b.take() {
+                match b_client.hedge_poll(thread, &mut t).await {
+                    Ok(Some(mut out)) => {
+                        fetches += t.fetches;
+                        // Leg-local booking, as on the primary leg: the
+                        // hedge leg's health must not absorb the gray
+                        // leg's stall.
+                        out.info.latency = thread.now() - t.deposited_at;
+                        out.info.attempts = t.fetches;
+                        b_client.book_routed_call(thread, &out);
+                        out.info.latency = thread.now() - t0;
+                        out.info.attempts = fetches;
+                        self.hedges_won.set(self.hedges_won.get() + 1);
+                        b_client.note_recovery(
+                            thread,
+                            "recovery.hedge.won",
+                            &format!("hedge leg on replica {second} beat replica {first}"),
+                        );
+                        self.budget.on_success();
+                        self.fail_streak.set(0);
+                        return Ok(out);
+                    }
+                    Ok(None) => leg_b = Some(t),
+                    Err(c) => {
+                        last = c;
+                        fetches += t.fetches;
+                        b_dead = true;
+                    }
+                }
+            }
+            let stuck = leg_a.is_none() && leg_b.is_none() && (b_dead || hedge_denied);
+            if stuck || thread.now() >= deadline {
+                break;
+            }
+        }
+        // Both legs dead or the hedge deadline expired: fall back to
+        // the plain failover loop (fresh seq, budget-gated retries), so
+        // a crash mid-hedge still converges like an unhedged call.
+        self.fail_streak
+            .set(self.fail_streak.get().saturating_add(1));
+        self.client().note_recovery(
+            thread,
+            "recovery.hedge.fallback",
+            &format!(
+                "hedged call gave up after {:?} ({last:?}); falling back to the failover path",
+                thread.now() - t0
+            ),
+        );
+        self.call(thread, req).await
     }
 }

@@ -1,0 +1,492 @@
+//! Gray-failure resilience: replica health scoring, hedged-request
+//! pacing, and retry-storm budgets (DESIGN.md §16).
+//!
+//! A *gray* replica is one that still answers — no crash, no verb
+//! error, no shed — but answers slowly: a fail-slow NIC, a flaky
+//! sub-recovery-threshold link, a CPU-throttled serve loop. The
+//! recovery layer of PR 2 is blind to it (every call eventually
+//! succeeds) and the failover layer never triggers (nothing errors),
+//! so tail latency quietly inflates. This module supplies the three
+//! mechanisms the replica router uses against it:
+//!
+//! * [`ReplicaScorer`] — folds each replica's rolling
+//!   [`ConnHealthReport`] windows into a 0..=1 health score against a
+//!   frozen healthy baseline; the router demotes replicas whose score
+//!   drops below [`GrayConfig::demote_below`].
+//! * hedge pacing — [`GrayConfig::hedge_p99_factor`] ×
+//!   the *baseline* (healthy) p99 derives the hedge delay: a request
+//!   still unanswered after the latency that 99% of healthy calls
+//!   beat is likely stuck behind a gray path, so a second leg is
+//!   raced on another replica.
+//! * [`RetryBudget`] — a token bucket shared by retries, hedges, and
+//!   failover switches. Successes refill it; under a retry storm it
+//!   drains, capping amplification and degrading to fail-fast
+//!   (shedding the retry, never the first attempt).
+//!
+//! Everything here is inert until [`GrayConfig::enabled`] is set: the
+//! router's checks are plain `Cell`/field loads, no RNG is drawn, no
+//! instrument is created, so a disabled-knobs run stays byte-identical
+//! to a build without the subsystem (pinned by
+//! `gray_disabled_is_byte_identical` in `rfp-chaos`).
+
+use std::cell::Cell;
+
+use rfp_simnet::{ConnHealthReport, SimSpan};
+
+/// Scoring thresholds of [`ReplicaScorer`]. Deliberately aligned with
+/// the anomaly detector's defaults (`AnomalyConfig`) so a replica the
+/// doctor would flag is also one the router de-prefers.
+#[derive(Clone, Debug)]
+pub struct ScorerConfig {
+    /// Calls a window must carry before it can freeze the baseline.
+    pub min_calls: u64,
+    /// Calls a window must carry before it produces a fresh score.
+    pub min_window_calls: u64,
+    /// p99 inflation over baseline at which the latency penalty
+    /// starts.
+    pub latency_factor: f64,
+    /// Retry-rate threshold: `baseline * retry_factor + retry_margin`.
+    pub retry_factor: f64,
+    /// Absolute slack added to the retry threshold.
+    pub retry_margin: f64,
+    /// Credit-gate pauses per window that count as starvation.
+    pub credit_wait_min: u64,
+}
+
+impl Default for ScorerConfig {
+    fn default() -> Self {
+        ScorerConfig {
+            min_calls: 16,
+            min_window_calls: 4,
+            latency_factor: 3.0,
+            retry_factor: 3.0,
+            retry_margin: 1.0,
+            credit_wait_min: 1,
+        }
+    }
+}
+
+/// Token-bucket parameters of [`RetryBudget`].
+#[derive(Clone, Debug)]
+pub struct RetryBudgetConfig {
+    /// Whether the budget gates retries/hedges at all.
+    pub enabled: bool,
+    /// Bucket capacity (also the initial fill).
+    pub max_tokens: f64,
+    /// Tokens returned per successful call, on top of refunding the
+    /// call's unused reservation.
+    pub refill_per_success: f64,
+}
+
+impl Default for RetryBudgetConfig {
+    fn default() -> Self {
+        RetryBudgetConfig {
+            enabled: true,
+            max_tokens: 16.0,
+            refill_per_success: 0.5,
+        }
+    }
+}
+
+/// Master switch and tunables of the gray-failure subsystem, carried
+/// by `FailoverConfig`. The default is **disabled**: every knob below
+/// is dormant and the replica router behaves exactly as before.
+#[derive(Clone, Debug)]
+pub struct GrayConfig {
+    /// Master switch. Off ⇒ the router's wire traffic and telemetry
+    /// are byte-identical to a build without this subsystem.
+    pub enabled: bool,
+    /// Health-scored routing: demote gray replicas, probe them for
+    /// recovery, de-prefer them probabilistically.
+    pub scored_routing: bool,
+    /// Hedged requests on the read path (`call_hedged`).
+    pub hedging: bool,
+    /// Scoring thresholds.
+    pub scorer: ScorerConfig,
+    /// Score below which a replica is demoted (0..=1).
+    pub demote_below: f64,
+    /// Every `probe_every`-th routed call still targets a demoted
+    /// preferred replica, sampling it for recovery. 0 disables
+    /// probing. The default keeps probe traffic under 1% of routed
+    /// reads so a demoted replica cannot drag the read p99 back up
+    /// (p99 tolerates 1% of slow samples); lower it when a test wants
+    /// fast recovery detection.
+    pub probe_every: u32,
+    /// Hedge delay = healthy-baseline p99 × this factor (clamped to
+    /// `hedge_floor` from below).
+    pub hedge_p99_factor: f64,
+    /// Minimum hedge delay, and the delay used before any baseline
+    /// exists.
+    pub hedge_floor: SimSpan,
+    /// Overall deadline of one hedged call; past it the router gives
+    /// up on both legs.
+    pub hedge_deadline: SimSpan,
+    /// Retry/hedge token bucket.
+    pub budget: RetryBudgetConfig,
+    /// Seed of the router's de-preference draw stream (private
+    /// `StdRng`, never the simulation RNG — scoring decisions do not
+    /// perturb unrelated event timing).
+    pub seed: u64,
+}
+
+impl Default for GrayConfig {
+    fn default() -> Self {
+        GrayConfig {
+            enabled: false,
+            scored_routing: true,
+            hedging: true,
+            scorer: ScorerConfig::default(),
+            demote_below: 0.5,
+            probe_every: 256,
+            hedge_p99_factor: 1.0,
+            hedge_floor: SimSpan::micros(5),
+            hedge_deadline: SimSpan::millis(2),
+            budget: RetryBudgetConfig::default(),
+            seed: 0x6B4A_9E21,
+        }
+    }
+}
+
+impl GrayConfig {
+    /// An enabled config with every mechanism on — the mitigated cell
+    /// of the `grayfail` sweep.
+    pub fn all_on() -> Self {
+        GrayConfig {
+            enabled: true,
+            ..GrayConfig::default()
+        }
+    }
+
+    /// Enabled with scored routing only (no hedging) — the sweep's
+    /// middle cell.
+    pub fn routing_only() -> Self {
+        GrayConfig {
+            enabled: true,
+            hedging: false,
+            ..GrayConfig::default()
+        }
+    }
+}
+
+/// Frozen healthy reference of one replica.
+#[derive(Copy, Clone, Debug)]
+struct ScoreBaseline {
+    p50_ns: u64,
+    p99_ns: u64,
+    retry_rate: f64,
+}
+
+/// Folds per-replica [`ConnHealthReport`] windows into a health score
+/// in 0..=1 (1 = healthy). The first sufficiently-populated window of
+/// each replica freezes its baseline; later windows are scored by
+/// accumulating penalties:
+///
+/// * **median** inflation past `latency_factor` × baseline p50: 0.25
+///   plus up to 0.5 more as the ratio doubles past the threshold. The
+///   median is the primary latency signal deliberately: a whole-replica
+///   fail-slow fault drags *every* call, so p50 inflates as hard as
+///   p99, while a handful of poisoned samples (a hedge observed late
+///   because the racing loop was blocked on the gray peer, one probe
+///   in a fast window) can own a window's p99 without meaning the
+///   replica is sick;
+/// * **tail-only** regression (p99 past `latency_factor` × baseline
+///   p99 with the median still healthy): 0.25 — evidence, but never
+///   demoting alone;
+/// * retry rate past `baseline × retry_factor + retry_margin`: 0.25;
+/// * credit starvation (`credit_waits ≥ credit_wait_min`): 0.15;
+/// * any hard-failure signal (verb errors, reconnects): 0.5.
+///
+/// `score = max(0, 1 − Σ penalties)`. A replica whose median inflates
+/// past 1.25× the latency factor (3.75× baseline at defaults) crosses
+/// the default demotion threshold of 0.5 on latency alone — a pure
+/// fail-slow fault demotes without any hard-failure evidence, and the
+/// gradient is steep enough that even a flaky link whose inflation is
+/// *capped* by RC retransmission limits (~8 rounds per verb) clears
+/// it — and a milder regression paired with a retry spike demotes
+/// too. A replica
+/// that is slow for only a small fraction of requests keeps a degraded
+/// (but above-threshold) score; intermittent grayness is surfaced by
+/// the anomaly detector, not routed around.
+pub struct ReplicaScorer {
+    cfg: ScorerConfig,
+    baselines: Vec<Cell<Option<ScoreBaseline>>>,
+}
+
+impl ReplicaScorer {
+    /// A scorer for `replicas` replicas with no baselines yet.
+    pub fn new(cfg: ScorerConfig, replicas: usize) -> Self {
+        ReplicaScorer {
+            cfg,
+            baselines: (0..replicas).map(|_| Cell::new(None)).collect(),
+        }
+    }
+
+    /// Scores replica `i`'s current window. Returns `None` until a
+    /// baseline exists *and* the window carries enough calls — an
+    /// unknown replica is neither preferred nor demoted. The first
+    /// call with a populated window freezes the baseline (and returns
+    /// `None`: the baseline window scores nothing against itself).
+    pub fn score(&self, i: usize, report: &ConnHealthReport) -> Option<f64> {
+        let slot = &self.baselines[i];
+        let Some(base) = slot.get() else {
+            if report.calls >= self.cfg.min_calls {
+                slot.set(Some(ScoreBaseline {
+                    p50_ns: report.p50_ns.max(1),
+                    p99_ns: report.p99_ns.max(1),
+                    retry_rate: report.retry_rate,
+                }));
+            }
+            return None;
+        };
+        if report.calls < self.cfg.min_window_calls {
+            return None;
+        }
+        let mut penalty = 0.0;
+        let p50_ratio = report.p50_ns as f64 / base.p50_ns as f64;
+        let p99_ratio = report.p99_ns as f64 / base.p99_ns as f64;
+        if p50_ratio > self.cfg.latency_factor {
+            let f = self.cfg.latency_factor;
+            penalty += 0.25 + 0.5 * ((p50_ratio - f) / (f / 2.0)).min(1.0);
+        } else if p99_ratio > self.cfg.latency_factor {
+            penalty += 0.25;
+        }
+        if report.retry_rate > base.retry_rate * self.cfg.retry_factor + self.cfg.retry_margin {
+            penalty += 0.25;
+        }
+        if report.credit_waits >= self.cfg.credit_wait_min {
+            penalty += 0.15;
+        }
+        if report.verb_errors + report.reconnects > 0 {
+            penalty += 0.5;
+        }
+        Some((1.0 - penalty).max(0.0))
+    }
+
+    /// The frozen healthy-baseline p99 of replica `i`, once captured.
+    /// The hedge delay derives from it.
+    pub fn baseline_p99(&self, i: usize) -> Option<u64> {
+        self.baselines[i].get().map(|b| b.p99_ns)
+    }
+
+    /// Whether replica `i`'s baseline has been frozen.
+    pub fn has_baseline(&self, i: usize) -> bool {
+        self.baselines[i].get().is_some()
+    }
+}
+
+/// Per-client retry-storm budget: a token bucket drawn on by retries,
+/// hedge legs, and failover switches, refilled by successes.
+///
+/// Invariants (DESIGN.md §16):
+///
+/// * the **first attempt of a call is never gated** — an empty bucket
+///   degrades retries to fail-fast, it does not black-hole traffic;
+/// * a call **reserves** its retry allowance up front and **refunds**
+///   what it did not use, so concurrent callers cannot over-commit
+///   the pool;
+/// * total retry amplification is bounded: past the initial
+///   `max_tokens` burst, sustained retries-per-success cannot exceed
+///   `refill_per_success`, because each retry consumes a token that
+///   only a success puts back.
+pub struct RetryBudget {
+    cfg: RetryBudgetConfig,
+    tokens: Cell<f64>,
+    /// Retry/hedge/failover grants denied because the bucket was dry.
+    denied: Cell<u64>,
+    /// Tokens irrevocably consumed (granted and not refunded).
+    spent: Cell<u64>,
+}
+
+impl RetryBudget {
+    pub fn new(cfg: RetryBudgetConfig) -> Self {
+        let tokens = Cell::new(cfg.max_tokens);
+        RetryBudget {
+            cfg,
+            tokens,
+            denied: Cell::new(0),
+            spent: Cell::new(0),
+        }
+    }
+
+    /// Tokens currently available.
+    pub fn tokens(&self) -> f64 {
+        self.tokens.get()
+    }
+
+    /// Reserves up to `want` whole tokens; returns how many were
+    /// granted (0 when the bucket is dry). A grant of less than `want`
+    /// bumps the denied counter once.
+    pub fn reserve(&self, want: u32) -> u32 {
+        if !self.cfg.enabled || want == 0 {
+            return want;
+        }
+        let have = self.tokens.get().floor().max(0.0) as u32;
+        let granted = want.min(have);
+        if granted < want {
+            self.denied.set(self.denied.get() + 1);
+        }
+        self.tokens.set(self.tokens.get() - granted as f64);
+        self.spent.set(self.spent.get() + granted as u64);
+        granted
+    }
+
+    /// Returns `unused` tokens of an earlier reservation.
+    pub fn refund(&self, unused: u32) {
+        if !self.cfg.enabled || unused == 0 {
+            return;
+        }
+        self.spent
+            .set(self.spent.get().saturating_sub(unused as u64));
+        self.tokens
+            .set((self.tokens.get() + unused as f64).min(self.cfg.max_tokens));
+    }
+
+    /// Books one successful call: refills the bucket.
+    pub fn on_success(&self) {
+        if !self.cfg.enabled {
+            return;
+        }
+        self.tokens
+            .set((self.tokens.get() + self.cfg.refill_per_success).min(self.cfg.max_tokens));
+    }
+
+    /// Reservations that came back short because the bucket was dry.
+    pub fn denied(&self) -> u64 {
+        self.denied.get()
+    }
+
+    /// Tokens consumed and never refunded — the storm-amplification
+    /// ledger the `grayfail` sweep asserts against.
+    pub fn consumed(&self) -> u64 {
+        self.spent.get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfp_simnet::SimTime;
+
+    fn report(calls: u64, p99_ns: u64, retry_rate: f64) -> ConnHealthReport {
+        ConnHealthReport {
+            conn: 0,
+            window_start: SimTime::ZERO,
+            window_end: SimTime::ZERO,
+            calls,
+            p50_ns: p99_ns / 2,
+            p99_ns,
+            p999_ns: p99_ns,
+            mean_ns: p99_ns / 2,
+            max_ns: p99_ns,
+            retry_rate,
+            shed_rate: 0.0,
+            corrupt_rate: 0.0,
+            sheds: 0,
+            busys: 0,
+            corrupts: 0,
+            credit_waits: 0,
+            stalls: 0,
+            reconnects: 0,
+            verb_errors: 0,
+            failovers: 0,
+            inflight_peak: 1,
+            mean_result_bytes: 64.0,
+            mean_process_ns: 1000.0,
+            result_sizes: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn scorer_freezes_baseline_then_scores() {
+        let s = ReplicaScorer::new(ScorerConfig::default(), 2);
+        // Thin window: neither baseline nor score.
+        assert_eq!(s.score(0, &report(3, 10_000, 0.0)), None);
+        assert!(!s.has_baseline(0));
+        // Populated healthy window freezes the baseline.
+        assert_eq!(s.score(0, &report(100, 10_000, 0.1)), None);
+        assert_eq!(s.baseline_p99(0), Some(10_000));
+        // A healthy follow-up window scores 1.0.
+        assert_eq!(s.score(0, &report(50, 12_000, 0.1)), Some(1.0));
+        // Replica 1 is independent.
+        assert!(!s.has_baseline(1));
+    }
+
+    #[test]
+    fn pure_latency_regression_drops_below_demotion_threshold() {
+        let s = ReplicaScorer::new(ScorerConfig::default(), 1);
+        s.score(0, &report(100, 10_000, 0.0));
+        // 10x the baseline p99, no other signal: penalty 0.1 + 0.5.
+        let score = s.score(0, &report(20, 100_000, 0.0)).unwrap();
+        assert!(score < 0.5, "fail-slow alone must demote, got {score}");
+        // Mild inflation below the factor keeps the replica healthy.
+        assert_eq!(s.score(0, &report(20, 25_000, 0.0)), Some(1.0));
+    }
+
+    #[test]
+    fn tail_only_regression_degrades_but_does_not_demote() {
+        let s = ReplicaScorer::new(ScorerConfig::default(), 1);
+        s.score(0, &report(100, 10_000, 0.0));
+        // A few poisoned samples own the window p99 (20x) while the
+        // median stays healthy: evidence, not a demotion.
+        let mut r = report(200, 200_000, 0.0);
+        r.p50_ns = 5_500;
+        let score = s.score(0, &r).unwrap();
+        assert_eq!(score, 0.75, "tail-only regression costs 0.25, got {score}");
+    }
+
+    #[test]
+    fn hard_failure_signals_stack_with_latency() {
+        let s = ReplicaScorer::new(ScorerConfig::default(), 1);
+        s.score(0, &report(100, 10_000, 0.0));
+        let mut r = report(20, 40_000, 5.0);
+        r.verb_errors = 2;
+        r.credit_waits = 3;
+        let score = s.score(0, &r).unwrap();
+        assert_eq!(score, 0.0, "stacked penalties clamp at zero");
+    }
+
+    #[test]
+    fn budget_reserves_refunds_and_refills() {
+        let b = RetryBudget::new(RetryBudgetConfig {
+            enabled: true,
+            max_tokens: 4.0,
+            refill_per_success: 0.5,
+        });
+        assert_eq!(b.reserve(3), 3);
+        assert_eq!(b.tokens(), 1.0);
+        // Dry-ish bucket grants what it has and counts the denial.
+        assert_eq!(b.reserve(3), 1);
+        assert_eq!(b.denied(), 1);
+        assert_eq!(b.reserve(2), 0);
+        assert_eq!(b.denied(), 2);
+        // Refund + refill restore headroom, capped at the maximum.
+        b.refund(2);
+        b.on_success();
+        assert_eq!(b.tokens(), 2.5);
+        for _ in 0..20 {
+            b.on_success();
+        }
+        assert_eq!(b.tokens(), 4.0, "refill saturates at max_tokens");
+    }
+
+    #[test]
+    fn disabled_budget_grants_everything_and_counts_nothing() {
+        let b = RetryBudget::new(RetryBudgetConfig {
+            enabled: false,
+            ..RetryBudgetConfig::default()
+        });
+        assert_eq!(b.reserve(1_000), 1_000);
+        assert_eq!(b.denied(), 0);
+        assert_eq!(b.consumed(), 0);
+        assert_eq!(b.tokens(), RetryBudgetConfig::default().max_tokens);
+    }
+
+    #[test]
+    fn gray_config_defaults_are_dormant() {
+        let g = GrayConfig::default();
+        assert!(!g.enabled);
+        assert!(g.scored_routing && g.hedging, "knobs armed but gated");
+        assert!(GrayConfig::all_on().enabled);
+        assert!(!GrayConfig::routing_only().hedging);
+    }
+}

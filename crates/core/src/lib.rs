@@ -69,6 +69,7 @@ pub mod api;
 mod client;
 mod conn;
 mod failover;
+mod gray;
 mod header;
 mod integrity;
 mod mux;
@@ -82,6 +83,7 @@ mod tuner;
 pub use client::{CallInfo, CallResult, ClientStats, RfpClient};
 pub use conn::{connect, Mode, RfpConfig, RfpServerConn, RfpTelemetry};
 pub use failover::{FailoverConfig, ReplicaClient};
+pub use gray::{GrayConfig, ReplicaScorer, RetryBudget, RetryBudgetConfig, ScorerConfig};
 pub use header::{
     resp_canary, slot_of, ReqHeader, RespHeader, RespIntegrity, RespStatus, MAX_PAYLOAD,
     MAX_REQ_PAYLOAD, MAX_REQ_PAYLOAD_EPOCH, REQ_HDR, REQ_HDR_EXT, REQ_HDR_TENANT, RESP_HDR,

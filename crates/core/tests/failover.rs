@@ -59,6 +59,7 @@ fn rig() -> Rig {
                 ..RecoveryConfig::default()
             },
             max_failovers: 4,
+            ..FailoverConfig::default()
         },
     ));
     Rig {
@@ -140,4 +141,30 @@ fn epoch_fence_self_heals_without_failover() {
     assert_eq!(r.router.failovers(), 0);
     assert_eq!(r.router.known_epoch(), 3);
     assert!(r.server_conns[0].rejected_fenced() >= 1);
+}
+
+#[test]
+fn backoff_streak_resets_after_a_successful_failover() {
+    let mut r = rig();
+    let router = Rc::clone(&r.router);
+    let t = Rc::clone(&r.client_thread);
+    r.server_conns[1].set_epoch(1);
+    r.cluster.machine(1).faults().set_crashed(true);
+    let done = Rc::new(Cell::new(false));
+    let d = Rc::clone(&done);
+    r.sim.spawn(async move {
+        // The first call burns the whole retry budget on the dead
+        // primary (escalating the failure streak) before the failover
+        // succeeds on the backup.
+        let out = router.call(&t, b"streak").await.expect("failover");
+        assert_eq!(out.data, b"streak");
+        d.set(true);
+    });
+    r.sim.run_for(SimSpan::millis(20));
+    assert!(done.get());
+    assert!(r.router.failovers() >= 1);
+    // The success must clear the escalated-backoff state: otherwise
+    // the next transient error after a clean failover starts from the
+    // streak the dead replica left behind and over-backs-off.
+    assert_eq!(r.router.fail_streak(), 0);
 }

@@ -42,7 +42,7 @@
 use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 
-use rfp_core::{RecoveryConfig, RfpClient, RfpServerConn};
+use rfp_core::{RecoveryConfig, RespStatus, RfpClient, RfpServerConn};
 use rfp_rnic::ThreadCtx;
 use rfp_simnet::{RetryPolicy, SimSpan};
 
@@ -154,6 +154,10 @@ pub struct PrimaryRole {
     /// Set when the backup stopped acking and the primary fell back to
     /// serving solo.
     pub solo: Cell<bool>,
+    /// Mutations actually applied to the primary's partition — the
+    /// duplicate-apply ledger: with same-seq dedup doing its job this
+    /// never exceeds the mutations clients issued, hedged or not.
+    pub applied_mutations: Cell<u64>,
     next_lsn: Cell<u64>,
 }
 
@@ -172,6 +176,18 @@ pub struct BackupRole {
     pub promoted: Cell<bool>,
     /// Log entries applied in order.
     pub applied: Cell<u64>,
+    /// Standby read serving (off by default): an **unpromoted** backup
+    /// polls its client-facing connections and answers GETs from the
+    /// replicated partition, while refusing every mutation with `Busy`
+    /// *without executing it* — the contract that makes the gray-failure
+    /// router's scored routing and read hedging safe. Under `Sync` ack
+    /// an acked write is applied here before the primary answers, so a
+    /// standby read never misses a write its issuer saw acked.
+    pub standby_reads: Cell<bool>,
+    /// GETs served while in standby.
+    pub served_reads: Cell<u64>,
+    /// Mutations refused (`Busy`, unexecuted) while in standby.
+    pub refused_mutations: Cell<u64>,
     expected_lsn: Cell<u64>,
 }
 
@@ -281,6 +297,9 @@ pub async fn primary_serve_loop(
                     break 'conns;
                 }
                 served_any = true;
+                if cfg.enabled && mutating {
+                    role.applied_mutations.set(role.applied_mutations.get() + 1);
+                }
                 if cfg.enabled && mutating && !role.solo.get() {
                     log.push(req);
                     match cfg.ack {
@@ -315,11 +334,14 @@ pub async fn primary_serve_loop(
 }
 
 /// Runs the backup forever. In **standby** it drains the replication
-/// connection, applies log batches in LSN order and acks them, while
-/// leaving the client-facing connections unpolled (a client that fails
-/// over early finds no service and bounces back). After
-/// [`BackupRole::promote`] it flips: the log channel is ignored and the
-/// client connections are served from the replicated partition.
+/// connection, applies log batches in LSN order and acks them. The
+/// client-facing connections are left unpolled (a client that fails
+/// over early finds no service and bounces back) — unless
+/// [`BackupRole::standby_reads`] is set, in which case standby also
+/// answers GETs from the replicated partition and refuses mutations
+/// with `Busy` without executing them. After [`BackupRole::promote`]
+/// it flips: the log channel is ignored and the client connections are
+/// served fully from the replicated partition.
 pub async fn backup_serve_loop(
     thread: Rc<ThreadCtx>,
     repl_conn: Rc<RfpServerConn>,
@@ -361,6 +383,40 @@ pub async fn backup_serve_loop(
                 let next = expected + entries.len() as u64;
                 role.expected_lsn.set(next);
                 repl_conn.send(&thread, &encode_ack(next)).await;
+            }
+            if role.standby_reads.get() && !crashed(&thread) {
+                'standby: for conn in &client_conns {
+                    for _ in 0..conn.window() {
+                        if crashed(&thread) {
+                            break 'standby;
+                        }
+                        let Some(req) = conn.try_recv(&thread).await else {
+                            break;
+                        };
+                        let parsed =
+                            KvRequest::decode(&req).expect("client sent well-formed request");
+                        if matches!(parsed, KvRequest::Put { .. } | KvRequest::Delete { .. }) {
+                            // Refuse without executing: `Busy` marks the
+                            // mutation provably-not-applied, so its
+                            // issuer resubmits on the primary under a
+                            // fresh seq — a hedged write can never
+                            // double-apply through a standby.
+                            role.refused_mutations.set(role.refused_mutations.get() + 1);
+                            conn.reject(&thread, RespStatus::Busy).await;
+                            continue;
+                        }
+                        let (resp, work) = apply_to_partition(&mut partition.borrow_mut(), &parsed);
+                        if !work.is_zero() {
+                            thread.busy(work).await;
+                        }
+                        if crashed(&thread) {
+                            break 'standby;
+                        }
+                        conn.send(&thread, &resp.encode()).await;
+                        role.served_reads.set(role.served_reads.get() + 1);
+                        served_any = true;
+                    }
+                }
             }
         } else {
             'conns: for conn in &client_conns {

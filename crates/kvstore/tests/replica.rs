@@ -113,6 +113,7 @@ fn rig(ack: AckPolicy) -> Rig {
         FailoverConfig {
             recovery: short_recovery(0xB22),
             max_failovers: 4,
+            ..FailoverConfig::default()
         },
     ));
     Rig {

@@ -25,6 +25,10 @@
 //!   on the machine's cores.
 //! * **link degradation** — [`FabricFaults::set_link_factor`] scales
 //!   wire propagation cluster-wide.
+//! * **slow link (gray)** — [`MachineFaults::set_wire_lag`] adds a
+//!   jittered per-leg latency to every wire traversal touching the
+//!   machine: the fail-slow NIC/cable that degrades tail latency
+//!   without ever tripping an error completion.
 //! * **asymmetric partition** — [`MachineFaults::block_to`] drops all
 //!   traffic this machine sends *toward* one destination while the
 //!   reverse direction keeps flowing, the way a bad switch rule or a
@@ -73,6 +77,7 @@ pub struct MachineFaults {
     qp_epoch: Cell<u64>,
     torn_dma: Cell<f64>,
     bitflip: Cell<f64>,
+    wire_lag: Cell<u64>,
     /// Bitmask of destination machines this machine cannot reach
     /// (bit `d` set = traffic toward machine `d` is dropped).
     blocked_out: Cell<u64>,
@@ -87,6 +92,7 @@ impl Default for MachineFaults {
             qp_epoch: Cell::new(0),
             torn_dma: Cell::new(0.0),
             bitflip: Cell::new(0.0),
+            wire_lag: Cell::new(0),
             blocked_out: Cell::new(0),
         }
     }
@@ -160,6 +166,20 @@ impl MachineFaults {
         self.bitflip.set(p.clamp(0.0, 1.0));
     }
 
+    /// Mean added wire latency, in nanoseconds, per one-way traversal
+    /// touching this machine (0 outside slow-link fault windows). The
+    /// QP layer jitters the actual per-leg extra around this mean.
+    pub fn wire_lag_ns(&self) -> u64 {
+        self.wire_lag.get()
+    }
+
+    /// Opens/closes a slow-link window: every wire leg touching this
+    /// machine pays roughly `mean_ns` extra, jittered, without any
+    /// error completion — the canonical gray-failure link.
+    pub fn set_wire_lag(&self, mean_ns: u64) {
+        self.wire_lag.set(mean_ns);
+    }
+
     /// Whether traffic from this machine toward machine `dst` is
     /// currently dropped by an asymmetric partition.
     pub fn blocks_to(&self, dst: usize) -> bool {
@@ -221,6 +241,7 @@ mod tests {
         assert_eq!(m.qp_epoch(), 0);
         assert_eq!(m.torn_dma(), 0.0);
         assert_eq!(m.bitflip(), 0.0);
+        assert_eq!(m.wire_lag_ns(), 0);
         assert!(!m.blocks_to(0));
         assert_eq!(FabricFaults::default().link_factor(), 1.0);
     }

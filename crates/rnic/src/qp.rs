@@ -193,14 +193,32 @@ impl Qp {
         self.remote.faults().blocks_to(self.local.id().0)
     }
 
-    /// One-way propagation delay, inflated by any fabric degradation.
+    /// One-way propagation delay, inflated by any fabric degradation
+    /// and by per-machine slow-link (gray fail-slow) lag. The lag draw
+    /// happens only while a slow-link window is armed, so healthy runs
+    /// are bit-identical with or without the fault layer.
     fn prop(&self) -> SimSpan {
         let factor = self.fabric.link_factor();
-        if factor == 1.0 {
+        let base = if factor == 1.0 {
             self.link.propagation
         } else {
             SimSpan::from_nanos_f64(self.link.propagation.as_nanos() as f64 * factor)
+        };
+        let lag = self
+            .local
+            .faults()
+            .wire_lag_ns()
+            .max(self.remote.faults().wire_lag_ns());
+        if lag == 0 {
+            return base;
         }
+        // Jittered uniformly in [mean/2, 3·mean/2]: slow links are
+        // noisy, not a clean constant offset.
+        let extra = self
+            .local
+            .handle()
+            .with_rng(|rng| rng.gen_range(lag / 2..=lag + lag / 2));
+        base + SimSpan::nanos(extra)
     }
 
     /// Loss-burst probability contributed by the endpoints' fault state.
@@ -1425,6 +1443,35 @@ mod transport_tests {
         // Healthy latency is 1513ns with 2×300ns propagation; at 10× the
         // propagation legs cost 6000ns instead of 600ns.
         assert_eq!(lat.get(), 1513 - 600 + 6000);
+    }
+
+    #[test]
+    fn slow_link_lag_inflates_latency_without_errors() {
+        let mut sim = Simulation::new(9);
+        let cluster = Cluster::new(&mut sim, ClusterProfile::paper_testbed(), 2);
+        let client = cluster.machine(0);
+        let server = cluster.machine(1);
+        let local = client.alloc_mr(64);
+        let remote = server.alloc_mr(64);
+        let qp = cluster.qp(0, 1);
+        server.faults().set_wire_lag(30_000);
+        let t = client.thread("c");
+        let lat = Rc::new(Cell::new(0u64));
+        let out = Rc::clone(&lat);
+        let h = sim.handle();
+        sim.spawn(async move {
+            let t0 = h.now();
+            // `read` (not `try_read`) doubles as the no-error assert:
+            // a slow link degrades, it never errors.
+            qp.read(&t, &local, 0, &remote, 0, 32).await;
+            out.set((h.now() - t0).as_nanos());
+        });
+        sim.run();
+        // Healthy READ is 1513 ns; each of the two wire legs now pays a
+        // jittered extra in [15 µs, 45 µs].
+        assert!(lat.get() >= 1513 + 2 * 15_000, "lat {}", lat.get());
+        assert!(lat.get() <= 1513 + 2 * 45_000, "lat {}", lat.get());
+        server.faults().set_wire_lag(0);
     }
 
     #[test]

@@ -585,6 +585,12 @@ pub enum AnomalyKind {
     ConnectionDrop,
     /// The client abandoned a replica and re-homed onto another one.
     Failover,
+    /// Gray failure: a sustained p99 regression with *no* matching
+    /// drop/crash/overload/corruption root in the same window — the
+    /// replica is degraded-but-alive (fail-slow NIC, flaky link,
+    /// throttled server core) and liveness-based failover will never
+    /// trip on it.
+    GrayFailure,
 }
 
 impl AnomalyKind {
@@ -599,11 +605,12 @@ impl AnomalyKind {
             AnomalyKind::StuckSlot => "stuck_slot",
             AnomalyKind::ConnectionDrop => "connection_drop",
             AnomalyKind::Failover => "failover",
+            AnomalyKind::GrayFailure => "gray_failure",
         }
     }
 
     /// Every kind, in declaration order.
-    pub fn all() -> [AnomalyKind; 8] {
+    pub fn all() -> [AnomalyKind; 9] {
         [
             AnomalyKind::LatencyRegression,
             AnomalyKind::RetrySpike,
@@ -613,6 +620,7 @@ impl AnomalyKind {
             AnomalyKind::StuckSlot,
             AnomalyKind::ConnectionDrop,
             AnomalyKind::Failover,
+            AnomalyKind::GrayFailure,
         ]
     }
 }
@@ -747,6 +755,14 @@ impl AnomalyDetector {
     /// connection then kind.
     pub fn scan(&self, report: &HealthReport) -> Vec<Anomaly> {
         let baselines = self.baselines.borrow();
+        // Fleet-wide hard-root screen for the gray-failure rule: a
+        // saturated or crashing server sheds/errors on *some* conns
+        // while merely slowing its siblings, and those siblings'
+        // regressions are not rootless — the root is just booked one
+        // conn over. Gray means no hard root anywhere in the window.
+        let hard_root = report.conns.iter().any(|c| {
+            c.verb_errors + c.reconnects + c.corrupts + c.sheds + c.busys + c.failovers > 0
+        });
         let mut out = Vec::new();
         for c in &report.conns {
             let mut hit = |kind: AnomalyKind, detail: String| {
@@ -765,6 +781,21 @@ impl AnomalyDetector {
                             AnomalyKind::LatencyRegression,
                             format!("p99 {}ns vs baseline {}ns", c.p99_ns, b.p99_ns),
                         );
+                        // A regression with no hard root in the same
+                        // window (no drops, no corruption, no shedding,
+                        // no failover — on this conn or any sibling) is
+                        // a gray failure: the replica is
+                        // degraded-but-alive and nothing else will flag
+                        // it.
+                        if !hard_root {
+                            hit(
+                                AnomalyKind::GrayFailure,
+                                format!(
+                                    "p99 {}ns vs baseline {}ns with no drop/crash root",
+                                    c.p99_ns, b.p99_ns
+                                ),
+                            );
+                        }
                     }
                     let retry_threshold =
                         b.retry_rate * self.cfg.retry_factor + self.cfg.retry_margin;
@@ -1008,6 +1039,65 @@ mod tests {
                 .iter()
                 .any(|a| a.kind == AnomalyKind::LatencyRegression),
             "{anomalies:?}"
+        );
+    }
+
+    #[test]
+    fn rootless_latency_regression_is_flagged_gray() {
+        let h = hub();
+        let det = AnomalyDetector::new(AnomalyConfig::default());
+        // Slow calls and nothing else: no drops, no corruption, no
+        // shedding — the degraded-but-alive signature.
+        let anomalies = baseline_and_window(&h, &det, |c, at| {
+            c.record_call(at, SimSpan::micros(50), 0, 32, 1);
+        });
+        assert!(
+            anomalies.iter().any(|a| a.kind == AnomalyKind::GrayFailure),
+            "{anomalies:?}"
+        );
+    }
+
+    #[test]
+    fn regression_with_a_sibling_conn_root_is_not_gray() {
+        let h = hub();
+        let det = AnomalyDetector::new(AnomalyConfig::default());
+        // Conn 0 regresses cleanly, but conn 1 sheds in the same
+        // window: the fleet has a hard root (a saturated server books
+        // its pushback wherever the rejected calls ran), so conn 0's
+        // slowdown is not gray.
+        let anomalies = baseline_and_window(&h, &det, |c, at| {
+            c.record_call(at, SimSpan::micros(50), 0, 32, 1);
+            h.conn(1).record_shed(at);
+        });
+        assert!(
+            anomalies
+                .iter()
+                .any(|a| a.kind == AnomalyKind::LatencyRegression),
+            "{anomalies:?}"
+        );
+        assert!(
+            !anomalies.iter().any(|a| a.kind == AnomalyKind::GrayFailure),
+            "a regression with a sibling-conn root is not gray: {anomalies:?}"
+        );
+    }
+
+    #[test]
+    fn regression_with_a_drop_root_is_not_gray() {
+        let h = hub();
+        let det = AnomalyDetector::new(AnomalyConfig::default());
+        let anomalies = baseline_and_window(&h, &det, |c, at| {
+            c.record_call(at, SimSpan::micros(50), 0, 32, 1);
+            c.record_verb_error(at);
+        });
+        assert!(
+            anomalies
+                .iter()
+                .any(|a| a.kind == AnomalyKind::LatencyRegression),
+            "{anomalies:?}"
+        );
+        assert!(
+            !anomalies.iter().any(|a| a.kind == AnomalyKind::GrayFailure),
+            "a regression rooted in connection drops is not gray: {anomalies:?}"
         );
     }
 

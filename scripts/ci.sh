@@ -100,3 +100,21 @@ if git cat-file -e HEAD:BENCH_failover.json 2>/dev/null; then
   diff <(grep -o '"[^"]*":' /tmp/failover_a.json | sort) \
        <(git show HEAD:BENCH_failover.json | grep -o '"[^"]*":' | sort)
 fi
+
+# Gray-failure smoke: the binary asserts the resilience claims (each
+# fail-slow fault inflates the unmitigated read p99 past 3x clean
+# while scored routing and hedging stay within it, no acked write is
+# lost, histories linearize, hedges never double-apply a write, and
+# retry amplification stays under the budget bound); here we
+# additionally pin run-to-run determinism under a fixed seed and that
+# the exported registry keeps the committed BENCH_grayfail.json shape
+# (same metric names; values may move with the model).
+cargo run -q --release -p rfp-bench --bin grayfail 42 > /tmp/grayfail_a.csv
+mv BENCH_grayfail.json /tmp/grayfail_a.json
+cargo run -q --release -p rfp-bench --bin grayfail 42 > /tmp/grayfail_b.csv
+cmp /tmp/grayfail_a.csv /tmp/grayfail_b.csv
+cmp /tmp/grayfail_a.json BENCH_grayfail.json
+if git cat-file -e HEAD:BENCH_grayfail.json 2>/dev/null; then
+  diff <(grep -o '"[^"]*":' /tmp/grayfail_a.json | sort) \
+       <(git show HEAD:BENCH_grayfail.json | grep -o '"[^"]*":' | sort)
+fi
