@@ -17,6 +17,7 @@
 use rfp_bench::telemetry::{bench_registry, emit_bench_json};
 use rfp_chaos::{spawn_chaos_kv, spawn_failover_kv, ChaosConfig, FailoverChaosConfig, FaultPlan};
 use rfp_core::{IntegrityConfig, OverloadConfig};
+use rfp_kvstore::{spawn_cores_kv, CoresConfig};
 use rfp_simnet::{
     AnomalyConfig, AnomalyDetector, AnomalyKind, DumpBundle, SimSpan, SimTime, Simulation,
 };
@@ -391,6 +392,78 @@ fn main() {
         bench
             .counter(&format!("bench.doctor.{name}.completed"))
             .add(rig.state.completed.get());
+    }
+
+    // ---- core-balance rows: the multi-core serve reactor rig ----
+    //
+    // `cores_clean`: four reactor cores under a uniform keyspace with
+    // stealing on — a balanced server must raise nothing (zero false
+    // positives). `cores_hot`: the Zipf(0.99) keyspace concentrated on
+    // partition 0 with stealing *disabled* — EREW skew nobody levels,
+    // which must surface as exactly `core_imbalance`.
+    for (name, skew, steal) in [
+        ("cores_clean", None, true),
+        ("cores_hot", Some(0.99), false),
+    ] {
+        let mut sim = Simulation::new(seed);
+        let cfg = CoresConfig {
+            cores: 4,
+            steal,
+            skew,
+            seed,
+            ..CoresConfig::default()
+        };
+        let sys = spawn_cores_kv(&mut sim, &cfg);
+        sim.run_for(SimSpan::millis(1));
+        sys.reset_measurements();
+        sim.run_for(SimSpan::millis(2));
+
+        let report = sys.skew_report(sim.now());
+        let detector = AnomalyDetector::new(AnomalyConfig::default());
+        let anomalies = detector.scan_cores(&report);
+        let mut detected: Vec<AnomalyKind> = anomalies.iter().map(|a| a.kind).collect();
+        detected.sort();
+        detected.dedup();
+        if steal {
+            assert!(
+                anomalies.is_empty(),
+                "balanced reactor raised anomalies: {anomalies:?}"
+            );
+        } else {
+            assert_eq!(
+                detected,
+                vec![AnomalyKind::CoreImbalance],
+                "hot-partition EREW run must surface as exactly core_imbalance \
+                 (skew report: {:?})",
+                report.cores
+            );
+        }
+
+        println!(
+            "{},{},0,0,0.000,{},{},0",
+            name,
+            sys.stats.completed.get(),
+            if steal { "none" } else { "core_imbalance" },
+            if detected.is_empty() {
+                "none".to_string()
+            } else {
+                detected
+                    .iter()
+                    .map(|k| k.as_str())
+                    .collect::<Vec<_>>()
+                    .join("+")
+            },
+        );
+
+        for kind in AnomalyKind::all() {
+            let count = anomalies.iter().filter(|a| a.kind == kind).count() as u64;
+            bench
+                .counter(&format!("bench.doctor.{}.{}", name, kind.as_str()))
+                .add(count);
+        }
+        bench
+            .counter(&format!("bench.doctor.{name}.completed"))
+            .add(sys.stats.completed.get());
     }
 
     let path = emit_bench_json("doctor").expect("write bench json");

@@ -29,8 +29,8 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use rfp_core::{
-    connect, serve_loop, FailureCause, IntegrityConfig, OverloadConfig, RecoveryConfig, RfpConfig,
-    RfpServerConn, RfpTelemetry,
+    connect, serve_loop, CoreSpec, FailureCause, IntegrityConfig, OverloadConfig, Reactor,
+    ReactorConfig, ReactorPolicy, RecoveryConfig, RfpConfig, RfpServerConn, RfpTelemetry,
 };
 use rfp_kvstore::systems::apply_to_partition;
 use rfp_kvstore::{partition_of, KvRequest, KvResponse, Partition};
@@ -69,6 +69,12 @@ pub struct ChaosConfig {
     pub profile: ClusterProfile,
     /// Master seed for workloads and recovery jitter.
     pub seed: u64,
+    /// Run the server threads as one multi-core [`Reactor`] with work
+    /// stealing instead of independent serve loops. Off by default (the
+    /// independent loops are the configuration the determinism pins
+    /// cover); the cores chaos tests turn it on to prove the recovery
+    /// invariants hold while requests migrate between cores.
+    pub reactor_steal: bool,
 }
 
 impl Default for ChaosConfig {
@@ -83,6 +89,7 @@ impl Default for ChaosConfig {
             integrity: IntegrityConfig::default(),
             profile: ClusterProfile::paper_testbed(),
             seed: 7,
+            reactor_steal: false,
         }
     }
 }
@@ -182,6 +189,10 @@ pub struct ChaosKv {
     pub health: HealthHub,
     /// Shared outcome counters.
     pub state: Rc<ChaosState>,
+    /// The multi-core serve reactor, present only when
+    /// [`ChaosConfig::reactor_steal`] is on (per-core steal counters,
+    /// skew report).
+    pub reactor: Option<Reactor>,
 }
 
 impl ChaosKv {
@@ -402,17 +413,60 @@ pub fn spawn_chaos_kv(
         });
     }
 
-    // The server threads.
-    for (s, conns) in server_conns.into_iter().enumerate() {
-        let thread = server_m.thread(format!("chaos-s{s}"));
-        let partition = Rc::clone(&partitions[s]);
-        let handler = move |req: &[u8]| {
-            let parsed = KvRequest::decode(req).expect("client sent well-formed request");
-            let (resp, work) = apply_to_partition(&mut partition.borrow_mut(), &parsed);
-            (resp.encode(), work)
+    // The server threads: either independent serve loops (the classic
+    // shape) or one multi-core reactor with work stealing across them.
+    let reactor = if cfg.reactor_steal {
+        let specs = server_conns
+            .into_iter()
+            .enumerate()
+            .map(|(s, conns)| {
+                let thread = server_m.thread(format!("chaos-s{s}"));
+                let partition = Rc::clone(&partitions[s]);
+                let handler = move |req: &[u8]| {
+                    let parsed = KvRequest::decode(req).expect("client sent well-formed request");
+                    let (resp, work) = apply_to_partition(&mut partition.borrow_mut(), &parsed);
+                    (resp.encode(), work)
+                };
+                CoreSpec {
+                    thread,
+                    conns,
+                    handler: Box::new(handler),
+                }
+            })
+            .collect();
+        let policy = if cfg.overload.enabled {
+            ReactorPolicy::Overload
+        } else {
+            ReactorPolicy::Plain
         };
-        sim.spawn(serve_loop(thread, conns, handler, SimSpan::nanos(100)));
-    }
+        let reactor = Reactor::new(
+            ReactorConfig {
+                steal: true,
+                registry: Some(registry.clone()),
+                recorder: Some(recorder.clone()),
+                ..ReactorConfig::default()
+            },
+            specs,
+            SimSpan::nanos(100),
+            policy,
+        );
+        for s in 0..cfg.server_threads {
+            sim.spawn(reactor.run_core(s));
+        }
+        Some(reactor)
+    } else {
+        for (s, conns) in server_conns.into_iter().enumerate() {
+            let thread = server_m.thread(format!("chaos-s{s}"));
+            let partition = Rc::clone(&partitions[s]);
+            let handler = move |req: &[u8]| {
+                let parsed = KvRequest::decode(req).expect("client sent well-formed request");
+                let (resp, work) = apply_to_partition(&mut partition.borrow_mut(), &parsed);
+                (resp.encode(), work)
+            };
+            sim.spawn(serve_loop(thread, conns, handler, SimSpan::nanos(100)));
+        }
+        None
+    };
 
     // The injector goes in last so a plan that never fires leaves the
     // already-spawned workload tasks' scheduling untouched.
@@ -443,5 +497,6 @@ pub fn spawn_chaos_kv(
         recorder,
         health,
         state,
+        reactor,
     }
 }

@@ -516,6 +516,23 @@ impl RfpServerConn {
         &self.shared.cfg.overload
     }
 
+    /// Ring slot of the request last delivered by
+    /// [`try_recv`](RfpServerConn::try_recv). The reactor captures it
+    /// at pickup so a queued (or stolen) request can be answered into
+    /// its own slot even after later `try_recv`s moved the in-flight
+    /// marker.
+    pub(crate) fn reply_slot(&self) -> usize {
+        self.cur_slot.get()
+    }
+
+    /// Restores the in-flight marker before answering a queued request.
+    /// Must be called with no intervening await before the send — the
+    /// marker is connection-global and any concurrent `try_recv` moves
+    /// it.
+    pub(crate) fn set_reply_slot(&self, slot: usize) {
+        self.cur_slot.set(slot);
+    }
+
     /// Posts the response for the in-flight request (`server_send`).
     ///
     /// In remote-fetch mode this only writes into the server's local

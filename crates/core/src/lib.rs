@@ -76,6 +76,7 @@ mod mux;
 mod overload;
 mod params;
 mod pool;
+pub mod reactor;
 mod recovery;
 mod server;
 mod tuner;
@@ -94,6 +95,7 @@ pub use mux::{serve_loop_tenant, shard_conns, LogicalClient, MuxConfig, RfpMux, 
 pub use overload::{admit, credits_for, Admission, OverloadConfig, TenantCredits};
 pub use params::{ParamSelector, Params, WorkloadSample};
 pub use pool::RfpPool;
+pub use reactor::{CoreSpec, Reactor, ReactorConfig, ReactorPolicy};
 pub use recovery::{FailureCause, RecoveryConfig, RpcError};
 pub use server::{serve_loop, IdlePolicy, RfpHandler};
 pub use tuner::OnlineTuner;

@@ -26,7 +26,7 @@
 //! On the server, [`shard_conns`] splits the physical connections into
 //! P disjoint poller groups (EREW, like the per-thread partitioning the
 //! serve loop already uses) and [`serve_loop_tenant`] runs one group
-//! with per-tenant admission domains ([`TenantCredits`]): requests
+//! with per-tenant admission domains ([`TenantCredits`](crate::TenantCredits)): requests
 //! carry their tenant in the extended header, the sweep charges each
 //! verdict to that tenant's own queue share, and credit advertisements
 //! reflect the sender's backlog only — one hot tenant collapses its own
@@ -39,13 +39,13 @@ use std::rc::Rc;
 
 use rfp_rnic::ThreadCtx;
 use rfp_simnet::{
-    Counter, Gauge, HealthHub, Histogram, MetricsRegistry, Semaphore, SemaphoreGuard, SimSpan,
+    Counter, Gauge, HealthHub, Histogram, MetricsRegistry, Semaphore, SemaphoreGuard,
 };
 
 use crate::client::{CallInfo, CallResult, RfpClient};
 use crate::conn::{Mode, RfpServerConn};
 use crate::header::RespStatus;
-use crate::overload::{Admission, OverloadConfig, TenantCredits};
+use crate::reactor::{CoreSpec, Reactor, ReactorConfig, ReactorPolicy};
 use crate::recovery::{RecoveryConfig, RpcError};
 use crate::server::IdlePolicy;
 use crate::server::RfpHandler;
@@ -521,7 +521,7 @@ pub fn shard_conns(conns: &[Rc<RfpServerConn>], groups: usize) -> Vec<Vec<Rc<Rfp
 
 /// Runs one poller group with per-tenant admission domains: the
 /// admission-controlled serve loop (two-phase sweep, PR 5 batch-drain
-/// inner loop) with [`TenantCredits`] in place of the single global
+/// inner loop) with [`TenantCredits`](crate::TenantCredits) in place of the single global
 /// queue bound. Requests without a tenant stamp share one implicit
 /// domain, so an untenanted workload behaves exactly like the global
 /// loop.
@@ -533,86 +533,21 @@ pub fn shard_conns(conns: &[Rc<RfpServerConn>], groups: usize) -> Vec<Vec<Rc<Rfp
 pub async fn serve_loop_tenant(
     thread: Rc<ThreadCtx>,
     conns: Vec<Rc<RfpServerConn>>,
-    mut handler: impl RfpHandler,
+    handler: impl RfpHandler + 'static,
     idle: impl Into<IdlePolicy>,
 ) {
     assert!(!conns.is_empty(), "poller group with no connections");
-    let ov: OverloadConfig = conns[0].overload().clone();
-    assert!(
-        ov.enabled,
-        "serve_loop_tenant requires overload control (per-tenant credit domains)"
+    let reactor = Reactor::new(
+        ReactorConfig::default(),
+        vec![CoreSpec {
+            thread,
+            conns,
+            handler: Box::new(handler),
+        }],
+        idle,
+        ReactorPolicy::Tenant,
     );
-    let idle = idle.into();
-    let credits = TenantCredits::new();
-    let mut nap = SimSpan::ZERO;
-    loop {
-        if thread.machine().faults().is_crashed() {
-            thread
-                .idle_wait(thread.handle().sleep(idle.spin.max(SimSpan::micros(1))))
-                .await;
-            continue;
-        }
-        let mut served_any = false;
-        let mut crashed = false;
-        credits.begin_scan();
-        // Phase 1: admission sweep, charged per tenant. A flooding
-        // tenant exhausts only its own queue share; everyone else keeps
-        // being admitted.
-        let mut admitted: Vec<(usize, Option<u32>, Vec<u8>)> = Vec::new();
-        'sweep: for (i, conn) in conns.iter().enumerate() {
-            for _ in 0..conn.window() {
-                if thread.machine().faults().is_crashed() {
-                    crashed = true;
-                    break 'sweep;
-                }
-                let Some(req) = conn.try_recv(&thread).await else {
-                    break;
-                };
-                let tenant = conn.current_tenant();
-                match credits.admit(&ov, thread.now(), conn.current_deadline(), tenant) {
-                    Admission::Admit => admitted.push((i, tenant, req)),
-                    Admission::Busy => {
-                        conn.set_advertised_credits(0);
-                        conn.reject(&thread, RespStatus::Busy).await;
-                        served_any = true;
-                    }
-                    Admission::Shed => {
-                        conn.set_advertised_credits(credits.credits(&ov, tenant));
-                        conn.reject(&thread, RespStatus::Shed).await;
-                        served_any = true;
-                    }
-                }
-            }
-        }
-        // Phase 2: processing. Admission is final; the credit level
-        // stamped on each response is the *sender's own* backlog.
-        if !crashed {
-            for (i, tenant, req) in admitted {
-                if thread.machine().faults().is_crashed() {
-                    break;
-                }
-                let (resp, process) = handler.handle(&req);
-                if !process.is_zero() {
-                    thread.busy(process).await;
-                }
-                if thread.machine().faults().is_crashed() {
-                    break;
-                }
-                conns[i].set_advertised_credits(credits.credits(&ov, tenant));
-                conns[i].send(&thread, &resp).await;
-                served_any = true;
-            }
-        }
-        if !served_any {
-            thread.busy(idle.spin).await;
-            nap = idle.next_nap(nap);
-            if !nap.is_zero() {
-                thread.idle_wait(thread.handle().sleep(nap)).await;
-            }
-        } else {
-            nap = SimSpan::ZERO;
-        }
-    }
+    reactor.run_core(0).await
 }
 
 #[cfg(test)]

@@ -5,15 +5,22 @@
 //! of connections (EREW partitioning, as Jakiro does) and scans their
 //! request buffers in round-robin, processing and answering in place.
 //!
-//! With overload control enabled ([`OverloadConfig`] on the shared
-//! connection config) each scan runs in two phases: an **admission
-//! sweep** that picks up every pending request and immediately answers
-//! the ones it will not execute (`Shed` for an expired client-stamped
-//! deadline, `Busy` beyond the scan's queue bound), then a **processing
-//! phase** over the admitted batch. Admission decisions are made by the
-//! pure [`admit`](crate::overload::admit) rule *before* any processing,
-//! so a request the server has begun executing is never shed — the
-//! invariant the shedding-safety proptest pins.
+//! With overload control enabled ([`OverloadConfig`](crate::OverloadConfig)
+//! on the shared connection config) each scan runs in two phases: an
+//! **admission sweep** that picks up every pending request and
+//! immediately answers the ones it will not execute (`Shed` for an
+//! expired client-stamped deadline, `Busy` beyond the scan's queue
+//! bound), then a **processing phase** over the admitted batch.
+//! Admission decisions are made by the pure
+//! [`admit`](crate::overload::admit) rule *before* any processing, so a
+//! request the server has begun executing is never shed — the invariant
+//! the shedding-safety proptest pins.
+//!
+//! Since the multi-core refactor both disciplines are implementations
+//! of the shared serve [`Reactor`](crate::Reactor) (see
+//! [`reactor`](crate::reactor) module docs); [`serve_loop`] is the
+//! single-core entry point and replays the legacy loops event for
+//! event (pinned by the byte-identity proptest).
 
 use std::rc::Rc;
 
@@ -21,8 +28,7 @@ use rfp_rnic::ThreadCtx;
 use rfp_simnet::SimSpan;
 
 use crate::conn::RfpServerConn;
-use crate::header::RespStatus;
-use crate::overload::{admit, credits_for, Admission, OverloadConfig};
+use crate::reactor::{CoreSpec, Reactor, ReactorConfig, ReactorPolicy};
 
 /// How a server thread produces a response from a request payload.
 ///
@@ -102,170 +108,32 @@ impl IdlePolicy {
 /// `idle` paces the loop when a full scan found no work; a plain
 /// [`SimSpan`] gives the classic fixed spin cost, [`IdlePolicy::adaptive`]
 /// adds exponential idle backoff.
+///
+/// This is the single-core configuration of the serve
+/// [`Reactor`](crate::Reactor): the admission discipline is picked
+/// from the connections' overload config, work stealing is off, and
+/// the event order matches the pre-reactor loops exactly.
 pub async fn serve_loop(
     thread: Rc<ThreadCtx>,
     conns: Vec<Rc<RfpServerConn>>,
-    handler: impl RfpHandler,
+    handler: impl RfpHandler + 'static,
     idle: impl Into<IdlePolicy>,
 ) {
     assert!(!conns.is_empty(), "server thread with no connections");
-    let idle = idle.into();
-    if conns[0].overload().enabled {
-        serve_loop_overload(thread, conns, handler, idle).await
+    let policy = if conns[0].overload().enabled {
+        ReactorPolicy::Overload
     } else {
-        serve_loop_plain(thread, conns, handler, idle).await
-    }
-}
-
-/// The classic loop: every pending request is processed in scan order,
-/// each connection drained (up to its ring window) per visit.
-async fn serve_loop_plain(
-    thread: Rc<ThreadCtx>,
-    conns: Vec<Rc<RfpServerConn>>,
-    mut handler: impl RfpHandler,
-    idle: IdlePolicy,
-) {
-    let mut nap = SimSpan::ZERO;
-    loop {
-        // A crashed machine runs no software: park (idle, not busy)
-        // until the restart clears the flag. Healthy runs pay only the
-        // flag load per scan.
-        if thread.machine().faults().is_crashed() {
-            thread
-                .idle_wait(thread.handle().sleep(idle.spin.max(SimSpan::micros(1))))
-                .await;
-            continue;
-        }
-        let mut served_any = false;
-        'conns: for conn in &conns {
-            // Drain the connection in one visit: a pipelined client can
-            // have up to `window` slots pending, and picking up only one
-            // per full rescan would cost a rescan (plus possible idle
-            // burn) per request. A single-slot connection can never have
-            // a second request pending (its client is synchronous), so
-            // the bound of one `try_recv` is exactly the legacy scan.
-            for _ in 0..conn.window() {
-                if thread.machine().faults().is_crashed() {
-                    break 'conns;
-                }
-                let Some(req) = conn.try_recv(&thread).await else {
-                    break;
-                };
-                let (resp, process) = handler.handle(&req);
-                if !process.is_zero() {
-                    thread.busy(process).await;
-                }
-                if thread.machine().faults().is_crashed() {
-                    // The process died while handling this request: the
-                    // half-done work dies with it. (The client's
-                    // resubmission redelivers it after the restart.)
-                    break 'conns;
-                }
-                conn.send(&thread, &resp).await;
-                served_any = true;
-            }
-        }
-        if !served_any {
-            thread.busy(idle.spin).await;
-            nap = idle.next_nap(nap);
-            if !nap.is_zero() {
-                thread.idle_wait(thread.handle().sleep(nap)).await;
-            }
-        } else {
-            nap = SimSpan::ZERO;
-        }
-    }
-}
-
-/// The admission-controlled loop (two-phase scan, see module docs).
-async fn serve_loop_overload(
-    thread: Rc<ThreadCtx>,
-    conns: Vec<Rc<RfpServerConn>>,
-    mut handler: impl RfpHandler,
-    idle: IdlePolicy,
-) {
-    let ov: OverloadConfig = conns[0].overload().clone();
-    debug_assert!(
-        conns.iter().all(|c| c.overload().enabled),
-        "mixed overload configs on one server thread"
+        ReactorPolicy::Plain
+    };
+    let reactor = Reactor::new(
+        ReactorConfig::default(),
+        vec![CoreSpec {
+            thread,
+            conns,
+            handler: Box::new(handler),
+        }],
+        idle,
+        policy,
     );
-    // Credits advertised on responses posted during the admission
-    // sweep, computed from the *previous* scan's backlog (the freshest
-    // level the server knows when a rejection goes out).
-    let mut advertised = ov.credit_max;
-    let mut nap = SimSpan::ZERO;
-    loop {
-        if thread.machine().faults().is_crashed() {
-            thread
-                .idle_wait(thread.handle().sleep(idle.spin.max(SimSpan::micros(1))))
-                .await;
-            continue;
-        }
-        let mut served_any = false;
-        let mut crashed = false;
-        // Phase 1: admission sweep. Every pending request is picked up
-        // and either queued for processing or answered with its verdict
-        // on the spot — one bounded batch per scan. Each connection is
-        // drained (up to its ring window) per visit; every drained
-        // request still passes the admission rule individually, so the
-        // queue bound caps the batch exactly as before.
-        let mut admitted: Vec<(usize, Vec<u8>)> = Vec::new();
-        let mut backlog = 0usize;
-        'sweep: for (i, conn) in conns.iter().enumerate() {
-            for _ in 0..conn.window() {
-                if thread.machine().faults().is_crashed() {
-                    crashed = true;
-                    break 'sweep;
-                }
-                let Some(req) = conn.try_recv(&thread).await else {
-                    break;
-                };
-                backlog += 1;
-                match admit(&ov, thread.now(), conn.current_deadline(), admitted.len()) {
-                    Admission::Admit => admitted.push((i, req)),
-                    Admission::Busy => {
-                        // Out of queue room: advertise zero so the
-                        // client backs off before resubmitting.
-                        conn.set_advertised_credits(0);
-                        conn.reject(&thread, RespStatus::Busy).await;
-                        served_any = true;
-                    }
-                    Admission::Shed => {
-                        conn.set_advertised_credits(advertised);
-                        conn.reject(&thread, RespStatus::Shed).await;
-                        served_any = true;
-                    }
-                }
-            }
-        }
-        advertised = credits_for(&ov, backlog);
-        // Phase 2: processing. Admission is final — nothing in this
-        // batch is ever shed, deadline expired or not.
-        if !crashed {
-            for (i, req) in admitted {
-                if thread.machine().faults().is_crashed() {
-                    break;
-                }
-                let (resp, process) = handler.handle(&req);
-                if !process.is_zero() {
-                    thread.busy(process).await;
-                }
-                if thread.machine().faults().is_crashed() {
-                    break;
-                }
-                conns[i].set_advertised_credits(advertised);
-                conns[i].send(&thread, &resp).await;
-                served_any = true;
-            }
-        }
-        if !served_any {
-            thread.busy(idle.spin).await;
-            nap = idle.next_nap(nap);
-            if !nap.is_zero() {
-                thread.idle_wait(thread.handle().sleep(nap)).await;
-            }
-        } else {
-            nap = SimSpan::ZERO;
-        }
-    }
+    reactor.run_core(0).await
 }

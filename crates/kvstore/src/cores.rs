@@ -1,0 +1,397 @@
+//! Multi-core scaling rig: one server machine with N reactor cores,
+//! an EREW-partitioned store, and a keyspace *constructed* so that key
+//! popularity maps onto partitions in a controlled way.
+//!
+//! Zipf over a hashed keyspace does **not** concentrate load on one
+//! partition — the hash sprays the popular ranks across all of them
+//! (that is exactly the §4.4.3 load-balance argument). To study the
+//! skew-collapse regime the reactor's work stealing exists for, the
+//! rig builds the rank order deliberately:
+//!
+//! * it generates candidate key names and buckets them by
+//!   [`partition_of`] until every partition owns `keys_per_core`
+//!   names;
+//! * **uniform** runs interleave the buckets round-robin (rank `r` →
+//!   partition `r % cores`), so uniform sampling loads every core
+//!   equally;
+//! * **skewed** runs lay partition 0's names first, so the head of a
+//!   Zipf(θ) rank distribution lands entirely on core 0 (θ = 0.99 puts
+//!   ~83% of draws there with 4 cores × 1024 keys) while the siblings
+//!   starve — the worst case EREW admits.
+//!
+//! Clients are closed-loop and pipelined: each draws one ring window
+//! of GETs, buckets them by owning partition, and drives each bucket
+//! through [`RfpClient::call_pipelined`] on its per-core connection.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use rand::{Rng, SeedableRng};
+use rfp_core::{
+    connect, CoreSpec, Reactor, ReactorConfig, ReactorPolicy, RfpClient, RfpConfig, RfpServerConn,
+    REQ_HDR, RESP_HDR,
+};
+use rfp_rnic::{core_threads, Cluster, ClusterProfile, Machine, ThreadCtx};
+use rfp_simnet::{CoreSkewReport, MetricsRegistry, SimSpan, SimTime, Simulation};
+use rfp_workload::{Op, Zipf};
+
+use crate::bucket::Partition;
+use crate::hash::partition_of;
+use crate::proto::{KvRequest, KvResponse};
+use crate::systems::{apply_to_partition, record_outcome, KvStats};
+
+/// Configuration of the multi-core scaling rig.
+#[derive(Clone)]
+pub struct CoresConfig {
+    /// Simulated server cores (= store partitions = reactor cores).
+    pub cores: usize,
+    /// Lets idle cores steal from loaded siblings.
+    pub steal: bool,
+    /// Modeled cross-core handoff cost per stolen request.
+    pub handoff_cost: SimSpan,
+    /// Requests one steal pass may take before re-scanning its own
+    /// partition.
+    pub steal_batch: usize,
+    /// `None` → uniform key popularity; `Some(θ)` → Zipf(θ) over the
+    /// hot-first rank order (the head lands on partition 0).
+    pub skew: Option<f64>,
+    /// Constructed keys per partition.
+    pub keys_per_core: usize,
+    /// Extra application CPU per request, on top of the store's own
+    /// lookup cost. The default makes the workload *CPU-bound* well
+    /// below the NIC ceilings (client out-bound ≈2.1 Mops/machine,
+    /// server in-bound ≈11.3 Mops), so the sweep measures core
+    /// scaling rather than wire saturation.
+    pub extra_process: SimSpan,
+    /// Preloaded value size (the headline 32-byte point).
+    pub value_len: usize,
+    /// Client machines.
+    pub client_machines: usize,
+    /// Client threads per client machine.
+    pub clients_per_machine: usize,
+    /// Ring window per connection (= pipelining depth per client draw).
+    pub window: usize,
+    /// Cluster timing profile.
+    pub profile: ClusterProfile,
+    /// Server CPU per ring-slot header check.
+    pub check_cpu: SimSpan,
+    /// Server CPU per posted response.
+    pub post_cpu: SimSpan,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for CoresConfig {
+    fn default() -> Self {
+        CoresConfig {
+            cores: 4,
+            steal: true,
+            handoff_cost: SimSpan::nanos(150),
+            steal_batch: 8,
+            skew: None,
+            keys_per_core: 1024,
+            extra_process: SimSpan::nanos(750),
+            value_len: 32,
+            client_machines: 12,
+            clients_per_machine: 3,
+            window: 8,
+            profile: ClusterProfile::paper_testbed(),
+            check_cpu: SimSpan::nanos(30),
+            post_cpu: SimSpan::nanos(50),
+            seed: 42,
+        }
+    }
+}
+
+impl CoresConfig {
+    /// Total client threads.
+    pub fn total_clients(&self) -> usize {
+        self.client_machines * self.clients_per_machine
+    }
+
+    fn rfp(&self) -> RfpConfig {
+        let base = RfpConfig::default();
+        let resp = (RESP_HDR + 5 + self.value_len)
+            .next_multiple_of(64)
+            .max(256)
+            .max(base.fetch_size);
+        let req = (REQ_HDR + 7 + KEY_LEN).next_multiple_of(64).max(256);
+        RfpConfig {
+            window: self.window,
+            check_cpu: self.check_cpu,
+            post_cpu: self.post_cpu,
+            resp_capacity: resp,
+            req_capacity: req,
+            ..base
+        }
+    }
+}
+
+/// Constructed key names are fixed-width (the paper's 16-byte keys).
+const KEY_LEN: usize = 16;
+
+/// Builds the rank-ordered keyspace described in the module docs:
+/// `cores × keys_per_core` names, each partition owning exactly
+/// `keys_per_core` of them, ordered hot-first (skewed) or round-robin
+/// (uniform).
+pub fn build_keyspace(cores: usize, keys_per_core: usize, hot_first: bool) -> Vec<Vec<u8>> {
+    assert!(cores > 0 && keys_per_core > 0);
+    let mut buckets: Vec<Vec<Vec<u8>>> = vec![Vec::new(); cores];
+    let mut i = 0u64;
+    while buckets.iter().any(|b| b.len() < keys_per_core) {
+        let key = format!("key{i:013}").into_bytes();
+        debug_assert_eq!(key.len(), KEY_LEN);
+        let p = partition_of(&key, cores);
+        if buckets[p].len() < keys_per_core {
+            buckets[p].push(key);
+        }
+        i += 1;
+    }
+    if hot_first {
+        buckets.concat()
+    } else {
+        let mut keys = Vec::with_capacity(cores * keys_per_core);
+        for r in 0..keys_per_core {
+            for b in &buckets {
+                keys.push(b[r].clone());
+            }
+        }
+        keys
+    }
+}
+
+/// A running multi-core system: clients loop forever; warm up, call
+/// [`CoresKv::reset_measurements`], run the window, read the stats.
+pub struct CoresKv {
+    /// The simulated cluster (machine 0 is the server).
+    pub cluster: Cluster,
+    /// Shared measurements.
+    pub stats: Rc<KvStats>,
+    /// Instrument registry (`nic.*`, `kv.*`, `serve.core.*`).
+    pub registry: MetricsRegistry,
+    /// The serve reactor (per-core accessors, skew report).
+    pub reactor: Reactor,
+    /// The server machine.
+    pub server_machine: Rc<Machine>,
+    /// The per-core server threads.
+    pub core_threads: Vec<Rc<ThreadCtx>>,
+    /// All client threads.
+    pub client_threads: Vec<Rc<ThreadCtx>>,
+    /// All RFP client endpoints.
+    pub rfp_clients: Vec<Rc<RfpClient>>,
+    /// Server-side connections grouped by owning core.
+    pub server_conns: Vec<Vec<Rc<RfpServerConn>>>,
+}
+
+impl CoresKv {
+    /// Discards warm-up: stats, NIC counters, thread clocks, reactor
+    /// meters, and the registry diff baseline.
+    pub fn reset_measurements(&self) {
+        self.stats.reset();
+        for i in 0..self.cluster.len() {
+            self.cluster.machine(i).nic().reset_counters();
+        }
+        for t in &self.client_threads {
+            t.reset_utilization();
+        }
+        for c in &self.rfp_clients {
+            c.stats().reset();
+        }
+        self.reactor.reset_measurements();
+        self.registry.reset();
+    }
+
+    /// Requests executed per core (own plus stolen).
+    pub fn served_per_core(&self) -> Vec<u64> {
+        (0..self.reactor.cores())
+            .map(|i| self.reactor.served(i))
+            .collect()
+    }
+
+    /// The point-in-time per-core load rollup.
+    pub fn skew_report(&self, now: SimTime) -> CoreSkewReport {
+        self.reactor.skew_report(now)
+    }
+}
+
+/// Spawns the multi-core system: one server machine running an
+/// N-core [`Reactor`] (plain policy) over an EREW-partitioned bucket
+/// store, plus closed-loop pipelined GET clients sampling the
+/// constructed keyspace.
+pub fn spawn_cores_kv(sim: &mut Simulation, cfg: &CoresConfig) -> CoresKv {
+    let cluster = Cluster::new(sim, cfg.profile.clone(), 1 + cfg.client_machines);
+    let server_m = cluster.machine(0);
+    let stats = Rc::new(KvStats::default());
+    let registry = MetricsRegistry::new();
+    cluster.attach_metrics(&registry);
+    stats.register_into(&registry);
+    let rfp_cfg = cfg.rfp();
+
+    // The constructed keyspace and its preloaded partitions.
+    let keys = Rc::new(build_keyspace(
+        cfg.cores,
+        cfg.keys_per_core,
+        cfg.skew.is_some(),
+    ));
+    let value = vec![0x56u8; cfg.value_len];
+    let partitions: Vec<Rc<RefCell<Partition>>> = (0..cfg.cores)
+        .map(|_| Rc::new(RefCell::new(Partition::new(cfg.keys_per_core.max(64) / 4))))
+        .collect();
+    for key in keys.iter() {
+        let p = partition_of(key, cfg.cores);
+        partitions[p].borrow_mut().put(key, &value);
+    }
+
+    // Clients: one connection per (client thread, core); requests are
+    // routed to the core owning the key's partition (EREW).
+    let mut server_conns: Vec<Vec<Rc<RfpServerConn>>> =
+        (0..cfg.cores).map(|_| Vec::new()).collect();
+    let mut rfp_clients = Vec::new();
+    let mut client_threads = Vec::new();
+    let zipf = cfg.skew.map(|theta| Zipf::new(keys.len() as u64, theta));
+    for m in 0..cfg.client_machines {
+        let client_m = cluster.machine(1 + m);
+        for t in 0..cfg.clients_per_machine {
+            let thread = client_m.thread(format!("c{m}.{t}"));
+            client_threads.push(Rc::clone(&thread));
+            let mut conns: Vec<Rc<RfpClient>> = Vec::with_capacity(cfg.cores);
+            for core_conns in server_conns.iter_mut() {
+                let (cl, sc) = connect(
+                    &client_m,
+                    &server_m,
+                    cluster.qp(1 + m, 0),
+                    cluster.qp(0, 1 + m),
+                    rfp_cfg.clone(),
+                );
+                let cl = Rc::new(cl);
+                rfp_clients.push(Rc::clone(&cl));
+                conns.push(cl);
+                core_conns.push(Rc::new(sc));
+            }
+
+            let st = Rc::clone(&stats);
+            let keys = Rc::clone(&keys);
+            let zipf = zipf.clone();
+            let ncores = cfg.cores;
+            let window = cfg.window;
+            let seed = rfp_simnet::derive_seed(cfg.seed, (m * 64 + t) as u64 + 1);
+            sim.spawn(async move {
+                let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+                loop {
+                    // One ring window of GETs *per core*, bucketed by
+                    // owner; each bucket streams through its
+                    // connection's W-slot ring in one pipelined call,
+                    // so a draw costs ~one round trip per loaded
+                    // partition rather than one per request.
+                    let picks: Vec<usize> = (0..window * ncores)
+                        .map(|_| match &zipf {
+                            Some(z) => z.sample(&mut rng) as usize,
+                            None => rng.gen_range(0..keys.len()),
+                        })
+                        .collect();
+                    let mut buckets: Vec<Vec<usize>> = (0..ncores).map(|_| Vec::new()).collect();
+                    for &k in &picks {
+                        buckets[partition_of(&keys[k], ncores)].push(k);
+                    }
+                    for (p, bucket) in buckets.iter().enumerate() {
+                        if bucket.is_empty() {
+                            continue;
+                        }
+                        let reqs: Vec<Vec<u8>> = bucket
+                            .iter()
+                            .map(|&k| KvRequest::Get { key: &keys[k] }.encode())
+                            .collect();
+                        let outs = conns[p].call_pipelined(&thread, &reqs).await;
+                        for (&k, out) in bucket.iter().zip(&outs) {
+                            let resp = KvResponse::decode(&out.data).expect("server response");
+                            let op = Op::Get {
+                                key: keys[k].clone(),
+                            };
+                            record_outcome(&st, &op, &resp, out.info.latency);
+                        }
+                    }
+                }
+            });
+        }
+    }
+
+    // The reactor: one core per partition, stealing as configured.
+    let threads = core_threads(&server_m, "s", cfg.cores);
+    let specs: Vec<CoreSpec> = (0..cfg.cores)
+        .map(|i| {
+            let part = Rc::clone(&partitions[i]);
+            let extra = cfg.extra_process;
+            CoreSpec {
+                thread: Rc::clone(&threads[i]),
+                conns: server_conns[i].clone(),
+                handler: Box::new(move |req: &[u8]| {
+                    let parsed = KvRequest::decode(req).expect("client sent well-formed request");
+                    let (resp, work) = apply_to_partition(&mut part.borrow_mut(), &parsed);
+                    (resp.encode(), work + extra)
+                }),
+            }
+        })
+        .collect();
+    let reactor = Reactor::new(
+        ReactorConfig {
+            steal: cfg.steal,
+            handoff_cost: cfg.handoff_cost,
+            steal_batch: cfg.steal_batch,
+            registry: Some(registry.clone()),
+            recorder: None,
+        },
+        specs,
+        SimSpan::nanos(100),
+        ReactorPolicy::Plain,
+    );
+    for i in 0..cfg.cores {
+        sim.spawn(reactor.run_core(i));
+    }
+
+    CoresKv {
+        cluster,
+        stats,
+        registry,
+        reactor,
+        server_machine: server_m,
+        core_threads: threads,
+        client_threads,
+        rfp_clients,
+        server_conns,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyspace_partitions_are_exact() {
+        for cores in [1, 2, 4, 8] {
+            let keys = build_keyspace(cores, 64, false);
+            assert_eq!(keys.len(), cores * 64);
+            let mut counts = vec![0usize; cores];
+            for k in &keys {
+                counts[partition_of(k, cores)] += 1;
+            }
+            assert!(counts.iter().all(|&c| c == 64), "{counts:?}");
+        }
+    }
+
+    #[test]
+    fn hot_first_head_lands_on_partition_zero() {
+        let per = 64;
+        let keys = build_keyspace(4, per, true);
+        for k in &keys[..per] {
+            assert_eq!(partition_of(k, 4), 0);
+        }
+    }
+
+    #[test]
+    fn uniform_order_interleaves_partitions() {
+        let keys = build_keyspace(4, 64, false);
+        for (r, k) in keys.iter().enumerate() {
+            assert_eq!(partition_of(k, 4), r % 4);
+        }
+    }
+}

@@ -14,6 +14,7 @@
 
 pub mod bucket;
 pub mod bucket_compact;
+pub mod cores;
 pub mod crc64;
 pub mod hash;
 pub mod hopscotch;
@@ -28,6 +29,7 @@ mod cuckoo;
 
 pub use bucket::{Partition, PutOutcome, SLOTS_PER_BUCKET};
 pub use bucket_compact::{CompactPartition, COMPACT_SLOTS};
+pub use cores::{build_keyspace, spawn_cores_kv, CoresConfig, CoresKv};
 pub use crc64::{crc64, Crc64};
 pub use cuckoo::{bypass_get, BypassGet, CuckooError, PilafStore, PilafView, SLOT_SIZE};
 pub use hash::{hash_bytes, partition_of};

@@ -25,6 +25,7 @@
 
 mod async_verbs;
 mod cluster;
+mod cores;
 mod fault;
 mod machine;
 mod mem;
@@ -34,6 +35,7 @@ mod qp;
 
 pub use async_verbs::Completion;
 pub use cluster::Cluster;
+pub use cores::{core_threads, CoreId, CoreMeter, Handoff, RunQueue};
 pub use fault::{FabricFaults, MachineFaults, VerbError};
 pub use machine::{Machine, MachineId, ThreadCtx};
 pub use mem::{MemRegion, MrId};

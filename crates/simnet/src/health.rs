@@ -591,6 +591,11 @@ pub enum AnomalyKind {
     /// throttled server core) and liveness-based failover will never
     /// trip on it.
     GrayFailure,
+    /// One server core is executing far more than its fair share of
+    /// the served work (EREW partition skew with no stealing to level
+    /// it): the aggregate collapses toward single-core capacity while
+    /// the siblings idle.
+    CoreImbalance,
 }
 
 impl AnomalyKind {
@@ -606,11 +611,12 @@ impl AnomalyKind {
             AnomalyKind::ConnectionDrop => "connection_drop",
             AnomalyKind::Failover => "failover",
             AnomalyKind::GrayFailure => "gray_failure",
+            AnomalyKind::CoreImbalance => "core_imbalance",
         }
     }
 
     /// Every kind, in declaration order.
-    pub fn all() -> [AnomalyKind; 9] {
+    pub fn all() -> [AnomalyKind; 10] {
         [
             AnomalyKind::LatencyRegression,
             AnomalyKind::RetrySpike,
@@ -621,6 +627,7 @@ impl AnomalyKind {
             AnomalyKind::ConnectionDrop,
             AnomalyKind::Failover,
             AnomalyKind::GrayFailure,
+            AnomalyKind::CoreImbalance,
         ]
     }
 }
@@ -684,6 +691,12 @@ pub struct AnomalyConfig {
     pub drop_min: u64,
     /// Replica failovers in a window that constitute an anomaly.
     pub failover_min: u64,
+    /// A core must execute more than `core_factor` times the per-core
+    /// mean served count before [`AnomalyKind::CoreImbalance`] fires.
+    pub core_factor: f64,
+    /// Total served work below which core-skew comparisons stay quiet
+    /// (an idle server has no meaningful balance).
+    pub core_min_served: u64,
 }
 
 impl Default for AnomalyConfig {
@@ -701,7 +714,60 @@ impl Default for AnomalyConfig {
             stall_min: 1,
             drop_min: 1,
             failover_min: 1,
+            core_factor: 2.0,
+            core_min_served: 64,
         }
+    }
+}
+
+/// One core's executed-work share in a [`CoreSkewReport`].
+#[derive(Clone, Debug)]
+pub struct CoreLoad {
+    /// Core index within its server.
+    pub core: u32,
+    /// Requests this core *executed* (its own plus any it stole).
+    pub served: u64,
+    /// Requests found pending in its most recent scan (run-queue
+    /// depth, the backlog signal).
+    pub queue_depth: u64,
+    /// Requests this core stole from siblings.
+    pub steals: u64,
+    /// Requests siblings stole from this core's domain.
+    pub stolen: u64,
+    /// Busy fraction of the core's thread since measurements began.
+    pub utilization: f64,
+}
+
+/// Point-in-time per-core load rollup for one multi-core server — the
+/// `CoreSkew` health view the doctor scans for a hot core.
+#[derive(Clone, Debug)]
+pub struct CoreSkewReport {
+    /// When the rollup was taken.
+    pub at: SimTime,
+    /// One row per core, in core order.
+    pub cores: Vec<CoreLoad>,
+}
+
+impl CoreSkewReport {
+    /// Total requests executed across all cores.
+    pub fn total_served(&self) -> u64 {
+        self.cores.iter().map(|c| c.served).sum()
+    }
+
+    /// Hottest core by executed work, if any.
+    pub fn hottest(&self) -> Option<&CoreLoad> {
+        self.cores.iter().max_by_key(|c| c.served)
+    }
+
+    /// Executed-work imbalance: hottest core's served count over the
+    /// per-core mean. 1.0 for a perfectly level (or empty) server.
+    pub fn imbalance(&self) -> f64 {
+        let total = self.total_served();
+        if self.cores.is_empty() || total == 0 {
+            return 1.0;
+        }
+        let mean = total as f64 / self.cores.len() as f64;
+        self.hottest().map_or(1.0, |h| h.served as f64 / mean)
     }
 }
 
@@ -848,6 +914,40 @@ impl AnomalyDetector {
             }
         }
         out
+    }
+
+    /// Scans a per-core load rollup for a hot core. Fires one
+    /// [`AnomalyKind::CoreImbalance`] on the hottest core when its
+    /// executed share exceeds `core_factor` times the per-core mean —
+    /// EREW skew that stealing failed to (or was not allowed to)
+    /// level. Idle servers (below `core_min_served` total) and
+    /// single-core servers never fire.
+    pub fn scan_cores(&self, skew: &CoreSkewReport) -> Vec<Anomaly> {
+        if skew.cores.len() < 2 || skew.total_served() < self.cfg.core_min_served {
+            return Vec::new();
+        }
+        let imbalance = skew.imbalance();
+        if imbalance <= self.cfg.core_factor {
+            return Vec::new();
+        }
+        let hot = skew
+            .hottest()
+            .expect("non-empty core set has a hottest core");
+        vec![Anomaly {
+            at: skew.at,
+            conn: hot.core,
+            kind: AnomalyKind::CoreImbalance,
+            detail: format!(
+                "core {} executed {} of {} ({:.2}x the per-core mean; \
+                 queue depth {}, {} stolen away)",
+                hot.core,
+                hot.served,
+                skew.total_served(),
+                imbalance,
+                hot.queue_depth,
+                hot.stolen,
+            ),
+        }]
     }
 }
 

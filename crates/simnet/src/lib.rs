@@ -57,8 +57,8 @@ pub use coord::{Barrier, Semaphore, SemaphoreGuard, WaitGroup, WaitGroupToken};
 pub use crc64::{crc64, crc64_pair, Crc64};
 pub use executor::{yield_now, SimHandle, Simulation, Sleep};
 pub use health::{
-    Anomaly, AnomalyConfig, AnomalyDetector, AnomalyKind, ConnHealth, ConnHealthReport, DumpBundle,
-    HealthConfig, HealthHub, HealthReport, HealthRollup,
+    Anomaly, AnomalyConfig, AnomalyDetector, AnomalyKind, ConnHealth, ConnHealthReport, CoreLoad,
+    CoreSkewReport, DumpBundle, HealthConfig, HealthHub, HealthReport, HealthRollup,
 };
 pub use metrics::{prometheus_name, Gauge, MetricValue, MetricsRegistry, MetricsSnapshot};
 pub use recorder::{FlightEvent, FlightRecorder};

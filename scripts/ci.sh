@@ -118,3 +118,20 @@ if git cat-file -e HEAD:BENCH_grayfail.json 2>/dev/null; then
   diff <(grep -o '"[^"]*":' /tmp/grayfail_a.json | sort) \
        <(git show HEAD:BENCH_grayfail.json | grep -o '"[^"]*":' | sort)
 fi
+
+# Cores smoke: the binary asserts the core-scaling claims (uniform
+# 4-core throughput >= 3x one core, the skewed worst case within 2.5x
+# of uniform with stealing and visibly collapsed/imbalanced without,
+# and same-seed registry byte-identity); here we additionally pin
+# run-to-run determinism under a fixed seed and that the exported
+# registry keeps the committed BENCH_cores.json shape (same metric
+# names; values may move with the model).
+cargo run -q --release -p rfp-bench --bin cores 42 > /tmp/cores_a.csv
+mv BENCH_cores.json /tmp/cores_a.json
+cargo run -q --release -p rfp-bench --bin cores 42 > /tmp/cores_b.csv
+cmp /tmp/cores_a.csv /tmp/cores_b.csv
+cmp /tmp/cores_a.json BENCH_cores.json
+if git cat-file -e HEAD:BENCH_cores.json 2>/dev/null; then
+  diff <(grep -o '"[^"]*":' /tmp/cores_a.json | sort) \
+       <(git show HEAD:BENCH_cores.json | grep -o '"[^"]*":' | sort)
+fi
